@@ -1,0 +1,30 @@
+//! Criterion micro-bench: index construction (supplements Table 4's
+//! construction-time column) across graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stl_core::{Stl, StlConfig};
+use stl_h2h::H2hIndex;
+use stl_hc2l::Hc2l;
+use stl_workloads::{generate, RoadNetConfig};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let g = generate(&RoadNetConfig::sized(n, 606));
+        group.bench_function(BenchmarkId::new("stl", n), |b| {
+            b.iter(|| std::hint::black_box(Stl::build(&g, &StlConfig::default())))
+        });
+        group.bench_function(BenchmarkId::new("hc2l", n), |b| {
+            b.iter(|| std::hint::black_box(Hc2l::build(&g, &StlConfig::default())))
+        });
+        group.bench_function(BenchmarkId::new("h2h", n), |b| {
+            b.iter(|| std::hint::black_box(H2hIndex::build(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

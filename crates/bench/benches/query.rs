@@ -1,0 +1,59 @@
+//! Criterion micro-bench: query kernels of STL, HC2L, H2H and the
+//! bidirectional-Dijkstra baseline (supplements Table 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stl_core::{Stl, StlConfig};
+use stl_h2h::H2hIndex;
+use stl_hc2l::Hc2l;
+use stl_pathfinding::bidirectional::BiDijkstra;
+use stl_workloads::queries::random_pairs;
+use stl_workloads::{generate, RoadNetConfig};
+
+fn bench_queries(c: &mut Criterion) {
+    let g = generate(&RoadNetConfig::sized(8_000, 404));
+    let stl = Stl::build(&g, &StlConfig::default());
+    let hc2l = Hc2l::build(&g, &StlConfig::default());
+    let h2h = H2hIndex::build(&g);
+    let pairs = random_pairs(g.num_vertices(), 1024, 3);
+    let mut group = c.benchmark_group("query_8k");
+    group.bench_function(BenchmarkId::new("stl", "random"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(stl.query(s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("hc2l", "random"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(hc2l.query(s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("h2h", "random"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(h2h.query(s, t))
+        })
+    });
+    // The classical baseline is orders of magnitude slower; sample fewer.
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("bidijkstra", "random"), |b| {
+        let mut bi = BiDijkstra::new(g.num_vertices());
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(bi.distance(&g, s, t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-bench: single-update maintenance kernels (supplements
+//! Table 3). Each iteration increases one edge ×2 and restores it, so the
+//! index state is invariant across iterations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stl_core::{Maintenance, Stl, StlConfig, UpdateEngine};
+use stl_graph::EdgeUpdate;
+use stl_h2h::{DynamicH2h, Granularity};
+use stl_workloads::{generate, RoadNetConfig};
+
+fn bench_updates(c: &mut Criterion) {
+    let g0 = generate(&RoadNetConfig::sized(6_000, 505));
+    let targets: Vec<(u32, u32, u32)> = g0.edges().step_by(97).take(64).collect();
+    let mut group = c.benchmark_group("update_6k_roundtrip");
+    for (algo_name, algo) in
+        [("stl_pareto", Maintenance::ParetoSearch), ("stl_label", Maintenance::LabelSearch)]
+    {
+        group.bench_function(BenchmarkId::new(algo_name, "x2_restore"), |b| {
+            let mut g = g0.clone();
+            let mut stl = Stl::build(&g0, &StlConfig::default());
+            let mut eng = UpdateEngine::new(g.num_vertices());
+            let mut i = 0;
+            b.iter(|| {
+                let (a, t, w) = targets[i % targets.len()];
+                i += 1;
+                stl.apply_batch(&mut g, &[EdgeUpdate::new(a, t, w * 2)], algo, &mut eng);
+                stl.apply_batch(&mut g, &[EdgeUpdate::new(a, t, w)], algo, &mut eng);
+            })
+        });
+    }
+    for (name, gran) in [("inch2h", Granularity::Fine), ("dtdhl", Granularity::Coarse)] {
+        group.bench_function(BenchmarkId::new(name, "x2_restore"), |b| {
+            let mut g = g0.clone();
+            let mut idx = DynamicH2h::build(&g0, gran);
+            let mut i = 0;
+            b.iter(|| {
+                let (a, t, w) = targets[i % targets.len()];
+                i += 1;
+                idx.increase(&mut g, &[EdgeUpdate::new(a, t, w * 2)]);
+                idx.decrease(&mut g, &[EdgeUpdate::new(a, t, w)]);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary accepts `--scale {tiny|small|default|large}` (default:
+//! `small`, so a full reproduction run finishes in minutes; use `default` or
+//! `large` to grow toward paper-shaped workloads) plus per-binary knobs.
+
+use std::time::{Duration, Instant};
+
+use stl_core::{Maintenance, Stl, StlConfig, UpdateEngine, UpdateStats};
+use stl_graph::{CsrGraph, EdgeUpdate};
+use stl_h2h::{DynamicH2h, Granularity};
+use stl_workloads::Scale;
+
+/// Parse `--scale` (and return remaining args for binary-specific flags).
+pub fn parse_scale() -> (Scale, Vec<String>) {
+    let mut scale = Scale::Small;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            let v = args.next().unwrap_or_default();
+            scale = Scale::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown scale '{v}', expected tiny|small|default|large");
+                std::process::exit(2);
+            });
+        } else {
+            rest.push(a);
+        }
+    }
+    (scale, rest)
+}
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Milliseconds with 3 significant-ish decimals.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Microseconds.
+pub fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Human-readable byte size (MB/GB like the paper's tables).
+pub fn fmt_bytes(b: usize) -> String {
+    const MB: f64 = 1024.0 * 1024.0;
+    let m = b as f64 / MB;
+    if m >= 1024.0 {
+        format!("{:.2} GB", m / 1024.0)
+    } else if m >= 1.0 {
+        format!("{m:.1} MB")
+    } else {
+        format!("{:.0} KB", b as f64 / 1024.0)
+    }
+}
+
+/// Human-readable entry count (M/B like the paper's tables).
+pub fn fmt_count(c: u64) -> String {
+    if c >= 1_000_000_000 {
+        format!("{:.1} B", c as f64 / 1e9)
+    } else if c >= 1_000_000 {
+        format!("{:.1} M", c as f64 / 1e6)
+    } else if c >= 1_000 {
+        format!("{:.1} K", c as f64 / 1e3)
+    } else {
+        c.to_string()
+    }
+}
+
+/// A maintained dynamic index — the uniform driver for Tables 3/8/10.
+pub enum Runner {
+    /// STL with the chosen algorithm family.
+    Stl { stl: Stl, g: CsrGraph, eng: Box<UpdateEngine>, algo: Maintenance },
+    /// IncH2H (fine) or DTDHL (coarse).
+    H2h { idx: DynamicH2h, g: CsrGraph },
+}
+
+impl Runner {
+    /// Build a runner over a private copy of `g0`.
+    pub fn new(kind: &str, g0: &CsrGraph) -> Runner {
+        match kind {
+            "STL-P" | "STL-L" => {
+                let algo =
+                    if kind == "STL-P" { Maintenance::ParetoSearch } else { Maintenance::LabelSearch };
+                let stl = Stl::build(g0, &StlConfig::default());
+                Runner::Stl {
+                    stl,
+                    g: g0.clone(),
+                    eng: Box::new(UpdateEngine::new(g0.num_vertices())),
+                    algo,
+                }
+            }
+            "IncH2H" => Runner::H2h {
+                idx: DynamicH2h::build(g0, Granularity::Fine),
+                g: g0.clone(),
+            },
+            "DTDHL" => Runner::H2h {
+                idx: DynamicH2h::build(g0, Granularity::Coarse),
+                g: g0.clone(),
+            },
+            _ => panic!("unknown runner '{kind}'"),
+        }
+    }
+
+    /// Apply a homogeneous batch (all increases or all decreases); returns
+    /// wall time.
+    pub fn apply(&mut self, updates: &[EdgeUpdate], increase: bool) -> Duration {
+        match self {
+            Runner::Stl { stl, g, eng, algo } => {
+                let (_, d) = time(|| stl.apply_batch(g, updates, *algo, eng));
+                d
+            }
+            Runner::H2h { idx, g } => {
+                let (_, d) = time(|| {
+                    if increase {
+                        idx.increase(g, updates)
+                    } else {
+                        idx.decrease(g, updates)
+                    }
+                });
+                d
+            }
+        }
+    }
+
+    /// Apply and return STL search statistics (STL runners only).
+    pub fn apply_with_stats(&mut self, updates: &[EdgeUpdate]) -> Option<UpdateStats> {
+        match self {
+            Runner::Stl { stl, g, eng, algo } => Some(stl.apply_batch(g, updates, *algo, eng)),
+            Runner::H2h { .. } => None,
+        }
+    }
+
+    /// Query through whichever index this runner maintains.
+    pub fn query(&self, s: u32, t: u32) -> u32 {
+        match self {
+            Runner::Stl { stl, .. } => stl.query(s, t),
+            Runner::H2h { idx, .. } => idx.query(s, t),
+        }
+    }
+}
+
+/// Batch shape per scale for the update-time experiments.
+pub fn batch_shape(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (3, 10),
+        Scale::Small => (5, 40),
+        Scale::Default => (10, 100),
+        Scale::Large => (10, 250),
+    }
+}
+
+/// Query count per scale for the query-time experiments.
+pub fn query_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 20_000,
+        Scale::Small => 100_000,
+        Scale::Default => 400_000,
+        Scale::Large => 1_000_000,
+    }
+}
+
+/// Dataset subset for the more expensive figures (paper uses CTR/USA/EUR —
+/// the three largest).
+pub fn large_three() -> [&'static str; 3] {
+    ["CTR", "USA", "EUR"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_workloads::{generate, RoadNetConfig};
+
+    #[test]
+    fn runners_build_and_agree() {
+        let g = generate(&RoadNetConfig::sized(300, 77));
+        let runners: Vec<Runner> =
+            ["STL-P", "STL-L", "IncH2H", "DTDHL"].iter().map(|k| Runner::new(k, &g)).collect();
+        for s in (0..g.num_vertices() as u32).step_by(37) {
+            for t in (0..g.num_vertices() as u32).step_by(41) {
+                let q0 = runners[0].query(s, t);
+                for r in &runners[1..] {
+                    assert_eq!(r.query(s, t), q0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runner_applies_updates() {
+        let g = generate(&RoadNetConfig::sized(200, 78));
+        let (a, b, w) = g.edges().next().unwrap();
+        let mut r = Runner::new("STL-P", &g);
+        let mut h = Runner::new("IncH2H", &g);
+        r.apply(&[EdgeUpdate::new(a, b, w * 2)], true);
+        h.apply(&[EdgeUpdate::new(a, b, w * 2)], true);
+        assert_eq!(r.query(a, b), h.query(a, b));
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_bytes(512).contains("KB"));
+        assert!(fmt_bytes(3 * 1024 * 1024).contains("MB"));
+        assert!(fmt_bytes(3 * 1024 * 1024 * 1024).contains("GB"));
+        assert_eq!(fmt_count(12), "12");
+        assert_eq!(fmt_count(30_000_000), "30.0 M");
+        assert_eq!(fmt_count(9_200_000_000), "9.2 B");
+    }
+}

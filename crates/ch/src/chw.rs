@@ -1,0 +1,307 @@
+//! CH-W construction: minimum-degree elimination with full shortcut fill-in.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::hash::FxHashMap;
+use stl_graph::{dist_add, CsrGraph, VertexId, Weight, INF};
+
+/// The CH-W shortcut structure (a weighted chordal super-graph of `G`).
+#[derive(Debug, Clone)]
+pub struct ChwIndex {
+    /// Elimination order: `order[i]` is the `i`-th eliminated vertex.
+    pub order: Vec<VertexId>,
+    /// `rank[v]` = elimination position of `v` (low = eliminated early).
+    pub rank: Vec<u32>,
+    /// Per vertex: higher-ranked neighbours at elimination time with their
+    /// current shortcut weights μ, sorted by neighbour id.
+    up_targets: Vec<Vec<VertexId>>,
+    up_weights: Vec<Vec<Weight>>,
+    /// Per vertex `v`: all `x` with `v ∈ up(x)` (the supports containing v).
+    down: Vec<Vec<VertexId>>,
+    /// Original graph edge weights keyed by `(min_id, max_id)`.
+    base: FxHashMap<(VertexId, VertexId), Weight>,
+}
+
+impl ChwIndex {
+    /// Contract `g` in minimum-degree order.
+    pub fn build(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        // Dynamic adjacency with weights.
+        let mut adj: Vec<FxHashMap<VertexId, Weight>> = (0..n as VertexId)
+            .map(|v| g.neighbors(v).collect::<FxHashMap<_, _>>())
+            .collect();
+        let mut base = FxHashMap::default();
+        for (u, v, w) in g.edges() {
+            base.insert(key(u, v), w);
+        }
+        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n as VertexId)
+            .map(|v| Reverse((adj[v as usize].len() as u32, v)))
+            .collect();
+        let mut eliminated = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut rank = vec![0u32; n];
+        let mut up_targets: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut up_weights: Vec<Vec<Weight>> = vec![Vec::new(); n];
+        while let Some(Reverse((deg, v))) = heap.pop() {
+            if eliminated[v as usize] || deg as usize != adj[v as usize].len() {
+                continue; // stale degree entry
+            }
+            rank[v as usize] = order.len() as u32;
+            order.push(v);
+            eliminated[v as usize] = true;
+            // Current neighbours are exactly the higher-ranked ones.
+            let mut nbrs: Vec<(VertexId, Weight)> =
+                adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+            nbrs.sort_unstable_by_key(|&(u, _)| u);
+            // Fill-in: clique among the remaining neighbours.
+            for i in 0..nbrs.len() {
+                let (a, wa) = nbrs[i];
+                for &(b, wb) in &nbrs[i + 1..] {
+                    let cand = dist_add(wa, wb);
+                    let cur = *adj[a as usize].get(&b).unwrap_or(&INF);
+                    if cand < cur {
+                        adj[a as usize].insert(b, cand);
+                        adj[b as usize].insert(a, cand);
+                    } else if cur != INF && !adj[b as usize].contains_key(&a) {
+                        adj[b as usize].insert(a, cur);
+                    }
+                }
+            }
+            for &(u, _) in &nbrs {
+                adj[u as usize].remove(&v);
+                heap.push(Reverse((adj[u as usize].len() as u32, u)));
+            }
+            up_targets[v as usize] = nbrs.iter().map(|&(u, _)| u).collect();
+            up_weights[v as usize] = nbrs.iter().map(|&(_, w)| w).collect();
+            adj[v as usize] = FxHashMap::default(); // free memory early
+        }
+        let mut down: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            for &u in &up_targets[v as usize] {
+                down[u as usize].push(v);
+            }
+        }
+        ChwIndex { order, rank, up_targets, up_weights, down, base }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Higher-ranked neighbours of `v` (its bag minus `v`), sorted by id.
+    #[inline]
+    pub fn up(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        (&self.up_targets[v as usize], &self.up_weights[v as usize])
+    }
+
+    /// Vertices whose bag contains `v`.
+    #[inline]
+    pub fn down(&self, v: VertexId) -> &[VertexId] {
+        &self.down[v as usize]
+    }
+
+    /// Current shortcut weight `μ(u,v)`; `None` if `(u,v)` is not a chordal
+    /// edge. Endpoint order is irrelevant.
+    pub fn mu(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let (lo, hi) = if self.rank[u as usize] < self.rank[v as usize] { (u, v) } else { (v, u) };
+        self.up_targets[lo as usize]
+            .binary_search(&hi)
+            .ok()
+            .map(|i| self.up_weights[lo as usize][i])
+    }
+
+    /// Overwrite `μ(u,v)`; panics if the chordal edge does not exist.
+    pub fn set_mu(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        let (lo, hi) = if self.rank[u as usize] < self.rank[v as usize] { (u, v) } else { (v, u) };
+        let i = self.up_targets[lo as usize]
+            .binary_search(&hi)
+            .unwrap_or_else(|_| panic!("no chordal edge ({lo},{hi})"));
+        self.up_weights[lo as usize][i] = w;
+    }
+
+    /// Original edge weight of `{u,v}`, `INF` if not an original edge.
+    #[inline]
+    pub fn base_weight(&self, u: VertexId, v: VertexId) -> Weight {
+        self.base.get(&key(u, v)).copied().unwrap_or(INF)
+    }
+
+    /// Update the stored original edge weight; returns the old one.
+    pub fn set_base_weight(&mut self, u: VertexId, v: VertexId, w: Weight) -> Weight {
+        let slot = self.base.get_mut(&key(u, v)).expect("not an original edge");
+        std::mem::replace(slot, w)
+    }
+
+    /// Recompute `μ(u,v)` from scratch: base weight and all supports.
+    pub fn recompute_mu(&mut self, u: VertexId, v: VertexId) -> Weight {
+        let (lo, hi) = if self.rank[u as usize] < self.rank[v as usize] { (u, v) } else { (v, u) };
+        let mut best = self.base_weight(lo, hi);
+        // Supports: x with lo,hi ∈ up(x) — scan down(lo), check up(x) ∋ hi.
+        for i in 0..self.down[lo as usize].len() {
+            let x = self.down[lo as usize][i];
+            let (ts, ws) = self.up(x);
+            if let (Ok(a), Ok(b)) = (ts.binary_search(&lo), ts.binary_search(&hi)) {
+                best = best.min(dist_add(ws[a], ws[b]));
+            }
+        }
+        self.set_mu(lo, hi, best);
+        best
+    }
+
+    /// Total chordal (shortcut + original) edges.
+    pub fn num_chordal_edges(&self) -> usize {
+        self.up_targets.iter().map(|t| t.len()).sum()
+    }
+
+    /// Approximate resident bytes (shortcuts, reverse adjacency, base map) —
+    /// the auxiliary data that inflates the H2H-family footprint (Table 4).
+    pub fn memory_bytes(&self) -> usize {
+        let up: usize = self.up_targets.iter().map(|t| t.len() * 8).sum();
+        let down: usize = self.down.iter().map(|d| d.len() * 4).sum();
+        up + down + self.base.len() * 12 + self.rank.len() * 8
+    }
+}
+
+#[inline]
+fn key(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+    use stl_pathfinding::dijkstra;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1 + (x + 2 * y) % 7));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1 + (3 * x + y) % 7));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    /// μ(u,v) must equal the shortest u–v distance restricted to paths whose
+    /// intermediates are eliminated before min-rank(u,v).
+    fn check_mu_invariant(g: &CsrGraph, chw: &ChwIndex) {
+        let n = g.num_vertices();
+        for v in 0..n as VertexId {
+            let (ts, ws) = chw.up(v);
+            for (&u, &w) in ts.iter().zip(ws) {
+                // Reference: Dijkstra on the subgraph {x : rank(x) < rank(v)} ∪ {u, v}.
+                let rv = chw.rank[v as usize];
+                let mut eng = stl_pathfinding::DijkstraEngine::new(n);
+                eng.run_filtered(g, v, |x| {
+                    x == u || x == v || chw.rank[x as usize] < rv
+                });
+                assert_eq!(w, eng.dist(u), "μ({v},{u}) wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_covers_all_vertices() {
+        let g = grid(5);
+        let chw = ChwIndex::build(&g);
+        assert_eq!(chw.order.len(), 25);
+        let mut seen = [false; 25];
+        for &v in &chw.order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        for (i, &v) in chw.order.iter().enumerate() {
+            assert_eq!(chw.rank[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn up_neighbours_are_higher_ranked() {
+        let g = grid(6);
+        let chw = ChwIndex::build(&g);
+        for v in 0..36u32 {
+            let (ts, _) = chw.up(v);
+            for &u in ts {
+                assert!(chw.rank[u as usize] > chw.rank[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn mu_is_restricted_shortest_path() {
+        let g = grid(5);
+        let chw = ChwIndex::build(&g);
+        check_mu_invariant(&g, &chw);
+    }
+
+    #[test]
+    fn top_level_mu_is_global_distance() {
+        // The last two eliminated vertices see every other vertex as a
+        // potential intermediate, so their μ equals d_G.
+        let g = grid(6);
+        let chw = ChwIndex::build(&g);
+        let last = *chw.order.last().unwrap();
+        let (ts, ws) = chw.up(chw.order[chw.order.len() - 2]);
+        if let Ok(i) = ts.binary_search(&last) {
+            let d = dijkstra::distance(&g, chw.order[chw.order.len() - 2], last);
+            assert_eq!(ws[i], d);
+        }
+    }
+
+    #[test]
+    fn recompute_matches_current_values() {
+        let mut chw = ChwIndex::build(&grid(5));
+        // Recomputing any chordal edge without weight changes is a no-op.
+        for v in 0..25u32 {
+            let (ts, ws) = chw.up(v);
+            let pairs: Vec<_> = ts.iter().copied().zip(ws.iter().copied()).collect();
+            for (u, w) in pairs {
+                assert_eq!(chw.recompute_mu(v, u), w, "recompute μ({v},{u}) drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn mu_lookup_both_orders() {
+        let chw = ChwIndex::build(&grid(4));
+        for v in 0..16u32 {
+            let (ts, ws) = chw.up(v);
+            for (&u, &w) in ts.iter().zip(ws) {
+                assert_eq!(chw.mu(v, u), Some(w));
+                assert_eq!(chw.mu(u, v), Some(w));
+            }
+        }
+        assert_eq!(chw.mu(0, 0), None);
+    }
+
+    #[test]
+    fn base_weights_recorded() {
+        let g = grid(4);
+        let chw = ChwIndex::build(&g);
+        for (u, v, w) in g.edges() {
+            assert_eq!(chw.base_weight(u, v), w);
+        }
+        assert_eq!(chw.base_weight(0, 15), INF);
+    }
+
+    #[test]
+    fn bag_sizes_reasonable_on_grid() {
+        let g = grid(8);
+        let chw = ChwIndex::build(&g);
+        let max_bag = (0..64u32).map(|v| chw.up(v).0.len()).max().unwrap();
+        // Treewidth of an 8x8 grid is 8; min-degree should stay in range.
+        assert!(max_bag <= 24, "bag size {max_bag} too large");
+    }
+}

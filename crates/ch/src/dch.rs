@@ -1,0 +1,228 @@
+//! DCH-style dynamic maintenance of CH-W shortcut weights.
+//!
+//! Changed weights propagate strictly upward in elimination rank: a shortcut
+//! `(u,v)` is influenced only by its base edge and by supports `x` with
+//! `rank(x) < min(rank(u), rank(v))`. Processing pending pairs in ascending
+//! rank of their lower endpoint therefore finalises each pair in one visit.
+//!
+//! Both directions return the list of shortcut changes
+//! `(low_endpoint, high_endpoint, old μ, new μ)` — the seed set for the
+//! label-maintenance phase of IncH2H / DTDHL.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::hash::FxHashSet;
+use stl_graph::{dist_add, VertexId, Weight};
+
+use crate::chw::ChwIndex;
+
+/// A shortcut weight change: `(lower endpoint, higher endpoint, old, new)`.
+pub type MuChange = (VertexId, VertexId, Weight, Weight);
+
+/// Apply a base edge-weight **decrease** to `(a, b)`; returns all shortcut
+/// changes in upward rank order.
+pub fn decrease(chw: &mut ChwIndex, a: VertexId, b: VertexId, w_new: Weight) -> Vec<MuChange> {
+    let old_base = chw.set_base_weight(a, b, w_new);
+    debug_assert!(w_new <= old_base, "decrease got an increase");
+    let mut changes: Vec<MuChange> = Vec::new();
+    let mut pending: BinaryHeap<Reverse<(u32, VertexId, VertexId)>> = BinaryHeap::new();
+    let mut queued: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let (lo, hi) = orient(chw, a, b);
+    let cur = chw.mu(lo, hi).expect("original edge must be chordal");
+    if w_new < cur {
+        chw.set_mu(lo, hi, w_new);
+        changes.push((lo, hi, cur, w_new));
+        push_dependents(chw, lo, hi, &mut pending, &mut queued);
+    }
+    // Relax upward: when (u,v) pops, all pairs below it are final.
+    while let Some(Reverse((_, u, v))) = pending.pop() {
+        let old = chw.mu(u, v).expect("queued pair must exist");
+        let new = recompute_min(chw, u, v);
+        if new < old {
+            chw.set_mu(u, v, new);
+            changes.push((u, v, old, new));
+            push_dependents(chw, u, v, &mut pending, &mut queued);
+        }
+    }
+    changes
+}
+
+/// Apply a base edge-weight **increase** to `(a, b)`; returns all shortcut
+/// changes in upward rank order.
+pub fn increase(chw: &mut ChwIndex, a: VertexId, b: VertexId, w_new: Weight) -> Vec<MuChange> {
+    let old_base = chw.set_base_weight(a, b, w_new);
+    debug_assert!(w_new >= old_base, "increase got a decrease");
+    let mut changes: Vec<MuChange> = Vec::new();
+    let mut pending: BinaryHeap<Reverse<(u32, VertexId, VertexId)>> = BinaryHeap::new();
+    let mut queued: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let (lo, hi) = orient(chw, a, b);
+    queued.insert((lo, hi));
+    pending.push(Reverse((chw.rank[lo as usize], lo, hi)));
+    while let Some(Reverse((_, u, v))) = pending.pop() {
+        let old = chw.mu(u, v).expect("queued pair must exist");
+        let new = recompute_min(chw, u, v);
+        if new != old {
+            chw.set_mu(u, v, new);
+            changes.push((u, v, old, new));
+            push_dependents(chw, u, v, &mut pending, &mut queued);
+        }
+    }
+    changes
+}
+
+/// `min(base(u,v), min_x μ(x,u)+μ(x,v))` without writing.
+fn recompute_min(chw: &ChwIndex, u: VertexId, v: VertexId) -> Weight {
+    let mut best = chw.base_weight(u, v);
+    for &x in chw.down(u) {
+        let (ts, ws) = chw.up(x);
+        if let (Ok(i), Ok(j)) = (ts.binary_search(&u), ts.binary_search(&v)) {
+            best = best.min(dist_add(ws[i], ws[j]));
+        }
+    }
+    best
+}
+
+/// Queue every shortcut that `(u,v)` supports: pairs `(v, w)` (canonical)
+/// for the other up-neighbours `w` of the lower endpoint `u`.
+fn push_dependents(
+    chw: &ChwIndex,
+    u: VertexId,
+    v: VertexId,
+    pending: &mut BinaryHeap<Reverse<(u32, VertexId, VertexId)>>,
+    queued: &mut FxHashSet<(VertexId, VertexId)>,
+) {
+    let (ts, _) = chw.up(u);
+    for &w in ts {
+        if w == v {
+            continue;
+        }
+        let (lo, hi) = orient(chw, v, w);
+        if queued.insert((lo, hi)) {
+            pending.push(Reverse((chw.rank[lo as usize], lo, hi)));
+        }
+    }
+}
+
+#[inline]
+fn orient(chw: &ChwIndex, a: VertexId, b: VertexId) -> (VertexId, VertexId) {
+    if chw.rank[a as usize] < chw.rank[b as usize] {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+    use stl_graph::CsrGraph;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 2 + (x + 2 * y) % 9));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 2 + (3 * x + y) % 9));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    /// Rebuilding from scratch must give the same μ values as maintenance.
+    fn assert_matches_rebuild(g: &CsrGraph, chw: &ChwIndex) {
+        let fresh = ChwIndex::build(g);
+        for v in 0..g.num_vertices() as VertexId {
+            // The elimination order is weight-independent (min-degree), so
+            // the chordal structure matches and weights must agree.
+            let (ts, ws) = chw.up(v);
+            let (fts, fws) = fresh.up(v);
+            assert_eq!(ts, fts, "chordal structure drifted at {v}");
+            assert_eq!(ws, fws, "μ values drifted at {v}");
+        }
+    }
+
+    #[test]
+    fn decrease_matches_rebuild() {
+        let mut g = grid(5);
+        let mut chw = ChwIndex::build(&g);
+        let (a, b, w) = g.edges().nth(12).unwrap();
+        g.set_weight(a, b, (w / 2).max(1)).unwrap();
+        let changes = decrease(&mut chw, a, b, (w / 2).max(1));
+        assert!(!changes.is_empty());
+        assert_matches_rebuild(&g, &chw);
+    }
+
+    #[test]
+    fn increase_matches_rebuild() {
+        let mut g = grid(5);
+        let mut chw = ChwIndex::build(&g);
+        let (a, b, w) = g.edges().nth(7).unwrap();
+        g.set_weight(a, b, w * 3).unwrap();
+        let changes = increase(&mut chw, a, b, w * 3);
+        assert!(!changes.is_empty());
+        assert_matches_rebuild(&g, &chw);
+    }
+
+    #[test]
+    fn redundant_increase_changes_nothing_downstream() {
+        // Increasing an edge that was never the minimizer of any shortcut
+        // beyond itself must produce at most the base pair change.
+        let mut g = grid(4);
+        let mut chw = ChwIndex::build(&g);
+        let (a, b, w) = g.edges().next().unwrap();
+        // Huge parallel path cost: make sure this edge IS its own μ first.
+        let before = chw.mu(a, b).unwrap();
+        if before == w {
+            g.set_weight(a, b, w + 1).unwrap();
+            increase(&mut chw, a, b, w + 1);
+            assert_matches_rebuild(&g, &chw);
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_restores_mu() {
+        let mut g = grid(5);
+        let mut chw = ChwIndex::build(&g);
+        let reference = chw.clone();
+        let (a, b, w) = g.edges().nth(20).unwrap();
+        g.set_weight(a, b, w * 5).unwrap();
+        increase(&mut chw, a, b, w * 5);
+        g.set_weight(a, b, w).unwrap();
+        decrease(&mut chw, a, b, w);
+        for v in 0..25u32 {
+            assert_eq!(chw.up(v).1, reference.up(v).1, "μ not restored at {v}");
+        }
+    }
+
+    #[test]
+    fn randomized_update_stream_matches_rebuild() {
+        let mut g = grid(5);
+        let mut chw = ChwIndex::build(&g);
+        let edges: Vec<_> = g.edges().collect();
+        let mut state = 77u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..40 {
+            let (a, b, _) = edges[next(edges.len() as u64) as usize];
+            let cur = g.weight(a, b).unwrap();
+            let t = (next(30) + 1) as u32;
+            if t < cur {
+                g.set_weight(a, b, t).unwrap();
+                decrease(&mut chw, a, b, t);
+            } else if t > cur {
+                g.set_weight(a, b, t).unwrap();
+                increase(&mut chw, a, b, t);
+            }
+        }
+        assert_matches_rebuild(&g, &chw);
+    }
+}

@@ -1,0 +1,349 @@
+//! Classical Contraction Hierarchies (CH) with witness search.
+//!
+//! The search-based baseline from the paper's introduction (Geisberger et
+//! al.): vertices are contracted in importance order and a shortcut `(u,w)`
+//! is added only when no *witness path* of equal-or-smaller weight avoids
+//! the contracted vertex — keeping the shortcut set minimal, unlike CH-W
+//! ([`crate::chw`]) which fills in everything. Queries run a bidirectional
+//! Dijkstra over **upward** arcs only.
+//!
+//! STL's §2 position is that maintaining minimal shortcuts dynamically is
+//! "highly inefficient because recontraction has to ensure the minimality
+//! of shortcuts" — this implementation exists as the static query baseline
+//! and as the reference point for that discussion.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::hash::FxHashMap;
+use stl_graph::{dist_add, CsrGraph, Dist, VertexId, Weight, INF};
+use stl_pathfinding::TimestampedArray;
+
+/// A built contraction hierarchy.
+#[derive(Debug, Clone)]
+pub struct ContractionHierarchy {
+    /// Contraction rank (low = contracted early = less important).
+    pub rank: Vec<u32>,
+    /// Upward adjacency: per vertex, arcs to higher-ranked neighbours
+    /// (original edges and shortcuts), sorted by target.
+    up_targets: Vec<Vec<VertexId>>,
+    up_weights: Vec<Vec<Weight>>,
+    shortcuts: usize,
+}
+
+/// Witness-search budget: settled-node cap per local search. Small caps
+/// trade a few redundant shortcuts for much faster preprocessing (standard
+/// practice).
+const WITNESS_SETTLE_CAP: usize = 60;
+
+impl ContractionHierarchy {
+    /// Contract `g` with a lazy edge-difference priority and witness search.
+    pub fn build(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut adj: Vec<FxHashMap<VertexId, Weight>> =
+            (0..n as VertexId).map(|v| g.neighbors(v).collect()).collect();
+        let mut rank = vec![0u32; n];
+        let mut contracted = vec![false; n];
+        let mut up: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
+        let mut shortcuts = 0usize;
+        // Priority = edge difference (shortcuts added − edges removed) +
+        // contracted-neighbour count; recomputed lazily.
+        let mut heap: BinaryHeap<Reverse<(i64, VertexId)>> = BinaryHeap::new();
+        let mut deleted_nbrs = vec![0i64; n];
+        let mut wit = WitnessSearch::new(n);
+        for v in 0..n as VertexId {
+            let p = Self::priority(&adj, &mut wit, v, 0);
+            heap.push(Reverse((p, v)));
+        }
+        let mut next_rank = 0u32;
+        while let Some(Reverse((p, v))) = heap.pop() {
+            if contracted[v as usize] {
+                continue;
+            }
+            // Lazy re-evaluation: if priority got stale, requeue.
+            let fresh = Self::priority(&adj, &mut wit, v, deleted_nbrs[v as usize]);
+            if fresh > p {
+                heap.push(Reverse((fresh, v)));
+                continue;
+            }
+            // Contract v.
+            contracted[v as usize] = true;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            let nbrs: Vec<(VertexId, Weight)> =
+                adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+            for &(u, w) in &nbrs {
+                up[v as usize].push((u, w));
+                adj[u as usize].remove(&v);
+                deleted_nbrs[u as usize] += 1;
+            }
+            for i in 0..nbrs.len() {
+                let (u, wu) = nbrs[i];
+                for &(t, wt) in &nbrs[i + 1..] {
+                    let cand = dist_add(wu, wt);
+                    if cand == INF {
+                        continue;
+                    }
+                    let cur = *adj[u as usize].get(&t).unwrap_or(&INF);
+                    if cand >= cur {
+                        continue; // existing edge is the witness
+                    }
+                    if wit.has_witness(&adj, u, t, v, cand) {
+                        continue;
+                    }
+                    adj[u as usize].insert(t, cand);
+                    adj[t as usize].insert(u, cand);
+                    shortcuts += 1;
+                }
+            }
+            adj[v as usize] = FxHashMap::default();
+        }
+        // Sort upward lists for deterministic iteration.
+        let mut up_targets = Vec::with_capacity(n);
+        let mut up_weights = Vec::with_capacity(n);
+        for list in &mut up {
+            list.sort_unstable_by_key(|&(t, _)| t);
+            up_targets.push(list.iter().map(|&(t, _)| t).collect::<Vec<_>>());
+            up_weights.push(list.iter().map(|&(_, w)| w).collect::<Vec<_>>());
+        }
+        ContractionHierarchy { rank, up_targets, up_weights, shortcuts }
+    }
+
+    fn priority(
+        adj: &[FxHashMap<VertexId, Weight>],
+        wit: &mut WitnessSearch,
+        v: VertexId,
+        deleted: i64,
+    ) -> i64 {
+        // Cheap estimate: assume every non-witnessed pair needs a shortcut.
+        let nbrs: Vec<(VertexId, Weight)> = adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+        let deg = nbrs.len() as i64;
+        let mut added = 0i64;
+        for i in 0..nbrs.len() {
+            let (u, wu) = nbrs[i];
+            for &(t, wt) in &nbrs[i + 1..] {
+                let cand = dist_add(wu, wt);
+                let cur = *adj[u as usize].get(&t).unwrap_or(&INF);
+                if cand < cur && !wit.has_witness(adj, u, t, v, cand) {
+                    added += 1;
+                }
+            }
+        }
+        added - deg + 2 * deleted
+    }
+
+    /// Number of shortcut edges added (must undercut CH-W's fill-in).
+    pub fn num_shortcuts(&self) -> usize {
+        self.shortcuts
+    }
+
+    /// Bidirectional upward query: exact `d(s, t)`.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
+        let n = self.rank.len();
+        let mut fwd: FxHashMap<VertexId, Dist> = FxHashMap::default();
+        let mut bwd: FxHashMap<VertexId, Dist> = FxHashMap::default();
+        let mut best = INF;
+        let mut heap_f: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+        let mut heap_b: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+        fwd.insert(s, 0);
+        bwd.insert(t, 0);
+        heap_f.push(Reverse((0, s)));
+        heap_b.push(Reverse((0, t)));
+        let _ = n;
+        loop {
+            let tf = heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INF);
+            let tb = heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INF);
+            if tf.min(tb) >= best {
+                break;
+            }
+            let (heap, dist, other) = if tf <= tb {
+                (&mut heap_f, &mut fwd, &bwd)
+            } else {
+                (&mut heap_b, &mut bwd, &fwd)
+            };
+            if let Some(Reverse((d, v))) = heap.pop() {
+                if d > *dist.get(&v).unwrap_or(&INF) {
+                    continue;
+                }
+                if let Some(&o) = other.get(&v) {
+                    best = best.min(dist_add(d, o));
+                }
+                let (ts, ws) = (&self.up_targets[v as usize], &self.up_weights[v as usize]);
+                for (&u, &w) in ts.iter().zip(ws) {
+                    if w == INF {
+                        continue;
+                    }
+                    let nd = dist_add(d, w);
+                    if nd < *dist.get(&u).unwrap_or(&INF) {
+                        dist.insert(u, nd);
+                        heap.push(Reverse((nd, u)));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Bounded local Dijkstra used to find witness paths around a vertex.
+struct WitnessSearch {
+    dist: TimestampedArray<Dist>,
+    heap: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl WitnessSearch {
+    fn new(n: usize) -> Self {
+        Self { dist: TimestampedArray::new(n, INF), heap: BinaryHeap::new() }
+    }
+
+    /// Is there a path `u → … → t` avoiding `avoid` with weight ≤ `limit`?
+    fn has_witness(
+        &mut self,
+        adj: &[FxHashMap<VertexId, Weight>],
+        u: VertexId,
+        t: VertexId,
+        avoid: VertexId,
+        limit: Dist,
+    ) -> bool {
+        self.dist.reset();
+        self.heap.clear();
+        self.dist.set(u as usize, 0);
+        self.heap.push(Reverse((0, u)));
+        let mut settled = 0usize;
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist.get(v as usize) {
+                continue;
+            }
+            if v == t {
+                return d <= limit;
+            }
+            if d > limit {
+                return false; // everything further is heavier
+            }
+            settled += 1;
+            if settled > WITNESS_SETTLE_CAP {
+                return false; // give up: add the (possibly redundant) shortcut
+            }
+            for (&nb, &w) in &adj[v as usize] {
+                if nb == avoid || w == INF {
+                    continue;
+                }
+                let nd = dist_add(d, w);
+                if nd <= limit && nd < self.dist.get(nb as usize) {
+                    self.dist.set(nb as usize, nd);
+                    self.heap.push(Reverse((nd, nb)));
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+    use stl_pathfinding::dijkstra;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1 + (x * 7 + y * 3) % 11));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1 + (x * 2 + y * 5) % 11));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    #[test]
+    fn all_pairs_queries_exact() {
+        let g = grid(6);
+        let ch = ContractionHierarchy::build(&g);
+        for s in 0..36u32 {
+            let oracle = dijkstra::single_source(&g, s);
+            for t in 0..36u32 {
+                assert_eq!(ch.query(s, t), oracle[t as usize], "query({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_search_prunes_shortcuts_vs_chw() {
+        let g = grid(8);
+        let ch = ContractionHierarchy::build(&g);
+        let chw = crate::chw::ChwIndex::build(&g);
+        let chw_shortcuts = chw.num_chordal_edges() - g.num_edges();
+        assert!(
+            ch.num_shortcuts() < chw_shortcuts,
+            "CH {} shortcuts should undercut CH-W {}",
+            ch.num_shortcuts(),
+            chw_shortcuts
+        );
+    }
+
+    #[test]
+    fn disconnected_pairs_inf() {
+        let g = from_edges(4, vec![(0, 1, 1), (2, 3, 1)]);
+        let ch = ContractionHierarchy::build(&g);
+        assert_eq!(ch.query(0, 2), INF);
+        assert_eq!(ch.query(0, 1), 1);
+    }
+
+    #[test]
+    fn line_graph_stays_sparse() {
+        // Contracting a path interior vertex bridges its two neighbours, so
+        // some shortcuts appear, but never more than one per contraction.
+        let g = from_edges(10, (0..9).map(|i| (i, i + 1, 2)).collect::<Vec<_>>());
+        let ch = ContractionHierarchy::build(&g);
+        assert!(ch.num_shortcuts() < g.num_vertices(), "got {}", ch.num_shortcuts());
+        assert_eq!(ch.query(0, 9), 18);
+    }
+
+    #[test]
+    fn ring_with_chord_exact() {
+        let mut edges: Vec<(u32, u32, u32)> = (0..12u32).map(|i| (i, (i + 1) % 12, 3)).collect();
+        edges.push((0, 6, 5));
+        let g = from_edges(12, edges);
+        let ch = ContractionHierarchy::build(&g);
+        for s in 0..12u32 {
+            let oracle = dijkstra::single_source(&g, s);
+            for t in 0..12u32 {
+                assert_eq!(ch.query(s, t), oracle[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_exact() {
+        let mut edges = Vec::new();
+        let mut state = 2024u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let n = 80u64;
+        for i in 1..n {
+            edges.push((i as u32, next(i) as u32, (next(50) + 1) as u32));
+        }
+        for _ in 0..120 {
+            edges.push((next(n) as u32, next(n) as u32, (next(50) + 1) as u32));
+        }
+        let g = from_edges(n as usize, edges);
+        let ch = ContractionHierarchy::build(&g);
+        for s in (0..n as u32).step_by(9) {
+            let oracle = dijkstra::single_source(&g, s);
+            for t in 0..n as u32 {
+                assert_eq!(ch.query(s, t), oracle[t as usize], "({s},{t})");
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Contraction substrate for the H2H baseline family (§3.1).
+//!
+//! * [`chw`] — CH-W contraction: eliminate vertices in minimum-degree order,
+//!   inserting **all** shortcuts among higher-ranked neighbours (no witness
+//!   search). The result is a chordal super-graph whose bags
+//!   `X(v) = {v} ∪ N_up(v)` form a tree decomposition.
+//! * [`dch`] — DCH-style dynamic maintenance of the shortcut weights under
+//!   edge-weight decreases and increases (the phase-1 machinery of IncH2H
+//!   and DTDHL).
+//!
+//! The shortcut weight invariant maintained throughout:
+//! `μ(u,v) = min( φ(u,v), min_x ( μ(x,u) + μ(x,v) ) )` over supports `x`
+//! eliminated before both endpoints — i.e. `μ(u,v)` is the shortest-path
+//! distance between `u` and `v` using only intermediate vertices eliminated
+//! before `u`.
+
+pub mod chw;
+pub mod dch;
+pub mod hierarchy;
+
+pub use chw::ChwIndex;
+pub use hierarchy::ContractionHierarchy;

@@ -1,0 +1,189 @@
+//! `stl` — build, persist and query Stable Tree Labelling indexes.
+//!
+//! ```text
+//! stl info    <graph.gr>                         graph statistics
+//! stl build   <graph.gr> -o <index.stl> [--beta B] [--threads T]
+//! stl query   <graph.gr> <index.stl> <s> <t> [<s> <t> ...]
+//! stl bench   <graph.gr> <index.stl> [--queries N]
+//! stl gen     <out.gr> [--vertices N] [--seed S]  synthetic road network
+//! ```
+//!
+//! Graphs are DIMACS 9th-challenge `.gr` files (1-based vertex ids on the
+//! command line, matching the format). Indexes are the compact binary
+//! format of `stl_core::persist`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use stl_core::{persist, IndexStats, Stl, StlConfig};
+use stl_graph::{io as gio, CsrGraph};
+use stl_workloads::{generate, RoadNetConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        _ => {
+            eprintln!("usage: stl <info|build|query|bench|gen> ... (see --help in README)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyErr = Box<dyn std::error::Error>;
+
+fn load_graph(path: &str) -> Result<CsrGraph, AnyErr> {
+    let f = File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    Ok(gio::read_dimacs_gr(BufReader::new(f))?)
+}
+
+fn cmd_info(args: &[String]) -> Result<(), AnyErr> {
+    let path = args.first().ok_or("usage: stl info <graph.gr>")?;
+    let g = load_graph(path)?;
+    let (_, comps) = stl_graph::components::connected_components(&g);
+    println!("vertices:   {}", g.num_vertices());
+    println!("edges:      {}", g.num_edges());
+    println!("components: {comps}");
+    println!("max degree: {}", g.max_degree());
+    println!(
+        "avg degree: {:.2}",
+        2.0 * g.num_edges() as f64 / g.num_vertices().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), AnyErr> {
+    let graph_path = args.first().ok_or("usage: stl build <graph.gr> -o <index.stl>")?;
+    let mut out = None;
+    let mut beta = 0.2f64;
+    let mut threads = 1usize;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out = it.next().cloned(),
+            "--beta" => beta = it.next().ok_or("--beta needs a value")?.parse()?,
+            "--threads" => threads = it.next().ok_or("--threads needs a value")?.parse()?,
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+    let out = out.ok_or("missing -o <index.stl>")?;
+    let g = load_graph(graph_path)?;
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    let cfg = StlConfig::with_beta(beta);
+    let t0 = Instant::now();
+    let stl = if threads > 1 {
+        Stl::build_parallel(&g, &cfg, threads)
+    } else {
+        Stl::build(&g, &cfg)
+    };
+    let build_time = t0.elapsed();
+    let stats = IndexStats::of(&stl);
+    println!(
+        "built in {:.2?}: {} entries, height {}, {:.1} MB",
+        build_time,
+        stats.label_entries,
+        stats.height,
+        stats.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    let bytes = persist::save(&stl);
+    let mut w = BufWriter::new(File::create(&out)?);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    println!("wrote {out} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<Stl, AnyErr> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .map_err(|e| format!("cannot open '{path}': {e}"))?
+        .read_to_end(&mut buf)?;
+    Ok(persist::load(&buf)?)
+}
+
+fn cmd_query(args: &[String]) -> Result<(), AnyErr> {
+    if args.len() < 4 || !args.len().is_multiple_of(2) {
+        return Err("usage: stl query <graph.gr> <index.stl> <s> <t> [<s> <t> ...]".into());
+    }
+    let g = load_graph(&args[0])?;
+    let stl = load_index(&args[1])?;
+    if stl.num_vertices() != g.num_vertices() {
+        return Err("index does not match graph (vertex count differs)".into());
+    }
+    for pair in args[2..].chunks(2) {
+        let s: u32 = pair[0].parse::<u32>()?.checked_sub(1).ok_or("ids are 1-based")?;
+        let t: u32 = pair[1].parse::<u32>()?.checked_sub(1).ok_or("ids are 1-based")?;
+        if s as usize >= g.num_vertices() || t as usize >= g.num_vertices() {
+            return Err(format!("vertex out of range: {} or {}", pair[0], pair[1]).into());
+        }
+        let d = stl.query(s, t);
+        if d == stl_graph::INF {
+            println!("d({}, {}) = unreachable", pair[0], pair[1]);
+        } else {
+            println!("d({}, {}) = {}", pair[0], pair[1], d);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), AnyErr> {
+    if args.len() < 2 {
+        return Err("usage: stl bench <graph.gr> <index.stl> [--queries N]".into());
+    }
+    let g = load_graph(&args[0])?;
+    let stl = load_index(&args[1])?;
+    let mut n_queries = 100_000usize;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        if a == "--queries" {
+            n_queries = it.next().ok_or("--queries needs a value")?.parse()?;
+        }
+    }
+    let pairs = stl_workloads::queries::random_pairs(g.num_vertices(), n_queries, 1);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for &(s, t) in &pairs {
+        acc = acc.wrapping_add(stl.query(s, t) as u64);
+    }
+    let elapsed = t0.elapsed();
+    std::hint::black_box(acc);
+    println!(
+        "{} queries in {:.2?} ({:.3} us/query)",
+        n_queries,
+        elapsed,
+        elapsed.as_secs_f64() * 1e6 / n_queries as f64
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), AnyErr> {
+    let out = args.first().ok_or("usage: stl gen <out.gr> [--vertices N] [--seed S]")?;
+    let mut n = 10_000usize;
+    let mut seed = 42u64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--vertices" => n = it.next().ok_or("--vertices needs a value")?.parse()?,
+            "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+    let g = generate(&RoadNetConfig::sized(n, seed));
+    let f = BufWriter::new(File::create(out)?);
+    gio::write_dimacs_gr(&g, f)?;
+    println!("wrote {out}: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Mixed-batch update driver.
+//!
+//! Real traffic feeds mix increases and decreases and may repeat edges.
+//! [`Stl::apply_batch`] normalises a batch (last update per edge wins,
+//! no-ops dropped), splits it into a decrease phase and an increase phase,
+//! and dispatches to the selected algorithm family.
+
+use stl_graph::hash::FxHashMap;
+use stl_graph::{CsrGraph, EdgeUpdate};
+
+use crate::engine::UpdateEngine;
+use crate::labelling::Stl;
+use crate::types::{Maintenance, UpdateStats};
+use crate::{label_search, pareto};
+
+impl Stl {
+    /// Apply a mixed batch of edge-weight updates with the given algorithm
+    /// family, keeping graph and labels consistent.
+    ///
+    /// Panics if an update references a non-existent edge (road-network
+    /// structure is fixed; see `structural` for insertions/deletions).
+    pub fn apply_batch(
+        &mut self,
+        g: &mut CsrGraph,
+        updates: &[EdgeUpdate],
+        algo: Maintenance,
+        eng: &mut UpdateEngine,
+    ) -> UpdateStats {
+        let (dec, inc) = split_batch(g, updates);
+        let mut stats = UpdateStats::default();
+        match algo {
+            Maintenance::LabelSearch => {
+                stats += label_search::decrease(self, g, &dec, eng);
+                stats += label_search::increase(self, g, &inc, eng);
+            }
+            Maintenance::ParetoSearch => {
+                stats += pareto::decrease(self, g, &dec, eng);
+                stats += pareto::increase(self, g, &inc, eng);
+            }
+        }
+        stats
+    }
+}
+
+/// Normalise a batch: last update per edge wins; classify against current
+/// weights; drop no-ops.
+fn split_batch(g: &CsrGraph, updates: &[EdgeUpdate]) -> (Vec<EdgeUpdate>, Vec<EdgeUpdate>) {
+    let mut last: FxHashMap<(u32, u32), EdgeUpdate> = FxHashMap::default();
+    for &u in updates {
+        let key = if u.a < u.b { (u.a, u.b) } else { (u.b, u.a) };
+        last.insert(key, u);
+    }
+    let mut dec = Vec::new();
+    let mut inc = Vec::new();
+    for (_, u) in last {
+        let cur = g
+            .weight(u.a, u.b)
+            .unwrap_or_else(|| panic!("update targets missing edge ({}, {})", u.a, u.b));
+        match u.new_weight.cmp(&cur) {
+            std::cmp::Ordering::Less => dec.push(u),
+            std::cmp::Ordering::Greater => inc.push(u),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    (dec, inc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StlConfig;
+    use crate::verify;
+    use stl_graph::builder::from_edges;
+
+    fn ladder(n: u32) -> CsrGraph {
+        // Two parallel paths with rungs: plenty of alternative routes.
+        let mut edges = Vec::new();
+        for i in 0..n - 1 {
+            edges.push((2 * i, 2 * (i + 1), 4 + i % 5));
+            edges.push((2 * i + 1, 2 * (i + 1) + 1, 5 + i % 3));
+        }
+        for i in 0..n {
+            edges.push((2 * i, 2 * i + 1, 2 + i % 4));
+        }
+        from_edges(2 * n as usize, edges)
+    }
+
+    #[test]
+    fn mixed_batch_both_algorithms() {
+        for algo in [Maintenance::LabelSearch, Maintenance::ParetoSearch] {
+            let mut g = ladder(10);
+            let mut stl = Stl::build(&g, &StlConfig { leaf_size: 3, ..Default::default() });
+            let mut eng = UpdateEngine::new(g.num_vertices());
+            let edges: Vec<_> = g.edges().collect();
+            let batch: Vec<_> = edges
+                .iter()
+                .step_by(2)
+                .enumerate()
+                .map(|(i, &(a, b, w))| {
+                    let nw = if i % 2 == 0 { w * 3 } else { (w / 2).max(1) };
+                    EdgeUpdate::new(a, b, nw)
+                })
+                .collect();
+            let stats = stl.apply_batch(&mut g, &batch, algo, &mut eng);
+            assert!(stats.updates > 0);
+            verify::check_all(&stl, &g).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn duplicate_edge_updates_last_wins() {
+        let mut g = ladder(6);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let (a, b, _) = g.edges().next().unwrap();
+        let batch =
+            vec![EdgeUpdate::new(a, b, 100), EdgeUpdate::new(b, a, 7), EdgeUpdate::new(a, b, 9)];
+        stl.apply_batch(&mut g, &batch, Maintenance::ParetoSearch, &mut eng);
+        assert_eq!(g.weight(a, b), Some(9));
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn noop_batch_is_cheap() {
+        let mut g = ladder(5);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let batch: Vec<_> = g.edges().map(|(a, b, w)| EdgeUpdate::new(a, b, w)).collect();
+        let stats = stl.apply_batch(&mut g, &batch, Maintenance::LabelSearch, &mut eng);
+        assert_eq!(stats.pops, 0);
+        assert_eq!(stats.label_writes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing edge")]
+    fn missing_edge_panics() {
+        let mut g = ladder(4);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        stl.apply_batch(
+            &mut g,
+            &[EdgeUpdate::new(0, 7, 3)],
+            Maintenance::LabelSearch,
+            &mut eng,
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Directed road networks (§8 extension).
+//!
+//! "We may store distances from both directions in the label of each vertex
+//! … by performing searches in both directions during label construction."
+//!
+//! [`DirectedStl`] keeps two label sets over one stable tree hierarchy built
+//! on the symmetrized structure:
+//! * `up`   — `L↑(v)[i] = d^{r_i}(v → r_i)` (towards the ancestor),
+//! * `down` — `L↓(v)[i] = d^{r_i}(r_i → v)` (from the ancestor).
+//!
+//! A query `s → t` scans `min_i L↑(s)[i] + L↓(t)[i]` over the comparable
+//! prefix; the 2-hop cover argument of Lemma 4.7 carries over verbatim
+//! because the minimum-τ vertex of any directed path is a common ancestor
+//! whose subgraph contains the path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::{dist_add, DiGraph, Dist, VertexId, INF};
+use stl_pathfinding::TimestampedArray;
+
+use crate::hierarchy::Hierarchy;
+use crate::labelling::Labels;
+use crate::types::StlConfig;
+
+/// STL index for a directed road network.
+#[derive(Debug, Clone)]
+pub struct DirectedStl {
+    pub(crate) hier: Hierarchy,
+    /// `L↑(v)[i] = d^{r_i}(v → r_i)`.
+    pub(crate) up: Labels,
+    /// `L↓(v)[i] = d^{r_i}(r_i → v)`.
+    pub(crate) down: Labels,
+}
+
+impl DirectedStl {
+    /// Build hierarchy (on the symmetrized structure) and both label sets.
+    pub fn build(dg: &DiGraph, cfg: &StlConfig) -> Self {
+        let structure = dg.undirected_structure();
+        let hier = Hierarchy::build(&structure, cfg);
+        let n = dg.num_vertices();
+        let mut up = Labels::new_inf(&hier);
+        let mut down = Labels::new_inf(&hier);
+        let mut dist: TimestampedArray<Dist> = TimestampedArray::new(n, INF);
+        let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+        for node in 0..hier.num_nodes() as u32 {
+            for &r in hier.cut(node) {
+                let tr = hier.tau(r);
+                // Forward search (r → v) fills `down`.
+                restricted_search(dg, &hier, r, tr, true, &mut dist, &mut heap, &mut down);
+                // Backward search over in-arcs (v → r) fills `up`.
+                restricted_search(dg, &hier, r, tr, false, &mut dist, &mut heap, &mut up);
+            }
+        }
+        DirectedStl { hier, up, down }
+    }
+
+    /// Directed distance `d(s → t)`; `INF` when unreachable.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
+        let k = self.hier.common_anc_count(s, t) as usize;
+        if k == 0 {
+            return INF;
+        }
+        let ls = &self.up.slice(s)[..k];
+        let lt = &self.down.slice(t)[..k];
+        let mut best = INF;
+        for (a, b) in ls.iter().zip(lt) {
+            let c = a.saturating_add(*b);
+            if c < best {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// The shared hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// Total label entries across both directions.
+    pub fn num_entries(&self) -> u64 {
+        self.up.num_entries() + self.down.num_entries()
+    }
+}
+
+/// τ-restricted Dijkstra on a `DiGraph`, forward or backward.
+#[allow(clippy::too_many_arguments)]
+fn restricted_search(
+    dg: &DiGraph,
+    hier: &Hierarchy,
+    r: VertexId,
+    tr: u32,
+    forward: bool,
+    dist: &mut TimestampedArray<Dist>,
+    heap: &mut BinaryHeap<Reverse<(Dist, VertexId)>>,
+    out: &mut Labels,
+) {
+    dist.reset();
+    heap.clear();
+    dist.set(r as usize, 0);
+    heap.push(Reverse((0, r)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist.get(v as usize) {
+            continue;
+        }
+        out.set(v, tr, d);
+        let relax = |n: VertexId, w: u32, dist: &mut TimestampedArray<Dist>, heap: &mut BinaryHeap<Reverse<(Dist, VertexId)>>| {
+            if w == INF || hier.tau(n) <= tr {
+                return;
+            }
+            let nd = dist_add(d, w);
+            if nd < dist.get(n as usize) {
+                dist.set(n as usize, nd);
+                heap.push(Reverse((nd, n)));
+            }
+        };
+        if forward {
+            for (n, w) in dg.out_neighbors(v) {
+                relax(n, w, dist, heap);
+            }
+        } else {
+            for (n, w) in dg.in_neighbors(v) {
+                relax(n, w, dist, heap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference directed Dijkstra.
+    fn oracle(dg: &DiGraph, s: VertexId) -> Vec<Dist> {
+        let n = dg.num_vertices();
+        let mut dist = vec![INF; n];
+        let mut heap = BinaryHeap::new();
+        dist[s as usize] = 0;
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (n, w) in dg.out_neighbors(v) {
+                if w == INF {
+                    continue;
+                }
+                let nd = dist_add(d, w);
+                if nd < dist[n as usize] {
+                    dist[n as usize] = nd;
+                    heap.push(Reverse((nd, n)));
+                }
+            }
+        }
+        dist
+    }
+
+    fn directed_grid(side: u32) -> DiGraph {
+        // Grid with asymmetric weights: eastbound cheaper than westbound,
+        // one-way "avenues" every third row.
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut arcs = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    arcs.push((idx(x, y), idx(x + 1, y), 2 + (x + y) % 5));
+                    if y % 3 != 0 {
+                        arcs.push((idx(x + 1, y), idx(x, y), 4 + (x * y) % 7));
+                    }
+                }
+                if y + 1 < side {
+                    arcs.push((idx(x, y), idx(x, y + 1), 3 + (x * 2 + y) % 4));
+                    arcs.push((idx(x, y + 1), idx(x, y), 5 + (x + 2 * y) % 6));
+                }
+            }
+        }
+        DiGraph::from_arcs((side * side) as usize, arcs)
+    }
+
+    #[test]
+    fn directed_all_pairs_exact() {
+        let dg = directed_grid(6);
+        let stl = DirectedStl::build(&dg, &StlConfig { leaf_size: 4, ..Default::default() });
+        for s in 0..36u32 {
+            let d = oracle(&dg, s);
+            for t in 0..36u32 {
+                assert_eq!(stl.query(s, t), d[t as usize], "query({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetry_visible_in_queries() {
+        // 0 -> 1 cheap, 1 -> 0 only via detour.
+        let dg = DiGraph::from_arcs(3, vec![(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        let stl = DirectedStl::build(&dg, &StlConfig { leaf_size: 1, ..Default::default() });
+        assert_eq!(stl.query(0, 1), 1);
+        assert_eq!(stl.query(1, 0), 2);
+    }
+
+    #[test]
+    fn unreachable_directed_pair() {
+        let dg = DiGraph::from_arcs(3, vec![(0, 1, 1), (2, 1, 1)]);
+        let stl = DirectedStl::build(&dg, &StlConfig { leaf_size: 1, ..Default::default() });
+        assert_eq!(stl.query(0, 2), INF);
+        assert_eq!(stl.query(1, 2), INF);
+        assert_eq!(stl.query(2, 1), 1);
+    }
+
+    #[test]
+    fn self_query_zero() {
+        let dg = directed_grid(3);
+        let stl = DirectedStl::build(&dg, &StlConfig::default());
+        for v in 0..9u32 {
+            assert_eq!(stl.query(v, v), 0);
+        }
+    }
+}

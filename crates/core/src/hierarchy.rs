@@ -1,0 +1,552 @@
+//! Stable tree hierarchy (Definition 4.1) and its construction.
+//!
+//! A stable tree hierarchy is a binary tree of **vertex separators**: each
+//! tree node holds a cut whose removal disconnects its left and right
+//! subtrees. Unlike HC2L's balanced tree hierarchy, *no shortcut edges are
+//! ever inserted* (Remark 1), which is what makes the structure independent
+//! of edge weights ("structural stability") and therefore maintainable.
+//!
+//! Key derived quantities:
+//! * `τ(v)` — label index (Definition 4.4): the number of strict ancestors
+//!   of `v` in the vertex partial order (Definition 4.3).
+//! * per-vertex partition **bitstrings** — the left/right path from the root
+//!   to `ℓ(v)`, giving O(1) lowest-common-ancestor *levels* for queries.
+//! * per-node `anc_end` prefix counts — how many label entries are shared by
+//!   all vertices below a node; used to find the comparable label prefix.
+
+use std::collections::VecDeque;
+
+use stl_graph::components::connected_components;
+use stl_graph::subgraph::induced_subgraph;
+use stl_graph::{CsrGraph, VertexId};
+use stl_partition::find_separator;
+
+use crate::types::StlConfig;
+
+const NO_NODE: u32 = u32::MAX;
+
+/// An immutable stable tree hierarchy over a graph's vertices.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    // ---- per tree node (parents precede children in id order) ----
+    pub(crate) node_parent: Box<[u32]>,
+    pub(crate) node_depth: Box<[u32]>,
+    pub(crate) node_anc_offset: Box<[u32]>,
+    pub(crate) node_cut_start: Box<[u32]>, // len nodes+1, into cut_vertices
+    pub(crate) cut_vertices: Box<[VertexId]>,
+    pub(crate) node_path_start: Box<[u32]>, // len nodes+1, into path_anc_end
+    pub(crate) path_anc_end: Box<[u32]>,    // anc_end of each node on the root path (level 0..=depth)
+    // ---- per vertex ----
+    pub(crate) node_of: Box<[u32]>,
+    pub(crate) tau: Box<[u32]>,
+    pub(crate) bits: Box<[u128]>,
+    pub(crate) depth: Box<[u32]>,
+}
+
+/// A tree node described externally: parent id (`u32::MAX` for the root),
+/// which side of the parent it hangs off, and its cut vertices in rank
+/// order. Input to [`Hierarchy::from_raw`] for custom hierarchy builders
+/// (HC2L's shortcut-densified cuts use this).
+#[derive(Debug, Clone)]
+pub struct RawNode {
+    /// Parent node id; `u32::MAX` marks the root. Parents must precede
+    /// children in the node list.
+    pub parent: u32,
+    /// 0 = left child, 1 = right child (ignored for the root).
+    pub side: u8,
+    /// Separator vertices of this node, in rank order. May be empty for
+    /// internal nodes created from disconnected subgraphs.
+    pub cut: Vec<VertexId>,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy by recursive balanced bi-partitioning (Remark 1).
+    pub fn build(g: &CsrGraph, cfg: &StlConfig) -> Self {
+        let n = g.num_vertices();
+        assert!(n > 0, "hierarchy over empty graph");
+        struct Frame {
+            members: Vec<VertexId>,
+            parent: u32,
+            side: u8,
+        }
+        let mut queue: VecDeque<Frame> = VecDeque::new();
+        queue.push_back(Frame { members: (0..n as VertexId).collect(), parent: NO_NODE, side: 0 });
+        let mut raw: Vec<RawNode> = Vec::new();
+        let mut depth_of: Vec<u32> = Vec::new();
+        while let Some(frame) = queue.pop_front() {
+            let id = raw.len() as u32;
+            let depth =
+                if frame.parent == NO_NODE { 0 } else { depth_of[frame.parent as usize] + 1 };
+            depth_of.push(depth);
+            let m = frame.members.len();
+            let (cut, side_a, side_b) = if m <= cfg.leaf_size || depth >= cfg.max_depth {
+                (frame.members, Vec::new(), Vec::new())
+            } else {
+                Self::split(g, &frame.members, cfg)
+            };
+            raw.push(RawNode { parent: frame.parent, side: frame.side, cut });
+            if !side_a.is_empty() {
+                queue.push_back(Frame { members: side_a, parent: id, side: 0 });
+            }
+            if !side_b.is_empty() {
+                queue.push_back(Frame { members: side_b, parent: id, side: 1 });
+            }
+        }
+        Self::from_raw(n, raw)
+    }
+
+    /// Assemble a hierarchy from an externally built separator tree.
+    ///
+    /// Requirements (checked by assertions): parents precede children;
+    /// every vertex appears in exactly one cut; cut vertices are in-range.
+    pub fn from_raw(n: usize, raw: Vec<RawNode>) -> Self {
+        let mut node_parent: Vec<u32> = Vec::with_capacity(raw.len());
+        let mut node_depth: Vec<u32> = Vec::with_capacity(raw.len());
+        let mut node_bits: Vec<u128> = Vec::with_capacity(raw.len());
+        let mut node_cut: Vec<Vec<VertexId>> = Vec::with_capacity(raw.len());
+        let mut node_of = vec![NO_NODE; n];
+        let mut rank = vec![0u32; n];
+        for (id, node) in raw.into_iter().enumerate() {
+            let (depth, bits) = if node.parent == NO_NODE {
+                (0, 0)
+            } else {
+                assert!((node.parent as usize) < id, "parents must precede children");
+                let pd = node_depth[node.parent as usize];
+                let pb = node_bits[node.parent as usize];
+                let bit_pos = 127 - pd.min(126);
+                (pd + 1, pb | ((node.side as u128 & 1) << bit_pos))
+            };
+            node_depth.push(depth);
+            node_bits.push(bits);
+            node_parent.push(node.parent);
+            for (i, &v) in node.cut.iter().enumerate() {
+                assert!((v as usize) < n, "cut vertex {v} out of range");
+                assert_eq!(node_of[v as usize], NO_NODE, "vertex {v} in two cuts");
+                node_of[v as usize] = id as u32;
+                rank[v as usize] = i as u32;
+            }
+            node_cut.push(node.cut);
+        }
+
+        // Accumulate ancestor offsets and per-node path prefix counts.
+        let nodes = node_parent.len();
+        let mut node_anc_offset = vec![0u32; nodes];
+        let mut node_cut_start = vec![0u32; nodes + 1];
+        let mut node_path_start = vec![0u32; nodes + 1];
+        let mut path_anc_end: Vec<u32> = Vec::new();
+        let mut cut_vertices: Vec<VertexId> = Vec::new();
+        for id in 0..nodes {
+            let parent = node_parent[id];
+            let anc_offset = if parent == NO_NODE {
+                0
+            } else {
+                node_anc_offset[parent as usize] + node_cut_len(&node_cut, parent)
+            };
+            node_anc_offset[id] = anc_offset;
+            node_cut_start[id] = cut_vertices.len() as u32;
+            cut_vertices.extend_from_slice(&node_cut[id]);
+            // Path prefix: parent's path plus own anc_end.
+            node_path_start[id] = path_anc_end.len() as u32;
+            if parent != NO_NODE {
+                let ps = node_path_start[parent as usize] as usize;
+                let pe = node_path_start[parent as usize + 1] as usize;
+                path_anc_end.extend_from_within(ps..pe);
+            }
+            path_anc_end.push(anc_offset + node_cut[id].len() as u32);
+            node_path_start[id + 1] = path_anc_end.len() as u32;
+        }
+        node_cut_start[nodes] = cut_vertices.len() as u32;
+
+        // Per-vertex arrays.
+        let mut tau = vec![0u32; n];
+        let mut bits = vec![0u128; n];
+        let mut depth = vec![0u32; n];
+        for v in 0..n {
+            let nd = node_of[v];
+            assert_ne!(nd, NO_NODE, "vertex {v} unassigned");
+            tau[v] = node_anc_offset[nd as usize] + rank[v];
+            bits[v] = node_bits[nd as usize];
+            depth[v] = node_depth[nd as usize];
+        }
+
+        Hierarchy {
+            node_parent: node_parent.into_boxed_slice(),
+            node_depth: node_depth.into_boxed_slice(),
+            node_anc_offset: node_anc_offset.into_boxed_slice(),
+            node_cut_start: node_cut_start.into_boxed_slice(),
+            cut_vertices: cut_vertices.into_boxed_slice(),
+            node_path_start: node_path_start.into_boxed_slice(),
+            path_anc_end: path_anc_end.into_boxed_slice(),
+            node_of: node_of.into_boxed_slice(),
+            tau: tau.into_boxed_slice(),
+            bits: bits.into_boxed_slice(),
+            depth: depth.into_boxed_slice(),
+        }
+    }
+
+    /// Split one subgraph into (cut, side A, side B) with global vertex ids.
+    fn split(
+        g: &CsrGraph,
+        members: &[VertexId],
+        cfg: &StlConfig,
+    ) -> (Vec<VertexId>, Vec<VertexId>, Vec<VertexId>) {
+        let (sub, map) = induced_subgraph(g, members);
+        let (comp, k) = connected_components(&sub);
+        if k > 1 {
+            // Disconnected: empty cut; greedily balance whole components.
+            let mut sizes = vec![0usize; k];
+            for &c in &comp {
+                sizes[c as usize] += 1;
+            }
+            let mut order: Vec<usize> = (0..k).collect();
+            order.sort_unstable_by_key(|&c| std::cmp::Reverse(sizes[c]));
+            let mut group = vec![0u8; k];
+            let (mut ga, mut gb) = (0usize, 0usize);
+            for &c in &order {
+                if ga <= gb {
+                    group[c] = 0;
+                    ga += sizes[c];
+                } else {
+                    group[c] = 1;
+                    gb += sizes[c];
+                }
+            }
+            let mut side_a = Vec::with_capacity(ga);
+            let mut side_b = Vec::with_capacity(gb);
+            for (local, &c) in comp.iter().enumerate() {
+                if group[c as usize] == 0 {
+                    side_a.push(map[local]);
+                } else {
+                    side_b.push(map[local]);
+                }
+            }
+            return (Vec::new(), side_a, side_b);
+        }
+        let sep = find_separator(&sub, &cfg.partition);
+        let to_global = |list: Vec<VertexId>| -> Vec<VertexId> {
+            list.into_iter().map(|l| map[l as usize]).collect()
+        };
+        (to_global(sep.separator), to_global(sep.side_a), to_global(sep.side_b))
+    }
+
+    // ---- accessors ----
+
+    /// Number of vertices covered by the hierarchy.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of tree nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_parent.len()
+    }
+
+    /// Label index `τ(v)` (Definition 4.4): count of strict ancestors.
+    #[inline(always)]
+    pub fn tau(&self, v: VertexId) -> u32 {
+        self.tau[v as usize]
+    }
+
+    /// Number of label entries of `v` (`τ(v) + 1`, including `v` itself).
+    #[inline(always)]
+    pub fn anc_count(&self, v: VertexId) -> u32 {
+        self.tau[v as usize] + 1
+    }
+
+    /// Tree node holding `v`.
+    #[inline(always)]
+    pub fn node_of(&self, v: VertexId) -> u32 {
+        self.node_of[v as usize]
+    }
+
+    /// Parent of a tree node (`u32::MAX` for the root).
+    #[inline]
+    pub fn node_parent(&self, node: u32) -> u32 {
+        self.node_parent[node as usize]
+    }
+
+    /// Depth of a tree node (root = 0).
+    #[inline]
+    pub fn node_depth(&self, node: u32) -> u32 {
+        self.node_depth[node as usize]
+    }
+
+    /// The cut (separator vertices) of a tree node, in rank order.
+    #[inline]
+    pub fn cut(&self, node: u32) -> &[VertexId] {
+        let lo = self.node_cut_start[node as usize] as usize;
+        let hi = self.node_cut_start[node as usize + 1] as usize;
+        &self.cut_vertices[lo..hi]
+    }
+
+    /// Maximum number of label entries over all vertices (tree height of
+    /// Table 4).
+    pub fn height(&self) -> u32 {
+        self.tau.iter().map(|&t| t + 1).max().unwrap_or(0)
+    }
+
+    /// Total label entries `Σ_v (τ(v)+1)`.
+    pub fn total_label_entries(&self) -> u64 {
+        self.tau.iter().map(|&t| t as u64 + 1).sum()
+    }
+
+    /// Number of **comparable label-prefix entries** shared by `s` and `t`:
+    /// the `K` of the query formula (Eq. 3 via the bitstring LCA of §4).
+    ///
+    /// Returns 0 when the two vertices share no ancestors (different
+    /// components).
+    #[inline]
+    pub fn common_anc_count(&self, s: VertexId, t: VertexId) -> u32 {
+        let (bs, bt) = (self.bits[s as usize], self.bits[t as usize]);
+        let (ds, dt) = (self.depth[s as usize], self.depth[t as usize]);
+        let lz = (bs ^ bt).leading_zeros(); // 128 when identical
+        let level = ds.min(dt).min(lz);
+        let limit = self.path_anc_end
+            [(self.node_path_start[self.node_of[s as usize] as usize] + level) as usize];
+        limit.min(self.tau[s as usize] + 1).min(self.tau[t as usize] + 1)
+    }
+
+    /// Whether `r ⪯ x` in the vertex partial order (Definition 4.3),
+    /// i.e. `x ∈ Desc(r)`. Reflexive.
+    #[inline]
+    pub fn precedes(&self, r: VertexId, x: VertexId) -> bool {
+        let dr = self.depth[r as usize];
+        if dr > self.depth[x as usize] {
+            return false;
+        }
+        let lz = (self.bits[r as usize] ^ self.bits[x as usize]).leading_zeros();
+        if lz < dr {
+            return false; // ℓ(r) not an ancestor of ℓ(x)
+        }
+        // Same root path; within the same node order by τ (ranks).
+        self.tau[r as usize] <= self.tau[x as usize]
+    }
+
+    /// Visit every ancestor of `v` **including `v` itself** in `τ` order,
+    /// as `(ancestor_vertex, τ(ancestor))`.
+    pub fn for_each_ancestor_inclusive(&self, v: VertexId, mut f: impl FnMut(VertexId, u32)) {
+        // Collect root path of ℓ(v).
+        let mut path = [0u32; 128];
+        let mut len = 0usize;
+        let mut node = self.node_of[v as usize];
+        loop {
+            path[len] = node;
+            len += 1;
+            let p = self.node_parent[node as usize];
+            if p == NO_NODE {
+                break;
+            }
+            node = p;
+        }
+        let tv = self.tau[v as usize];
+        for i in (0..len).rev() {
+            let nd = path[i];
+            let mut t = self.node_anc_offset[nd as usize];
+            for &r in self.cut(nd) {
+                if t > tv {
+                    return;
+                }
+                f(r, t);
+                t += 1;
+            }
+        }
+    }
+
+    /// Approximate resident bytes of hierarchy metadata.
+    pub fn memory_bytes(&self) -> usize {
+        self.node_parent.len() * (4 + 4 + 4)
+            + self.node_cut_start.len() * 4
+            + self.cut_vertices.len() * 4
+            + self.node_path_start.len() * 4
+            + self.path_anc_end.len() * 4
+            + self.node_of.len() * (4 + 4 + 16 + 4)
+    }
+}
+
+fn node_cut_len(node_cut: &[Vec<VertexId>], node: u32) -> u32 {
+    node_cut[node as usize].len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    #[test]
+    fn every_vertex_assigned_exactly_once() {
+        let g = grid(8);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        assert_eq!(h.num_vertices(), 64);
+        let mut seen = [false; 64];
+        for node in 0..h.num_nodes() as u32 {
+            for &v in h.cut(node) {
+                assert!(!seen[v as usize], "vertex {v} in two cuts");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn edge_endpoints_are_comparable() {
+        // Lemma 5.3: for every edge, one endpoint's node is an ancestor of
+        // the other's (equivalently τ-comparable along the same root path).
+        let g = grid(10);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        for (u, v, _) in g.edges() {
+            let (nu, nv) = (h.node_of(u), h.node_of(v));
+            // Ancestorship check by walking up from the deeper node.
+            let (mut hi, lo) = if h.node_depth(nu) >= h.node_depth(nv) { (nu, nv) } else { (nv, nu) };
+            while h.node_depth(hi) > h.node_depth(lo) {
+                hi = h.node_parent(hi);
+            }
+            assert_eq!(hi, lo, "edge ({u},{v}) endpoints in unrelated subtrees");
+        }
+    }
+
+    #[test]
+    fn tau_is_consecutive_along_ancestor_chains() {
+        let g = grid(7);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        for v in 0..h.num_vertices() as VertexId {
+            let mut expected = 0u32;
+            h.for_each_ancestor_inclusive(v, |_, t| {
+                assert_eq!(t, expected);
+                expected += 1;
+            });
+            assert_eq!(expected, h.anc_count(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn common_anc_count_symmetric_and_bounded() {
+        let g = grid(6);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        for s in 0..36u32 {
+            for t in 0..36u32 {
+                let k = h.common_anc_count(s, t);
+                assert_eq!(k, h.common_anc_count(t, s));
+                assert!(k <= h.anc_count(s) && k <= h.anc_count(t));
+                assert!(k >= 1, "connected graph must share the root cut");
+            }
+        }
+    }
+
+    #[test]
+    fn common_anc_matches_bruteforce() {
+        // Brute force: |Anc(s) ∩ Anc(t)| via ancestor enumeration.
+        let g = grid(5);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        for s in 0..25u32 {
+            for t in 0..25u32 {
+                let mut anc_s = Vec::new();
+                h.for_each_ancestor_inclusive(s, |r, _| anc_s.push(r));
+                let mut anc_t = Vec::new();
+                h.for_each_ancestor_inclusive(t, |r, _| anc_t.push(r));
+                let common = anc_s.iter().filter(|r| anc_t.contains(r)).count() as u32;
+                assert_eq!(h.common_anc_count(s, t), common, "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_supported() {
+        let g = from_edges(6, vec![(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        let h = Hierarchy::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        assert_eq!(h.num_vertices(), 6);
+        // Vertices in different components share no ancestors.
+        assert_eq!(h.common_anc_count(0, 3), 0);
+        assert!(h.common_anc_count(0, 2) >= 1);
+    }
+
+    #[test]
+    fn height_and_entry_totals_consistent() {
+        let g = grid(9);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        let max = (0..81u32).map(|v| h.anc_count(v)).max().unwrap();
+        assert_eq!(h.height(), max);
+        let total: u64 = (0..81u32).map(|v| h.anc_count(v) as u64).sum();
+        assert_eq!(h.total_label_entries(), total);
+    }
+
+    #[test]
+    fn from_raw_accepts_custom_tree() {
+        // Path 0-1-2-3-4 with a hand-built separator tree: root cut {2},
+        // left {0,1}, right {3,4}.
+        let raw = vec![
+            RawNode { parent: u32::MAX, side: 0, cut: vec![2] },
+            RawNode { parent: 0, side: 0, cut: vec![1, 0] },
+            RawNode { parent: 0, side: 1, cut: vec![3, 4] },
+        ];
+        let h = Hierarchy::from_raw(5, raw);
+        assert_eq!(h.tau(2), 0);
+        assert_eq!(h.tau(1), 1);
+        assert_eq!(h.tau(0), 2);
+        assert_eq!(h.common_anc_count(0, 4), 1, "only the root cut is shared");
+        assert!(h.precedes(2, 0) && h.precedes(2, 4));
+        assert!(!h.precedes(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "two cuts")]
+    fn from_raw_rejects_duplicate_vertex() {
+        let raw = vec![
+            RawNode { parent: u32::MAX, side: 0, cut: vec![0, 1] },
+            RawNode { parent: 0, side: 0, cut: vec![1] },
+        ];
+        let _ = Hierarchy::from_raw(2, raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "parents must precede children")]
+    fn from_raw_rejects_forward_parent() {
+        let raw = vec![
+            RawNode { parent: 1, side: 0, cut: vec![0] },
+            RawNode { parent: u32::MAX, side: 0, cut: vec![1] },
+        ];
+        let _ = Hierarchy::from_raw(2, raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn from_raw_rejects_missing_vertex() {
+        let raw = vec![RawNode { parent: u32::MAX, side: 0, cut: vec![0] }];
+        let _ = Hierarchy::from_raw(2, raw);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = from_edges(1, Vec::new());
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        assert_eq!(h.num_nodes(), 1);
+        assert_eq!(h.tau(0), 0);
+        assert_eq!(h.common_anc_count(0, 0), 1);
+    }
+
+    #[test]
+    fn balanced_depth_logarithmic() {
+        let g = grid(16); // 256 vertices
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        let maxd = (0..256u32).map(|v| h.depth[v as usize]).max().unwrap();
+        // log_{1.25}(256/8) ≈ 15.5; allow generous slack for separator bulk.
+        assert!(maxd <= 30, "depth {maxd} suspiciously large");
+    }
+}

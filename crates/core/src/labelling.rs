@@ -1,0 +1,350 @@
+//! Stable Tree Labelling construction (Definition 4.6).
+//!
+//! The label of `v` is the distance array `L(v) = [δ_{v,w_1}, …, δ_{v,w_k}]`
+//! over `Anc(v) = {w_1 ⪯ … ⪯ w_k}` where — crucially — `δ_{v,w} = d^w(v, w)`
+//! is the distance **within the subgraph `G[Desc(w)]`**, not in `G`. This
+//! restriction is what limits how many labels an edge update can touch.
+//!
+//! Storage is a single flat arena with per-vertex offsets: the entries a
+//! query compares are consecutive in memory (§4's caching argument).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+use stl_pathfinding::TimestampedArray;
+
+use crate::hierarchy::Hierarchy;
+use crate::types::StlConfig;
+
+/// Flat label storage: `L(v)[i]` for `i ∈ 0..=τ(v)`.
+#[derive(Debug, Clone)]
+pub struct Labels {
+    pub(crate) offsets: Box<[u64]>,
+    pub(crate) dists: Vec<Dist>,
+}
+
+impl Labels {
+    /// Allocate `Σ (τ(v)+1)` entries, all `INF`.
+    pub fn new_inf(hier: &Hierarchy) -> Self {
+        let n = hier.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        for v in 0..n as VertexId {
+            offsets.push(acc);
+            acc += hier.anc_count(v) as u64;
+        }
+        offsets.push(acc);
+        Self { offsets: offsets.into_boxed_slice(), dists: vec![INF; acc as usize] }
+    }
+
+    #[inline(always)]
+    fn idx(&self, v: VertexId, i: u32) -> usize {
+        debug_assert!(
+            (self.offsets[v as usize] + i as u64) < self.offsets[v as usize + 1],
+            "label index {i} out of range for vertex {v}"
+        );
+        (self.offsets[v as usize] + i as u64) as usize
+    }
+
+    /// `L(v)[i] = d^{w_i}(v, w_i)` — distance to the `i`-th ancestor within
+    /// its subgraph.
+    #[inline(always)]
+    pub fn get(&self, v: VertexId, i: u32) -> Dist {
+        self.dists[self.idx(v, i)]
+    }
+
+    /// Overwrite `L(v)[i]`.
+    #[inline(always)]
+    pub fn set(&mut self, v: VertexId, i: u32, d: Dist) {
+        let idx = self.idx(v, i);
+        self.dists[idx] = d;
+    }
+
+    /// The full label of `v` (entries `0..=τ(v)` in τ order).
+    #[inline(always)]
+    pub fn slice(&self, v: VertexId) -> &[Dist] {
+        &self.dists[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Total number of label entries.
+    pub fn num_entries(&self) -> u64 {
+        self.dists.len() as u64
+    }
+
+    /// Approximate resident bytes (arena + offsets).
+    pub fn memory_bytes(&self) -> usize {
+        self.dists.len() * 4 + self.offsets.len() * 8
+    }
+}
+
+/// A complete Stable Tree Labelling index: hierarchy + labels.
+#[derive(Debug, Clone)]
+pub struct Stl {
+    pub(crate) hier: Hierarchy,
+    pub(crate) labels: Labels,
+}
+
+impl Stl {
+    /// Build the index for `g` (hierarchy + labels).
+    pub fn build(g: &CsrGraph, cfg: &StlConfig) -> Self {
+        let hier = Hierarchy::build(g, cfg);
+        Self::build_with_hierarchy(g, hier)
+    }
+
+    /// Assemble an index from externally computed parts.
+    ///
+    /// The caller is responsible for the label semantics: maintenance
+    /// algorithms assume entries are **subgraph** distances (HC2L-style
+    /// global-distance labels answer queries correctly but must not be
+    /// passed to the update algorithms).
+    pub fn from_parts(hier: Hierarchy, labels: Labels) -> Self {
+        assert_eq!(labels.num_entries(), hier.total_label_entries());
+        Stl { hier, labels }
+    }
+
+    /// Build labels on a pre-built hierarchy (used by rebuild paths and the
+    /// β-ablation which shares hierarchies).
+    pub fn build_with_hierarchy(g: &CsrGraph, hier: Hierarchy) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(n, hier.num_vertices());
+        let mut labels = Labels::new_inf(&hier);
+        let mut dist: TimestampedArray<Dist> = TimestampedArray::new(n, INF);
+        let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+        // One τ-restricted Dijkstra per cut vertex r, in τ order. The search
+        // stays inside G[Desc(r)] because a neighbour n of a vertex in
+        // Desc(r) lies in Desc(r) iff τ(n) > τ(r) (edge endpoints are
+        // ⪯-comparable, Lemma 5.3, and Anc(v) is a chain).
+        for node in 0..hier.num_nodes() as u32 {
+            for &r in hier.cut(node) {
+                let tr = hier.tau(r);
+                dist.reset();
+                heap.clear();
+                dist.set(r as usize, 0);
+                heap.push(Reverse((0, r)));
+                while let Some(Reverse((d, v))) = heap.pop() {
+                    if d > dist.get(v as usize) {
+                        continue;
+                    }
+                    labels.set(v, tr, d);
+                    let (ts, ws) = g.neighbor_slices(v);
+                    for (&nb, &w) in ts.iter().zip(ws) {
+                        if w == INF || hier.tau(nb) <= tr {
+                            continue;
+                        }
+                        let nd = dist_add(d, w);
+                        if nd < dist.get(nb as usize) {
+                            dist.set(nb as usize, nd);
+                            heap.push(Reverse((nd, nb)));
+                        }
+                    }
+                }
+            }
+        }
+        Stl { hier, labels }
+    }
+
+    /// Parallel label construction over `threads` worker threads.
+    ///
+    /// Cut vertices are distributed over a work queue; each worker runs the
+    /// same τ-restricted Dijkstra with private scratch state and writes its
+    /// results straight into the shared label arena.
+    ///
+    /// # Safety argument
+    /// Writes for cut vertex `r` target exactly the slots
+    /// `offset(v) + τ(r)` for `v ∈ Desc(r)`. For two distinct cut vertices:
+    /// if they are ⪯-comparable their τ values differ (τ is injective along
+    /// a chain); if incomparable their descendant sets are disjoint. Either
+    /// way the slot sets are disjoint, so unsynchronised writes never race.
+    pub fn build_parallel(g: &CsrGraph, cfg: &StlConfig, threads: usize) -> Self {
+        let hier = Hierarchy::build(g, cfg);
+        Self::build_with_hierarchy_parallel(g, hier, threads)
+    }
+
+    /// Parallel variant of [`Stl::build_with_hierarchy`]; see
+    /// [`Stl::build_parallel`] for the data-race-freedom argument.
+    pub fn build_with_hierarchy_parallel(g: &CsrGraph, hier: Hierarchy, threads: usize) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let threads = threads.max(1);
+        let n = g.num_vertices();
+        assert_eq!(n, hier.num_vertices());
+        let mut labels = Labels::new_inf(&hier);
+        let order: Vec<VertexId> = (0..hier.num_nodes() as u32)
+            .flat_map(|node| hier.cut(node).iter().copied())
+            .collect();
+        // Shared mutable arena pointer; disjointness proven above.
+        struct SendPtr(*mut Dist);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let arena = SendPtr(labels.dists.as_mut_ptr());
+        let offsets = &labels.offsets;
+        let counter = AtomicUsize::new(0);
+        let hier_ref = &hier;
+        let order = &order;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let arena = &arena;
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    let mut dist: TimestampedArray<Dist> = TimestampedArray::new(n, INF);
+                    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= order.len() {
+                            break;
+                        }
+                        let r = order[i];
+                        let tr = hier_ref.tau(r);
+                        dist.reset();
+                        heap.clear();
+                        dist.set(r as usize, 0);
+                        heap.push(Reverse((0, r)));
+                        while let Some(Reverse((d, v))) = heap.pop() {
+                            if d > dist.get(v as usize) {
+                                continue;
+                            }
+                            // SAFETY: slot sets are disjoint across workers
+                            // (see function docs).
+                            unsafe {
+                                *arena.0.add((offsets[v as usize] + tr as u64) as usize) = d;
+                            }
+                            let (ts, ws) = g.neighbor_slices(v);
+                            for (&nb, &w) in ts.iter().zip(ws) {
+                                if w == INF || hier_ref.tau(nb) <= tr {
+                                    continue;
+                                }
+                                let nd = dist_add(d, w);
+                                if nd < dist.get(nb as usize) {
+                                    dist.set(nb as usize, nd);
+                                    heap.push(Reverse((nd, nb)));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("construction worker panicked");
+        Stl { hier, labels }
+    }
+
+    /// The underlying stable tree hierarchy.
+    #[inline]
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The label storage.
+    #[inline]
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// Number of vertices indexed.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.hier.num_vertices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+    use stl_pathfinding::dijkstra;
+
+    fn grid(side: u32, w: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), w + x + y));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), w + 2 * x + y));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    #[test]
+    fn self_label_entry_is_zero() {
+        let g = grid(6, 3);
+        let stl = Stl::build(&g, &StlConfig::default());
+        for v in 0..36u32 {
+            let tau = stl.hierarchy().tau(v);
+            assert_eq!(stl.labels().get(v, tau), 0, "L(v)[τ(v)] must be 0");
+        }
+    }
+
+    #[test]
+    fn label_entries_upper_bound_global_distance() {
+        // Subgraph distances dominate global distances: δ_vw ≥ d_G(v, w).
+        let g = grid(5, 2);
+        let stl = Stl::build(&g, &StlConfig::default());
+        for v in 0..25u32 {
+            let oracle = dijkstra::single_source(&g, v);
+            let mut checked = 0;
+            stl.hierarchy().for_each_ancestor_inclusive(v, |r, i| {
+                let entry = stl.labels().get(v, i);
+                assert!(entry >= oracle[r as usize], "entry below true distance");
+                checked += 1;
+            });
+            assert_eq!(checked, stl.hierarchy().anc_count(v));
+        }
+    }
+
+    #[test]
+    fn arena_layout_contiguous() {
+        let g = grid(4, 1);
+        let stl = Stl::build(&g, &StlConfig::default());
+        let mut total = 0u64;
+        for v in 0..16u32 {
+            let s = stl.labels().slice(v);
+            assert_eq!(s.len() as u32, stl.hierarchy().anc_count(v));
+            total += s.len() as u64;
+        }
+        assert_eq!(total, stl.labels().num_entries());
+        assert_eq!(total, stl.hierarchy().total_label_entries());
+    }
+
+    #[test]
+    fn line_graph_labels_exact() {
+        // On a path the subgraph distance to an ancestor equals the global
+        // one whenever the ancestor is reachable within its subgraph.
+        let g = from_edges(8, (0..7).map(|i| (i, i + 1, ((i + 1)))).collect::<Vec<_>>());
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        for v in 0..8u32 {
+            let tau = stl.hierarchy().tau(v);
+            assert_eq!(stl.labels().get(v, tau), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = grid(9, 4);
+        let cfg = StlConfig::default();
+        let seq = Stl::build(&g, &cfg);
+        for threads in [1usize, 2, 4, 7] {
+            let par = Stl::build_parallel(&g, &cfg, threads);
+            for v in 0..g.num_vertices() as VertexId {
+                assert_eq!(
+                    seq.labels().slice(v),
+                    par.labels().slice(v),
+                    "threads={threads}, vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_labels_inf_across() {
+        let g = from_edges(4, vec![(0, 1, 5), (2, 3, 7)]);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        // Vertices keep their own component's distances; no panic, and the
+        // query layer returns INF across components (tested in query.rs).
+        assert_eq!(stl.num_vertices(), 4);
+    }
+}

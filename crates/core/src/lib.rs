@@ -1,0 +1,51 @@
+//! # Stable Tree Labelling (STL)
+//!
+//! The primary contribution of *"Stable Tree Labelling for Accelerating
+//! Distance Queries on Dynamic Road Networks"* (EDBT 2025):
+//!
+//! * [`hierarchy::Hierarchy`] — stable tree hierarchy (Definition 4.1):
+//!   a shortcut-free binary separator tree, structurally independent of edge
+//!   weights.
+//! * [`labelling::Stl`] — the 2-hop labelling over it (Definition 4.6)
+//!   storing **subgraph** distances, with O(1)-LCA queries (Equation 3).
+//! * [`label_search`] — ancestor-centric maintenance (Algorithms 1–2).
+//! * [`pareto`] — update-centric maintenance combining all ancestors into
+//!   two searches with Pareto-active intervals (Algorithms 3–5).
+//! * [`batch`] — mixed-batch driver splitting updates into increase /
+//!   decrease phases.
+//! * [`directed`] — the §8 extension to directed road networks.
+//! * [`structural`] — §8 edge/vertex insertion & deletion.
+//! * [`verify`] — independent invariant checkers used by the test suite.
+//! * [`persist`] — compact binary serialization of a built index.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stl_graph::builder::from_edges;
+//! use stl_core::{Stl, StlConfig};
+//!
+//! let g = from_edges(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)]);
+//! let stl = Stl::build(&g, &StlConfig::default());
+//! assert_eq!(stl.query(0, 3), 12);
+//! ```
+
+pub mod batch;
+pub mod directed;
+pub mod directed_dynamic;
+pub mod engine;
+pub mod hierarchy;
+pub mod label_search;
+pub mod labelling;
+pub mod pareto;
+pub mod persist;
+pub mod query;
+pub mod stats;
+pub mod structural;
+pub mod types;
+pub mod verify;
+
+pub use engine::UpdateEngine;
+pub use hierarchy::{Hierarchy, RawNode};
+pub use labelling::{Labels, Stl};
+pub use stats::IndexStats;
+pub use types::{Maintenance, StlConfig, UpdateStats};

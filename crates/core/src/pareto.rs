@@ -1,0 +1,451 @@
+//! Pareto Search maintenance — the update-centric algorithms.
+//!
+//! Instead of one search per affected ancestor, Pareto Search runs **two**
+//! searches per update (one from each endpoint of the updated edge) and
+//! tracks, per visited vertex, the *interval of ancestor indices* for which
+//! the tracked path is valid (Definition 5.11, Pareto-optimal pairs). A path
+//! whose minimum-τ vertex is `m` lies in `G[Desc(r_i)]` for every `i ≤ τ(m)`,
+//! so validity intervals clamp at `τ(v)` on every hop; the per-vertex
+//! `level` watermark discards dominated tuples (Example 5.13).
+//!
+//! * [`decrease`] — Algorithm 3: labels repair immediately
+//!   (`L_v[i] ← d + L_r[i]`) because new distances are known on the fly.
+//! * [`increase`] — Algorithms 4–5: equality tests on *old* labels identify
+//!   exact affected `(v, i)` pairs, labels are bumped by `Δ` as upper
+//!   bounds, and a per-index repair Dijkstra finishes from the unaffected
+//!   boundary.
+//!
+//! Implementation note (see DESIGN.md §2): Algorithm 4 bumps labels *during*
+//! its searches while later equality checks need pre-update values; we
+//! instead collect exact affected pairs from both searches first and apply
+//! all `+Δ` bumps after, which keeps the two searches' equality tests exact
+//! without snapshotting every label.
+
+use std::cmp::Reverse;
+
+use stl_graph::{dist_add, CsrGraph, Dist, EdgeUpdate, VertexId, INF};
+
+use crate::engine::{ParetoItem, UpdateEngine};
+use crate::hierarchy::Hierarchy;
+use crate::labelling::{Labels, Stl};
+use crate::types::UpdateStats;
+
+/// Algorithm 3 — edge-weight **decreases**, one update at a time.
+pub fn decrease(
+    stl: &mut Stl,
+    g: &mut CsrGraph,
+    updates: &[EdgeUpdate],
+    eng: &mut UpdateEngine,
+) -> UpdateStats {
+    let mut stats = UpdateStats { updates: updates.len() as u64, ..Default::default() };
+    eng.ensure_capacity(g.num_vertices());
+    let Stl { ref hier, ref mut labels } = *stl;
+    for &u in updates {
+        let old = g.apply_update(u).expect("update must target an existing edge");
+        debug_assert!(u.new_weight <= old, "decrease batch got an increase");
+        search_and_repair_dec(hier, labels, g, u.a, u.b, u.new_weight, eng, &mut stats);
+        search_and_repair_dec(hier, labels, g, u.b, u.a, u.new_weight, eng, &mut stats);
+    }
+    stats
+}
+
+/// One decrease search anchored at `r` starting at `start` (Algorithm 3's
+/// `Search-and-Repair`): explores paths `r → start → …` whose first edge is
+/// the updated edge with weight `phi`.
+#[allow(clippy::too_many_arguments)]
+fn search_and_repair_dec(
+    hier: &Hierarchy,
+    labels: &mut Labels,
+    g: &CsrGraph,
+    r: VertexId,
+    start: VertexId,
+    phi: Dist,
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
+    stats.searches += 1;
+    let amin = hier.tau(r).min(hier.tau(start));
+    // Snapshot the anchor's comparable label prefix: its entries cannot
+    // change during this search (a positive-length cycle cannot shorten the
+    // anchor's own distances), and a snapshot avoids re-indexing the arena.
+    eng.snap.clear();
+    eng.snap.extend_from_slice(&labels.slice(r)[..=amin as usize]);
+    eng.level.reset();
+    eng.pheap.clear();
+    eng.pheap.push(ParetoItem { d: phi, hi: amin, lo: 0, v: start });
+    while let Some(item) = eng.pheap.pop() {
+        stats.pops += 1;
+        let v = item.v;
+        let hi = item.hi.min(hier.tau(v));
+        let lo = item.lo.max(eng.level.get(v as usize));
+        if lo > hi {
+            continue; // dominated (Pareto-pruned) or out of range
+        }
+        eng.level.set(v as usize, hi + 1);
+        // Update labels over the active interval; record the improved span.
+        let mut new_lo = u32::MAX;
+        let mut new_hi = 0u32;
+        for i in lo..=hi {
+            let sr = eng.snap[i as usize];
+            if sr == INF {
+                continue;
+            }
+            let cand = dist_add(item.d, sr);
+            if cand < labels.get(v, i) {
+                labels.set(v, i, cand);
+                stats.label_writes += 1;
+                if new_lo == u32::MAX {
+                    new_lo = i;
+                }
+                new_hi = i;
+            }
+        }
+        if new_lo == u32::MAX {
+            continue; // no improvement -> no further propagation (triangle)
+        }
+        let (ts, ws) = g.neighbor_slices(v);
+        for (&n, &w) in ts.iter().zip(ws) {
+            if w == INF || hier.tau(n) < new_lo {
+                continue; // the item would clamp itself to death anyway
+            }
+            eng.pheap.push(ParetoItem { d: dist_add(item.d, w), hi: new_hi, lo: new_lo, v: n });
+        }
+    }
+}
+
+/// Algorithms 4–5 — edge-weight **increases**, one update at a time.
+pub fn increase(
+    stl: &mut Stl,
+    g: &mut CsrGraph,
+    updates: &[EdgeUpdate],
+    eng: &mut UpdateEngine,
+) -> UpdateStats {
+    let mut stats = UpdateStats { updates: updates.len() as u64, ..Default::default() };
+    eng.ensure_capacity(g.num_vertices());
+    let Stl { ref hier, ref mut labels } = *stl;
+    for &u in updates {
+        let w_old = g.weight(u.a, u.b).expect("update must target an existing edge");
+        debug_assert!(u.new_weight >= w_old, "increase batch got a decrease");
+        let delta = u.new_weight.saturating_sub(w_old);
+        if delta == 0 {
+            continue;
+        }
+        // Phase 1: both searches on old labels/weights, collecting exact
+        // affected (v, i) pairs.
+        eng.pairs.clear();
+        search_inc(hier, labels, g, u.a, u.b, w_old, eng, &mut stats);
+        search_inc(hier, labels, g, u.b, u.a, w_old, eng, &mut stats);
+
+        // Phase 2: apply the new weight; bump affected labels by Δ (upper
+        // bounds, Alg. 4 line 18) and build per-vertex affected intervals.
+        g.apply_update(u).expect("validated above");
+        let mut pairs = std::mem::take(&mut eng.pairs);
+        pairs.sort_unstable();
+        pairs.dedup();
+        stats.affected += pairs.len() as u64;
+        eng.aff_lo.reset();
+        eng.aff_hi.reset();
+        eng.aff_list.clear();
+        for &(v, i) in &pairs {
+            let cur = labels.get(v, i);
+            if cur != INF {
+                labels.set(v, i, cur.saturating_add(delta));
+                stats.label_writes += 1;
+            }
+            if !eng.aff_lo.is_set(v as usize) {
+                eng.aff_list.push(v);
+                eng.aff_lo.set(v as usize, i);
+            }
+            eng.aff_hi.set(v as usize, i); // pairs sorted: last write is max
+        }
+        eng.pairs = pairs;
+
+        // Phase 3: repair (Algorithm 5).
+        repair_inc(hier, labels, g, eng, &mut stats);
+    }
+    stats
+}
+
+/// One increase search (Algorithm 4's `Search`): walks the old
+/// shortest-path DAG through the updated edge, collecting affected pairs.
+#[allow(clippy::too_many_arguments)]
+fn search_inc(
+    hier: &Hierarchy,
+    labels: &Labels,
+    g: &CsrGraph,
+    r: VertexId,
+    start: VertexId,
+    phi_old: Dist,
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
+    stats.searches += 1;
+    let amin = hier.tau(r).min(hier.tau(start));
+    eng.snap.clear();
+    eng.snap.extend_from_slice(&labels.slice(r)[..=amin as usize]);
+    eng.level.reset();
+    eng.pheap.clear();
+    eng.pheap.push(ParetoItem { d: phi_old, hi: amin, lo: 0, v: start });
+    while let Some(item) = eng.pheap.pop() {
+        stats.pops += 1;
+        let v = item.v;
+        let hi = item.hi.min(hier.tau(v));
+        let lo = item.lo.max(eng.level.get(v as usize));
+        if lo > hi {
+            continue;
+        }
+        eng.level.set(v as usize, hi + 1);
+        let mut new_lo = u32::MAX;
+        let mut new_hi = 0u32;
+        let tv = hier.tau(v);
+        for i in lo..=hi {
+            // A vertex's entry to *itself* is always 0 and can never be
+            // affected: with zero-weight edges the search can otherwise
+            // close a zero-length cycle back to the ancestor and satisfy
+            // the equality test spuriously, corrupting the repair anchor.
+            if i == tv {
+                continue;
+            }
+            let sr = eng.snap[i as usize];
+            if sr == INF {
+                continue;
+            }
+            let lv = labels.get(v, i);
+            if lv == INF {
+                continue;
+            }
+            let cand = dist_add(item.d, sr);
+            debug_assert!(cand >= lv, "label below a realizable old path length");
+            if cand == lv {
+                eng.pairs.push((v, i));
+                if new_lo == u32::MAX {
+                    new_lo = i;
+                }
+                new_hi = i;
+            }
+        }
+        if new_lo == u32::MAX {
+            continue; // not on any old shortest path for these indices
+        }
+        let (ts, ws) = g.neighbor_slices(v);
+        for (&n, &w) in ts.iter().zip(ws) {
+            if w == INF || hier.tau(n) < new_lo {
+                continue;
+            }
+            eng.pheap.push(ParetoItem { d: dist_add(item.d, w), hi: new_hi, lo: new_lo, v: n });
+        }
+    }
+}
+
+/// Algorithm 5 — per-index repair over the affected intervals.
+fn repair_inc(
+    hier: &Hierarchy,
+    labels: &mut Labels,
+    g: &CsrGraph,
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
+    eng.rheap.clear();
+    // Seed from every affected vertex's neighbourhood (Alg. 5 lines 2–6).
+    // `i ≤ τ(n)` keeps lookups valid; `τ(n) = i` means n *is* the ancestor
+    // r_i (its own entry is 0), anchoring paths that end at the ancestor.
+    let aff_list = std::mem::take(&mut eng.aff_list);
+    for &v in &aff_list {
+        let lo = eng.aff_lo.get(v as usize);
+        let hi = eng.aff_hi.get(v as usize);
+        let (ts, ws) = g.neighbor_slices(v);
+        for (&n, &w) in ts.iter().zip(ws) {
+            if w == INF {
+                continue;
+            }
+            let cap = hi.min(hier.tau(n));
+            for i in lo..=cap {
+                // Range is inclusive and lo <= hi always; cap may underflow
+                // the range, making the loop empty — exactly what we want.
+                let ln = labels.get(n, i);
+                if ln == INF {
+                    continue;
+                }
+                let cand = dist_add(ln, w);
+                if cand < labels.get(v, i) {
+                    eng.rheap.push(Reverse((cand, v, i)));
+                }
+            }
+        }
+    }
+    eng.aff_list = aff_list;
+    // Settle in increasing distance (Alg. 5 lines 7–12).
+    while let Some(Reverse((d, v, i))) = eng.rheap.pop() {
+        stats.repair_pops += 1;
+        if d >= labels.get(v, i) {
+            continue;
+        }
+        labels.set(v, i, d);
+        stats.label_writes += 1;
+        let (ts, ws) = g.neighbor_slices(v);
+        for (&n, &w) in ts.iter().zip(ws) {
+            if w == INF {
+                continue;
+            }
+            // Only affected entries can still be wrong (line 10).
+            if !eng.aff_lo.is_set(n as usize) {
+                continue;
+            }
+            if i < eng.aff_lo.get(n as usize) || i > eng.aff_hi.get(n as usize) {
+                continue;
+            }
+            let cand = dist_add(d, w);
+            if cand < labels.get(n, i) {
+                eng.rheap.push(Reverse((cand, n, i)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StlConfig;
+    use crate::verify;
+    use stl_graph::builder::from_edges;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 2 + ((x * 3 + y * 7) % 13)));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 2 + ((x * 11 + y * 5) % 13)));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    #[test]
+    fn pareto_decrease_single_update() {
+        let mut g = grid(6);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let (a, b, w) = g.edges().nth(20).unwrap();
+        let stats = decrease(&mut stl, &mut g, &[EdgeUpdate::new(a, b, (w / 3).max(1))], &mut eng);
+        assert_eq!(stats.searches, 2, "exactly two searches per update");
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn pareto_increase_single_update() {
+        let mut g = grid(6);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let (a, b, w) = g.edges().nth(33).unwrap();
+        increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w * 4)], &mut eng);
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn pareto_matches_label_search_results() {
+        // Run the same update stream through both algorithm families on two
+        // index copies; final labels must agree entry for entry.
+        let g0 = grid(5);
+        let cfg = StlConfig { leaf_size: 4, ..Default::default() };
+        let (mut g1, mut g2) = (g0.clone(), g0.clone());
+        let mut stl_l = Stl::build(&g0, &cfg);
+        let mut stl_p = stl_l.clone();
+        let mut eng = UpdateEngine::new(g0.num_vertices());
+        let edges: Vec<_> = g0.edges().collect();
+        let mut state = 7u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..25 {
+            let (a, b, _) = edges[next(edges.len() as u64) as usize];
+            let cur = g1.weight(a, b).unwrap();
+            let target = (next(25) + 1) as u32;
+            let upd = [EdgeUpdate::new(a, b, target)];
+            if target < cur {
+                crate::label_search::decrease(&mut stl_l, &mut g1, &upd, &mut eng);
+                decrease(&mut stl_p, &mut g2, &upd, &mut eng);
+            } else if target > cur {
+                crate::label_search::increase(&mut stl_l, &mut g1, &upd, &mut eng);
+                increase(&mut stl_p, &mut g2, &upd, &mut eng);
+            }
+        }
+        verify::check_all(&stl_l, &g1).unwrap();
+        verify::check_all(&stl_p, &g2).unwrap();
+        for v in 0..g0.num_vertices() as VertexId {
+            assert_eq!(stl_l.labels().slice(v), stl_p.labels().slice(v), "labels differ at {v}");
+        }
+    }
+
+    #[test]
+    fn increase_then_restore_is_identity() {
+        let mut g = grid(5);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let reference = stl.clone();
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let (a, b, w) = g.edges().nth(8).unwrap();
+        increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w * 2)], &mut eng);
+        decrease(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w)], &mut eng);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(
+                stl.labels().slice(v),
+                reference.labels().slice(v),
+                "restore must reproduce original labels at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_increase_to_inf_deletion() {
+        let mut g = grid(4);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let (a, b, _) = g.edges().nth(5).unwrap();
+        increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, INF)], &mut eng);
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn randomized_update_stress_pareto() {
+        let mut g = grid(5);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let edges: Vec<_> = g.edges().collect();
+        let mut state = 1234u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for round in 0..30 {
+            let (a, b, _) = edges[next(edges.len() as u64) as usize];
+            let cur = g.weight(a, b).unwrap();
+            let target = (next(25) + 1) as u32;
+            if target < cur {
+                decrease(&mut stl, &mut g, &[EdgeUpdate::new(a, b, target)], &mut eng);
+            } else if target > cur {
+                increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, target)], &mut eng);
+            }
+            verify::check_labels_exact(&stl, &g)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+
+    #[test]
+    fn zero_delta_increase_is_noop() {
+        let mut g = grid(4);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let reference = stl.clone();
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let (a, b, w) = g.edges().next().unwrap();
+        let stats = increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w)], &mut eng);
+        assert_eq!(stats.pops, 0);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(stl.labels().slice(v), reference.labels().slice(v));
+        }
+    }
+}

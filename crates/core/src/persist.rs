@@ -1,0 +1,198 @@
+//! Compact binary serialization of a built index.
+//!
+//! Index construction takes minutes on large networks (Table 4); operators
+//! persist the index and reload at startup. The format is a
+//! length-prefixed little-endian layout written with `bytes` — no
+//! reflection, no allocation churn on load.
+
+use bytes::{Buf, BufMut};
+
+use stl_graph::{Dist, VertexId};
+
+use crate::hierarchy::Hierarchy;
+use crate::labelling::{Labels, Stl};
+
+const MAGIC: &[u8; 4] = b"STL1";
+
+/// Errors from [`load`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Input does not start with the STL magic bytes.
+    BadMagic,
+    /// Input ended prematurely or lengths are inconsistent.
+    Truncated,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not an STL index (bad magic)"),
+            PersistError::Truncated => write!(f, "truncated or corrupt STL index"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize a built index to bytes.
+pub fn save(stl: &Stl) -> Vec<u8> {
+    let h = &stl.hier;
+    let l = &stl.labels;
+    let mut out = Vec::with_capacity(64 + l.dists.len() * 4 + h.tau.len() * 32);
+    out.put_slice(MAGIC);
+    put_u32s(&mut out, &h.node_parent);
+    put_u32s(&mut out, &h.node_depth);
+    put_u32s(&mut out, &h.node_anc_offset);
+    put_u32s(&mut out, &h.node_cut_start);
+    put_u32s(&mut out, &h.cut_vertices);
+    put_u32s(&mut out, &h.node_path_start);
+    put_u32s(&mut out, &h.path_anc_end);
+    put_u32s(&mut out, &h.node_of);
+    put_u32s(&mut out, &h.tau);
+    out.put_u64_le(h.bits.len() as u64);
+    for &b in h.bits.iter() {
+        out.put_u128_le(b);
+    }
+    put_u32s(&mut out, &h.depth);
+    out.put_u64_le(l.offsets.len() as u64);
+    for &o in l.offsets.iter() {
+        out.put_u64_le(o);
+    }
+    put_u32s(&mut out, &l.dists);
+    out
+}
+
+/// Deserialize an index produced by [`save`].
+pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    buf.advance(4);
+    let node_parent = get_u32s(&mut buf)?;
+    let node_depth = get_u32s(&mut buf)?;
+    let node_anc_offset = get_u32s(&mut buf)?;
+    let node_cut_start = get_u32s(&mut buf)?;
+    let cut_vertices: Box<[VertexId]> = get_u32s(&mut buf)?;
+    let node_path_start = get_u32s(&mut buf)?;
+    let path_anc_end = get_u32s(&mut buf)?;
+    let node_of = get_u32s(&mut buf)?;
+    let tau = get_u32s(&mut buf)?;
+    let nbits = get_len(&mut buf)?;
+    if buf.remaining() < nbits * 16 {
+        return Err(PersistError::Truncated);
+    }
+    let mut bits = Vec::with_capacity(nbits);
+    for _ in 0..nbits {
+        bits.push(buf.get_u128_le());
+    }
+    let depth = get_u32s(&mut buf)?;
+    let noff = get_len(&mut buf)?;
+    if buf.remaining() < noff * 8 {
+        return Err(PersistError::Truncated);
+    }
+    let mut offsets = Vec::with_capacity(noff);
+    for _ in 0..noff {
+        offsets.push(buf.get_u64_le());
+    }
+    let dists: Box<[Dist]> = get_u32s(&mut buf)?;
+    let hier = Hierarchy {
+        node_parent,
+        node_depth,
+        node_anc_offset,
+        node_cut_start,
+        cut_vertices,
+        node_path_start,
+        path_anc_end,
+        node_of,
+        tau,
+        bits: bits.into_boxed_slice(),
+        depth,
+    };
+    let labels = Labels { offsets: offsets.into_boxed_slice(), dists: dists.into_vec() };
+    Ok(Stl { hier, labels })
+}
+
+fn put_u32s(out: &mut Vec<u8>, xs: &[u32]) {
+    out.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        out.put_u32_le(x);
+    }
+}
+
+fn get_len(buf: &mut &[u8]) -> Result<usize, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u64_le() as usize)
+}
+
+fn get_u32s(buf: &mut &[u8]) -> Result<Box<[u32]>, PersistError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(buf.get_u32_le());
+    }
+    Ok(v.into_boxed_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StlConfig;
+    use stl_graph::builder::from_edges;
+
+    fn sample() -> (stl_graph::CsrGraph, Stl) {
+        let g = from_edges(
+            10,
+            (0..9u32).map(|i| (i, i + 1, 2 + i % 5)).chain([(0, 9, 7), (2, 7, 4)]).collect::<Vec<_>>(),
+        );
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        (g, stl)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let (g, stl) = sample();
+        let bytes = save(&stl);
+        let loaded = load(&bytes).unwrap();
+        for s in 0..10u32 {
+            for t in 0..10u32 {
+                assert_eq!(stl.query(s, t), loaded.query(s, t));
+            }
+        }
+        crate::verify::check_all(&loaded, &g).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(load(b"NOPE....").unwrap_err(), PersistError::BadMagic);
+        assert_eq!(load(b"").unwrap_err(), PersistError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (_, stl) = sample();
+        let bytes = save(&stl);
+        for cut in [5usize, bytes.len() / 2, bytes.len() - 3] {
+            assert_eq!(load(&bytes[..cut]).unwrap_err(), PersistError::Truncated, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn loaded_index_supports_updates() {
+        let (mut g, stl) = sample();
+        let mut loaded = load(&save(&stl)).unwrap();
+        let mut eng = crate::UpdateEngine::new(g.num_vertices());
+        let (a, b, w) = g.edges().next().unwrap();
+        loaded.apply_batch(
+            &mut g,
+            &[stl_graph::EdgeUpdate::new(a, b, w * 5)],
+            crate::Maintenance::ParetoSearch,
+            &mut eng,
+        );
+        crate::verify::check_all(&loaded, &g).unwrap();
+    }
+}

@@ -1,0 +1,249 @@
+//! Distance queries over a Stable Tree Labelling (Equation 3).
+//!
+//! `d(s,t) = min { δ_{s,r} + δ_{t,r} | r ∈ Anc(s) ∩ Anc(t) }` — correct by
+//! the 2-hop cover property (Lemma 4.7): the minimum-τ vertex on a shortest
+//! path is a common ancestor, the whole path lies inside its subgraph, and
+//! both label entries are subgraph distances along it.
+//!
+//! The comparable prefix length `K` is found in O(1) from bitstrings and the
+//! per-node cumulative cut counts; the scan then reads two contiguous label
+//! prefixes — the cache-friendly layout the paper credits for its query
+//! speed.
+
+use stl_graph::{Dist, VertexId, INF};
+
+use crate::labelling::Stl;
+
+impl Stl {
+    /// Shortest-path distance between `s` and `t`; `INF` if disconnected.
+    #[inline]
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
+        let k = self.hier.common_anc_count(s, t) as usize;
+        if k == 0 {
+            return INF;
+        }
+        let ls = &self.labels.slice(s)[..k];
+        let lt = &self.labels.slice(t)[..k];
+        let mut best = INF;
+        for (a, b) in ls.iter().zip(lt) {
+            let c = a.saturating_add(*b);
+            if c < best {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Number of label-entry pairs a query between `s` and `t` scans.
+    /// Exposed for the query-locality analysis of Figure 9.
+    pub fn query_width(&self, s: VertexId, t: VertexId) -> u32 {
+        if s == t {
+            0
+        } else {
+            self.hier.common_anc_count(s, t)
+        }
+    }
+
+    /// One-to-many: distances from `s` to each target (k-NN / POI workloads
+    /// from the paper's introduction). Equivalent to `targets.map(query)`
+    /// but keeps `s`'s label hot in cache.
+    pub fn one_to_many(&self, s: VertexId, targets: &[VertexId]) -> Vec<Dist> {
+        targets.iter().map(|&t| self.query(s, t)).collect()
+    }
+
+    /// The `k` nearest of `pois` from `s` by network distance, ascending;
+    /// unreachable POIs are excluded.
+    pub fn k_nearest(&self, s: VertexId, pois: &[VertexId], k: usize) -> Vec<(Dist, VertexId)> {
+        let mut ranked: Vec<(Dist, VertexId)> = pois
+            .iter()
+            .map(|&p| (self.query(s, p), p))
+            .filter(|&(d, _)| d != INF)
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::labelling::Stl;
+    use crate::types::StlConfig;
+    use stl_graph::builder::from_edges;
+    use stl_graph::{CsrGraph, VertexId, INF};
+    use stl_pathfinding::dijkstra;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1 + ((x * 7 + y * 13) % 9)));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1 + ((x * 5 + y * 11) % 9)));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    fn assert_all_pairs_exact(g: &CsrGraph, stl: &Stl) {
+        let n = g.num_vertices() as VertexId;
+        for s in 0..n {
+            let oracle = dijkstra::single_source(g, s);
+            for t in 0..n {
+                assert_eq!(stl.query(s, t), oracle[t as usize], "query({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_exact_on_grid() {
+        let g = grid(7);
+        let stl = Stl::build(&g, &StlConfig::default());
+        assert_all_pairs_exact(&g, &stl);
+    }
+
+    #[test]
+    fn all_pairs_exact_on_paper_figure2_graph() {
+        // The 16-vertex running example from Figure 2 of the paper
+        // (1-indexed in the paper; 0-indexed here).
+        let g = paper_figure2_graph();
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        assert_all_pairs_exact(&g, &stl);
+    }
+
+    /// Figure 2 graph. Edge list transcribed from the figure; weights are on
+    /// the drawn edges. Exactness of the index is independent of whether the
+    /// transcription matches the paper stroke-for-stroke.
+    pub fn paper_figure2_graph() -> CsrGraph {
+        from_edges(
+            16,
+            vec![
+                (0, 6, 2),
+                (0, 8, 4),
+                (0, 13, 4),
+                (6, 8, 3),
+                (6, 2, 4),
+                (2, 13, 6),
+                (2, 8, 6),
+                (13, 8, 8),
+                (8, 11, 3),
+                (13, 15, 3),
+                (11, 15, 9),
+                (1, 6, 9),
+                (1, 9, 2),
+                (9, 11, 2),
+                (9, 10, 5),
+                (10, 3, 3),
+                (3, 11, 2),
+                (3, 12, 3),
+                (12, 4, 3),
+                (4, 14, 2),
+                (14, 15, 6),
+                (5, 14, 2),
+                (5, 7, 2),
+                (7, 15, 7),
+                (12, 10, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn all_pairs_exact_various_leaf_sizes() {
+        let g = grid(5);
+        for leaf in [1usize, 2, 4, 16, 64] {
+            let stl = Stl::build(&g, &StlConfig { leaf_size: leaf, ..Default::default() });
+            assert_all_pairs_exact(&g, &stl);
+        }
+    }
+
+    #[test]
+    fn all_pairs_exact_various_beta() {
+        let g = grid(6);
+        for beta in [0.1, 0.2, 0.3, 0.5] {
+            let stl = Stl::build(&g, &StlConfig::with_beta(beta));
+            assert_all_pairs_exact(&g, &stl);
+        }
+    }
+
+    #[test]
+    fn disconnected_queries_are_inf() {
+        let g = from_edges(5, vec![(0, 1, 2), (1, 2, 2), (3, 4, 2)]);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        assert_eq!(stl.query(0, 3), INF);
+        assert_eq!(stl.query(4, 2), INF);
+        assert_eq!(stl.query(0, 2), 4);
+        assert_eq!(stl.query(3, 4), 2);
+    }
+
+    #[test]
+    fn self_query_zero() {
+        let g = grid(3);
+        let stl = Stl::build(&g, &StlConfig::default());
+        for v in 0..9u32 {
+            assert_eq!(stl.query(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn query_symmetric() {
+        let g = grid(6);
+        let stl = Stl::build(&g, &StlConfig::default());
+        for s in 0..36u32 {
+            for t in 0..36u32 {
+                assert_eq!(stl.query(s, t), stl.query(t, s));
+            }
+        }
+    }
+
+    #[test]
+    fn query_width_positive_for_connected_pairs() {
+        let g = grid(4);
+        let stl = Stl::build(&g, &StlConfig::default());
+        assert!(stl.query_width(0, 15) >= 1);
+        assert_eq!(stl.query_width(3, 3), 0);
+    }
+
+    #[test]
+    fn one_to_many_matches_pointwise() {
+        let g = grid(5);
+        let stl = Stl::build(&g, &StlConfig::default());
+        let targets: Vec<u32> = (0..25).step_by(3).collect();
+        let dists = stl.one_to_many(7, &targets);
+        for (&t, &d) in targets.iter().zip(&dists) {
+            assert_eq!(d, stl.query(7, t));
+        }
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_reachable() {
+        let g = from_edges(6, vec![(0, 1, 5), (1, 2, 5), (2, 3, 5), (4, 5, 1)]);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        // POI 4 is in another component: excluded.
+        let knn = stl.k_nearest(0, &[3, 1, 4, 2], 3);
+        assert_eq!(knn, vec![(5, 1), (10, 2), (15, 3)]);
+        let knn1 = stl.k_nearest(0, &[3, 1, 4, 2], 1);
+        assert_eq!(knn1, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn exact_on_zero_weight_edges() {
+        let g = from_edges(4, vec![(0, 1, 0), (1, 2, 3), (2, 3, 0), (0, 3, 9)]);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        assert_all_pairs_exact(&g, &stl);
+    }
+
+    #[test]
+    fn exact_with_inf_edges_present() {
+        // INF-weight edges model deleted roads (§8); they must be ignored.
+        let g = from_edges(4, vec![(0, 1, INF), (1, 2, 4), (0, 2, 3), (2, 3, 5)]);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        assert_all_pairs_exact(&g, &stl);
+    }
+}

@@ -1,0 +1,151 @@
+//! Structural changes: edge/vertex insertion and deletion (§8).
+//!
+//! Road-network structure changes are rare; the paper handles them by
+//! reduction to weight updates where possible:
+//!
+//! * **edge deletion** — increase the weight to `INF`;
+//! * **vertex deletion** — increase all incident edges to `INF`;
+//! * **edge insertion** where the edge was pre-declared (a "closed road"
+//!   carried at `INF` weight) — a plain weight decrease;
+//! * **general edge insertion** — the graph structure itself changes, so we
+//!   rebuild the index on the extended graph. The paper sketches a
+//!   subtree-local re-partitioning; a full rebuild is the conservative
+//!   variant of the same fallback and is benchmarked against batched
+//!   updates in Figure 10's reconstruction baseline.
+
+use stl_graph::{CsrGraph, EdgeUpdate, GraphBuilder, VertexId, Weight, INF};
+
+use crate::engine::UpdateEngine;
+use crate::labelling::Stl;
+use crate::types::{Maintenance, StlConfig, UpdateStats};
+
+impl Stl {
+    /// Delete edge `{a, b}`: weight becomes `INF`, labels repaired.
+    pub fn delete_edge(
+        &mut self,
+        g: &mut CsrGraph,
+        a: VertexId,
+        b: VertexId,
+        algo: Maintenance,
+        eng: &mut UpdateEngine,
+    ) -> UpdateStats {
+        self.apply_batch(g, &[EdgeUpdate::new(a, b, INF)], algo, eng)
+    }
+
+    /// Delete vertex `v`: all incident edges become `INF`.
+    pub fn delete_vertex(
+        &mut self,
+        g: &mut CsrGraph,
+        v: VertexId,
+        algo: Maintenance,
+        eng: &mut UpdateEngine,
+    ) -> UpdateStats {
+        let batch: Vec<EdgeUpdate> =
+            g.neighbors(v).map(|(n, _)| EdgeUpdate::new(v, n, INF)).collect();
+        self.apply_batch(g, &batch, algo, eng)
+    }
+
+    /// Re-open a pre-declared closed road (edge present at `INF` weight).
+    ///
+    /// Panics if the edge is missing from the structure — use
+    /// [`rebuild_with_edge`] for genuinely new roads.
+    pub fn insert_closed_edge(
+        &mut self,
+        g: &mut CsrGraph,
+        a: VertexId,
+        b: VertexId,
+        w: Weight,
+        algo: Maintenance,
+        eng: &mut UpdateEngine,
+    ) -> UpdateStats {
+        assert_eq!(
+            g.weight(a, b),
+            Some(INF),
+            "insert_closed_edge requires a pre-declared INF edge"
+        );
+        self.apply_batch(g, &[EdgeUpdate::new(a, b, w)], algo, eng)
+    }
+}
+
+/// Insert a genuinely new edge by rebuilding graph and index.
+///
+/// Returns the extended graph and a fresh index over it.
+pub fn rebuild_with_edge(
+    g: &CsrGraph,
+    a: VertexId,
+    b: VertexId,
+    w: Weight,
+    cfg: &StlConfig,
+) -> (CsrGraph, Stl) {
+    let mut builder = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges() + 1);
+    builder.extend_edges(g.edges());
+    builder.add_edge(a, b, w);
+    let g2 = builder.build();
+    let stl = Stl::build(&g2, cfg);
+    (g2, stl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use stl_graph::builder::from_edges;
+
+    fn ring(n: u32) -> CsrGraph {
+        from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n, 3 + i % 4)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn delete_edge_reroutes() {
+        let mut g = ring(8);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut eng = UpdateEngine::new(8);
+        let before = stl.query(0, 1);
+        stl.delete_edge(&mut g, 0, 1, Maintenance::ParetoSearch, &mut eng);
+        let after = stl.query(0, 1);
+        assert!(after > before, "deletion must force the long way round");
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn delete_vertex_disconnects_it() {
+        let mut g = ring(6);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut eng = UpdateEngine::new(6);
+        stl.delete_vertex(&mut g, 3, Maintenance::LabelSearch, &mut eng);
+        assert_eq!(stl.query(3, 0), INF);
+        assert_eq!(stl.query(2, 4), stl.query(4, 2));
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn closed_edge_roundtrip() {
+        let mut g = from_edges(5, vec![(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (0, 4, INF)]);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut eng = UpdateEngine::new(5);
+        assert_eq!(stl.query(0, 4), 8);
+        stl.insert_closed_edge(&mut g, 0, 4, 1, Maintenance::ParetoSearch, &mut eng);
+        assert_eq!(stl.query(0, 4), 1);
+        stl.delete_edge(&mut g, 0, 4, Maintenance::ParetoSearch, &mut eng);
+        assert_eq!(stl.query(0, 4), 8);
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn rebuild_with_new_edge() {
+        let g = ring(6);
+        let (g2, stl) = rebuild_with_edge(&g, 0, 3, 1, &StlConfig::default());
+        assert_eq!(g2.num_edges(), g.num_edges() + 1);
+        assert_eq!(stl.query(0, 3), 1);
+        verify::check_all(&stl, &g2).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-declared INF edge")]
+    fn insert_requires_declared_edge() {
+        let mut g = ring(5);
+        let mut stl = Stl::build(&g, &StlConfig::default());
+        let mut eng = UpdateEngine::new(5);
+        stl.insert_closed_edge(&mut g, 0, 2, 1, Maintenance::LabelSearch, &mut eng);
+    }
+}

@@ -1,0 +1,270 @@
+//! Compressed-sparse-row graph with mutable edge weights.
+//!
+//! The adjacency *structure* is immutable after construction (the paper's
+//! dynamic model: "the structure of road networks is considered to be intact
+//! in general", §8); edge *weights* can be updated in place, in both arc
+//! directions at once, which is what all maintenance algorithms operate on.
+
+use crate::error::GraphError;
+use crate::types::{Dist, EdgeUpdate, VertexId, Weight, INF};
+
+/// Undirected weighted graph in CSR form.
+///
+/// Every undirected edge `{u, v}` is stored as two arcs `u→v` and `v→u`.
+/// Neighbour lists are sorted by target id, enabling `O(log deg)` arc lookup.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Box<[u32]>,
+    targets: Box<[VertexId]>,
+    weights: Vec<Weight>,
+    coords: Option<Box<[(f32, f32)]>>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Construct from pre-validated CSR arrays. Used by [`crate::GraphBuilder`].
+    pub(crate) fn from_parts(
+        offsets: Box<[u32]>,
+        targets: Box<[VertexId]>,
+        weights: Vec<Weight>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        Self { offsets, targets, weights, coords: None, num_edges }
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of stored arcs (`2 * num_edges`).
+    #[inline(always)]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v`.
+    #[inline(always)]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Maximum degree over all vertices (`d_max` in the complexity bounds).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterate `(neighbour, weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let (lo, hi) = self.arc_range(v);
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Raw neighbour slices of `v` for hot loops: `(targets, weights)`.
+    #[inline(always)]
+    pub fn neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let (lo, hi) = self.arc_range(v);
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    #[inline(always)]
+    fn arc_range(&self, v: VertexId) -> (usize, usize) {
+        (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize)
+    }
+
+    /// Index of the arc `u→v` in the flat arc arrays, if the edge exists.
+    #[inline]
+    pub fn arc_index(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let (lo, hi) = self.arc_range(u);
+        self.targets[lo..hi].binary_search(&v).ok().map(|i| lo + i)
+    }
+
+    /// Weight of edge `{u, v}`, if present.
+    #[inline]
+    pub fn weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.arc_index(u, v).map(|i| self.weights[i])
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.arc_index(u, v).is_some()
+    }
+
+    /// Set the weight of edge `{u, v}` (both arcs). Returns the old weight.
+    pub fn set_weight(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        w: Weight,
+    ) -> Result<Weight, GraphError> {
+        let n = self.num_vertices() as VertexId;
+        if u >= n {
+            return Err(GraphError::InvalidVertex(u));
+        }
+        if v >= n {
+            return Err(GraphError::InvalidVertex(v));
+        }
+        let iu = self.arc_index(u, v).ok_or(GraphError::NoSuchEdge(u, v))?;
+        let iv = self.arc_index(v, u).expect("reverse arc must exist");
+        let old = self.weights[iu];
+        self.weights[iu] = w;
+        self.weights[iv] = w;
+        Ok(old)
+    }
+
+    /// Apply a single [`EdgeUpdate`]; returns the previous weight.
+    pub fn apply_update(&mut self, upd: EdgeUpdate) -> Result<Weight, GraphError> {
+        self.set_weight(upd.a, upd.b, upd.new_weight)
+    }
+
+    /// Apply a batch of updates; returns the previous weights in order.
+    pub fn apply_updates(&mut self, upds: &[EdgeUpdate]) -> Result<Vec<Weight>, GraphError> {
+        upds.iter().map(|&u| self.apply_update(u)).collect()
+    }
+
+    /// Iterate undirected edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Attach planar coordinates (used by inertial partitioning and A*).
+    pub fn set_coords(&mut self, coords: Vec<(f32, f32)>) {
+        assert_eq!(coords.len(), self.num_vertices(), "one coordinate per vertex");
+        self.coords = Some(coords.into_boxed_slice());
+    }
+
+    /// Planar coordinates, if attached.
+    #[inline]
+    pub fn coords(&self) -> Option<&[(f32, f32)]> {
+        self.coords.as_deref()
+    }
+
+    /// Sum of all finite weights reachable along a path upper bound:
+    /// a safe "longer than any shortest path" bound that is still `< INF`.
+    pub fn weight_sum_bound(&self) -> Dist {
+        let mut acc: u64 = 0;
+        for &w in &self.weights {
+            if w != INF {
+                acc += w as u64;
+            }
+        }
+        // Arcs double-count each edge; halve, then clamp below INF.
+        u64::min(acc / 2 + 1, (INF - 1) as u64) as Dist
+    }
+
+    /// Approximate resident memory of the graph structure in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.targets.len() * 4
+            + self.weights.len() * 4
+            + self.coords.as_ref().map_or(0, |c| c.len() * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::types::EdgeUpdate;
+
+    fn triangle() -> super::CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 20);
+        b.add_edge(0, 2, 40);
+        b.build()
+    }
+
+    #[test]
+    fn sizes() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_weighted() {
+        let g = triangle();
+        let ns: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(ns, vec![(1, 10), (2, 40)]);
+        let (ts, ws) = g.neighbor_slices(1);
+        assert_eq!(ts, &[0, 2]);
+        assert_eq!(ws, &[10, 20]);
+    }
+
+    #[test]
+    fn weight_lookup_and_update() {
+        let mut g = triangle();
+        assert_eq!(g.weight(0, 2), Some(40));
+        assert_eq!(g.weight(2, 0), Some(40));
+        assert_eq!(g.weight(0, 0), None);
+        let old = g.set_weight(0, 2, 5).unwrap();
+        assert_eq!(old, 40);
+        assert_eq!(g.weight(0, 2), Some(5));
+        assert_eq!(g.weight(2, 0), Some(5));
+    }
+
+    #[test]
+    fn update_errors() {
+        let mut g = triangle();
+        assert!(g.set_weight(0, 7, 1).is_err());
+        assert!(g.set_weight(9, 0, 1).is_err());
+        assert!(matches!(
+            g.set_weight(1, 1, 1),
+            Err(crate::GraphError::NoSuchEdge(1, 1))
+        ));
+    }
+
+    #[test]
+    fn batch_updates_return_old_weights() {
+        let mut g = triangle();
+        let olds = g
+            .apply_updates(&[EdgeUpdate::new(0, 1, 11), EdgeUpdate::new(1, 2, 21)])
+            .unwrap();
+        assert_eq!(olds, vec![10, 20]);
+        assert_eq!(g.weight(0, 1), Some(11));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1, 10), (0, 2, 40), (1, 2, 20)]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let mut g = triangle();
+        assert!(g.coords().is_none());
+        g.set_coords(vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        assert_eq!(g.coords().unwrap()[2], (0.0, 1.0));
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangle();
+        assert!(g.memory_bytes() >= 6 * 4 + 6 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn weight_sum_bound_exceeds_any_path() {
+        let g = triangle();
+        assert!(g.weight_sum_bound() >= 10 + 20 + 40);
+    }
+}

@@ -1,0 +1,192 @@
+//! Directed graph with asymmetric arc weights (for the §8 extension).
+//!
+//! Road networks with direction-dependent travel times share an undirected
+//! *structure* (the roads) but carry two weights per road. [`DiGraph`]
+//! stores out- and in-adjacency in CSR form and can project the symmetrized
+//! structure for hierarchy construction.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::hash::FxHashMap;
+use crate::types::{VertexId, Weight};
+
+/// Directed weighted graph in double-CSR (out + in) form.
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    out_offsets: Box<[u32]>,
+    out_targets: Box<[VertexId]>,
+    out_weights: Vec<Weight>,
+    in_offsets: Box<[u32]>,
+    in_targets: Box<[VertexId]>,
+    in_weights: Vec<Weight>,
+    num_arcs: usize,
+}
+
+impl DiGraph {
+    /// Build from directed arcs `(from, to, weight)`; duplicate arcs keep
+    /// the minimum weight, self-loops are dropped.
+    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+        let mut dedup: FxHashMap<(VertexId, VertexId), Weight> = FxHashMap::default();
+        for (u, v, w) in arcs {
+            assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range");
+            if u == v {
+                continue;
+            }
+            dedup.entry((u, v)).and_modify(|e| *e = (*e).min(w)).or_insert(w);
+        }
+        let mut list: Vec<(VertexId, VertexId, Weight)> =
+            dedup.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        list.sort_unstable();
+        let build_csr = |n: usize, arcs: &[(VertexId, VertexId, Weight)]| {
+            let mut offsets = vec![0u32; n + 1];
+            for &(u, _, _) in arcs {
+                offsets[u as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor: Vec<u32> = offsets[..n].to_vec();
+            let mut targets = vec![0 as VertexId; arcs.len()];
+            let mut weights = vec![0 as Weight; arcs.len()];
+            for &(u, v, w) in arcs {
+                let c = cursor[u as usize] as usize;
+                targets[c] = v;
+                weights[c] = w;
+                cursor[u as usize] += 1;
+            }
+            (offsets.into_boxed_slice(), targets.into_boxed_slice(), weights)
+        };
+        let (out_offsets, out_targets, out_weights) = build_csr(n, &list);
+        let mut rev: Vec<(VertexId, VertexId, Weight)> =
+            list.iter().map(|&(u, v, w)| (v, u, w)).collect();
+        rev.sort_unstable();
+        let (in_offsets, in_targets, in_weights) = build_csr(n, &rev);
+        let num_arcs = list.len();
+        Self { out_offsets, out_targets, out_weights, in_offsets, in_targets, in_weights, num_arcs }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Outgoing `(target, weight)` arcs of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let (lo, hi) =
+            (self.out_offsets[v as usize] as usize, self.out_offsets[v as usize + 1] as usize);
+        self.out_targets[lo..hi].iter().copied().zip(self.out_weights[lo..hi].iter().copied())
+    }
+
+    /// Incoming arcs of `v` as `(source, weight)`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let (lo, hi) =
+            (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize);
+        self.in_targets[lo..hi].iter().copied().zip(self.in_weights[lo..hi].iter().copied())
+    }
+
+    /// Weight of the arc `u → v`, if present.
+    pub fn arc_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let (lo, hi) =
+            (self.out_offsets[u as usize] as usize, self.out_offsets[u as usize + 1] as usize);
+        self.out_targets[lo..hi].binary_search(&v).ok().map(|i| self.out_weights[lo + i])
+    }
+
+    /// Update the weight of arc `u → v` (one direction only); returns the
+    /// old weight, or `None` if the arc does not exist.
+    pub fn set_arc_weight(&mut self, u: VertexId, v: VertexId, w: Weight) -> Option<Weight> {
+        let (lo, hi) =
+            (self.out_offsets[u as usize] as usize, self.out_offsets[u as usize + 1] as usize);
+        let oi = lo + self.out_targets[lo..hi].binary_search(&v).ok()?;
+        let old = std::mem::replace(&mut self.out_weights[oi], w);
+        let (ilo, ihi) =
+            (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize);
+        let ii = ilo
+            + self.in_targets[ilo..ihi].binary_search(&u).expect("in-CSR must mirror out-CSR");
+        self.in_weights[ii] = w;
+        Some(old)
+    }
+
+    /// The symmetrized structure: one undirected edge per connected vertex
+    /// pair, weighted by the minimum of the two directions (the weight is
+    /// irrelevant for separator-based hierarchy construction).
+    pub fn undirected_structure(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut b = GraphBuilder::with_capacity(n, self.num_arcs);
+        for v in 0..n as VertexId {
+            for (u, w) in self.out_neighbors(v) {
+                b.add_edge(v, u, w);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymmetric_arcs_kept_separate() {
+        let g = DiGraph::from_arcs(3, vec![(0, 1, 10), (1, 0, 99), (1, 2, 5)]);
+        assert_eq!(g.num_arcs(), 3);
+        let out0: Vec<_> = g.out_neighbors(0).collect();
+        assert_eq!(out0, vec![(1, 10)]);
+        let in0: Vec<_> = g.in_neighbors(0).collect();
+        assert_eq!(in0, vec![(1, 99)]);
+    }
+
+    #[test]
+    fn duplicate_arcs_keep_min() {
+        let g = DiGraph::from_arcs(2, vec![(0, 1, 9), (0, 1, 3)]);
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.out_neighbors(0).next(), Some((1, 3)));
+    }
+
+    #[test]
+    fn one_way_street_in_structure() {
+        let g = DiGraph::from_arcs(3, vec![(0, 1, 4), (1, 2, 6)]);
+        let u = g.undirected_structure();
+        assert_eq!(u.num_edges(), 2);
+        assert_eq!(u.weight(0, 1), Some(4));
+    }
+
+    #[test]
+    fn structure_merges_directions_to_min() {
+        let g = DiGraph::from_arcs(2, vec![(0, 1, 10), (1, 0, 3)]);
+        let u = g.undirected_structure();
+        assert_eq!(u.num_edges(), 1);
+        assert_eq!(u.weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = DiGraph::from_arcs(2, vec![(0, 0, 1), (0, 1, 2)]);
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn arc_weight_update_one_direction_only() {
+        let mut g = DiGraph::from_arcs(2, vec![(0, 1, 10), (1, 0, 20)]);
+        assert_eq!(g.set_arc_weight(0, 1, 5), Some(10));
+        assert_eq!(g.arc_weight(0, 1), Some(5));
+        assert_eq!(g.arc_weight(1, 0), Some(20), "reverse arc untouched");
+        // In-CSR mirrors the change.
+        assert_eq!(g.in_neighbors(1).find(|&(s, _)| s == 0), Some((0, 5)));
+    }
+
+    #[test]
+    fn set_weight_on_missing_arc_is_none() {
+        let mut g = DiGraph::from_arcs(3, vec![(0, 1, 1)]);
+        assert_eq!(g.set_arc_weight(1, 0, 9), None);
+        assert_eq!(g.set_arc_weight(0, 2, 9), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+
+/// Errors produced by graph construction, mutation and IO.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying IO failure while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A line of a DIMACS file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A vertex id was out of range for the graph.
+    InvalidVertex(crate::VertexId),
+    /// The requested pair of vertices is not connected by an edge.
+    NoSuchEdge(crate::VertexId, crate::VertexId),
+    /// The edge list was empty or produced an empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::InvalidVertex(v) => write!(f, "vertex {v} out of range"),
+            GraphError::NoSuchEdge(u, v) => write!(f, "no edge between {u} and {v}"),
+            GraphError::EmptyGraph => write!(f, "graph has no vertices"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::Parse { line: 7, msg: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error at line 7: bad token");
+        assert_eq!(GraphError::InvalidVertex(9).to_string(), "vertex 9 out of range");
+        assert_eq!(GraphError::NoSuchEdge(1, 2).to_string(), "no edge between 1 and 2");
+        assert_eq!(GraphError::EmptyGraph.to_string(), "graph has no vertices");
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,104 @@
+//! A vendored Fx-style hasher for hot integer-keyed maps.
+//!
+//! `std`'s default SipHash is robust but slow for the small integer keys that
+//! dominate partitioning and contraction inner loops. The Fx algorithm
+//! (`hash = (hash.rotate_left(5) ^ word) * K`) is the rustc-internal
+//! workhorse; we vendor it (~30 lines) instead of pulling a crate outside the
+//! sanctioned dependency list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+        assert!(!m.contains_key(&1001));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = BuildHasherDefault::<FxHasher>::default();
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            
+            
+            seen.insert(bh.hash_one(&i));
+        }
+        // Fx is not cryptographic but must be injective-ish on small ranges.
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn byte_writes_consistent() {
+        use std::hash::Hasher;
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

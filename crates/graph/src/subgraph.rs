@@ -1,0 +1,72 @@
+//! Induced-subgraph extraction with vertex re-labelling.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Extract the subgraph induced by `members` (must be duplicate-free).
+///
+/// Returns `(subgraph, old_id)` where the new vertex `i` corresponds to the
+/// original vertex `old_id[i] == members[i]`. Coordinates are carried over.
+pub fn induced_subgraph(g: &CsrGraph, members: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let mut local = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in members.iter().enumerate() {
+        debug_assert_eq!(local[v as usize], u32::MAX, "duplicate member {v}");
+        local[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(members.len());
+    for (i, &v) in members.iter().enumerate() {
+        for (u, w) in g.neighbors(v) {
+            let lu = local[u as usize];
+            if lu != u32::MAX && lu > i as u32 {
+                b.add_edge(i as VertexId, lu, w);
+            }
+        }
+    }
+    let mut sub = b.build();
+    if let Some(coords) = g.coords() {
+        sub.set_coords(members.iter().map(|&v| coords[v as usize]).collect());
+    }
+    (sub, members.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn path_subgraph() {
+        let g = from_edges(5, vec![(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4)]);
+        let (sub, map) = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sub.weight(0, 1), Some(2));
+        assert_eq!(sub.weight(1, 2), Some(3));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn non_adjacent_members_yield_empty_edges() {
+        let g = from_edges(4, vec![(0, 1, 1), (2, 3, 1)]);
+        let (sub, _) = induced_subgraph(&g, &[0, 2]);
+        assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    fn coords_carried_over() {
+        let mut g = from_edges(3, vec![(0, 1, 1), (1, 2, 1)]);
+        g.set_coords(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let (sub, _) = induced_subgraph(&g, &[2, 0]);
+        assert_eq!(sub.coords().unwrap(), &[(2.0, 2.0), (0.0, 0.0)]);
+    }
+
+    #[test]
+    fn member_order_defines_ids() {
+        let g = from_edges(3, vec![(0, 1, 5)]);
+        let (sub, map) = induced_subgraph(&g, &[1, 0]);
+        assert_eq!(map, vec![1, 0]);
+        assert_eq!(sub.weight(0, 1), Some(5));
+    }
+}

@@ -1,0 +1,54 @@
+//! Core integer domains shared by the whole workspace.
+
+/// Vertex identifier. Dense, zero-based.
+pub type VertexId = u32;
+
+/// Edge weight (e.g. travel time). Non-negative by construction.
+pub type Weight = u32;
+
+/// Shortest-path distance. Computed with saturating arithmetic so that
+/// [`INF`] acts as an absorbing "unreachable" element.
+pub type Dist = u32;
+
+/// Unreachable / uninitialised distance sentinel.
+pub const INF: Dist = u32::MAX;
+
+/// A single edge-weight update `(a, b, new_weight)` as used in Section 5 of
+/// the paper. The edge `(a, b)` must already exist; road-network structure is
+/// assumed stable (Section 8 handles insertions/deletions by `INF` weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeUpdate {
+    /// One endpoint of the updated edge.
+    pub a: VertexId,
+    /// The other endpoint of the updated edge.
+    pub b: VertexId,
+    /// The weight after the update.
+    pub new_weight: Weight,
+}
+
+impl EdgeUpdate {
+    /// Convenience constructor.
+    pub fn new(a: VertexId, b: VertexId, new_weight: Weight) -> Self {
+        Self { a, b, new_weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_is_absorbing_under_saturating_add() {
+        assert_eq!(INF.saturating_add(5), INF);
+        assert_eq!(5u32.saturating_add(INF), INF);
+        assert_eq!(INF.saturating_add(INF), INF);
+    }
+
+    #[test]
+    fn edge_update_roundtrip() {
+        let u = EdgeUpdate::new(3, 7, 42);
+        assert_eq!(u.a, 3);
+        assert_eq!(u.b, 7);
+        assert_eq!(u.new_weight, 42);
+    }
+}

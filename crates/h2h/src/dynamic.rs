@@ -1,0 +1,312 @@
+//! IncH2H and DTDHL maintenance: DCH shortcut phase + top-down label phase.
+//!
+//! Both baselines share the two-phase structure of §3.1:
+//! 1. **shortcut phase** — `stl_ch::dch` repairs the CH-W weights and
+//!    reports every `μ` change;
+//! 2. **label phase** — a top-down pass over the decomposition tree repairs
+//!    the distance arrays. Vertices are processed in non-decreasing depth;
+//!    a vertex is visited only if its own bag's shortcut changed or one of
+//!    its bag members' arrays changed.
+//!
+//! The two baselines differ only in per-node work:
+//! * [`Granularity::Fine`] (IncH2H) recomputes exactly the dirty ancestor
+//!   indices propagated from bag members;
+//! * [`Granularity::Coarse`] (DTDHL) recomputes the whole distance array of
+//!   every visited vertex.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_ch::dch;
+use stl_graph::hash::{FxHashMap, FxHashSet};
+use stl_graph::{CsrGraph, EdgeUpdate, VertexId};
+
+use crate::index::H2hIndex;
+
+/// Label-phase work granularity: which baseline to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// IncH2H: dirty-index propagation.
+    Fine,
+    /// DTDHL: full-array recomputation at visited nodes.
+    Coarse,
+}
+
+/// Maintenance statistics for the H2H family.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct H2hUpdateStats {
+    /// Shortcut (μ) changes applied in phase 1.
+    pub shortcut_changes: u64,
+    /// Tree nodes visited in phase 2.
+    pub nodes_visited: u64,
+    /// Distance entries recomputed in phase 2.
+    pub entries_recomputed: u64,
+    /// Distance entries actually changed.
+    pub entries_changed: u64,
+}
+
+impl std::ops::AddAssign for H2hUpdateStats {
+    fn add_assign(&mut self, o: Self) {
+        self.shortcut_changes += o.shortcut_changes;
+        self.nodes_visited += o.nodes_visited;
+        self.entries_recomputed += o.entries_recomputed;
+        self.entries_changed += o.entries_changed;
+    }
+}
+
+/// A dynamically maintained H2H index.
+#[derive(Debug, Clone)]
+pub struct DynamicH2h {
+    /// The underlying index (queries pass through).
+    pub index: H2hIndex,
+    granularity: Granularity,
+}
+
+impl DynamicH2h {
+    /// Wrap a built index with the chosen maintenance granularity.
+    pub fn new(index: H2hIndex, granularity: Granularity) -> Self {
+        Self { index, granularity }
+    }
+
+    /// Build directly from a graph.
+    pub fn build(g: &CsrGraph, granularity: Granularity) -> Self {
+        Self::new(H2hIndex::build(g), granularity)
+    }
+
+    /// Distance query (delegates to the index).
+    #[inline]
+    pub fn query(&self, s: VertexId, t: VertexId) -> stl_graph::Dist {
+        self.index.query(s, t)
+    }
+
+    /// Apply a batch of weight **decreases** (applies weights to `g`).
+    pub fn decrease(&mut self, g: &mut CsrGraph, updates: &[EdgeUpdate]) -> H2hUpdateStats {
+        let mut stats = H2hUpdateStats::default();
+        for &u in updates {
+            let old = g.apply_update(u).expect("update must target an existing edge");
+            debug_assert!(u.new_weight <= old);
+            let changes = dch::decrease(&mut self.index.chw, u.a, u.b, u.new_weight);
+            stats.shortcut_changes += changes.len() as u64;
+            stats += self.label_phase(&changes);
+        }
+        stats
+    }
+
+    /// Apply a batch of weight **increases** (applies weights to `g`).
+    pub fn increase(&mut self, g: &mut CsrGraph, updates: &[EdgeUpdate]) -> H2hUpdateStats {
+        let mut stats = H2hUpdateStats::default();
+        for &u in updates {
+            let old = g.apply_update(u).expect("update must target an existing edge");
+            debug_assert!(u.new_weight >= old);
+            let changes = dch::increase(&mut self.index.chw, u.a, u.b, u.new_weight);
+            stats.shortcut_changes += changes.len() as u64;
+            stats += self.label_phase(&changes);
+        }
+        stats
+    }
+
+    /// Phase 2: top-down repair of distance arrays.
+    ///
+    /// Dependency structure of the DP entry `(c, i)` with `w = anc(c, i)`:
+    ///
+    /// 1. `(x, i)` for every bag member `x ∈ X(c)\{c}` deeper than `w`
+    ///    (the `dist[x][i]` term), and
+    /// 2. `(w, depth(x))` for every bag member `x` shallower than `w`
+    ///    (the `dist[w][depth(x)]` term).
+    ///
+    /// When an entry `(v, j)` changes we therefore enqueue pending index `j`
+    /// at every `c ∈ down(v)` (type 1) and pending index `depth(v)` at every
+    /// `c ∈ down(anc(v, j))` (type 2: those are exactly the vertices with a
+    /// bag member at depth `j`; descendants of other branches recompute a
+    /// no-op). Processing in non-decreasing depth makes each visit final.
+    fn label_phase(&mut self, changes: &[dch::MuChange]) -> H2hUpdateStats {
+        let mut stats = H2hUpdateStats::default();
+        if changes.is_empty() {
+            return stats;
+        }
+        let idx = &mut self.index;
+        // Vertices whose own bag weights changed: full recompute.
+        let mut own_changed: FxHashSet<VertexId> = FxHashSet::default();
+        let mut queue: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+        let mut queued: FxHashSet<VertexId> = FxHashSet::default();
+        let mut pending: FxHashMap<VertexId, Vec<u32>> = FxHashMap::default();
+        for &(u, _, _, _) in changes {
+            own_changed.insert(u);
+            if queued.insert(u) {
+                queue.push(Reverse((idx.tree.depth[u as usize], u)));
+            }
+        }
+        let mut scratch: Vec<u32> = Vec::new();
+        while let Some(Reverse((depth, v))) = queue.pop() {
+            stats.nodes_visited += 1;
+            // Determine which ancestor indices to recompute.
+            scratch.clear();
+            if own_changed.contains(&v) || self.granularity == Granularity::Coarse {
+                scratch.extend(0..depth);
+            } else if let Some(p) = pending.remove(&v) {
+                scratch.extend(p.into_iter().filter(|&i| i < depth));
+                scratch.sort_unstable();
+                scratch.dedup();
+            }
+            pending.remove(&v);
+            if scratch.is_empty() {
+                continue;
+            }
+            let mut changed_here: Vec<u32> = Vec::new();
+            for &i in &scratch {
+                stats.entries_recomputed += 1;
+                let new = idx.dp_entry(v, i);
+                if new != idx.dist_at(v, i) {
+                    idx.set_dist_at(v, i, new);
+                    changed_here.push(i);
+                }
+            }
+            stats.entries_changed += changed_here.len() as u64;
+            for &j in &changed_here {
+                // Type 1: same-index dependents through bag membership.
+                for &c in idx.chw.down(v) {
+                    pending.entry(c).or_default().push(j);
+                    if queued.insert(c) {
+                        queue.push(Reverse((idx.tree.depth[c as usize], c)));
+                    }
+                }
+                // Type 2: dependents using `dist[v][j]` as the ancestor term.
+                let x = idx.anc_at(v, j);
+                for &c in idx.chw.down(x) {
+                    if idx.tree.depth[c as usize] > depth {
+                        pending.entry(c).or_default().push(depth);
+                        if queued.insert(c) {
+                            queue.push(Reverse((idx.tree.depth[c as usize], c)));
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+    use stl_pathfinding::dijkstra;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 2 + (x * 5 + y * 3) % 9));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 2 + (x * 2 + y * 7) % 9));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    fn assert_exact(g: &CsrGraph, d: &DynamicH2h) {
+        let n = g.num_vertices() as VertexId;
+        for s in 0..n {
+            let oracle = dijkstra::single_source(g, s);
+            for t in 0..n {
+                assert_eq!(d.query(s, t), oracle[t as usize], "query({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn fine_decrease_exact() {
+        let mut g = grid(5);
+        let mut d = DynamicH2h::build(&g, Granularity::Fine);
+        let (a, b, w) = g.edges().nth(9).unwrap();
+        d.decrease(&mut g, &[EdgeUpdate::new(a, b, (w / 2).max(1))]);
+        assert_exact(&g, &d);
+    }
+
+    #[test]
+    fn fine_increase_exact() {
+        let mut g = grid(5);
+        let mut d = DynamicH2h::build(&g, Granularity::Fine);
+        let (a, b, w) = g.edges().nth(14).unwrap();
+        d.increase(&mut g, &[EdgeUpdate::new(a, b, w * 4)]);
+        assert_exact(&g, &d);
+    }
+
+    #[test]
+    fn coarse_decrease_exact() {
+        let mut g = grid(5);
+        let mut d = DynamicH2h::build(&g, Granularity::Coarse);
+        let (a, b, w) = g.edges().nth(11).unwrap();
+        d.decrease(&mut g, &[EdgeUpdate::new(a, b, (w / 3).max(1))]);
+        assert_exact(&g, &d);
+    }
+
+    #[test]
+    fn coarse_increase_exact() {
+        let mut g = grid(5);
+        let mut d = DynamicH2h::build(&g, Granularity::Coarse);
+        let (a, b, w) = g.edges().nth(3).unwrap();
+        d.increase(&mut g, &[EdgeUpdate::new(a, b, w * 2)]);
+        assert_exact(&g, &d);
+    }
+
+    #[test]
+    fn coarse_does_no_less_work_than_fine() {
+        let g0 = grid(6);
+        let (mut g1, mut g2) = (g0.clone(), g0.clone());
+        let mut fine = DynamicH2h::build(&g0, Granularity::Fine);
+        let mut coarse = DynamicH2h::build(&g0, Granularity::Coarse);
+        let (a, b, w) = g0.edges().nth(30).unwrap();
+        let upd = [EdgeUpdate::new(a, b, w * 3)];
+        let sf = fine.increase(&mut g1, &upd);
+        let sc = coarse.increase(&mut g2, &upd);
+        assert!(sc.entries_recomputed >= sf.entries_recomputed);
+        assert_exact(&g1, &fine);
+        assert_exact(&g2, &coarse);
+    }
+
+    #[test]
+    fn randomized_stress_fine() {
+        let mut g = grid(5);
+        let mut d = DynamicH2h::build(&g, Granularity::Fine);
+        let edges: Vec<_> = g.edges().collect();
+        let mut state = 5u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for round in 0..25 {
+            let (a, b, _) = edges[next(edges.len() as u64) as usize];
+            let cur = g.weight(a, b).unwrap();
+            let t = (next(25) + 1) as u32;
+            if t < cur {
+                d.decrease(&mut g, &[EdgeUpdate::new(a, b, t)]);
+            } else if t > cur {
+                d.increase(&mut g, &[EdgeUpdate::new(a, b, t)]);
+            }
+            if round % 5 == 4 {
+                assert_exact(&g, &d);
+            }
+        }
+        assert_exact(&g, &d);
+    }
+
+    #[test]
+    fn roundtrip_restores_distances() {
+        let mut g = grid(5);
+        let mut d = DynamicH2h::build(&g, Granularity::Fine);
+        let before = d.index.clone();
+        let (a, b, w) = g.edges().nth(21).unwrap();
+        d.increase(&mut g, &[EdgeUpdate::new(a, b, w * 5)]);
+        d.decrease(&mut g, &[EdgeUpdate::new(a, b, w)]);
+        for v in 0..25u32 {
+            for i in 0..=d.index.tree.depth[v as usize] {
+                assert_eq!(d.index.dist_at(v, i), before.dist_at(v, i));
+            }
+        }
+    }
+}

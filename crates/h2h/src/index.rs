@@ -1,0 +1,249 @@
+//! The H2H index: ancestor / distance / position arrays (§3.1) with
+//! Equation-1 queries.
+
+use stl_ch::ChwIndex;
+use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+
+use crate::tree::{DecompTree, LcaIndex, NONE};
+
+/// The H2H 2-hop labelling over a CH-W tree decomposition.
+#[derive(Debug, Clone)]
+pub struct H2hIndex {
+    /// The contraction structure (mutated by dynamic maintenance).
+    pub chw: ChwIndex,
+    /// The decomposition tree.
+    pub tree: DecompTree,
+    /// O(1) LCA structure.
+    pub lca: LcaIndex,
+    /// Per-vertex array offsets (length `depth(v)+1` each).
+    offsets: Vec<u64>,
+    /// Flat ancestor arrays: `anc[v][i]` = ancestor at depth `i`
+    /// (`anc[v][depth(v)] = v`).
+    anc: Vec<VertexId>,
+    /// Flat distance arrays: `dist[v][i] = d_G(v, anc[v][i])`.
+    dist: Vec<Dist>,
+    /// Flat position arrays: depths of `X(v)` members (including `v`).
+    pos_offsets: Vec<u64>,
+    pos: Vec<u32>,
+}
+
+impl H2hIndex {
+    /// Build: contraction, tree, LCA, then the top-down distance DP.
+    pub fn build(g: &CsrGraph) -> Self {
+        let chw = ChwIndex::build(g);
+        Self::build_from_chw(chw)
+    }
+
+    /// Build the labelling over an existing contraction structure.
+    pub fn build_from_chw(chw: ChwIndex) -> Self {
+        let n = chw.num_vertices();
+        let tree = DecompTree::build(&chw);
+        let lca = LcaIndex::build(&tree);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        for v in 0..n {
+            offsets.push(acc);
+            acc += tree.depth[v] as u64 + 1;
+        }
+        offsets.push(acc);
+        let anc = vec![NONE; acc as usize];
+        let dist = vec![INF; acc as usize];
+        let mut pos_offsets = Vec::with_capacity(n + 1);
+        let mut pacc = 0u64;
+        for v in 0..n as VertexId {
+            pos_offsets.push(pacc);
+            pacc += chw.up(v).0.len() as u64 + 1;
+        }
+        pos_offsets.push(pacc);
+        let pos = vec![0u32; pacc as usize];
+        let mut idx = H2hIndex { chw, tree, lca, offsets, anc, dist, pos_offsets, pos };
+        // Fill pos arrays and run the DP top-down.
+        let topo = idx.tree.topo.clone();
+        for &v in &topo {
+            let dv = idx.tree.depth[v as usize];
+            let off = idx.offsets[v as usize] as usize;
+            // Ancestor array: parent's array plus self.
+            let p = idx.tree.parent[v as usize];
+            if p != NONE {
+                let poff = idx.offsets[p as usize] as usize;
+                for i in 0..dv as usize {
+                    idx.anc[off + i] = idx.anc[poff + i];
+                }
+            }
+            idx.anc[off + dv as usize] = v;
+            idx.dist[off + dv as usize] = 0;
+            // Position array: depths of bag members + own depth.
+            let ps = idx.pos_offsets[v as usize] as usize;
+            let (ts, _) = idx.chw.up(v);
+            for (k, &x) in ts.iter().enumerate() {
+                idx.pos[ps + k] = idx.tree.depth[x as usize];
+            }
+            idx.pos[ps + ts.len()] = dv;
+            // Distance DP for every strict ancestor depth.
+            for i in 0..dv {
+                let d = idx.dp_entry(v, i);
+                idx.dist[off + i as usize] = d;
+            }
+        }
+        // `anc` was initialised with NONE; the DP must touch everything.
+        debug_assert!(idx.anc.iter().all(|&a| a != NONE));
+        idx
+    }
+
+    /// One DP entry: `d(v, w_i) = min_{x ∈ X(v)\{v}} μ(v,x) + d(x, w_i)`.
+    #[inline]
+    pub(crate) fn dp_entry(&self, v: VertexId, i: u32) -> Dist {
+        let w = self.anc_at(v, i);
+        let (ts, ws) = self.chw.up(v);
+        let mut best = INF;
+        for (&x, &mu) in ts.iter().zip(ws) {
+            let dx = self.tree.depth[x as usize];
+            let dxw = if dx >= i { self.dist_at(x, i) } else { self.dist_at(w, dx) };
+            best = best.min(dist_add(mu, dxw));
+        }
+        best
+    }
+
+    /// Ancestor of `v` at depth `i` (`i ≤ depth(v)`).
+    #[inline(always)]
+    pub fn anc_at(&self, v: VertexId, i: u32) -> VertexId {
+        self.anc[(self.offsets[v as usize] + i as u64) as usize]
+    }
+
+    /// `d_G(v, anc_at(v, i))`.
+    #[inline(always)]
+    pub fn dist_at(&self, v: VertexId, i: u32) -> Dist {
+        self.dist[(self.offsets[v as usize] + i as u64) as usize]
+    }
+
+    #[inline(always)]
+    pub(crate) fn set_dist_at(&mut self, v: VertexId, i: u32, d: Dist) {
+        let idx = (self.offsets[v as usize] + i as u64) as usize;
+        self.dist[idx] = d;
+    }
+
+    /// Distance query (Equation 1): scan the LCA bag's positions.
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
+        if self.tree.root_of[s as usize] != self.tree.root_of[t as usize] {
+            return INF;
+        }
+        let l = self.lca.lca(s, t);
+        let ps = self.pos_offsets[l as usize] as usize;
+        let pe = self.pos_offsets[l as usize + 1] as usize;
+        let so = self.offsets[s as usize];
+        let to = self.offsets[t as usize];
+        let mut best = INF;
+        for &p in &self.pos[ps..pe] {
+            let c = self.dist[(so + p as u64) as usize]
+                .saturating_add(self.dist[(to + p as u64) as usize]);
+            if c < best {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Total distance-array entries (the "# Label Entries" column).
+    pub fn label_entries(&self) -> u64 {
+        self.dist.len() as u64
+    }
+
+    /// Bytes of the pure labelling (dist + pos arrays).
+    pub fn label_bytes(&self) -> usize {
+        self.dist.len() * 4 + self.pos.len() * 4 + self.pos_offsets.len() * 8
+    }
+
+    /// Bytes of auxiliary data (ancestor arrays, LCA tables, contraction
+    /// structure) — what separates IncH2H's footprint from its label count.
+    pub fn aux_bytes(&self) -> usize {
+        self.anc.len() * 4 + self.offsets.len() * 8 + self.lca.memory_bytes()
+            + self.chw.memory_bytes()
+    }
+
+    /// Tree height (Table 4 column).
+    pub fn height(&self) -> u32 {
+        self.tree.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+    use stl_pathfinding::dijkstra;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1 + (x * 5 + y * 3) % 8));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1 + (x * 2 + y * 7) % 8));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    #[test]
+    fn distance_arrays_are_exact_global_distances() {
+        let g = grid(5);
+        let h2h = H2hIndex::build(&g);
+        for v in 0..25u32 {
+            let oracle = dijkstra::single_source(&g, v);
+            for i in 0..=h2h.tree.depth[v as usize] {
+                let w = h2h.anc_at(v, i);
+                assert_eq!(h2h.dist_at(v, i), oracle[w as usize], "d({v}, anc {w})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_queries_exact() {
+        let g = grid(6);
+        let h2h = H2hIndex::build(&g);
+        for s in 0..36u32 {
+            let oracle = dijkstra::single_source(&g, s);
+            for t in 0..36u32 {
+                assert_eq!(h2h.query(s, t), oracle[t as usize], "query({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_inf() {
+        let g = from_edges(5, vec![(0, 1, 3), (1, 2, 4), (3, 4, 5)]);
+        let h2h = H2hIndex::build(&g);
+        assert_eq!(h2h.query(0, 4), INF);
+        assert_eq!(h2h.query(0, 2), 7);
+        assert_eq!(h2h.query(3, 4), 5);
+    }
+
+    #[test]
+    fn bag_members_are_ancestors() {
+        let g = grid(6);
+        let h2h = H2hIndex::build(&g);
+        for v in 0..36u32 {
+            let (ts, _) = h2h.chw.up(v);
+            for &x in ts {
+                let dx = h2h.tree.depth[x as usize];
+                assert!(dx < h2h.tree.depth[v as usize]);
+                assert_eq!(h2h.anc_at(v, dx), x, "bag member {x} not on {v}'s root path");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let h2h = H2hIndex::build(&grid(4));
+        assert!(h2h.label_bytes() > 0);
+        assert!(h2h.aux_bytes() > h2h.label_bytes() / 4);
+        assert!(h2h.label_entries() >= 16);
+    }
+}

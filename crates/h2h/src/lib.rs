@@ -1,0 +1,21 @@
+//! H2H baseline family (§3.1): H2H index, IncH2H and DTDHL maintenance.
+//!
+//! * [`tree`] — tree decomposition derived from CH-W elimination
+//!   (`X(v) = {v} ∪ N_up(v)`, parent = lowest-ranked bag member) and the
+//!   Euler-tour + sparse-table LCA the paper calls H2H's "complex mechanism".
+//! * [`index`] — the H2H 2-hop labelling: ancestor, distance and position
+//!   arrays per vertex, built by a top-down dynamic program over bags;
+//!   queries via Equation 1.
+//! * [`dynamic`] — maintenance: shortcut phase (DCH, from `stl-ch`)
+//!   followed by a top-down label phase. [`dynamic::Granularity::Fine`]
+//!   propagates exact dirty ancestor-index sets (IncH2H);
+//!   [`dynamic::Granularity::Coarse`] recomputes whole distance arrays at
+//!   visited nodes (DTDHL) — same affected subtree, more work per node,
+//!   which is precisely why DTDHL trails IncH2H in Table 3.
+
+pub mod dynamic;
+pub mod index;
+pub mod tree;
+
+pub use dynamic::{DynamicH2h, Granularity};
+pub use index::H2hIndex;

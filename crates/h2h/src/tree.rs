@@ -1,0 +1,249 @@
+//! Tree decomposition from CH-W elimination, plus O(1) LCA.
+
+use stl_ch::ChwIndex;
+use stl_graph::VertexId;
+
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// The decomposition tree: one node per vertex (its bag is `{v} ∪ up(v)`).
+#[derive(Debug, Clone)]
+pub struct DecompTree {
+    /// Parent vertex in the tree (`u32::MAX` for roots).
+    pub parent: Vec<u32>,
+    /// Depth (roots at 0).
+    pub depth: Vec<u32>,
+    /// Root vertex of each vertex's component.
+    pub root_of: Vec<u32>,
+    /// Vertices in top-down (non-decreasing depth) order.
+    pub topo: Vec<VertexId>,
+}
+
+impl DecompTree {
+    /// Derive the tree from an elimination structure.
+    pub fn build(chw: &ChwIndex) -> Self {
+        let n = chw.num_vertices();
+        let mut parent = vec![NONE; n];
+        for v in 0..n as VertexId {
+            // Parent = lowest-ranked up-neighbour.
+            let (ts, _) = chw.up(v);
+            let p = ts.iter().copied().min_by_key(|&u| chw.rank[u as usize]);
+            parent[v as usize] = p.unwrap_or(NONE);
+        }
+        // Depths and roots, walking the elimination order backwards
+        // (parents are always eliminated after children).
+        let mut depth = vec![0u32; n];
+        let mut root_of = vec![NONE; n];
+        let mut topo: Vec<VertexId> = Vec::with_capacity(n);
+        for &v in chw.order.iter().rev() {
+            let p = parent[v as usize];
+            if p == NONE {
+                depth[v as usize] = 0;
+                root_of[v as usize] = v;
+            } else {
+                depth[v as usize] = depth[p as usize] + 1;
+                root_of[v as usize] = root_of[p as usize];
+            }
+            topo.push(v);
+        }
+        // Reverse elimination order is already non-decreasing in depth
+        // *within a chain*, but not globally; sort stably by depth.
+        topo.sort_by_key(|&v| depth[v as usize]);
+        DecompTree { parent, depth, root_of, topo }
+    }
+
+    /// Tree height (max depth + 1) — the "Tree Height" column of Table 4.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0) + 1
+    }
+}
+
+/// Euler-tour + sparse-table LCA: O(n log n) space, O(1) query.
+#[derive(Debug, Clone)]
+pub struct LcaIndex {
+    first: Vec<u32>,
+    /// Sparse table over the Euler tour; level 0 is the tour itself. Each
+    /// entry stores the tour *vertex* with minimal depth in its window.
+    table: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+    log: Vec<u32>,
+}
+
+impl LcaIndex {
+    /// Build over a decomposition tree.
+    pub fn build(tree: &DecompTree) -> Self {
+        let n = tree.parent.len();
+        // Children lists.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for v in 0..n as u32 {
+            let p = tree.parent[v as usize];
+            if p == NONE {
+                roots.push(v);
+            } else {
+                children[p as usize].push(v);
+            }
+        }
+        // Iterative Euler tour.
+        let mut euler: Vec<u32> = Vec::with_capacity(2 * n);
+        let mut first = vec![u32::MAX; n];
+        for &root in &roots {
+            // (vertex, next child index)
+            let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+            first[root as usize] = euler.len() as u32;
+            euler.push(root);
+            loop {
+                let Some(&(v, ci)) = stack.last() else { break };
+                if ci < children[v as usize].len() {
+                    let c = children[v as usize][ci];
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    stack.push((c, 0));
+                    first[c as usize] = euler.len() as u32;
+                    euler.push(c);
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        euler.push(p);
+                    }
+                }
+            }
+        }
+        let m = euler.len();
+        let mut log = vec![0u32; m + 1];
+        for i in 2..=m {
+            log[i] = log[i / 2] + 1;
+        }
+        let levels = (log[m] + 1) as usize;
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push(euler);
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let len = prev.len().saturating_sub(half);
+            let mut row = Vec::with_capacity(len);
+            for i in 0..len {
+                let (a, b) = (prev[i], prev[i + half]);
+                row.push(if tree.depth[a as usize] <= tree.depth[b as usize] { a } else { b });
+            }
+            table.push(row);
+        }
+        LcaIndex { first, table, depth: tree.depth.clone(), log }
+    }
+
+    /// Lowest common ancestor of `u` and `v` (must share a component).
+    #[inline]
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        let (mut i, mut j) = (self.first[u as usize] as usize, self.first[v as usize] as usize);
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let k = self.log[j - i + 1] as usize;
+        let a = self.table[k][i];
+        let b = self.table[k][j + 1 - (1usize << k)];
+        if self.depth[a as usize] <= self.depth[b as usize] {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Approximate resident bytes (tour + sparse table) — part of the
+    /// H2H-family auxiliary footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.first.len() * 4
+            + self.table.iter().map(|r| r.len() * 4).sum::<usize>()
+            + self.depth.len() * 4
+            + self.log.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+
+    fn sample_tree() -> (DecompTree, LcaIndex) {
+        // Grid graph -> elimination -> tree.
+        let side = 6u32;
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 1 + (x + y) % 4));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 1 + (2 * x + y) % 4));
+                }
+            }
+        }
+        let g = from_edges((side * side) as usize, edges);
+        let chw = ChwIndex::build(&g);
+        let tree = DecompTree::build(&chw);
+        let lca = LcaIndex::build(&tree);
+        (tree, lca)
+    }
+
+    fn naive_lca(tree: &DecompTree, mut u: u32, mut v: u32) -> u32 {
+        while tree.depth[u as usize] > tree.depth[v as usize] {
+            u = tree.parent[u as usize];
+        }
+        while tree.depth[v as usize] > tree.depth[u as usize] {
+            v = tree.parent[v as usize];
+        }
+        while u != v {
+            u = tree.parent[u as usize];
+            v = tree.parent[v as usize];
+        }
+        u
+    }
+
+    #[test]
+    fn parents_have_smaller_depth() {
+        let (tree, _) = sample_tree();
+        for v in 0..tree.parent.len() {
+            let p = tree.parent[v];
+            if p != NONE {
+                assert_eq!(tree.depth[v], tree.depth[p as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn topo_is_depth_sorted_and_complete() {
+        let (tree, _) = sample_tree();
+        for w in tree.topo.windows(2) {
+            assert!(tree.depth[w[0] as usize] <= tree.depth[w[1] as usize]);
+        }
+        let mut seen = vec![false; tree.parent.len()];
+        for &v in &tree.topo {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn lca_matches_naive_all_pairs() {
+        let (tree, lca) = sample_tree();
+        let n = tree.parent.len() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(lca.lca(u, v), naive_lca(&tree, u, v), "lca({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_self_is_self() {
+        let (_, lca) = sample_tree();
+        assert_eq!(lca.lca(5, 5), 5);
+    }
+
+    #[test]
+    fn forest_components_tracked() {
+        let g = from_edges(6, vec![(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        let chw = ChwIndex::build(&g);
+        let tree = DecompTree::build(&chw);
+        assert_ne!(tree.root_of[0], tree.root_of[3]);
+        assert_eq!(tree.root_of[0], tree.root_of[2]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fiduccia–Mattheyses edge-cut refinement.
+//!
+//! Classic single-vertex-move local search: each pass moves every vertex at
+//! most once in best-gain order under the balance constraint, then rolls back
+//! to the best prefix. Gains use unit edge counts — we minimise cut
+//! *cardinality* because the vertex separator derived from the cut (Kőnig
+//! cover) is bounded by it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::{CsrGraph, VertexId};
+
+use crate::config::PartitionConfig;
+
+/// Refine `side` in place; stops after `cfg.fm_passes` or at a local optimum.
+pub fn refine(g: &CsrGraph, side: &mut [u8], cfg: &PartitionConfig) {
+    let max_side = cfg.max_side(g.num_vertices());
+    for _ in 0..cfg.fm_passes {
+        if !fm_pass(g, side, max_side) {
+            break;
+        }
+    }
+}
+
+/// One FM pass; returns whether the cut strictly improved.
+fn fm_pass(g: &CsrGraph, side: &mut [u8], max_side: usize) -> bool {
+    let n = g.num_vertices();
+    let mut gain = vec![0i64; n];
+    let mut sizes = [0usize; 2];
+    for v in 0..n {
+        sizes[side[v] as usize] += 1;
+    }
+    for v in 0..n as VertexId {
+        let mut ext = 0i64;
+        let mut int = 0i64;
+        for (u, _) in g.neighbors(v) {
+            if side[u as usize] == side[v as usize] {
+                int += 1;
+            } else {
+                ext += 1;
+            }
+        }
+        gain[v as usize] = ext - int;
+    }
+    // Max-heap on (gain, v) with lazy invalidation against `gain[]`.
+    let mut heap: BinaryHeap<(i64, Reverse<VertexId>)> = BinaryHeap::with_capacity(n);
+    for v in 0..n as VertexId {
+        heap.push((gain[v as usize], Reverse(v)));
+    }
+    let mut moved = vec![false; n];
+    let mut sequence: Vec<VertexId> = Vec::new();
+    let mut delta: i64 = 0;
+    let mut best_delta: i64 = 0;
+    let mut best_len = 0usize;
+    while let Some((gv, Reverse(v))) = heap.pop() {
+        if moved[v as usize] || gv != gain[v as usize] {
+            continue; // stale or already moved this pass
+        }
+        let from = side[v as usize] as usize;
+        let to = 1 - from;
+        if sizes[to] + 1 > max_side || sizes[from] == 1 {
+            continue; // balance would break or side would empty
+        }
+        // Apply the move.
+        side[v as usize] = to as u8;
+        sizes[from] -= 1;
+        sizes[to] += 1;
+        moved[v as usize] = true;
+        delta -= gv; // positive gain reduces the cut
+        sequence.push(v);
+        if delta < best_delta {
+            best_delta = delta;
+            best_len = sequence.len();
+        }
+        for (u, _) in g.neighbors(v) {
+            if moved[u as usize] {
+                continue;
+            }
+            // v left `from`: edges to `from` neighbours become external (+2),
+            // edges to `to` neighbours become internal (−2).
+            if side[u as usize] as usize == from {
+                gain[u as usize] += 2;
+            } else {
+                gain[u as usize] -= 2;
+            }
+            heap.push((gain[u as usize], Reverse(u)));
+        }
+    }
+    // Roll back past the best prefix.
+    for &v in &sequence[best_len..] {
+        let s = side[v as usize];
+        let from = s as usize;
+        side[v as usize] = 1 - s;
+        sizes[from] -= 1;
+        sizes[1 - from] += 1;
+    }
+    best_delta < 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisect::cut_size;
+    use stl_graph::builder::from_edges;
+
+    #[test]
+    fn refine_untangles_interleaved_path() {
+        // Path 0-1-2-3-4-5; alternate sides -> cut 5; optimum is 1.
+        let g = from_edges(6, (0..5).map(|i| (i, i + 1, 1)).collect::<Vec<_>>());
+        let mut side = vec![0u8, 1, 0, 1, 0, 1];
+        assert_eq!(cut_size(&g, &side), 5);
+        refine(&g, &mut side, &PartitionConfig::default());
+        assert!(cut_size(&g, &side) <= 1, "cut is {}", cut_size(&g, &side));
+    }
+
+    #[test]
+    fn refine_never_worsens() {
+        let mut edges = Vec::new();
+        let mut state = 7u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for i in 1..50u64 {
+            edges.push((i as u32, next(i) as u32, 1));
+        }
+        for _ in 0..60 {
+            edges.push((next(50) as u32, next(50) as u32, 1));
+        }
+        let g = from_edges(50, edges);
+        let mut side: Vec<u8> = (0..50).map(|i| (i % 2) as u8).collect();
+        let before = cut_size(&g, &side);
+        refine(&g, &mut side, &PartitionConfig::default());
+        assert!(cut_size(&g, &side) <= before);
+    }
+
+    #[test]
+    fn balance_respected() {
+        let g = from_edges(10, (0..9).map(|i| (i, i + 1, 1)).collect::<Vec<_>>());
+        let cfg = PartitionConfig::with_beta(0.3);
+        let mut side: Vec<u8> = (0..10).map(|i| (i % 2) as u8).collect();
+        refine(&g, &mut side, &cfg);
+        let zeros = side.iter().filter(|&&s| s == 0).count();
+        assert!(zeros <= cfg.max_side(10));
+        assert!(10 - zeros <= cfg.max_side(10));
+        assert!((1..=9).contains(&zeros), "a side emptied");
+    }
+
+    #[test]
+    fn grid_cut_converges_near_optimal() {
+        let sidelen = 8u32;
+        let idx = |x: u32, y: u32| y * sidelen + x;
+        let mut edges = Vec::new();
+        for y in 0..sidelen {
+            for x in 0..sidelen {
+                if x + 1 < sidelen {
+                    edges.push((idx(x, y), idx(x + 1, y), 1));
+                }
+                if y + 1 < sidelen {
+                    edges.push((idx(x, y), idx(x, y + 1), 1));
+                }
+            }
+        }
+        let g = from_edges(64, edges);
+        // Checkerboard start: terrible cut.
+        let mut side: Vec<u8> = (0..64u32).map(|i| (((i % 8) + (i / 8)) % 2) as u8).collect();
+        let before = cut_size(&g, &side);
+        refine(&g, &mut side, &PartitionConfig { fm_passes: 20, ..Default::default() });
+        let after = cut_size(&g, &side);
+        assert!(after < before / 2, "cut {before} -> {after}");
+    }
+}

@@ -1,0 +1,110 @@
+//! A* search with a Euclidean lower-bound heuristic.
+//!
+//! Road networks whose weights correlate with geometric length admit the
+//! classic `h(v) = cost_per_unit · ‖v − t‖` heuristic. `cost_per_unit` must
+//! be a *lower bound* on weight-per-coordinate-distance for admissibility;
+//! passing `0.0` degenerates to Dijkstra and is always admissible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+
+use crate::timestamp::TimestampedArray;
+
+/// Point-to-point A*. Requires coordinates on the graph; `cost_per_unit`
+/// scales the Euclidean heuristic (see module docs).
+pub fn distance(g: &CsrGraph, s: VertexId, t: VertexId, cost_per_unit: f32) -> Dist {
+    let coords = g.coords().expect("A* requires coordinates; use dijkstra otherwise");
+    if s == t {
+        return 0;
+    }
+    let (tx, ty) = coords[t as usize];
+    let h = |v: VertexId| -> Dist {
+        let (x, y) = coords[v as usize];
+        let d = ((x - tx).powi(2) + (y - ty).powi(2)).sqrt();
+        (d * cost_per_unit) as Dist
+    };
+    let mut dist = TimestampedArray::new(g.num_vertices(), INF);
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist.set(s as usize, 0);
+    heap.push(Reverse((h(s), s)));
+    while let Some(Reverse((f, v))) = heap.pop() {
+        let dv = dist.get(v as usize);
+        if v == t {
+            return dv;
+        }
+        if f > dist_add(dv, h(v)) {
+            continue; // stale
+        }
+        let (ts, ws) = g.neighbor_slices(v);
+        for (&n, &w) in ts.iter().zip(ws) {
+            if w == INF {
+                continue;
+            }
+            let nd = dist_add(dv, w);
+            if nd < dist.get(n as usize) {
+                dist.set(n as usize, nd);
+                heap.push(Reverse((dist_add(nd, h(n)), n)));
+            }
+        }
+    }
+    INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use stl_graph::builder::from_edges;
+
+    fn grid_graph(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 10));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 10));
+                }
+            }
+        }
+        let mut g = from_edges((side * side) as usize, edges);
+        let coords =
+            (0..side * side).map(|i| ((i % side) as f32, (i / side) as f32)).collect::<Vec<_>>();
+        g.set_coords(coords);
+        g
+    }
+
+    #[test]
+    fn astar_equals_dijkstra_on_grid() {
+        let g = grid_graph(8);
+        // Each unit of coordinate distance costs exactly 10 -> admissible.
+        for (s, t) in [(0u32, 63u32), (7, 56), (3, 60), (10, 53)] {
+            assert_eq!(distance(&g, s, t, 10.0), dijkstra::distance(&g, s, t), "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn zero_heuristic_is_dijkstra() {
+        let g = grid_graph(5);
+        for (s, t) in [(0u32, 24u32), (4, 20)] {
+            assert_eq!(distance(&g, s, t, 0.0), dijkstra::distance(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn same_vertex_zero() {
+        let g = grid_graph(3);
+        assert_eq!(distance(&g, 4, 4, 10.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires coordinates")]
+    fn panics_without_coords() {
+        let g = from_edges(2, vec![(0, 1, 1)]);
+        distance(&g, 0, 1, 1.0);
+    }
+}

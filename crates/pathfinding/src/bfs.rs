@@ -1,0 +1,113 @@
+//! Unweighted breadth-first search utilities.
+//!
+//! Used by the partitioner: BFS level structures seed balanced bisections and
+//! double-sweep BFS finds pseudo-peripheral vertices.
+
+use std::collections::VecDeque;
+
+use stl_graph::{CsrGraph, VertexId};
+
+/// Hop counts from `source`; unreachable vertices get `u32::MAX`.
+pub fn bfs_levels(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    level[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize] + 1;
+        for (n, _) in g.neighbors(v) {
+            if level[n as usize] == u32::MAX {
+                level[n as usize] = next;
+                queue.push_back(n);
+            }
+        }
+    }
+    level
+}
+
+/// BFS order (visit sequence) from `source`, restricted to its component.
+pub fn bfs_order(g: &CsrGraph, source: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (n, _) in g.neighbors(v) {
+            if !seen[n as usize] {
+                seen[n as usize] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    order
+}
+
+/// A pseudo-peripheral vertex found by double-sweep BFS from `start`.
+///
+/// Returns `(vertex, eccentricity_estimate)`.
+pub fn pseudo_peripheral(g: &CsrGraph, start: VertexId) -> (VertexId, u32) {
+    let mut v = start;
+    let mut ecc = 0u32;
+    for _ in 0..4 {
+        let levels = bfs_levels(g, v);
+        let (far, far_ecc) = levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l != u32::MAX)
+            .max_by_key(|&(_, &l)| l)
+            .map(|(i, &l)| (i as VertexId, l))
+            .unwrap_or((v, 0));
+        if far_ecc <= ecc {
+            break;
+        }
+        v = far;
+        ecc = far_ecc;
+    }
+    (v, ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::builder::from_edges;
+
+    #[test]
+    fn levels_on_path() {
+        let g = from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = from_edges(3, vec![(0, 1, 1)]);
+        assert_eq!(bfs_levels(&g, 0)[2], u32::MAX);
+    }
+
+    #[test]
+    fn order_covers_component_once() {
+        let g = from_edges(5, vec![(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1)]);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pseudo_peripheral_finds_path_end() {
+        let g = from_edges(7, (0..6).map(|i| (i, i + 1, 1)).collect::<Vec<_>>());
+        let (v, ecc) = pseudo_peripheral(&g, 3);
+        assert!(v == 0 || v == 6);
+        assert_eq!(ecc, 6);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_singleton() {
+        let g = from_edges(1, Vec::new());
+        assert_eq!(pseudo_peripheral(&g, 0), (0, 0));
+    }
+}

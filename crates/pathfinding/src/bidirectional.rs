@@ -1,0 +1,170 @@
+//! Bidirectional Dijkstra — the classical point-to-point baseline.
+//!
+//! Searches forward from `s` and backward from `t` (identical on undirected
+//! graphs) and stops once the sum of the two frontier minima can no longer
+//! beat the best meeting point.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+
+use crate::timestamp::TimestampedArray;
+
+/// Reusable bidirectional point-to-point engine.
+#[derive(Debug)]
+pub struct BiDijkstra {
+    dist_f: TimestampedArray<Dist>,
+    dist_b: TimestampedArray<Dist>,
+    heap_f: BinaryHeap<Reverse<(Dist, VertexId)>>,
+    heap_b: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl BiDijkstra {
+    /// Engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist_f: TimestampedArray::new(n, INF),
+            dist_b: TimestampedArray::new(n, INF),
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+        }
+    }
+
+    /// Shortest-path distance between `s` and `t`.
+    pub fn distance(&mut self, g: &CsrGraph, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
+        let n = g.num_vertices();
+        if self.dist_f.len() < n {
+            self.dist_f.resize(n);
+            self.dist_b.resize(n);
+        }
+        self.dist_f.reset();
+        self.dist_b.reset();
+        self.heap_f.clear();
+        self.heap_b.clear();
+        self.dist_f.set(s as usize, 0);
+        self.dist_b.set(t as usize, 0);
+        self.heap_f.push(Reverse((0, s)));
+        self.heap_b.push(Reverse((0, t)));
+        let mut best = INF;
+        loop {
+            let top_f = self.heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INF);
+            let top_b = self.heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INF);
+            if dist_add(top_f, top_b) >= best {
+                return best;
+            }
+            // Expand the smaller frontier.
+            if top_f <= top_b {
+                best = Self::step(g, &mut self.heap_f, &mut self.dist_f, &self.dist_b, best);
+            } else {
+                best = Self::step(g, &mut self.heap_b, &mut self.dist_b, &self.dist_f, best);
+            }
+        }
+    }
+
+    fn step(
+        g: &CsrGraph,
+        heap: &mut BinaryHeap<Reverse<(Dist, VertexId)>>,
+        dist: &mut TimestampedArray<Dist>,
+        other: &TimestampedArray<Dist>,
+        mut best: Dist,
+    ) -> Dist {
+        if let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist.get(v as usize) {
+                return best;
+            }
+            let meet = dist_add(d, other.get(v as usize));
+            if meet < best {
+                best = meet;
+            }
+            let (ts, ws) = g.neighbor_slices(v);
+            for (&nb, &w) in ts.iter().zip(ws) {
+                if w == INF {
+                    continue;
+                }
+                let nd = dist_add(d, w);
+                if nd < dist.get(nb as usize) {
+                    dist.set(nb as usize, nd);
+                    heap.push(Reverse((nd, nb)));
+                    let meet = dist_add(nd, other.get(nb as usize));
+                    if meet < best {
+                        best = meet;
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// One-shot bidirectional distance.
+pub fn distance(g: &CsrGraph, s: VertexId, t: VertexId) -> Dist {
+    BiDijkstra::new(g.num_vertices()).distance(g, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use stl_graph::builder::from_edges;
+
+    #[test]
+    fn simple_path() {
+        let g = from_edges(4, vec![(0, 1, 2), (1, 2, 2), (2, 3, 2)]);
+        assert_eq!(distance(&g, 0, 3), 6);
+    }
+
+    #[test]
+    fn same_vertex() {
+        let g = from_edges(2, vec![(0, 1, 1)]);
+        assert_eq!(distance(&g, 1, 1), 0);
+    }
+
+    #[test]
+    fn disconnected() {
+        let g = from_edges(4, vec![(0, 1, 1), (2, 3, 1)]);
+        assert_eq!(distance(&g, 0, 2), INF);
+    }
+
+    #[test]
+    fn agrees_with_unidirectional_on_random_graph() {
+        // Deterministic LCG-generated graph; all-pairs agreement.
+        let n = 60usize;
+        let mut edges = Vec::new();
+        let mut state = 99u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for i in 1..n as u64 {
+            let j = next(i);
+            edges.push((i as VertexId, j as VertexId, (next(100) + 1) as u32));
+        }
+        for _ in 0..80 {
+            let u = next(n as u64) as VertexId;
+            let v = next(n as u64) as VertexId;
+            edges.push((u, v, (next(100) + 1) as u32));
+        }
+        let g = from_edges(n, edges);
+        let mut bi = BiDijkstra::new(n);
+        for s in (0..n as VertexId).step_by(7) {
+            let d = dijkstra::single_source(&g, s);
+            for t in 0..n as VertexId {
+                assert_eq!(bi.distance(&g, s, t), d[t as usize], "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reusable_across_graphs() {
+        let g1 = from_edges(3, vec![(0, 1, 1), (1, 2, 1)]);
+        let g2 = from_edges(5, vec![(0, 4, 9), (0, 1, 1), (1, 4, 2)]);
+        let mut bi = BiDijkstra::new(3);
+        assert_eq!(bi.distance(&g1, 0, 2), 2);
+        assert_eq!(bi.distance(&g2, 0, 4), 3);
+        assert_eq!(bi.distance(&g1, 2, 0), 2);
+    }
+}

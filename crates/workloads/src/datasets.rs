@@ -1,0 +1,131 @@
+//! Named datasets mirroring Table 2 of the paper.
+//!
+//! Ten synthetic road networks whose *relative* sizes follow the paper's
+//! datasets (NY … EUR). Absolute sizes are laptop-scale by default and grow
+//! with [`Scale`]; the experiment harness reports whatever scale it ran.
+
+use stl_graph::CsrGraph;
+
+use crate::roadnet::{generate, RoadNetConfig};
+
+/// Experiment scale: multiplies every dataset's vertex budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes (hundreds of vertices).
+    Tiny,
+    /// Quick runs (a few thousand vertices per dataset).
+    Small,
+    /// Default benchmarking scale.
+    Default,
+    /// Stress scale (largest dataset ≈ 150k vertices).
+    Large,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    fn multiplier(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.05,
+            Scale::Small => 0.3,
+            Scale::Default => 1.0,
+            Scale::Large => 2.2,
+        }
+    }
+}
+
+/// A named dataset: paper name, region and base vertex budget.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Short name used in the paper's tables.
+    pub name: &'static str,
+    /// Region the original dataset covers.
+    pub region: &'static str,
+    /// Vertex budget at `Scale::Default`.
+    pub base_vertices: usize,
+    /// Generator seed (per-dataset, fixed).
+    pub seed: u64,
+}
+
+/// The ten datasets of Table 2 with paper-proportional size ordering.
+pub const DATASETS: [DatasetSpec; 10] = [
+    DatasetSpec { name: "NY", region: "New York City", base_vertices: 6_000, seed: 101 },
+    DatasetSpec { name: "BAY", region: "San Francisco", base_vertices: 7_200, seed: 102 },
+    DatasetSpec { name: "COL", region: "Colorado", base_vertices: 9_600, seed: 103 },
+    DatasetSpec { name: "FLA", region: "Florida", base_vertices: 14_000, seed: 104 },
+    DatasetSpec { name: "CAL", region: "California", base_vertices: 20_000, seed: 105 },
+    DatasetSpec { name: "E", region: "Eastern USA", base_vertices: 28_000, seed: 106 },
+    DatasetSpec { name: "W", region: "Western USA", base_vertices: 38_000, seed: 107 },
+    DatasetSpec { name: "CTR", region: "Central USA", base_vertices: 52_000, seed: 108 },
+    DatasetSpec { name: "USA", region: "United States", base_vertices: 70_000, seed: 109 },
+    DatasetSpec { name: "EUR", region: "Western Europe", base_vertices: 62_000, seed: 110 },
+];
+
+/// Build a named dataset at the given scale. Panics on unknown names.
+pub fn build_dataset(name: &str, scale: Scale) -> CsrGraph {
+    let spec = DATASETS
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown dataset '{name}'"));
+    let n = ((spec.base_vertices as f64) * scale.multiplier()).round().max(16.0) as usize;
+    generate(&RoadNetConfig::sized(n, spec.seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_build_at_tiny_scale() {
+        for spec in DATASETS {
+            let g = build_dataset(spec.name, Scale::Tiny);
+            assert!(g.num_vertices() > 0, "{} empty", spec.name);
+            assert!(stl_graph::components::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn sizes_monotone_in_scale() {
+        let a = build_dataset("NY", Scale::Tiny).num_vertices();
+        let b = build_dataset("NY", Scale::Small).num_vertices();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn dataset_order_matches_paper_sizes() {
+        // NY smallest, USA largest among US sets; EUR below USA (Table 2).
+        let sizes: Vec<usize> = DATASETS.iter().map(|d| d.base_vertices).collect();
+        assert!(sizes.windows(2).take(8).all(|w| w[0] < w[1]));
+        let usa = DATASETS.iter().find(|d| d.name == "USA").unwrap().base_vertices;
+        let eur = DATASETS.iter().find(|d| d.name == "EUR").unwrap().base_vertices;
+        assert!(eur < usa);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let g = build_dataset("ny", Scale::Tiny);
+        assert!(g.num_vertices() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        build_dataset("MARS", Scale::Tiny);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workload generation: synthetic road networks, named datasets, query and
+//! update workloads (§7 "Datasets" and "Test input generation").
+//!
+//! The paper's ten road networks (DIMACS USA + PTV Europe) are not
+//! redistributable; [`roadnet`] synthesises networks with the same
+//! structural profile (sparse, near-planar, small separators, bounded
+//! degree) and [`datasets`] names ten of them after the paper's table so the
+//! bench harness prints recognisable rows. Real `.gr` files can be loaded
+//! through `stl_graph::io` instead, when available.
+
+pub mod datasets;
+pub mod queries;
+pub mod roadnet;
+pub mod updates;
+
+pub use datasets::{build_dataset, Scale, DATASETS};
+pub use roadnet::{generate, RoadNetConfig};

@@ -1,0 +1,144 @@
+//! Query workloads: uniform random pairs and the distance-stratified sets
+//! Q1…Q10 of §7 ("Test input generation").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use stl_graph::{CsrGraph, Dist, VertexId, INF};
+use stl_pathfinding::{bfs, dijkstra};
+
+/// `count` uniform random (s, t) pairs with `s != t` (n ≥ 2).
+pub fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let s = rng.random_range(0..n as VertexId);
+            let mut t = rng.random_range(0..n as VertexId);
+            while t == s {
+                t = rng.random_range(0..n as VertexId);
+            }
+            (s, t)
+        })
+        .collect()
+}
+
+/// Estimate the maximum pairwise distance by double-sweep Dijkstra.
+pub fn estimate_lmax(g: &CsrGraph) -> Dist {
+    let (far, _) = bfs::pseudo_peripheral(g, 0);
+    let d = dijkstra::single_source(g, far);
+    d.into_iter().filter(|&x| x != INF).max().unwrap_or(0)
+}
+
+/// Generate the stratified query sets `Q1..=Qsets` of §7.
+///
+/// With `x = (lmax/lmin)^(1/sets)`, set `Q_i` holds pairs whose distance
+/// falls in `(lmin·x^(i-1), lmin·x^i]`. Distances are evaluated through the
+/// caller-provided `dist` oracle (typically a built index — evaluating 10⁶
+/// candidates through Dijkstra would dominate the harness). Sampling stops
+/// per set at `per_set` pairs or after the attempt budget.
+pub fn stratified_sets(
+    g: &CsrGraph,
+    dist: impl Fn(VertexId, VertexId) -> Dist,
+    lmin: Dist,
+    sets: usize,
+    per_set: usize,
+    seed: u64,
+) -> Vec<Vec<(VertexId, VertexId)>> {
+    assert!(sets >= 1 && lmin >= 1);
+    let n = g.num_vertices();
+    let lmax = estimate_lmax(g).max(lmin + 1);
+    let x = (lmax as f64 / lmin as f64).powf(1.0 / sets as f64);
+    // Bucket upper bounds: lmin·x^i for i in 1..=sets.
+    let bounds: Vec<f64> = (1..=sets).map(|i| lmin as f64 * x.powi(i as i32)).collect();
+    let mut out: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); sets];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let budget = per_set * sets * 300;
+    let mut filled = 0usize;
+    for _ in 0..budget {
+        if filled == sets {
+            break;
+        }
+        let s = rng.random_range(0..n as VertexId);
+        let t = rng.random_range(0..n as VertexId);
+        if s == t {
+            continue;
+        }
+        let d = dist(s, t);
+        if d == INF || d <= lmin {
+            continue;
+        }
+        let set = bounds.partition_point(|&b| (d as f64) > b).min(sets - 1);
+        if out[set].len() < per_set {
+            out[set].push((s, t));
+            if out[set].len() == per_set {
+                filled += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roadnet::{generate, RoadNetConfig};
+
+    #[test]
+    fn random_pairs_in_range_and_distinct() {
+        let pairs = random_pairs(50, 200, 9);
+        assert_eq!(pairs.len(), 200);
+        for (s, t) in pairs {
+            assert!(s < 50 && t < 50 && s != t);
+        }
+    }
+
+    #[test]
+    fn random_pairs_deterministic() {
+        assert_eq!(random_pairs(100, 50, 3), random_pairs(100, 50, 3));
+        assert_ne!(random_pairs(100, 50, 3), random_pairs(100, 50, 4));
+    }
+
+    #[test]
+    fn lmax_estimate_reasonable() {
+        let g = generate(&RoadNetConfig::sized(900, 17));
+        let est = estimate_lmax(&g);
+        // The estimate is a real pairwise distance, so it lower-bounds the
+        // true diameter and exceeds any single edge.
+        assert!(est > 1000, "lmax {est} suspiciously small");
+    }
+
+    #[test]
+    fn stratified_sets_respect_bounds() {
+        let g = generate(&RoadNetConfig::sized(900, 21));
+        let lmin = 1000;
+        let sets = stratified_sets(&g, |s, t| dijkstra::distance(&g, s, t), lmin, 6, 20, 5);
+        assert_eq!(sets.len(), 6);
+        let lmax = estimate_lmax(&g).max(lmin + 1);
+        let x = (lmax as f64 / lmin as f64).powf(1.0 / 6.0);
+        for (i, set) in sets.iter().enumerate() {
+            assert!(!set.is_empty(), "Q{} empty", i + 1);
+            let hi = lmin as f64 * x.powi(i as i32 + 1);
+            for &(s, t) in set {
+                let d = dijkstra::distance(&g, s, t) as f64;
+                assert!(d > lmin as f64, "Q{}: {d} below lmin", i + 1);
+                // Pairs in the last set may exceed the estimated lmax
+                // (the estimate is a lower bound); others obey their bound.
+                if i + 1 < 6 {
+                    assert!(d <= hi * 1.0001, "Q{}: {d} above bound {hi}", i + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_range_sets_have_larger_distances() {
+        let g = generate(&RoadNetConfig::sized(900, 23));
+        let sets = stratified_sets(&g, |s, t| dijkstra::distance(&g, s, t), 1000, 5, 15, 6);
+        let avg = |set: &Vec<(u32, u32)>| {
+            set.iter().map(|&(s, t)| dijkstra::distance(&g, s, t) as f64).sum::<f64>()
+                / set.len() as f64
+        };
+        assert!(avg(&sets[4]) > avg(&sets[0]) * 2.0, "stratification not monotone");
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic road-network generator.
+//!
+//! Produces perturbed grid networks: 4-connected grids with random travel
+//! times, occasional diagonals (shortcutting local streets), random street
+//! deletions (city blocks are not perfect lattices), periodic fast
+//! "highway" rows/columns, and optional pre-declared closed roads at `INF`
+//! weight (the §8 insertion model). Coordinates are attached for inertial
+//! partitioning and A*. The largest connected component is returned, so the
+//! vertex count is approximately `target_vertices`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use stl_graph::components::largest_component;
+use stl_graph::{CsrGraph, GraphBuilder, Weight, INF};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct RoadNetConfig {
+    /// Approximate number of vertices (exact before deletions).
+    pub target_vertices: usize,
+    /// RNG seed; equal configs generate identical networks.
+    pub seed: u64,
+    /// Probability of adding a diagonal edge per grid cell.
+    pub diagonal_prob: f64,
+    /// Probability of deleting each street edge.
+    pub deletion_prob: f64,
+    /// Travel-time range for ordinary streets (≈ metres of length).
+    pub min_weight: Weight,
+    /// Upper bound (inclusive-exclusive) for street weights.
+    pub max_weight: Weight,
+    /// Every `highway_period`-th row/column is an arterial with weights
+    /// divided by 4 (creates the long-range shortcuts real networks have).
+    pub highway_period: u32,
+    /// Probability of adding a closed road (`INF` weight) per cell.
+    pub closed_road_prob: f64,
+}
+
+impl Default for RoadNetConfig {
+    fn default() -> Self {
+        Self {
+            target_vertices: 4096,
+            seed: 0xC0FFEE,
+            diagonal_prob: 0.08,
+            deletion_prob: 0.06,
+            min_weight: 120,
+            max_weight: 2400,
+            highway_period: 16,
+            closed_road_prob: 0.0,
+        }
+    }
+}
+
+impl RoadNetConfig {
+    /// Config producing roughly `n` vertices with the given seed.
+    pub fn sized(n: usize, seed: u64) -> Self {
+        Self { target_vertices: n, seed, ..Self::default() }
+    }
+}
+
+/// Generate a road network (largest component, with coordinates).
+pub fn generate(cfg: &RoadNetConfig) -> CsrGraph {
+    assert!(cfg.target_vertices >= 1);
+    assert!(cfg.min_weight < cfg.max_weight);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let width = (cfg.target_vertices as f64).sqrt().ceil() as u32;
+    let height = cfg.target_vertices.div_ceil(width as usize) as u32;
+    let n = (width * height) as usize;
+    let idx = |x: u32, y: u32| y * width + x;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let street = |rng: &mut StdRng, fast: bool| -> Weight {
+        let w = rng.random_range(cfg.min_weight..cfg.max_weight);
+        if fast {
+            (w / 4).max(1)
+        } else {
+            w
+        }
+    };
+    for y in 0..height {
+        for x in 0..width {
+            let fast_row = cfg.highway_period > 0 && y % cfg.highway_period == 0;
+            let fast_col = cfg.highway_period > 0 && x % cfg.highway_period == 0;
+            if x + 1 < width && !rng.random_bool(cfg.deletion_prob) {
+                b.add_edge(idx(x, y), idx(x + 1, y), street(&mut rng, fast_row));
+            }
+            if y + 1 < height && !rng.random_bool(cfg.deletion_prob) {
+                b.add_edge(idx(x, y), idx(x, y + 1), street(&mut rng, fast_col));
+            }
+            if x + 1 < width && y + 1 < height {
+                if rng.random_bool(cfg.diagonal_prob) {
+                    // Diagonals are √2 longer on average.
+                    let w = street(&mut rng, false);
+                    b.add_edge(idx(x, y), idx(x + 1, y + 1), w + w / 2);
+                }
+                if cfg.closed_road_prob > 0.0 && rng.random_bool(cfg.closed_road_prob) {
+                    b.add_edge(idx(x + 1, y), idx(x, y + 1), INF);
+                }
+            }
+        }
+    }
+    let mut g = b.build();
+    g.set_coords((0..n as u32).map(|i| ((i % width) as f32, (i / width) as f32)).collect());
+    let (largest, _) = largest_component(&g);
+    largest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_graph::components::is_connected;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = RoadNetConfig::sized(500, 42);
+        let g1 = generate(&cfg);
+        let g2 = generate(&cfg);
+        assert_eq!(g1.num_vertices(), g2.num_vertices());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert!(g1.edges().zip(g2.edges()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = generate(&RoadNetConfig::sized(500, 1));
+        let g2 = generate(&RoadNetConfig::sized(500, 2));
+        assert!(
+            g1.num_edges() != g2.num_edges()
+                || g1.edges().zip(g2.edges()).any(|(a, b)| a != b)
+        );
+    }
+
+    #[test]
+    fn connected_and_near_target_size() {
+        let g = generate(&RoadNetConfig::sized(2000, 7));
+        assert!(is_connected(&g));
+        assert!(g.num_vertices() >= 1700, "lost too many vertices: {}", g.num_vertices());
+        assert!(g.num_vertices() <= 2100);
+    }
+
+    #[test]
+    fn road_like_density() {
+        let g = generate(&RoadNetConfig::sized(3000, 3));
+        let avg_degree = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((1.5..5.0).contains(&avg_degree), "avg degree {avg_degree} not road-like");
+        assert!(g.max_degree() <= 12);
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let cfg = RoadNetConfig { closed_road_prob: 0.0, ..RoadNetConfig::sized(1000, 9) };
+        let g = generate(&cfg);
+        for (_, _, w) in g.edges() {
+            assert!(w >= 1 && w < cfg.max_weight + cfg.max_weight / 2, "weight {w} out of range");
+        }
+    }
+
+    #[test]
+    fn closed_roads_present_when_requested() {
+        let cfg = RoadNetConfig {
+            closed_road_prob: 0.3,
+            deletion_prob: 0.0,
+            ..RoadNetConfig::sized(1000, 11)
+        };
+        let g = generate(&cfg);
+        let closed = g.edges().filter(|&(_, _, w)| w == INF).count();
+        assert!(closed > 10, "expected many closed roads, got {closed}");
+    }
+
+    #[test]
+    fn coordinates_attached() {
+        let g = generate(&RoadNetConfig::sized(400, 5));
+        assert_eq!(g.coords().unwrap().len(), g.num_vertices());
+    }
+
+    #[test]
+    fn tiny_network_generates() {
+        let g = generate(&RoadNetConfig::sized(1, 0));
+        assert!(g.num_vertices() >= 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Update workloads: the batch protocol of §7 ("Test input generation").
+//!
+//! For each batch, the harness first **increases** each sampled edge's
+//! weight to `factor × φ` and then **decreases** (restores) it to `φ`,
+//! measuring both directions. Figure 8 varies `factor` from 2 to 10.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use stl_graph::{CsrGraph, EdgeUpdate, VertexId, Weight, INF};
+
+/// One sampled update target: an edge and its original weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateTarget {
+    /// Edge endpoint.
+    pub a: VertexId,
+    /// Edge endpoint.
+    pub b: VertexId,
+    /// The weight before any update (restored by the decrease phase).
+    pub original: Weight,
+}
+
+/// Sample `batches` batches of `per_batch` distinct finite-weight edges.
+pub fn sample_batches(
+    g: &CsrGraph,
+    batches: usize,
+    per_batch: usize,
+    seed: u64,
+) -> Vec<Vec<UpdateTarget>> {
+    let edges: Vec<(VertexId, VertexId, Weight)> =
+        g.edges().filter(|&(_, _, w)| w != INF).collect();
+    assert!(!edges.is_empty(), "graph has no updatable edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| {
+            let mut picked = std::collections::HashSet::new();
+            let mut batch = Vec::with_capacity(per_batch);
+            // Reject duplicates within a batch (the paper's batches are
+            // sampled without replacement).
+            let mut guard = 0;
+            while batch.len() < per_batch && guard < per_batch * 50 {
+                guard += 1;
+                let (a, b, w) = edges[rng.random_range(0..edges.len())];
+                if picked.insert((a, b)) {
+                    batch.push(UpdateTarget { a, b, original: w });
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// The increase phase: each edge goes to `factor × original` (capped).
+pub fn increase_batch(targets: &[UpdateTarget], factor: u32) -> Vec<EdgeUpdate> {
+    targets
+        .iter()
+        .map(|t| EdgeUpdate::new(t.a, t.b, t.original.saturating_mul(factor).min(INF - 1)))
+        .collect()
+}
+
+/// The restore phase: each edge returns to its original weight.
+pub fn restore_batch(targets: &[UpdateTarget]) -> Vec<EdgeUpdate> {
+    targets.iter().map(|t| EdgeUpdate::new(t.a, t.b, t.original)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roadnet::{generate, RoadNetConfig};
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let g = generate(&RoadNetConfig::sized(500, 2));
+        let batches = sample_batches(&g, 4, 25, 7);
+        assert_eq!(batches.len(), 4);
+        for b in &batches {
+            assert_eq!(b.len(), 25);
+            // No duplicate edges within a batch.
+            let mut keys: Vec<_> = b.iter().map(|t| (t.a, t.b)).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 25);
+        }
+    }
+
+    #[test]
+    fn targets_match_graph_weights() {
+        let g = generate(&RoadNetConfig::sized(300, 4));
+        for b in sample_batches(&g, 2, 10, 1) {
+            for t in b {
+                assert_eq!(g.weight(t.a, t.b), Some(t.original));
+            }
+        }
+    }
+
+    #[test]
+    fn increase_then_restore_roundtrip() {
+        let g = generate(&RoadNetConfig::sized(300, 6));
+        let batch = &sample_batches(&g, 1, 10, 3)[0];
+        let inc = increase_batch(batch, 2);
+        let res = restore_batch(batch);
+        for (t, (i, r)) in batch.iter().zip(inc.iter().zip(&res)) {
+            assert_eq!(i.new_weight, t.original * 2);
+            assert_eq!(r.new_weight, t.original);
+        }
+    }
+
+    #[test]
+    fn factor_capped_below_inf() {
+        let targets =
+            [UpdateTarget { a: 0, b: 1, original: INF - 2 }];
+        let inc = increase_batch(&targets, 10);
+        assert!(inc[0].new_weight < INF);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let g = generate(&RoadNetConfig::sized(300, 8));
+        assert_eq!(sample_batches(&g, 2, 5, 9), sample_batches(&g, 2, 5, 9));
+    }
+}

@@ -1,0 +1,57 @@
+//! k-nearest points of interest — another application from the paper's
+//! introduction ("providing recommendation on k-nearest POIs to their
+//! customers").
+//!
+//! Scatters charging stations over a synthetic city, then answers "the 5
+//! nearest stations by travel time" for a set of customers via the STL
+//! index, re-ranking after a road closure (§8 deletion = INF increase).
+//!
+//! ```sh
+//! cargo run --release --example knn_pois
+//! ```
+
+use stable_tree_labelling::core::{Maintenance, Stl, StlConfig, UpdateEngine};
+use stable_tree_labelling::prelude::*;
+use stable_tree_labelling::workloads::{generate, RoadNetConfig};
+
+fn knn(stl: &Stl, pois: &[VertexId], from: VertexId, k: usize) -> Vec<(Dist, VertexId)> {
+    let mut ranked: Vec<(Dist, VertexId)> =
+        pois.iter().map(|&p| (stl.query(from, p), p)).collect();
+    ranked.sort_unstable();
+    ranked.truncate(k);
+    ranked
+}
+
+fn main() {
+    let mut g = generate(&RoadNetConfig::sized(6_000, 5));
+    let n = g.num_vertices();
+    let mut stl = Stl::build(&g, &StlConfig::default());
+    println!("city: {} intersections; index height {}", n, stl.hierarchy().height());
+
+    // 60 charging stations on a deterministic scatter.
+    let pois: Vec<VertexId> = (0..60u32).map(|i| (i * 97 + 13) % n as u32).collect();
+    let customers: Vec<VertexId> = (0..5u32).map(|i| (i * 1009 + 500) % n as u32).collect();
+
+    for &c in &customers {
+        let top = knn(&stl, &pois, c, 5);
+        let pretty: Vec<String> =
+            top.iter().map(|(d, p)| format!("station {p} ({d}s)")).collect();
+        println!("customer {c}: {}", pretty.join(", "));
+    }
+
+    // A road on the way to someone's nearest station closes.
+    let victim = customers[0];
+    let nearest = knn(&stl, &pois, victim, 1)[0].1;
+    // Close the first road segment adjacent to that station.
+    let (a, b, _) = g
+        .neighbors(nearest)
+        .next()
+        .map(|(nb, w)| (nearest, nb, w))
+        .expect("station has a road");
+    let mut eng = UpdateEngine::new(n);
+    stl.delete_edge(&mut g, a, b, Maintenance::ParetoSearch, &mut eng);
+    println!("\nroad ({a},{b}) next to station {nearest} closed; re-ranking:");
+    let top = knn(&stl, &pois, victim, 5);
+    let pretty: Vec<String> = top.iter().map(|(d, p)| format!("station {p} ({d}s)")).collect();
+    println!("customer {victim}: {}", pretty.join(", "));
+}

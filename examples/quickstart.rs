@@ -1,0 +1,48 @@
+//! Quickstart: build an STL index, query it, apply traffic updates, query
+//! again.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stable_tree_labelling::core::{Maintenance, Stl, StlConfig, UpdateEngine};
+use stable_tree_labelling::prelude::*;
+use stable_tree_labelling::workloads::{generate, RoadNetConfig};
+
+fn main() {
+    // 1. A synthetic road network (~4k intersections). Swap in
+    //    `stl_graph::io::read_dimacs_gr` to load a real DIMACS file.
+    let mut g = generate(&RoadNetConfig::sized(4_000, 7));
+    println!("network: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    // 2. Build the index.
+    let t0 = std::time::Instant::now();
+    let mut stl = Stl::build(&g, &StlConfig::default());
+    println!(
+        "built STL in {:.2?}: {} label entries, height {}",
+        t0.elapsed(),
+        stl.labels().num_entries(),
+        stl.hierarchy().height()
+    );
+
+    // 3. Distance queries are microsecond-scale lookups.
+    let (s, t) = (0, (g.num_vertices() - 1) as VertexId);
+    println!("d({s}, {t}) = {}", stl.query(s, t));
+
+    // 4. Traffic: one road doubles in travel time, then recovers.
+    let mut eng = UpdateEngine::new(g.num_vertices());
+    let (a, b, w) = g.edges().nth(1234).expect("edge");
+    let stats = stl.apply_batch(
+        &mut g,
+        &[EdgeUpdate::new(a, b, w * 2)],
+        Maintenance::ParetoSearch,
+        &mut eng,
+    );
+    println!("congestion on ({a},{b}): repaired {} label entries", stats.label_writes);
+    println!("d({s}, {t}) now = {}", stl.query(s, t));
+
+    let stats =
+        stl.apply_batch(&mut g, &[EdgeUpdate::new(a, b, w)], Maintenance::ParetoSearch, &mut eng);
+    println!("recovery: repaired {} label entries", stats.label_writes);
+    println!("d({s}, {t}) back to = {}", stl.query(s, t));
+}

@@ -1,0 +1,28 @@
+//! # Stable Tree Labelling
+//!
+//! A from-scratch Rust reproduction of *"Stable Tree Labelling for
+//! Accelerating Distance Queries on Dynamic Road Networks"* (EDBT 2025),
+//! including every substrate and baseline its evaluation depends on.
+//!
+//! This facade crate re-exports the workspace crates under stable paths:
+//!
+//! ```
+//! use stable_tree_labelling::prelude::*;
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `DESIGN.md` for the system inventory.
+
+pub use stl_ch as ch;
+pub use stl_core as core;
+pub use stl_graph as graph;
+pub use stl_h2h as h2h;
+pub use stl_hc2l as hc2l;
+pub use stl_partition as partition;
+pub use stl_pathfinding as pathfinding;
+pub use stl_workloads as workloads;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use stl_graph::{CsrGraph, Dist, EdgeUpdate, GraphBuilder, VertexId, Weight, INF};
+}

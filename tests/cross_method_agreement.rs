@@ -1,0 +1,124 @@
+//! Cross-method agreement: every index in the workspace must answer every
+//! query identically — against each other and against the classical
+//! baselines — on the same network, both statically and after maintained
+//! update streams.
+
+use stable_tree_labelling::core::{Maintenance, Stl, StlConfig, UpdateEngine};
+use stable_tree_labelling::h2h::{DynamicH2h, Granularity};
+use stable_tree_labelling::hc2l::Hc2l;
+use stable_tree_labelling::pathfinding::{bidirectional, dijkstra};
+use stable_tree_labelling::prelude::*;
+use stable_tree_labelling::workloads::queries::random_pairs;
+use stable_tree_labelling::workloads::updates::{increase_batch, restore_batch, sample_batches};
+use stable_tree_labelling::workloads::{generate, RoadNetConfig};
+
+fn network(n: usize, seed: u64) -> CsrGraph {
+    generate(&RoadNetConfig::sized(n, seed))
+}
+
+#[test]
+fn static_indexes_agree_with_baselines() {
+    let g = network(700, 31);
+    let stl = Stl::build(&g, &StlConfig::default());
+    let hc2l = Hc2l::build(&g, &StlConfig::default());
+    let h2h = DynamicH2h::build(&g, Granularity::Fine);
+    for (s, t) in random_pairs(g.num_vertices(), 300, 77) {
+        let oracle = dijkstra::distance(&g, s, t);
+        assert_eq!(stl.query(s, t), oracle, "STL({s},{t})");
+        assert_eq!(hc2l.query(s, t), oracle, "HC2L({s},{t})");
+        assert_eq!(h2h.query(s, t), oracle, "H2H({s},{t})");
+        assert_eq!(bidirectional::distance(&g, s, t), oracle, "BiDijkstra({s},{t})");
+    }
+}
+
+#[test]
+fn all_dynamic_methods_agree_after_update_stream() {
+    let g0 = network(500, 13);
+    let cfg = StlConfig::default();
+    // Four maintained indexes, four graph copies (each method applies
+    // weights itself).
+    let mut g_l = g0.clone();
+    let mut g_p = g0.clone();
+    let mut g_i = g0.clone();
+    let mut g_d = g0.clone();
+    let mut stl_l = Stl::build(&g0, &cfg);
+    let mut stl_p = stl_l.clone();
+    let mut inch2h = DynamicH2h::build(&g0, Granularity::Fine);
+    let mut dtdhl = DynamicH2h::build(&g0, Granularity::Coarse);
+    let mut eng = UpdateEngine::new(g0.num_vertices());
+
+    let batches = sample_batches(&g0, 3, 15, 55);
+    for batch in &batches {
+        let inc = increase_batch(batch, 2);
+        stl_l.apply_batch(&mut g_l, &inc, Maintenance::LabelSearch, &mut eng);
+        stl_p.apply_batch(&mut g_p, &inc, Maintenance::ParetoSearch, &mut eng);
+        inch2h.increase(&mut g_i, &inc);
+        dtdhl.increase(&mut g_d, &inc);
+        let dec = restore_batch(batch);
+        stl_l.apply_batch(&mut g_l, &dec, Maintenance::LabelSearch, &mut eng);
+        stl_p.apply_batch(&mut g_p, &dec, Maintenance::ParetoSearch, &mut eng);
+        inch2h.decrease(&mut g_i, &dec);
+        dtdhl.decrease(&mut g_d, &dec);
+    }
+    // All graphs are restored to the original weights; all methods must
+    // agree with the oracle on the original graph.
+    for (s, t) in random_pairs(g0.num_vertices(), 200, 99) {
+        let oracle = dijkstra::distance(&g0, s, t);
+        assert_eq!(stl_l.query(s, t), oracle, "STL-L({s},{t})");
+        assert_eq!(stl_p.query(s, t), oracle, "STL-P({s},{t})");
+        assert_eq!(inch2h.query(s, t), oracle, "IncH2H({s},{t})");
+        assert_eq!(dtdhl.query(s, t), oracle, "DTDHL({s},{t})");
+    }
+}
+
+#[test]
+fn methods_agree_mid_stream_without_restore() {
+    // Leave the network in a perturbed state (no restore) and compare all
+    // methods against a fresh Dijkstra on the perturbed graph.
+    let g0 = network(400, 21);
+    let cfg = StlConfig::default();
+    let mut g_l = g0.clone();
+    let mut g_p = g0.clone();
+    let mut g_i = g0.clone();
+    let mut stl_l = Stl::build(&g0, &cfg);
+    let mut stl_p = stl_l.clone();
+    let mut inch2h = DynamicH2h::build(&g0, Granularity::Fine);
+    let mut eng = UpdateEngine::new(g0.num_vertices());
+    let batch = &sample_batches(&g0, 1, 25, 5)[0];
+    // Mixed batch: half up, half down.
+    let updates: Vec<EdgeUpdate> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let w = if i % 2 == 0 { t.original * 3 } else { (t.original / 2).max(1) };
+            EdgeUpdate::new(t.a, t.b, w)
+        })
+        .collect();
+    stl_l.apply_batch(&mut g_l, &updates, Maintenance::LabelSearch, &mut eng);
+    stl_p.apply_batch(&mut g_p, &updates, Maintenance::ParetoSearch, &mut eng);
+    let (inc, dec): (Vec<_>, Vec<_>) =
+        updates.iter().partition(|u| u.new_weight > g0.weight(u.a, u.b).unwrap());
+    inch2h.increase(&mut g_i, &inc);
+    inch2h.decrease(&mut g_i, &dec);
+    for (s, t) in random_pairs(g0.num_vertices(), 200, 123) {
+        let oracle = dijkstra::distance(&g_l, s, t);
+        assert_eq!(stl_l.query(s, t), oracle, "STL-L({s},{t})");
+        assert_eq!(stl_p.query(s, t), oracle, "STL-P({s},{t})");
+        assert_eq!(inch2h.query(s, t), oracle, "IncH2H({s},{t})");
+    }
+}
+
+#[test]
+fn stl_beats_dijkstra_at_query_time() {
+    // Not a benchmark, but the index must be *structurally* faster: compare
+    // label-scan width against graph size for long-range queries.
+    let g = network(2_000, 3);
+    let stl = Stl::build(&g, &StlConfig::default());
+    let (s, t) = (0u32, (g.num_vertices() - 1) as u32);
+    let width = stl.query_width(s, t) as usize;
+    assert!(
+        width * 20 < g.num_vertices(),
+        "query scans {width} entries on a {}-vertex graph",
+        g.num_vertices()
+    );
+}

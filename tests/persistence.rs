@@ -1,0 +1,49 @@
+//! Persistence round-trips through the facade: save a built index, reload
+//! it, keep answering and maintaining.
+
+use stable_tree_labelling::core::{persist, verify, Maintenance, Stl, StlConfig, UpdateEngine};
+use stable_tree_labelling::pathfinding::dijkstra;
+use stable_tree_labelling::prelude::*;
+use stable_tree_labelling::workloads::queries::random_pairs;
+use stable_tree_labelling::workloads::{generate, RoadNetConfig};
+
+#[test]
+fn save_load_query_update_cycle() {
+    let mut g = generate(&RoadNetConfig::sized(800, 61));
+    let stl = Stl::build(&g, &StlConfig::default());
+    let bytes = persist::save(&stl);
+    assert!(bytes.len() > 1000);
+    let mut loaded = persist::load(&bytes).expect("load");
+    for (s, t) in random_pairs(g.num_vertices(), 100, 5) {
+        assert_eq!(loaded.query(s, t), stl.query(s, t));
+    }
+    // The loaded index remains maintainable.
+    let mut eng = UpdateEngine::new(g.num_vertices());
+    let (a, b, w) = g.edges().nth(99).unwrap();
+    loaded.apply_batch(
+        &mut g,
+        &[EdgeUpdate::new(a, b, w * 3)],
+        Maintenance::ParetoSearch,
+        &mut eng,
+    );
+    for (s, t) in random_pairs(g.num_vertices(), 50, 6) {
+        assert_eq!(loaded.query(s, t), dijkstra::distance(&g, s, t));
+    }
+    verify::check_hierarchy(&loaded, &g).unwrap();
+}
+
+#[test]
+fn corrupted_bytes_rejected_not_crashing() {
+    let g = generate(&RoadNetConfig::sized(200, 63));
+    let stl = Stl::build(&g, &StlConfig::default());
+    let mut bytes = persist::save(&stl);
+    // Flip the magic.
+    bytes[0] ^= 0xFF;
+    assert!(persist::load(&bytes).is_err());
+    // Truncations at various points.
+    let bytes = persist::save(&stl);
+    for frac in [3usize, 7, 13] {
+        let cut = bytes.len() / frac;
+        assert!(persist::load(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+    }
+}

@@ -1,0 +1,50 @@
+//! The search-based baseline (Contraction Hierarchies with witness search)
+//! must agree with the labelling methods, and the labelling methods must
+//! answer queries structurally faster — the trade-off framing of §1/§2.
+
+use stable_tree_labelling::ch::ContractionHierarchy;
+use stable_tree_labelling::core::{Stl, StlConfig};
+use stable_tree_labelling::pathfinding::dijkstra;
+use stable_tree_labelling::workloads::queries::random_pairs;
+use stable_tree_labelling::workloads::{generate, RoadNetConfig};
+
+#[test]
+fn ch_agrees_with_stl_and_oracle() {
+    let g = generate(&RoadNetConfig::sized(600, 91));
+    let ch = ContractionHierarchy::build(&g);
+    let stl = Stl::build(&g, &StlConfig::default());
+    for (s, t) in random_pairs(g.num_vertices(), 250, 17) {
+        let oracle = dijkstra::distance(&g, s, t);
+        assert_eq!(ch.query(s, t), oracle, "CH({s},{t})");
+        assert_eq!(stl.query(s, t), oracle, "STL({s},{t})");
+    }
+}
+
+#[test]
+fn ch_agrees_on_network_with_closed_roads() {
+    let cfg = RoadNetConfig { closed_road_prob: 0.05, ..RoadNetConfig::sized(400, 93) };
+    let g = generate(&cfg);
+    let ch = ContractionHierarchy::build(&g);
+    for (s, t) in random_pairs(g.num_vertices(), 150, 19) {
+        assert_eq!(ch.query(s, t), dijkstra::distance(&g, s, t), "({s},{t})");
+    }
+}
+
+#[test]
+fn path_reconstruction_consistent_with_index_distance() {
+    let g = generate(&RoadNetConfig::sized(500, 95));
+    let stl = Stl::build(&g, &StlConfig::default());
+    for (s, t) in random_pairs(g.num_vertices(), 50, 23) {
+        let d_index = stl.query(s, t);
+        match dijkstra::shortest_path(&g, s, t) {
+            Some((path, d)) => {
+                assert_eq!(d, d_index);
+                assert_eq!(path.first(), Some(&s));
+                assert_eq!(path.last(), Some(&t));
+                let sum: u32 = path.windows(2).map(|w| g.weight(w[0], w[1]).unwrap()).sum();
+                assert_eq!(sum, d);
+            }
+            None => assert_eq!(d_index, stable_tree_labelling::prelude::INF),
+        }
+    }
+}
