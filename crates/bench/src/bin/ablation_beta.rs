@@ -10,9 +10,9 @@
 
 use stl_bench::{fmt_count, ms, parse_scale, time, us};
 use stl_core::{Maintenance, Stl, StlConfig, UpdateEngine};
+use stl_workloads::build_dataset;
 use stl_workloads::queries::random_pairs;
 use stl_workloads::updates::{increase_batch, restore_batch, sample_batches};
-use stl_workloads::build_dataset;
 
 fn main() {
     let (scale, _) = parse_scale();
@@ -45,7 +45,12 @@ fn main() {
         let mut updates = 0usize;
         let (_, t_u) = time(|| {
             for b in &batches {
-                stl_dyn.apply_batch(&mut g, &increase_batch(b, 2), Maintenance::ParetoSearch, &mut eng);
+                stl_dyn.apply_batch(
+                    &mut g,
+                    &increase_batch(b, 2),
+                    Maintenance::ParetoSearch,
+                    &mut eng,
+                );
                 stl_dyn.apply_batch(&mut g, &restore_batch(b), Maintenance::ParetoSearch, &mut eng);
                 updates += 2 * b.len();
             }

@@ -10,8 +10,8 @@
 //! ```
 
 use stl_bench::{batch_shape, parse_scale, Runner};
-use stl_workloads::updates::{increase_batch, restore_batch, sample_batches};
 use stl_workloads::build_dataset;
+use stl_workloads::updates::{increase_batch, restore_batch, sample_batches};
 
 fn main() {
     let (scale, _) = parse_scale();

@@ -41,9 +41,6 @@ fn main() {
         // DTDHL shares the H2H query path; measure it independently so
         // cache effects show up as in the paper.
         let t_dtdhl = run(&|s, t| h2h.query(s, t));
-        println!(
-            "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            spec.name, t_stl, t_hc2l, t_h2h, t_dtdhl
-        );
+        println!("{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8.3}", spec.name, t_stl, t_hc2l, t_h2h, t_dtdhl);
     }
 }

@@ -76,9 +76,9 @@ pub fn fmt_count(c: u64) -> String {
 /// A maintained dynamic index — the uniform driver for Tables 3/8/10.
 pub enum Runner {
     /// STL with the chosen algorithm family.
-    Stl { stl: Stl, g: CsrGraph, eng: Box<UpdateEngine>, algo: Maintenance },
+    Stl { stl: Box<Stl>, g: CsrGraph, eng: Box<UpdateEngine>, algo: Maintenance },
     /// IncH2H (fine) or DTDHL (coarse).
-    H2h { idx: DynamicH2h, g: CsrGraph },
+    H2h { idx: Box<DynamicH2h>, g: CsrGraph },
 }
 
 impl Runner {
@@ -86,9 +86,12 @@ impl Runner {
     pub fn new(kind: &str, g0: &CsrGraph) -> Runner {
         match kind {
             "STL-P" | "STL-L" => {
-                let algo =
-                    if kind == "STL-P" { Maintenance::ParetoSearch } else { Maintenance::LabelSearch };
-                let stl = Stl::build(g0, &StlConfig::default());
+                let algo = if kind == "STL-P" {
+                    Maintenance::ParetoSearch
+                } else {
+                    Maintenance::LabelSearch
+                };
+                let stl = Box::new(Stl::build(g0, &StlConfig::default()));
                 Runner::Stl {
                     stl,
                     g: g0.clone(),
@@ -97,11 +100,11 @@ impl Runner {
                 }
             }
             "IncH2H" => Runner::H2h {
-                idx: DynamicH2h::build(g0, Granularity::Fine),
+                idx: Box::new(DynamicH2h::build(g0, Granularity::Fine)),
                 g: g0.clone(),
             },
             "DTDHL" => Runner::H2h {
-                idx: DynamicH2h::build(g0, Granularity::Coarse),
+                idx: Box::new(DynamicH2h::build(g0, Granularity::Coarse)),
                 g: g0.clone(),
             },
             _ => panic!("unknown runner '{kind}'"),

@@ -28,16 +28,14 @@ impl ChwIndex {
     pub fn build(g: &CsrGraph) -> Self {
         let n = g.num_vertices();
         // Dynamic adjacency with weights.
-        let mut adj: Vec<FxHashMap<VertexId, Weight>> = (0..n as VertexId)
-            .map(|v| g.neighbors(v).collect::<FxHashMap<_, _>>())
-            .collect();
+        let mut adj: Vec<FxHashMap<VertexId, Weight>> =
+            (0..n as VertexId).map(|v| g.neighbors(v).collect::<FxHashMap<_, _>>()).collect();
         let mut base = FxHashMap::default();
         for (u, v, w) in g.edges() {
             base.insert(key(u, v), w);
         }
-        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n as VertexId)
-            .map(|v| Reverse((adj[v as usize].len() as u32, v)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> =
+            (0..n as VertexId).map(|v| Reverse((adj[v as usize].len() as u32, v))).collect();
         let mut eliminated = vec![false; n];
         let mut order = Vec::with_capacity(n);
         let mut rank = vec![0u32; n];
@@ -204,9 +202,7 @@ mod tests {
                 // Reference: Dijkstra on the subgraph {x : rank(x) < rank(v)} ∪ {u, v}.
                 let rv = chw.rank[v as usize];
                 let mut eng = stl_pathfinding::DijkstraEngine::new(n);
-                eng.run_filtered(g, v, |x| {
-                    x == u || x == v || chw.rank[x as usize] < rv
-                });
+                eng.run_filtered(g, v, |x| x == u || x == v || chw.rank[x as usize] < rv);
                 assert_eq!(w, eng.dist(u), "μ({v},{u}) wrong");
             }
         }

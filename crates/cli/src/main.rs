@@ -58,10 +58,7 @@ fn cmd_info(args: &[String]) -> Result<(), AnyErr> {
     println!("edges:      {}", g.num_edges());
     println!("components: {comps}");
     println!("max degree: {}", g.max_degree());
-    println!(
-        "avg degree: {:.2}",
-        2.0 * g.num_edges() as f64 / g.num_vertices().max(1) as f64
-    );
+    println!("avg degree: {:.2}", 2.0 * g.num_edges() as f64 / g.num_vertices().max(1) as f64);
     Ok(())
 }
 
@@ -84,11 +81,8 @@ fn cmd_build(args: &[String]) -> Result<(), AnyErr> {
     println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
     let cfg = StlConfig::with_beta(beta);
     let t0 = Instant::now();
-    let stl = if threads > 1 {
-        Stl::build_parallel(&g, &cfg, threads)
-    } else {
-        Stl::build(&g, &cfg)
-    };
+    let stl =
+        if threads > 1 { Stl::build_parallel(&g, &cfg, threads) } else { Stl::build(&g, &cfg) };
     let build_time = t0.elapsed();
     let stats = IndexStats::of(&stl);
     println!(
@@ -108,9 +102,7 @@ fn cmd_build(args: &[String]) -> Result<(), AnyErr> {
 
 fn load_index(path: &str) -> Result<Stl, AnyErr> {
     let mut buf = Vec::new();
-    File::open(path)
-        .map_err(|e| format!("cannot open '{path}': {e}"))?
-        .read_to_end(&mut buf)?;
+    File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?.read_to_end(&mut buf)?;
     Ok(persist::load(&buf)?)
 }
 

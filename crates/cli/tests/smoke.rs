@@ -1,0 +1,84 @@
+//! End-to-end smoke test for the `stl` binary: generate a tiny synthetic
+//! network, build + persist an index, then query and bench through it. This
+//! proves the binary target links and the full gen → build → load → query
+//! path works, with distances cross-checked against an in-process oracle.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn stl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_stl")).args(args).output().expect("failed to spawn stl")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "stl exited with {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Unique-per-test-process scratch directory, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        let dir = std::env::temp_dir().join(format!("stl-smoke-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn gen_build_query_bench_roundtrip() {
+    let scratch = Scratch::new();
+    let graph = scratch.path("tiny.gr");
+    let index = scratch.path("tiny.stl");
+
+    let out = stdout_of(&stl(&["gen", &graph, "--vertices", "300", "--seed", "9"]));
+    assert!(out.contains("vertices"), "gen output: {out}");
+
+    let out = stdout_of(&stl(&["info", &graph]));
+    assert!(out.contains("vertices:"), "info output: {out}");
+    assert!(out.contains("components: 1"), "generated network must be connected: {out}");
+
+    let out = stdout_of(&stl(&["build", &graph, "-o", &index]));
+    assert!(out.contains("wrote"), "build output: {out}");
+
+    // Same graph in-process: the CLI's answers must match direct queries.
+    let g = {
+        let f = std::fs::File::open(&graph).unwrap();
+        stl_graph::io::read_dimacs_gr(std::io::BufReader::new(f)).unwrap()
+    };
+    let oracle = stl_core::Stl::build(&g, &stl_core::StlConfig::default());
+    let out = stdout_of(&stl(&["query", &graph, &index, "1", "300", "17", "203"]));
+    let expect_a = oracle.query(0, 299);
+    let expect_b = oracle.query(16, 202);
+    assert!(out.contains(&format!("d(1, 300) = {expect_a}")), "query output: {out}");
+    assert!(out.contains(&format!("d(17, 203) = {expect_b}")), "query output: {out}");
+
+    let out = stdout_of(&stl(&["bench", &graph, &index, "--queries", "500"]));
+    assert!(out.contains("us/query"), "bench output: {out}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = stl(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = stl(&["query", "/nonexistent.gr", "/nonexistent.stl", "1", "2"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}

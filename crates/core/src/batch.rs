@@ -137,11 +137,6 @@ mod tests {
         let mut g = ladder(4);
         let mut stl = Stl::build(&g, &StlConfig::default());
         let mut eng = UpdateEngine::new(g.num_vertices());
-        stl.apply_batch(
-            &mut g,
-            &[EdgeUpdate::new(0, 7, 3)],
-            Maintenance::LabelSearch,
-            &mut eng,
-        );
+        stl.apply_batch(&mut g, &[EdgeUpdate::new(0, 7, 3)], Maintenance::LabelSearch, &mut eng);
     }
 }

@@ -108,7 +108,10 @@ fn restricted_search(
             continue;
         }
         out.set(v, tr, d);
-        let relax = |n: VertexId, w: u32, dist: &mut TimestampedArray<Dist>, heap: &mut BinaryHeap<Reverse<(Dist, VertexId)>>| {
+        let relax = |n: VertexId,
+                     w: u32,
+                     dist: &mut TimestampedArray<Dist>,
+                     heap: &mut BinaryHeap<Reverse<(Dist, VertexId)>>| {
             if w == INF || hier.tau(n) <= tr {
                 return;
             }

@@ -73,8 +73,17 @@ impl DirectedStl {
             return stats;
         }
         // Identify affected sets on the old graph for both families.
-        let aff_down =
-            collect_affected(&self.hier, &self.down, dg, a, b, w_old, Dir::Forward, eng, &mut stats);
+        let aff_down = collect_affected(
+            &self.hier,
+            &self.down,
+            dg,
+            a,
+            b,
+            w_old,
+            Dir::Forward,
+            eng,
+            &mut stats,
+        );
         let aff_up =
             collect_affected(&self.hier, &self.up, dg, b, a, w_old, Dir::Backward, eng, &mut stats);
         dg.set_arc_weight(a, b, w_new).expect("validated above");
@@ -91,7 +100,11 @@ impl DirectedStl {
 /// Arcs to relax from `v` for the given family during repair/decrease
 /// (downstream direction of the search).
 #[inline]
-fn arcs_of(dg: &DiGraph, v: VertexId, dir: Dir) -> Box<dyn Iterator<Item = (VertexId, Weight)> + '_> {
+fn arcs_of(
+    dg: &DiGraph,
+    v: VertexId,
+    dir: Dir,
+) -> Box<dyn Iterator<Item = (VertexId, Weight)> + '_> {
     match dir {
         Dir::Forward => Box::new(dg.out_neighbors(v)),
         Dir::Backward => Box::new(dg.in_neighbors(v)),
@@ -428,7 +441,8 @@ mod tests {
 
     #[test]
     fn zero_weight_arcs_safe() {
-        let mut dg = DiGraph::from_arcs(4, vec![(0, 1, 0), (1, 0, 0), (1, 2, 5), (2, 3, 0), (3, 1, 2)]);
+        let mut dg =
+            DiGraph::from_arcs(4, vec![(0, 1, 0), (1, 0, 0), (1, 2, 5), (2, 3, 0), (3, 1, 2)]);
         let mut stl = DirectedStl::build(&dg, &StlConfig { leaf_size: 1, ..Default::default() });
         let mut eng = UpdateEngine::new(4);
         stl.increase_arc(&mut dg, 0, 1, 3, &mut eng);

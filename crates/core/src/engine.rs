@@ -32,10 +32,7 @@ impl Ord for ParetoItem {
     fn cmp(&self, o: &Self) -> Ordering {
         // BinaryHeap is a max-heap: "greater" = preferred = smaller d, then
         // larger hi; remaining fields only to make the order total.
-        o.d.cmp(&self.d)
-            .then(self.hi.cmp(&o.hi))
-            .then(o.lo.cmp(&self.lo))
-            .then(o.v.cmp(&self.v))
+        o.d.cmp(&self.d).then(self.hi.cmp(&o.hi)).then(o.lo.cmp(&self.lo)).then(o.v.cmp(&self.v))
     }
 }
 

@@ -35,7 +35,7 @@ pub struct Hierarchy {
     pub(crate) node_cut_start: Box<[u32]>, // len nodes+1, into cut_vertices
     pub(crate) cut_vertices: Box<[VertexId]>,
     pub(crate) node_path_start: Box<[u32]>, // len nodes+1, into path_anc_end
-    pub(crate) path_anc_end: Box<[u32]>,    // anc_end of each node on the root path (level 0..=depth)
+    pub(crate) path_anc_end: Box<[u32]>, // anc_end of each node on the root path (level 0..=depth)
     // ---- per vertex ----
     pub(crate) node_of: Box<[u32]>,
     pub(crate) tau: Box<[u32]>,
@@ -343,13 +343,12 @@ impl Hierarchy {
         let tv = self.tau[v as usize];
         for i in (0..len).rev() {
             let nd = path[i];
-            let mut t = self.node_anc_offset[nd as usize];
-            for &r in self.cut(nd) {
+            let t0 = self.node_anc_offset[nd as usize];
+            for (t, &r) in (t0..).zip(self.cut(nd)) {
                 if t > tv {
                     return;
                 }
                 f(r, t);
-                t += 1;
             }
         }
     }
@@ -414,7 +413,8 @@ mod tests {
         for (u, v, _) in g.edges() {
             let (nu, nv) = (h.node_of(u), h.node_of(v));
             // Ancestorship check by walking up from the deeper node.
-            let (mut hi, lo) = if h.node_depth(nu) >= h.node_depth(nv) { (nu, nv) } else { (nv, nu) };
+            let (mut hi, lo) =
+                if h.node_depth(nu) >= h.node_depth(nv) { (nu, nv) } else { (nv, nu) };
             while h.node_depth(hi) > h.node_depth(lo) {
                 hi = h.node_parent(hi);
             }

@@ -239,11 +239,7 @@ fn repair(
 /// (`τ(a) < τ(b)`, cf. Algorithm 1 line 2; endpoints of an edge are always
 /// comparable by Lemma 5.3).
 #[inline]
-fn orient(
-    hier: &crate::hierarchy::Hierarchy,
-    a: VertexId,
-    b: VertexId,
-) -> (VertexId, VertexId) {
+fn orient(hier: &crate::hierarchy::Hierarchy, a: VertexId, b: VertexId) -> (VertexId, VertexId) {
     if hier.tau(a) < hier.tau(b) {
         (a, b)
     } else {
@@ -280,8 +276,7 @@ mod tests {
         let mut stl = Stl::build(&g, &StlConfig::default());
         let mut eng = UpdateEngine::new(g.num_vertices());
         let (a, b, w) = g.edges().nth(10).unwrap();
-        let stats =
-            decrease(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w / 2)], &mut eng);
+        let stats = decrease(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w / 2)], &mut eng);
         assert_eq!(stats.updates, 1);
         verify::check_all(&stl, &g).unwrap();
     }
@@ -292,8 +287,7 @@ mod tests {
         let mut stl = Stl::build(&g, &StlConfig::default());
         let mut eng = UpdateEngine::new(g.num_vertices());
         let (a, b, w) = g.edges().nth(17).unwrap();
-        let stats =
-            increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w * 3)], &mut eng);
+        let stats = increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, w * 3)], &mut eng);
         assert_eq!(stats.updates, 1);
         verify::check_all(&stl, &g).unwrap();
     }
@@ -326,10 +320,8 @@ mod tests {
     #[test]
     fn decrease_from_inf_acts_as_insertion() {
         // Graph with a pre-declared "closed road" at INF weight.
-        let mut g = from_edges(
-            6,
-            vec![(0, 1, 5), (1, 2, 5), (2, 3, 5), (3, 4, 5), (4, 5, 5), (0, 5, INF)],
-        );
+        let mut g =
+            from_edges(6, vec![(0, 1, 5), (1, 2, 5), (2, 3, 5), (3, 4, 5), (4, 5, 5), (0, 5, INF)]);
         let mut stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
         assert_eq!(stl.query(0, 5), 25);
         let mut eng = UpdateEngine::new(g.num_vertices());
@@ -368,8 +360,7 @@ mod tests {
             } else if target > cur {
                 increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, target)], &mut eng);
             }
-            verify::check_labels_exact(&stl, &g)
-                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            verify::check_labels_exact(&stl, &g).unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
         verify::check_all(&stl, &g).unwrap();
     }

@@ -169,9 +169,8 @@ impl Stl {
         let n = g.num_vertices();
         assert_eq!(n, hier.num_vertices());
         let mut labels = Labels::new_inf(&hier);
-        let order: Vec<VertexId> = (0..hier.num_nodes() as u32)
-            .flat_map(|node| hier.cut(node).iter().copied())
-            .collect();
+        let order: Vec<VertexId> =
+            (0..hier.num_nodes() as u32).flat_map(|node| hier.cut(node).iter().copied()).collect();
         // Shared mutable arena pointer; disjointness proven above.
         struct SendPtr(*mut Dist);
         unsafe impl Send for SendPtr {}
@@ -181,11 +180,11 @@ impl Stl {
         let counter = AtomicUsize::new(0);
         let hier_ref = &hier;
         let order = &order;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
                 let arena = &arena;
                 let counter = &counter;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut dist: TimestampedArray<Dist> = TimestampedArray::new(n, INF);
                     let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
                     loop {
@@ -223,8 +222,7 @@ impl Stl {
                     }
                 });
             }
-        })
-        .expect("construction worker panicked");
+        });
         Stl { hier, labels }
     }
 
@@ -314,7 +312,7 @@ mod tests {
     fn line_graph_labels_exact() {
         // On a path the subgraph distance to an ancestor equals the global
         // one whenever the ancestor is reachable within its subgraph.
-        let g = from_edges(8, (0..7).map(|i| (i, i + 1, ((i + 1)))).collect::<Vec<_>>());
+        let g = from_edges(8, (0..7).map(|i| (i, i + 1, i + 1)).collect::<Vec<_>>());
         let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
         for v in 0..8u32 {
             let tau = stl.hierarchy().tau(v);

@@ -430,8 +430,7 @@ mod tests {
             } else if target > cur {
                 increase(&mut stl, &mut g, &[EdgeUpdate::new(a, b, target)], &mut eng);
             }
-            verify::check_labels_exact(&stl, &g)
-                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            verify::check_labels_exact(&stl, &g).unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
     }
 

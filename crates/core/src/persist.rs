@@ -2,10 +2,8 @@
 //!
 //! Index construction takes minutes on large networks (Table 4); operators
 //! persist the index and reload at startup. The format is a
-//! length-prefixed little-endian layout written with `bytes` — no
-//! reflection, no allocation churn on load.
-
-use bytes::{Buf, BufMut};
+//! length-prefixed little-endian layout — no reflection, no allocation
+//! churn on load.
 
 use stl_graph::{Dist, VertexId};
 
@@ -78,7 +76,7 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
     let node_of = get_u32s(&mut buf)?;
     let tau = get_u32s(&mut buf)?;
     let nbits = get_len(&mut buf)?;
-    if buf.remaining() < nbits * 16 {
+    if buf.remaining() / 16 < nbits {
         return Err(PersistError::Truncated);
     }
     let mut bits = Vec::with_capacity(nbits);
@@ -87,7 +85,7 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
     }
     let depth = get_u32s(&mut buf)?;
     let noff = get_len(&mut buf)?;
-    if buf.remaining() < noff * 8 {
+    if buf.remaining() / 8 < noff {
         return Err(PersistError::Truncated);
     }
     let mut offsets = Vec::with_capacity(noff);
@@ -112,6 +110,64 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
     Ok(Stl { hier, labels })
 }
 
+/// Little-endian writer methods on `Vec<u8>` (the subset of `bytes::BufMut`
+/// this module needs, kept local so the workspace builds offline).
+trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u32_le(&mut self, x: u32);
+    fn put_u64_le(&mut self, x: u64);
+    fn put_u128_le(&mut self, x: u128);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u32_le(&mut self, x: u32) {
+        self.extend_from_slice(&x.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, x: u64) {
+        self.extend_from_slice(&x.to_le_bytes());
+    }
+    fn put_u128_le(&mut self, x: u128) {
+        self.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Little-endian cursor methods on `&[u8]` (the subset of `bytes::Buf` this
+/// module needs). Callers bounds-check via [`Buf::remaining`] before reading.
+trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_u128_le(&mut self) -> u128;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_u128_le(&mut self) -> u128 {
+        let (head, rest) = self.split_at(16);
+        *self = rest;
+        u128::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
 fn put_u32s(out: &mut Vec<u8>, xs: &[u32]) {
     out.put_u64_le(xs.len() as u64);
     for &x in xs {
@@ -128,7 +184,7 @@ fn get_len(buf: &mut &[u8]) -> Result<usize, PersistError> {
 
 fn get_u32s(buf: &mut &[u8]) -> Result<Box<[u32]>, PersistError> {
     let n = get_len(buf)?;
-    if buf.remaining() < n * 4 {
+    if buf.remaining() / 4 < n {
         return Err(PersistError::Truncated);
     }
     let mut v = Vec::with_capacity(n);
@@ -147,7 +203,10 @@ mod tests {
     fn sample() -> (stl_graph::CsrGraph, Stl) {
         let g = from_edges(
             10,
-            (0..9u32).map(|i| (i, i + 1, 2 + i % 5)).chain([(0, 9, 7), (2, 7, 4)]).collect::<Vec<_>>(),
+            (0..9u32)
+                .map(|i| (i, i + 1, 2 + i % 5))
+                .chain([(0, 9, 7), (2, 7, 4)])
+                .collect::<Vec<_>>(),
         );
         let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
         (g, stl)
@@ -170,6 +229,18 @@ mod tests {
     fn bad_magic_rejected() {
         assert_eq!(load(b"NOPE....").unwrap_err(), PersistError::BadMagic);
         assert_eq!(load(b"").unwrap_err(), PersistError::BadMagic);
+    }
+
+    #[test]
+    fn huge_length_field_rejected_without_panic() {
+        // A corrupt length prefix whose `n * size` would overflow usize must
+        // report Truncated, not panic or attempt a giant allocation.
+        for huge in [u64::MAX, u64::MAX / 4 + 1, u64::MAX / 16 + 1] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&huge.to_le_bytes());
+            assert_eq!(load(&bytes).unwrap_err(), PersistError::Truncated);
+        }
     }
 
     #[test]

@@ -57,11 +57,8 @@ impl Stl {
     /// The `k` nearest of `pois` from `s` by network distance, ascending;
     /// unreachable POIs are excluded.
     pub fn k_nearest(&self, s: VertexId, pois: &[VertexId], k: usize) -> Vec<(Dist, VertexId)> {
-        let mut ranked: Vec<(Dist, VertexId)> = pois
-            .iter()
-            .map(|&p| (self.query(s, p), p))
-            .filter(|&(d, _)| d != INF)
-            .collect();
+        let mut ranked: Vec<(Dist, VertexId)> =
+            pois.iter().map(|&p| (self.query(s, p), p)).filter(|&(d, _)| d != INF).collect();
         ranked.sort_unstable();
         ranked.truncate(k);
         ranked

@@ -83,10 +83,7 @@ pub fn check_two_hop_cover(stl: &Stl, g: &CsrGraph) -> Result<(), String> {
         for t in 0..n {
             let got = stl.query(s, t);
             if got != oracle[t as usize] {
-                return Err(format!(
-                    "query({s},{t}) = {got}, expected {}",
-                    oracle[t as usize]
-                ));
+                return Err(format!("query({s},{t}) = {got}, expected {}", oracle[t as usize]));
             }
         }
     }
@@ -134,9 +131,8 @@ mod tests {
         let g = from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 9)]);
         let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
         // Corrupt one non-self entry.
-        let victim = (0..4u32)
-            .find(|&v| stl.hierarchy().tau(v) > 0)
-            .expect("some vertex has an ancestor");
+        let victim =
+            (0..4u32).find(|&v| stl.hierarchy().tau(v) > 0).expect("some vertex has an ancestor");
         stl.labels.set(victim, 0, 12345);
         assert!(check_labels_exact(&stl, &g).is_err());
     }

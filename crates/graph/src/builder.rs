@@ -111,12 +111,7 @@ impl GraphBuilder {
                 weights[lo + i] = w;
             }
         }
-        CsrGraph::from_parts(
-            offsets.into_boxed_slice(),
-            targets.into_boxed_slice(),
-            weights,
-            m,
-        )
+        CsrGraph::from_parts(offsets.into_boxed_slice(), targets.into_boxed_slice(), weights, m)
     }
 }
 

@@ -224,18 +224,14 @@ mod tests {
         let mut g = triangle();
         assert!(g.set_weight(0, 7, 1).is_err());
         assert!(g.set_weight(9, 0, 1).is_err());
-        assert!(matches!(
-            g.set_weight(1, 1, 1),
-            Err(crate::GraphError::NoSuchEdge(1, 1))
-        ));
+        assert!(matches!(g.set_weight(1, 1, 1), Err(crate::GraphError::NoSuchEdge(1, 1))));
     }
 
     #[test]
     fn batch_updates_return_old_weights() {
         let mut g = triangle();
-        let olds = g
-            .apply_updates(&[EdgeUpdate::new(0, 1, 11), EdgeUpdate::new(1, 2, 21)])
-            .unwrap();
+        let olds =
+            g.apply_updates(&[EdgeUpdate::new(0, 1, 11), EdgeUpdate::new(1, 2, 21)]).unwrap();
         assert_eq!(olds, vec![10, 20]);
         assert_eq!(g.weight(0, 1), Some(11));
     }

@@ -25,7 +25,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Build from directed arcs `(from, to, weight)`; duplicate arcs keep
     /// the minimum weight, self-loops are dropped.
-    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_arcs(
+        n: usize,
+        arcs: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let mut dedup: FxHashMap<(VertexId, VertexId), Weight> = FxHashMap::default();
         for (u, v, w) in arcs {
             assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range");
@@ -109,8 +112,8 @@ impl DiGraph {
         let old = std::mem::replace(&mut self.out_weights[oi], w);
         let (ilo, ihi) =
             (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize);
-        let ii = ilo
-            + self.in_targets[ilo..ihi].binary_search(&u).expect("in-CSR must mirror out-CSR");
+        let ii =
+            ilo + self.in_targets[ilo..ihi].binary_search(&u).expect("in-CSR must mirror out-CSR");
         self.in_weights[ii] = w;
         Some(old)
     }

@@ -77,13 +77,11 @@ mod tests {
 
     #[test]
     fn distinct_keys_rarely_collide() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = BuildHasherDefault::<FxHasher>::default();
         let mut seen = HashSet::new();
         for i in 0..10_000u64 {
-            
-            
-            seen.insert(bh.hash_one(&i));
+            seen.insert(bh.hash_one(i));
         }
         // Fx is not cryptographic but must be injective-ish on small ranges.
         assert!(seen.len() > 9_990);

@@ -159,7 +159,9 @@ impl H2hIndex {
     /// Bytes of auxiliary data (ancestor arrays, LCA tables, contraction
     /// structure) — what separates IncH2H's footprint from its label count.
     pub fn aux_bytes(&self) -> usize {
-        self.anc.len() * 4 + self.offsets.len() * 8 + self.lca.memory_bytes()
+        self.anc.len() * 4
+            + self.offsets.len() * 8
+            + self.lca.memory_bytes()
             + self.chw.memory_bytes()
     }
 

@@ -91,8 +91,7 @@ impl LcaIndex {
             let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
             first[root as usize] = euler.len() as u32;
             euler.push(root);
-            loop {
-                let Some(&(v, ci)) = stack.last() else { break };
+            while let Some(&(v, ci)) = stack.last() {
                 if ci < children[v as usize].len() {
                     let c = children[v as usize][ci];
                     stack.last_mut().expect("non-empty").1 += 1;

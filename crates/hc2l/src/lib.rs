@@ -114,16 +114,14 @@ fn build_densified_hierarchy(g: &CsrGraph, cfg: &StlConfig) -> Hierarchy {
         // Contract the cut into the remaining subgraph (CH-style fill-in):
         // this is where HC2L's shortcut densification happens.
         let augmented = contract_cut(&frame.graph, &cut_local);
-        let cut_global: Vec<VertexId> =
-            cut_local.iter().map(|&l| frame.map[l as usize]).collect();
+        let cut_global: Vec<VertexId> = cut_local.iter().map(|&l| frame.map[l as usize]).collect();
         raw.push(RawNode { parent: frame.parent, side: frame.side, cut: cut_global });
         for (side_idx, side) in [(0u8, side_a), (1u8, side_b)].into_iter() {
             if side.is_empty() {
                 continue;
             }
             let (sub, local_map) = induced_subgraph(&augmented, &side);
-            let map: Vec<VertexId> =
-                local_map.iter().map(|&l| frame.map[l as usize]).collect();
+            let map: Vec<VertexId> = local_map.iter().map(|&l| frame.map[l as usize]).collect();
             queue.push_back(Frame {
                 graph: sub,
                 map,
@@ -178,9 +176,8 @@ fn contract_cut(h: &CsrGraph, cut: &[VertexId]) -> CsrGraph {
         in_cut[c as usize] = true;
     }
     // Dynamic adjacency over surviving vertices.
-    let mut adj: Vec<FxHashMap<VertexId, u32>> = (0..n as VertexId)
-        .map(|v| h.neighbors(v).collect::<FxHashMap<_, _>>())
-        .collect();
+    let mut adj: Vec<FxHashMap<VertexId, u32>> =
+        (0..n as VertexId).map(|v| h.neighbors(v).collect::<FxHashMap<_, _>>()).collect();
     for &c in cut {
         let nbrs: Vec<(VertexId, u32)> = adj[c as usize]
             .iter()

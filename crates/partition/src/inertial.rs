@@ -24,9 +24,7 @@ pub fn inertial_bisection(g: &CsrGraph, cfg: &PartitionConfig) -> Vec<u8> {
     let mut keyed: Vec<(f32, u32)> = Vec::with_capacity(n);
     for &(dx, dy) in dirs.iter().take(cfg.inertial_directions.max(1)) {
         keyed.clear();
-        keyed.extend(
-            coords.iter().enumerate().map(|(i, &(x, y))| (x * dx + y * dy, i as u32)),
-        );
+        keyed.extend(coords.iter().enumerate().map(|(i, &(x, y))| (x * dx + y * dy, i as u32)));
         keyed.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut side = vec![1u8; n];
         for &(_, v) in keyed.iter().take(half) {

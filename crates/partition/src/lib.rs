@@ -123,9 +123,7 @@ mod tests {
     fn separator_on_grid_with_coords_uses_inertial() {
         let side = 10u32;
         let mut g = grid(side);
-        g.set_coords(
-            (0..side * side).map(|i| ((i % side) as f32, (i / side) as f32)).collect(),
-        );
+        g.set_coords((0..side * side).map(|i| ((i % side) as f32, (i / side) as f32)).collect());
         let sep = find_separator(&g, &PartitionConfig::default());
         assert!(is_valid_separator(&g, &sep));
         assert!(sep.separator.len() <= 14);

@@ -124,8 +124,7 @@ mod tests {
         let g1 = generate(&RoadNetConfig::sized(500, 1));
         let g2 = generate(&RoadNetConfig::sized(500, 2));
         assert!(
-            g1.num_edges() != g2.num_edges()
-                || g1.edges().zip(g2.edges()).any(|(a, b)| a != b)
+            g1.num_edges() != g2.num_edges() || g1.edges().zip(g2.edges()).any(|(a, b)| a != b)
         );
     }
 

@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn factor_capped_below_inf() {
-        let targets =
-            [UpdateTarget { a: 0, b: 1, original: INF - 2 }];
+        let targets = [UpdateTarget { a: 0, b: 1, original: INF - 2 }];
         let inc = increase_batch(&targets, 10);
         assert!(inc[0].new_weight < INF);
     }

@@ -15,8 +15,7 @@ use stable_tree_labelling::prelude::*;
 use stable_tree_labelling::workloads::{generate, RoadNetConfig};
 
 fn knn(stl: &Stl, pois: &[VertexId], from: VertexId, k: usize) -> Vec<(Dist, VertexId)> {
-    let mut ranked: Vec<(Dist, VertexId)> =
-        pois.iter().map(|&p| (stl.query(from, p), p)).collect();
+    let mut ranked: Vec<(Dist, VertexId)> = pois.iter().map(|&p| (stl.query(from, p), p)).collect();
     ranked.sort_unstable();
     ranked.truncate(k);
     ranked
@@ -34,8 +33,7 @@ fn main() {
 
     for &c in &customers {
         let top = knn(&stl, &pois, c, 5);
-        let pretty: Vec<String> =
-            top.iter().map(|(d, p)| format!("station {p} ({d}s)")).collect();
+        let pretty: Vec<String> = top.iter().map(|(d, p)| format!("station {p} ({d}s)")).collect();
         println!("customer {c}: {}", pretty.join(", "));
     }
 
@@ -43,11 +41,8 @@ fn main() {
     let victim = customers[0];
     let nearest = knn(&stl, &pois, victim, 1)[0].1;
     // Close the first road segment adjacent to that station.
-    let (a, b, _) = g
-        .neighbors(nearest)
-        .next()
-        .map(|(nb, w)| (nearest, nb, w))
-        .expect("station has a road");
+    let (a, b, _) =
+        g.neighbors(nearest).next().map(|(nb, w)| (nearest, nb, w)).expect("station has a road");
     let mut eng = UpdateEngine::new(n);
     stl.delete_edge(&mut g, a, b, Maintenance::ParetoSearch, &mut eng);
     println!("\nroad ({a},{b}) next to station {nearest} closed; re-ranking:");

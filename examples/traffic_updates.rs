@@ -65,14 +65,10 @@ fn main() {
         };
         for _ in 0..50 {
             let rider = next(n as u64) as VertexId;
-            let drivers: Vec<VertexId> =
-                (0..8).map(|_| next(n as u64) as VertexId).collect();
+            let drivers: Vec<VertexId> = (0..8).map(|_| next(n as u64) as VertexId).collect();
             let t1 = Instant::now();
-            let best = drivers
-                .iter()
-                .map(|&d| (stl.query(d, rider), d))
-                .min()
-                .expect("eight candidates");
+            let best =
+                drivers.iter().map(|&d| (stl.query(d, rider), d)).min().expect("eight candidates");
             query_time += t1.elapsed();
             queries += drivers.len() as u64;
             // Exactness check against the classical baseline.
@@ -83,9 +79,7 @@ fn main() {
                 .expect("eight candidates");
             assert_eq!(best.0, oracle.0, "index disagrees with Dijkstra");
         }
-        println!(
-            "tick {tick}: wave of 40 congestions applied; 50 riders matched (all verified)"
-        );
+        println!("tick {tick}: wave of 40 congestions applied; 50 riders matched (all verified)");
     }
     println!(
         "\n{} index queries in {:.2?} ({:.2} µs/query); {} update batches in {:.2?}",

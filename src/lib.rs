@@ -4,14 +4,20 @@
 //! Accelerating Distance Queries on Dynamic Road Networks"* (EDBT 2025),
 //! including every substrate and baseline its evaluation depends on.
 //!
-//! This facade crate re-exports the workspace crates under stable paths:
+//! This facade crate re-exports the workspace crates under stable paths.
+//! Quick start — build an index over a toy network and query it:
 //!
 //! ```
+//! use stable_tree_labelling::core::{Stl, StlConfig};
+//! use stable_tree_labelling::graph::builder::from_edges;
 //! use stable_tree_labelling::prelude::*;
+//!
+//! let g = from_edges(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)]);
+//! let stl = Stl::build(&g, &StlConfig::default());
+//! assert_eq!(stl.query(0, 3), 12); // 3 + 4 + 5 beats the direct 20
 //! ```
 //!
-//! See the `examples/` directory for runnable end-to-end scenarios and
-//! `DESIGN.md` for the system inventory.
+//! See the `examples/` directory for runnable end-to-end scenarios.
 
 pub use stl_ch as ch;
 pub use stl_core as core;

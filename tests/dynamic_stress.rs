@@ -115,12 +115,7 @@ fn repeated_updates_to_same_edge_converge() {
     let mut rng = StdRng::seed_from_u64(41);
     for _ in 0..30 {
         let w = rng.random_range(1..10_000);
-        stl.apply_batch(
-            &mut g,
-            &[EdgeUpdate::new(a, b, w)],
-            Maintenance::ParetoSearch,
-            &mut eng,
-        );
+        stl.apply_batch(&mut g, &[EdgeUpdate::new(a, b, w)], Maintenance::ParetoSearch, &mut eng);
     }
     stl.apply_batch(&mut g, &[EdgeUpdate::new(a, b, w0)], Maintenance::LabelSearch, &mut eng);
     verify::check_all(&stl, &g).unwrap();
@@ -129,10 +124,7 @@ fn repeated_updates_to_same_edge_converge() {
 #[test]
 fn stress_on_closed_road_network() {
     // Networks that ship with pre-declared INF edges must behave.
-    let cfg = RoadNetConfig {
-        closed_road_prob: 0.05,
-        ..RoadNetConfig::sized(400, 43)
-    };
+    let cfg = RoadNetConfig { closed_road_prob: 0.05, ..RoadNetConfig::sized(400, 43) };
     let mut g = generate(&cfg);
     let mut stl = Stl::build(&g, &StlConfig::default());
     let mut eng = UpdateEngine::new(g.num_vertices());

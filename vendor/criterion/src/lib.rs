@@ -1,0 +1,354 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace resolves
+//! `criterion` to this shim. Bench sources compile unchanged against the
+//! subset they use (`Criterion::benchmark_group`, `bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, `sample_size`, the `criterion_group!` /
+//! `criterion_main!` macros). Instead of criterion's statistical analysis it
+//! runs a warm-up pass followed by timed samples and reports min / mean /
+//! median per benchmark — enough for A/B comparisons until the real crate can
+//! be restored with a one-line manifest change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Substring filter from the command line (cargo bench passes trailing
+    /// free arguments through to the bench binary).
+    filter: Option<String>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// When true (cargo passes `--test` for `cargo test --benches`), run each
+    /// benchmark body once and skip timing.
+    test_mode: bool,
+    /// How many benchmarks ran (matched the filter); used to warn on a filter
+    /// that matched nothing, e.g. a stray operand of an unrecognized flag.
+    ran: std::cell::Cell<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+            ran: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the arguments cargo forwards to a `harness = false` bench binary.
+    /// Unknown flags are ignored so the shim stays drop-in for common
+    /// criterion invocations (`--bench`, `--save-baseline`, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--verbose" | "--quiet" | "--noplot" | "--discard-baseline" => {}
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self = self.sample_size(n);
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                        self = self.warm_up_time(Duration::from_secs_f64(s));
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                        self = self.measurement_time(Duration::from_secs_f64(s));
+                    }
+                }
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--color" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                free => self.filter = Some(free.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label();
+        let sample_size = self.sample_size;
+        self.run_one(&label, sample_size, f);
+        self
+    }
+
+    pub fn final_summary(&self) {
+        if self.ran.get() == 0 {
+            if let Some(filter) = &self.filter {
+                eprintln!(
+                    "warning: no benchmark matched filter '{filter}' — if that was the value \
+                     of a flag this shim doesn't know, it was mistaken for a name filter"
+                );
+            }
+        }
+    }
+
+    fn run_one<F>(&self, label: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran.set(self.ran.get() + 1);
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once, elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            println!("test {label} ... ok");
+            return;
+        }
+
+        // Warm-up: discover a per-sample iteration count that fills roughly
+        // measurement_time / sample_size.
+        let mut b = Bencher { mode: Mode::Timed { iters: 1 }, elapsed: Duration::ZERO, iters: 0 };
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut per_iter;
+        loop {
+            f(&mut b);
+            per_iter = b.elapsed / b.iters.max(1) as u32;
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+            let next = (b.iters * 2).min(1 << 30);
+            b.mode = Mode::Timed { iters: next };
+        }
+        let budget = self.measurement_time / sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1024
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            b.mode = Mode::Timed { iters: iters_per_sample };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{label:<40} min {:>10}  mean {:>10}  median {:>10}  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(median),
+            samples.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Benchmark identifier: `function_id/parameter`, as in the real crate.
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function_id: function_id.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function_id: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function_id.is_empty() => p.clone(),
+            Some(p) => format!("{}/{p}", self.function_id),
+            None => self.function_id.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function_id: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function_id: s, parameter: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&label, sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<F, I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// Run the body once, untimed (`cargo test --benches`).
+    Once,
+    /// Time `iters` iterations.
+    Timed { iters: u64 },
+}
+
+/// Passed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Once => {
+                black_box(routine());
+                self.iters = 1;
+                self.elapsed = Duration::ZERO;
+            }
+            Mode::Timed { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("stl", "random").label(), "stl/random");
+        assert_eq!(BenchmarkId::from_parameter(4000).label(), "4000");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn group_runs_functions() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(2).bench_function("f", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
