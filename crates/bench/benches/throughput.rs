@@ -1,0 +1,84 @@
+//! Criterion bench: concurrent query throughput with a live writer.
+//!
+//! Measures how `stl_server` scales queries over 1/2/4/8 reader threads
+//! while the writer continuously applies and publishes congestion batches —
+//! the mixed regime of the paper's traffic scenario. A feeder thread keeps
+//! one increase+restore round-trip in flight for the whole measurement, so
+//! every sample runs under real publish churn; each iteration serves a
+//! fixed number of queries split across the readers, making reported time
+//! directly queries-per-second.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stl_core::{Stl, StlConfig};
+use stl_server::{ServerConfig, StlServer};
+use stl_workloads::queries::random_pairs;
+use stl_workloads::updates::{increase_batch, restore_batch, sample_batches};
+use stl_workloads::{generate, RoadNetConfig};
+
+const QUERIES_PER_ITER: usize = 8_192;
+
+fn bench_throughput(c: &mut Criterion) {
+    let g = generate(&RoadNetConfig::sized(6_000, 505));
+    let stl = Stl::build(&g, &StlConfig::default());
+    let pairs = random_pairs(g.num_vertices(), QUERIES_PER_ITER, 42);
+    let wave = &sample_batches(&g, 1, 16, 2024)[0];
+    let inc = increase_batch(wave, 3);
+    let res = restore_batch(wave);
+
+    let mut group = c.benchmark_group("throughput_6k_live_writer");
+    group.sample_size(20);
+    for readers in [1usize, 2, 4, 8] {
+        let server = StlServer::start(g.clone(), stl.clone(), ServerConfig::default());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // The live writer: congestion wave in, recovery out, repeat.
+            // Alternating increase/restore keeps the published state cycling
+            // through exactly two epochs, so iterations stay comparable.
+            let feeder = scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let t = server.submit(inc.clone());
+                    server.wait_for(t);
+                    let t = server.submit(res.clone());
+                    server.wait_for(t);
+                }
+            });
+            group.bench_function(BenchmarkId::new("queries_8192", readers), |b| {
+                b.iter(|| {
+                    std::thread::scope(|rscope| {
+                        for r in 0..readers {
+                            let server = &server;
+                            let pairs = &pairs;
+                            rscope.spawn(move || {
+                                // Re-grab the snapshot every 256 queries:
+                                // real readers refresh their epoch, so the
+                                // swap-slot acquisition cost belongs in the
+                                // measurement.
+                                let mut snap = server.snapshot();
+                                let mut acc = 0u64;
+                                for (i, &(s, t)) in
+                                    pairs.iter().skip(r).step_by(readers).enumerate()
+                                {
+                                    if i % 256 == 0 {
+                                        snap = server.snapshot();
+                                    }
+                                    acc = acc.wrapping_add(snap.query(s, t) as u64);
+                                }
+                                std::hint::black_box(acc);
+                            });
+                        }
+                    });
+                })
+            });
+            stop.store(true, Ordering::Relaxed);
+            feeder.join().expect("feeder thread");
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -6,7 +6,14 @@
 //! stl query   <graph.gr> <index.stl> <s> <t> [<s> <t> ...]
 //! stl bench   <graph.gr> <index.stl> [--queries N]
 //! stl gen     <out.gr> [--vertices N] [--seed S]  synthetic road network
+//! stl serve   <graph.gr> [--readers N] [--ops N] [--update-fraction F]
+//!             [--batch-size K] [--seed S] [--algo pareto|label] [--threads T]
 //! ```
+//!
+//! `serve` builds an index in-process, starts the `stl_server`
+//! epoch-snapshot service (readers on immutable snapshots, one writer
+//! publishing per batch), replays a seeded mixed query/update trace through
+//! it, and reports throughput plus the writer's publish latency.
 //!
 //! Graphs are DIMACS 9th-challenge `.gr` files (1-based vertex ids on the
 //! command line, matching the format). Indexes are the compact binary
@@ -17,8 +24,10 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use stl_core::{persist, IndexStats, Stl, StlConfig};
+use stl_core::{persist, IndexStats, Maintenance, Stl, StlConfig};
 use stl_graph::{io as gio, CsrGraph};
+use stl_server::{replay_mixed, ServerConfig, StlServer};
+use stl_workloads::mixed::{mixed_trace, split_trace, MixedConfig};
 use stl_workloads::{generate, RoadNetConfig};
 
 fn main() -> ExitCode {
@@ -29,8 +38,9 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: stl <info|build|query|bench|gen> ... (see --help in README)");
+            eprintln!("usage: stl <info|build|query|bench|gen|serve> ... (see --help in README)");
             return ExitCode::from(2);
         }
     };
@@ -158,6 +168,80 @@ fn cmd_bench(args: &[String]) -> Result<(), AnyErr> {
         elapsed,
         elapsed.as_secs_f64() * 1e6 / n_queries as f64
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
+    let graph_path = args.first().ok_or("usage: stl serve <graph.gr> [flags] (see README)")?;
+    let mut readers = 4usize;
+    let mut ops = 50_000usize;
+    let mut update_fraction = 0.002f64;
+    let mut batch_size = 10usize;
+    let mut seed = 0xD157u64;
+    let mut algo = Maintenance::ParetoSearch;
+    let mut threads = 1usize;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--readers" => readers = it.next().ok_or("--readers needs a value")?.parse()?,
+            "--ops" => ops = it.next().ok_or("--ops needs a value")?.parse()?,
+            "--update-fraction" => {
+                update_fraction = it.next().ok_or("--update-fraction needs a value")?.parse()?
+            }
+            "--batch-size" => {
+                batch_size = it.next().ok_or("--batch-size needs a value")?.parse()?
+            }
+            "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
+            "--threads" => threads = it.next().ok_or("--threads needs a value")?.parse()?,
+            "--algo" => {
+                algo = match it.next().map(String::as_str) {
+                    Some("pareto") => Maintenance::ParetoSearch,
+                    Some("label") => Maintenance::LabelSearch,
+                    other => return Err(format!("--algo pareto|label, got {other:?}").into()),
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+    if readers == 0 {
+        return Err("--readers must be at least 1".into());
+    }
+    if batch_size == 0 {
+        return Err("--batch-size must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&update_fraction) {
+        return Err("--update-fraction must be within 0.0..=1.0".into());
+    }
+    let g = load_graph(graph_path)?;
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    let cfg = StlConfig::default();
+    let t0 = Instant::now();
+    let stl =
+        if threads > 1 { Stl::build_parallel(&g, &cfg, threads) } else { Stl::build(&g, &cfg) };
+    println!("index built in {:.2?}", t0.elapsed());
+
+    let trace = mixed_trace(
+        &g,
+        &MixedConfig { ops, update_fraction, batch_size, seed, ..Default::default() },
+    );
+    let (queries, batches) = split_trace(trace);
+    println!(
+        "trace: {} queries / {} batches of {} updates (seed {seed}), {readers} reader threads",
+        queries.len(),
+        batches.len(),
+        batch_size
+    );
+
+    let server = StlServer::start(g, stl, ServerConfig { algo });
+    let wall = replay_mixed(&server, &queries, &batches, readers);
+    let stats = server.shutdown();
+    println!(
+        "served {} queries in {:.2?} — {:.0} queries/s with a live writer",
+        stats.queries_served,
+        wall,
+        stats.queries_served as f64 / wall.as_secs_f64()
+    );
+    println!("writer: {stats}");
     Ok(())
 }
 

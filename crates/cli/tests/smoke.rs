@@ -26,7 +26,12 @@ struct Scratch(PathBuf);
 
 impl Scratch {
     fn new() -> Scratch {
-        let dir = std::env::temp_dir().join(format!("stl-smoke-{}", std::process::id()));
+        // Unique per test even when the harness runs tests in parallel
+        // threads of one process — a shared dir would be torn down by
+        // whichever test finishes first.
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let id = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("stl-smoke-{}-{id}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create scratch dir");
         Scratch(dir)
     }
@@ -72,6 +77,50 @@ fn gen_build_query_bench_roundtrip() {
 
     let out = stdout_of(&stl(&["bench", &graph, &index, "--queries", "500"]));
     assert!(out.contains("us/query"), "bench output: {out}");
+}
+
+#[test]
+fn serve_runs_mixed_trace_and_reports_stats() {
+    let scratch = Scratch::new();
+    let graph = scratch.path("serve.gr");
+    stdout_of(&stl(&["gen", &graph, "--vertices", "250", "--seed", "12"]));
+    let out = stdout_of(&stl(&[
+        "serve",
+        &graph,
+        "--readers",
+        "2",
+        "--ops",
+        "3000",
+        "--update-fraction",
+        "0.01",
+        "--batch-size",
+        "4",
+        "--seed",
+        "77",
+        "--algo",
+        "label",
+    ]));
+    assert!(out.contains("queries/s"), "serve output: {out}");
+    assert!(out.contains("generation"), "serve output: {out}");
+    // The trace is seeded: the query/batch split is reproducible.
+    assert!(out.contains("seed 77"), "serve output: {out}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = stl(&["serve", "/nonexistent.gr"]);
+    assert_eq!(out.status.code(), Some(1));
+    // Invalid values exit 1 with a clean message, never a panic (code 101).
+    for bad in [
+        vec!["serve", "x.gr", "--algo", "quantum"],
+        vec!["serve", "x.gr", "--readers", "0"],
+        vec!["serve", "x.gr", "--batch-size", "0"],
+        vec!["serve", "x.gr", "--update-fraction", "1.5"],
+    ] {
+        let out = stl(&bad);
+        assert_eq!(out.status.code(), Some(1), "args: {bad:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("error:"), "args: {bad:?}");
+    }
 }
 
 #[test]

@@ -136,31 +136,7 @@ fn restricted_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Reference directed Dijkstra.
-    fn oracle(dg: &DiGraph, s: VertexId) -> Vec<Dist> {
-        let n = dg.num_vertices();
-        let mut dist = vec![INF; n];
-        let mut heap = BinaryHeap::new();
-        dist[s as usize] = 0;
-        heap.push(Reverse((0, s)));
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if d > dist[v as usize] {
-                continue;
-            }
-            for (n, w) in dg.out_neighbors(v) {
-                if w == INF {
-                    continue;
-                }
-                let nd = dist_add(d, w);
-                if nd < dist[n as usize] {
-                    dist[n as usize] = nd;
-                    heap.push(Reverse((nd, n)));
-                }
-            }
-        }
-        dist
-    }
+    use crate::testutil::directed_oracle as oracle;
 
     fn directed_grid(side: u32) -> DiGraph {
         // Grid with asymmetric weights: eastbound cheaper than westbound,

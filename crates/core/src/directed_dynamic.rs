@@ -301,42 +301,8 @@ fn repair_family(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::assert_directed_exact as assert_exact;
     use crate::types::StlConfig;
-    use std::collections::BinaryHeap;
-    use stl_graph::Dist;
-
-    fn oracle(dg: &DiGraph, s: VertexId) -> Vec<Dist> {
-        let n = dg.num_vertices();
-        let mut dist = vec![INF; n];
-        let mut heap = BinaryHeap::new();
-        dist[s as usize] = 0;
-        heap.push(Reverse((0, s)));
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if d > dist[v as usize] {
-                continue;
-            }
-            for (nb, w) in dg.out_neighbors(v) {
-                if w == INF {
-                    continue;
-                }
-                let nd = dist_add(d, w);
-                if nd < dist[nb as usize] {
-                    dist[nb as usize] = nd;
-                    heap.push(Reverse((nd, nb)));
-                }
-            }
-        }
-        dist
-    }
-
-    fn assert_exact(dg: &DiGraph, stl: &DirectedStl) {
-        for s in 0..dg.num_vertices() as VertexId {
-            let d = oracle(dg, s);
-            for t in 0..dg.num_vertices() as VertexId {
-                assert_eq!(stl.query(s, t), d[t as usize], "query({s}->{t})");
-            }
-        }
-    }
 
     fn directed_grid(side: u32) -> DiGraph {
         let idx = |x: u32, y: u32| y * side + x;

@@ -49,3 +49,50 @@ pub use hierarchy::{Hierarchy, RawNode};
 pub use labelling::{Labels, Stl};
 pub use stats::IndexStats;
 pub use types::{Maintenance, StlConfig, UpdateStats};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared reference implementations for this crate's unit tests.
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use stl_graph::{dist_add, DiGraph, Dist, VertexId, INF};
+
+    use crate::directed::DirectedStl;
+
+    /// Reference directed Dijkstra over out-arcs.
+    pub fn directed_oracle(dg: &DiGraph, s: VertexId) -> Vec<Dist> {
+        let n = dg.num_vertices();
+        let mut dist = vec![INF; n];
+        let mut heap = BinaryHeap::new();
+        dist[s as usize] = 0;
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (nb, w) in dg.out_neighbors(v) {
+                if w == INF {
+                    continue;
+                }
+                let nd = dist_add(d, w);
+                if nd < dist[nb as usize] {
+                    dist[nb as usize] = nd;
+                    heap.push(Reverse((nd, nb)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Assert every pairwise directed query matches the oracle.
+    pub fn assert_directed_exact(dg: &DiGraph, stl: &DirectedStl) {
+        for s in 0..dg.num_vertices() as VertexId {
+            let d = directed_oracle(dg, s);
+            for t in 0..dg.num_vertices() as VertexId {
+                assert_eq!(stl.query(s, t), d[t as usize], "query({s}->{t})");
+            }
+        }
+    }
+}

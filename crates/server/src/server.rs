@@ -1,0 +1,355 @@
+//! The service: one writer thread, any number of snapshot readers.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use stl_core::{Maintenance, Stl, UpdateEngine};
+use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId};
+
+use crate::snapshot::Snapshot;
+use crate::stats::{ServerStats, StatsCells};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maintenance family the writer uses for every batch.
+    pub algo: Maintenance,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { algo: Maintenance::ParetoSearch }
+    }
+}
+
+/// Position of a submitted batch in the publish sequence: the batch is
+/// visible to readers once the current generation reaches the ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ticket(pub u64);
+
+/// `(generation published so far, writer exited)` guarded by the barrier.
+type Progress = (u64, bool);
+
+struct Shared {
+    /// The publish slot. Writers hold the write half only for the pointer
+    /// swap; readers clone the `Arc` out under the read half.
+    current: RwLock<Arc<Snapshot>>,
+    stats: StatsCells,
+    progress: Mutex<Progress>,
+    published: Condvar,
+}
+
+/// Epoch-snapshot query service over a [`Stl`] index.
+///
+/// See the crate docs for the protocol and its consistency guarantee. The
+/// server starts its writer thread in [`StlServer::start`] and joins it in
+/// [`StlServer::shutdown`] (or on drop).
+pub struct StlServer {
+    shared: Arc<Shared>,
+    /// Queue handle plus the ticket counter, under one lock: assigning a
+    /// ticket and enqueueing its batch must be atomic together, or channel
+    /// order could diverge from ticket order under concurrent submitters
+    /// (and `wait_for` would then report a not-yet-applied batch as
+    /// published). `None` after shutdown.
+    tx: Mutex<Option<(Sender<Vec<EdgeUpdate>>, u64)>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl StlServer {
+    /// Take ownership of the world (graph + index) and start serving.
+    ///
+    /// The initial state is published immediately as generation 0.
+    pub fn start(graph: CsrGraph, stl: Stl, cfg: ServerConfig) -> Self {
+        let first = Arc::new(Snapshot::new(0, graph.clone(), stl.clone()));
+        let shared = Arc::new(Shared {
+            current: RwLock::new(first),
+            stats: StatsCells::default(),
+            progress: Mutex::new((0, false)),
+            published: Condvar::new(),
+        });
+        let (tx, rx) = mpsc::channel::<Vec<EdgeUpdate>>();
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("stl-writer".into())
+            .spawn(move || {
+                // Flag writer exit (normal drain or panic inside
+                // `apply_batch`) so `wait_for` never blocks forever.
+                struct ExitFlag(Arc<Shared>);
+                impl Drop for ExitFlag {
+                    fn drop(&mut self) {
+                        self.0.progress.lock().unwrap().1 = true;
+                        self.0.published.notify_all();
+                    }
+                }
+                let _flag = ExitFlag(Arc::clone(&writer_shared));
+                let mut graph = graph;
+                let mut stl = stl;
+                let mut eng = UpdateEngine::new(graph.num_vertices());
+                let mut generation = 0u64;
+                while let Ok(batch) = rx.recv() {
+                    let stats = &writer_shared.stats;
+                    stats.updates_submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    let t_apply = Instant::now();
+                    stl.apply_batch(&mut graph, &batch, cfg.algo, &mut eng);
+                    stats
+                        .apply_ns_total
+                        .fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    // Publish: clone the repaired world into a fresh epoch.
+                    // Every batch publishes — even one normalised away to a
+                    // no-op — so tickets always resolve to a generation.
+                    generation += 1;
+                    let t_pub = Instant::now();
+                    let snap = Arc::new(Snapshot::new(generation, graph.clone(), stl.clone()));
+                    *writer_shared.current.write().unwrap() = snap;
+                    let pub_ns = t_pub.elapsed().as_nanos() as u64;
+                    stats.publish_ns_total.fetch_add(pub_ns, Ordering::Relaxed);
+                    stats.publish_ns_last.store(pub_ns, Ordering::Relaxed);
+                    stats.batches_applied.store(generation, Ordering::Relaxed);
+                    writer_shared.progress.lock().unwrap().0 = generation;
+                    writer_shared.published.notify_all();
+                }
+            })
+            .expect("spawn stl-writer thread");
+        Self { shared, tx: Mutex::new(Some((tx, 0))), writer: Some(writer) }
+    }
+
+    /// Enqueue a batch of edge-weight updates for the writer thread.
+    ///
+    /// Returns immediately; the change is visible to readers once the
+    /// generation reaches the returned [`Ticket`] (see [`StlServer::wait_for`]).
+    /// Every update must target an existing edge — a bad update kills the
+    /// writer (matching `apply_batch`'s contract), after which `submit` and
+    /// `wait_for` panic instead of hanging.
+    pub fn submit(&self, batch: Vec<EdgeUpdate>) -> Ticket {
+        let mut tx = self.tx.lock().unwrap();
+        let (sender, count) = tx.as_mut().expect("server already shut down");
+        sender.send(batch).expect("stl-writer thread terminated");
+        *count += 1;
+        Ticket(*count)
+    }
+
+    /// Block until the batch behind `ticket` has been published.
+    ///
+    /// Panics if the writer thread died before reaching it.
+    pub fn wait_for(&self, ticket: Ticket) {
+        let guard = self.shared.progress.lock().unwrap();
+        let guard = self
+            .shared
+            .published
+            .wait_while(guard, |&mut (gen, exited)| gen < ticket.0 && !exited)
+            .unwrap();
+        assert!(guard.0 >= ticket.0, "stl-writer thread terminated before ticket {}", ticket.0);
+    }
+
+    /// Block until everything submitted so far has been published.
+    pub fn drain(&self) {
+        let count = self.tx.lock().unwrap().as_ref().expect("server already shut down").1;
+        self.wait_for(Ticket(count));
+    }
+
+    /// Clone out the latest published epoch. O(1); never blocks the writer
+    /// beyond the duration of a pointer swap.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.shared.current.read().unwrap())
+    }
+
+    /// One-shot query against the latest epoch, counted in the stats.
+    ///
+    /// Sustained readers should hold a [`StlServer::snapshot`] instead and
+    /// batch-report with [`StlServer::record_queries`].
+    pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
+        self.shared.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+        self.snapshot().query(s, t)
+    }
+
+    /// Fold `n` externally served queries into [`ServerStats::queries_served`].
+    pub fn record_queries(&self, n: u64) {
+        self.shared.stats.queries_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Latest published generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.progress.lock().unwrap().0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.load()
+    }
+
+    /// Close the queue, drain outstanding batches, join the writer, and
+    /// return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        drop(self.tx.lock().unwrap().take());
+        if let Some(w) = self.writer.take() {
+            // The writer drains remaining batches then sees the closed
+            // channel. A panic inside it already printed its message; the
+            // join error adds nothing.
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for StlServer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stl_core::StlConfig;
+    use stl_graph::builder::from_edges;
+    use stl_pathfinding::dijkstra;
+    use stl_workloads::{generate, RoadNetConfig};
+
+    fn diamond() -> CsrGraph {
+        from_edges(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)])
+    }
+
+    fn start(g: &CsrGraph) -> StlServer {
+        let stl = Stl::build(g, &StlConfig::default());
+        StlServer::start(g.clone(), stl, ServerConfig::default())
+    }
+
+    #[test]
+    fn generation_zero_matches_initial_index() {
+        let g = diamond();
+        let server = start(&g);
+        let snap = server.snapshot();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.query(0, 3), 12);
+        assert_eq!(server.generation(), 0);
+    }
+
+    #[test]
+    fn publishes_one_generation_per_batch() {
+        let g = diamond();
+        let server = start(&g);
+        let t1 = server.submit(vec![EdgeUpdate::new(1, 2, 40)]);
+        let t2 = server.submit(vec![EdgeUpdate::new(1, 2, 4)]);
+        let t3 = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        assert!((t1, t2, t3) < (t2, t3, Ticket(4)));
+        server.wait_for(t3);
+        let snap = server.snapshot();
+        assert_eq!(snap.generation(), 3);
+        assert_eq!(snap.query(0, 3), 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.batches_applied, 3);
+        assert_eq!(stats.updates_submitted, 3);
+        assert!(stats.publish_ns_total >= stats.publish_ns_last);
+    }
+
+    #[test]
+    fn old_snapshots_stay_self_consistent() {
+        let g = diamond();
+        let server = start(&g);
+        let old = server.snapshot();
+        let t = server.submit(vec![EdgeUpdate::new(2, 3, 50)]);
+        server.wait_for(t);
+        // The pre-update epoch still answers with pre-update distances.
+        assert_eq!(old.generation(), 0);
+        assert_eq!(old.query(0, 3), 12);
+        assert_eq!(server.snapshot().query(0, 3), 20);
+    }
+
+    #[test]
+    fn noop_batches_still_publish() {
+        let g = diamond();
+        let server = start(&g);
+        let t = server.submit(vec![EdgeUpdate::new(0, 1, 3)]); // already 3
+        server.wait_for(t);
+        assert_eq!(server.generation(), 1);
+    }
+
+    #[test]
+    fn drain_waits_for_everything_submitted() {
+        let g = generate(&RoadNetConfig::sized(150, 11));
+        let server = start(&g);
+        let edges: Vec<_> = g.edges().take(20).collect();
+        for (i, &(a, b, w)) in edges.iter().enumerate() {
+            server.submit(vec![EdgeUpdate::new(a, b, w + i as u32 % 7)]);
+        }
+        server.drain();
+        assert_eq!(server.generation(), edges.len() as u64);
+    }
+
+    #[test]
+    fn served_queries_match_dijkstra_across_epochs() {
+        let mut g = generate(&RoadNetConfig::sized(200, 13));
+        let server = start(&g);
+        let edges: Vec<_> = g.edges().step_by(5).take(8).collect();
+        for &(a, b, w) in &edges {
+            let t = server.submit(vec![EdgeUpdate::new(a, b, w * 3)]);
+            server.wait_for(t);
+            g.set_weight(a, b, w * 3).unwrap();
+            let snap = server.snapshot();
+            for (s, dst) in [(0u32, 7u32), (3, 199), (50, 120)] {
+                assert_eq!(snap.query(s, dst), dijkstra::distance(&g, s, dst));
+            }
+        }
+        assert_eq!(server.generation(), 8);
+    }
+
+    #[test]
+    fn query_and_record_feed_stats() {
+        let g = diamond();
+        let server = start(&g);
+        assert_eq!(server.query(0, 2), 7);
+        server.record_queries(41);
+        assert_eq!(server.stats().queries_served, 42);
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_published_epochs() {
+        // Small always-on variant of tests/concurrent_consistency.rs that is
+        // cheap enough for debug runs: readers race a live writer and every
+        // observation must match the oracle of its stamped generation.
+        let g0 = generate(&RoadNetConfig::sized(120, 17));
+        let edges: Vec<_> = g0.edges().step_by(3).take(6).collect();
+        // Oracle per generation for a fixed pair pool.
+        let pool: Vec<(u32, u32)> = vec![(0, 60), (5, 110), (33, 90), (2, 40)];
+        let mut oracles: Vec<Vec<Dist>> = Vec::new();
+        let mut g = g0.clone();
+        oracles.push(pool.iter().map(|&(s, t)| dijkstra::distance(&g, s, t)).collect());
+        for &(a, b, w) in &edges {
+            g.set_weight(a, b, w * 4).unwrap();
+            oracles.push(pool.iter().map(|&(s, t)| dijkstra::distance(&g, s, t)).collect());
+        }
+        let server = start(&g0);
+        let stop_flag = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let stop = &stop_flag;
+            let server_ref = &server;
+            let pool_ref = &pool;
+            let oracles_ref = &oracles;
+            for reader in 0..3 {
+                scope.spawn(move || {
+                    let mut i = reader;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = server_ref.snapshot();
+                        let (s, t) = pool_ref[i % pool_ref.len()];
+                        let expect = oracles_ref[snap.generation() as usize][i % pool_ref.len()];
+                        assert_eq!(snap.query(s, t), expect, "gen {}", snap.generation());
+                        i += 1;
+                    }
+                });
+            }
+            for &(a, b, w) in &edges {
+                let t = server.submit(vec![EdgeUpdate::new(a, b, w * 4)]);
+                server.wait_for(t);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(server.generation(), edges.len() as u64);
+    }
+}

@@ -1,0 +1,85 @@
+//! Service counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time view of the service counters (see [`crate::StlServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Distance queries served through [`crate::StlServer::query`] plus any
+    /// reader-reported counts ([`crate::StlServer::record_queries`]).
+    pub queries_served: u64,
+    /// Batches applied and published (equals the latest generation).
+    pub batches_applied: u64,
+    /// Individual edge updates contained in those batches, pre-normalisation.
+    pub updates_submitted: u64,
+    /// Nanoseconds spent cloning + swapping snapshots, summed over publishes.
+    pub publish_ns_total: u64,
+    /// Publish latency of the most recent epoch, in nanoseconds.
+    pub publish_ns_last: u64,
+    /// Nanoseconds the writer spent inside `apply_batch`, summed.
+    pub apply_ns_total: u64,
+}
+
+impl ServerStats {
+    /// Mean publish latency in nanoseconds (0 before the first publish).
+    pub fn publish_ns_mean(&self) -> u64 {
+        self.publish_ns_total.checked_div(self.batches_applied).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "generation {} | {} queries | {} updates in {} batches | \
+             publish mean {:.1} us (last {:.1} us) | apply total {:.1} ms",
+            self.batches_applied,
+            self.queries_served,
+            self.updates_submitted,
+            self.batches_applied,
+            self.publish_ns_mean() as f64 / 1e3,
+            self.publish_ns_last as f64 / 1e3,
+            self.apply_ns_total as f64 / 1e6,
+        )
+    }
+}
+
+/// Shared atomic counters behind [`ServerStats`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    pub queries_served: AtomicU64,
+    pub batches_applied: AtomicU64,
+    pub updates_submitted: AtomicU64,
+    pub publish_ns_total: AtomicU64,
+    pub publish_ns_last: AtomicU64,
+    pub apply_ns_total: AtomicU64,
+}
+
+impl StatsCells {
+    pub fn load(&self) -> ServerStats {
+        ServerStats {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            batches_applied: self.batches_applied.load(Ordering::Relaxed),
+            updates_submitted: self.updates_submitted.load(Ordering::Relaxed),
+            publish_ns_total: self.publish_ns_total.load(Ordering::Relaxed),
+            publish_ns_last: self.publish_ns_last.load(Ordering::Relaxed),
+            apply_ns_total: self.apply_ns_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_zero_batches() {
+        assert_eq!(ServerStats::default().publish_ns_mean(), 0);
+    }
+
+    #[test]
+    fn display_mentions_generation() {
+        let s = ServerStats { batches_applied: 7, ..Default::default() };
+        assert!(format!("{s}").contains("generation 7"));
+    }
+}

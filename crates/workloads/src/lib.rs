@@ -9,9 +9,11 @@
 //! through `stl_graph::io` instead, when available.
 
 pub mod datasets;
+pub mod mixed;
 pub mod queries;
 pub mod roadnet;
 pub mod updates;
 
 pub use datasets::{build_dataset, Scale, DATASETS};
+pub use mixed::{mixed_trace, split_trace, MixedConfig, MixedOp};
 pub use roadnet::{generate, RoadNetConfig};

@@ -1,0 +1,223 @@
+//! Mixed query/update traces for the concurrent serving regime.
+//!
+//! The paper's evaluation interleaves distance queries with traffic-update
+//! batches (§7); BatchHL and the dual-hierarchy follow-up measure the same
+//! regime explicitly. This module generates such interleaved traces as
+//! **data** — a seeded, replayable `Vec<MixedOp>` — so the same workload can
+//! be run single-threaded against a bare [`stl_core` index], split across
+//! reader threads against `stl_server`, or re-run verbatim from a failure's
+//! printed seed.
+//!
+//! Update batches follow the §7 congestion model: an edge is either
+//! *congested* (weight raised to `factor × original`, factor drawn from
+//! 2..=10 by default) or *restored* to its original weight; a trace keeps a
+//! congestion ledger so decreases are real recoveries, not arbitrary
+//! weights. Batches may repeat an edge — the batch driver's normalisation
+//! (last-wins) is part of what mixed workloads exercise.
+//!
+//! [`stl_core` index]: https://docs.rs/stl_core
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use stl_graph::hash::FxHashSet;
+use stl_graph::{CsrGraph, EdgeUpdate, VertexId, Weight, INF};
+
+/// One step of an interleaved trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Answer a distance query `d(s, t)`.
+    Query(VertexId, VertexId),
+    /// Apply a batch of edge-weight updates.
+    Batch(Vec<EdgeUpdate>),
+}
+
+impl MixedOp {
+    /// Whether this op is a query.
+    pub fn is_query(&self) -> bool {
+        matches!(self, MixedOp::Query(_, _))
+    }
+}
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// Total number of ops in the trace.
+    pub ops: usize,
+    /// Fraction of ops that are update batches (the rest are queries).
+    pub update_fraction: f64,
+    /// Edges sampled per update batch (with replacement — duplicates are
+    /// intended, see module docs).
+    pub batch_size: usize,
+    /// Congestion factor range, inclusive (§7 varies 2..=10).
+    pub min_factor: u32,
+    /// Upper end of the factor range, inclusive.
+    pub max_factor: u32,
+    /// RNG seed; equal configs over equal graphs yield identical traces.
+    pub seed: u64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        Self {
+            ops: 10_000,
+            update_fraction: 0.01,
+            batch_size: 10,
+            min_factor: 2,
+            max_factor: 10,
+            seed: 0xD157,
+        }
+    }
+}
+
+/// Generate a seeded interleaved query/update trace over `g`.
+///
+/// Updates only ever target edges that are finite in `g`, and every produced
+/// weight stays below [`INF`], so a trace replayed in submission order is
+/// always a valid input to `Stl::apply_batch` / `StlServer::submit`
+/// regardless of how queries and batches are scheduled around each other.
+pub fn mixed_trace(g: &CsrGraph, cfg: &MixedConfig) -> Vec<MixedOp> {
+    assert!(g.num_vertices() >= 2, "need at least two vertices");
+    assert!(cfg.batch_size >= 1 && cfg.min_factor >= 2 && cfg.min_factor <= cfg.max_factor);
+    assert!((0.0..=1.0).contains(&cfg.update_fraction));
+    let edges: Vec<(VertexId, VertexId, Weight)> =
+        g.edges().filter(|&(_, _, w)| w != INF).collect();
+    assert!(!edges.is_empty(), "graph has no updatable edges");
+    let n = g.num_vertices() as VertexId;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Congestion ledger: edges currently raised above their original weight
+    // (the restore weight itself always comes from `edges`).
+    let mut congested: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    (0..cfg.ops)
+        .map(|_| {
+            if rng.random_bool(cfg.update_fraction) {
+                let batch = (0..cfg.batch_size)
+                    .map(|_| {
+                        let (a, b, original) = edges[rng.random_range(0..edges.len())];
+                        if congested.contains(&(a, b)) && rng.random_bool(0.5) {
+                            congested.remove(&(a, b));
+                            EdgeUpdate::new(a, b, original)
+                        } else {
+                            let f = rng.random_range(cfg.min_factor..=cfg.max_factor);
+                            congested.insert((a, b));
+                            EdgeUpdate::new(a, b, original.saturating_mul(f).min(INF - 1))
+                        }
+                    })
+                    .collect();
+                MixedOp::Batch(batch)
+            } else {
+                let s = rng.random_range(0..n);
+                let mut t = rng.random_range(0..n);
+                while t == s {
+                    t = rng.random_range(0..n);
+                }
+                MixedOp::Query(s, t)
+            }
+        })
+        .collect()
+}
+
+/// Partition a trace into its queries and its update batches, each in trace
+/// order — the shape `stl_server::replay_mixed` and the test oracles
+/// consume when the interleaving itself is driven by threads rather than
+/// replayed op-by-op.
+pub fn split_trace(trace: Vec<MixedOp>) -> (Vec<(VertexId, VertexId)>, Vec<Vec<EdgeUpdate>>) {
+    let mut queries = Vec::new();
+    let mut batches = Vec::new();
+    for op in trace {
+        match op {
+            MixedOp::Query(s, t) => queries.push((s, t)),
+            MixedOp::Batch(b) => batches.push(b),
+        }
+    }
+    (queries, batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roadnet::{generate, RoadNetConfig};
+
+    fn small() -> CsrGraph {
+        generate(&RoadNetConfig::sized(300, 5))
+    }
+
+    #[test]
+    fn trace_is_replayable() {
+        let g = small();
+        let cfg = MixedConfig { ops: 500, update_fraction: 0.1, ..Default::default() };
+        assert_eq!(mixed_trace(&g, &cfg), mixed_trace(&g, &cfg));
+        let other = MixedConfig { seed: 1, ..cfg };
+        assert_ne!(mixed_trace(&g, &cfg), mixed_trace(&g, &other));
+    }
+
+    #[test]
+    fn ops_count_and_mix() {
+        let g = small();
+        let cfg = MixedConfig { ops: 4_000, update_fraction: 0.25, ..Default::default() };
+        let trace = mixed_trace(&g, &cfg);
+        assert_eq!(trace.len(), 4_000);
+        let batches = trace.iter().filter(|op| !op.is_query()).count();
+        // 0.25 ± generous slack: this guards wiring, not the RNG.
+        assert!((600..1400).contains(&batches), "batches = {batches}");
+    }
+
+    #[test]
+    fn updates_target_existing_finite_edges() {
+        let g = generate(&RoadNetConfig { closed_road_prob: 0.05, ..RoadNetConfig::sized(300, 7) });
+        let cfg = MixedConfig { ops: 1_000, update_fraction: 0.2, ..Default::default() };
+        for op in mixed_trace(&g, &cfg) {
+            if let MixedOp::Batch(batch) = op {
+                for u in batch {
+                    let w = g.weight(u.a, u.b).expect("update targets a real edge");
+                    assert_ne!(w, INF, "closed roads must not be sampled");
+                    assert_ne!(u.new_weight, INF);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_valid_pairs() {
+        let g = small();
+        let cfg = MixedConfig { ops: 1_000, ..Default::default() };
+        let n = g.num_vertices() as VertexId;
+        for op in mixed_trace(&g, &cfg) {
+            if let MixedOp::Query(s, t) = op {
+                assert!(s < n && t < n && s != t);
+            }
+        }
+    }
+
+    #[test]
+    fn split_trace_preserves_every_op_in_order() {
+        let g = small();
+        let cfg = MixedConfig { ops: 800, update_fraction: 0.3, ..Default::default() };
+        let trace = mixed_trace(&g, &cfg);
+        let n_queries = trace.iter().filter(|op| op.is_query()).count();
+        let (queries, batches) = split_trace(trace.clone());
+        assert_eq!(queries.len(), n_queries);
+        assert_eq!(queries.len() + batches.len(), trace.len());
+        let replayed: Vec<MixedOp> = trace.into_iter().filter(|op| !op.is_query()).collect();
+        for (got, want) in batches.iter().zip(&replayed) {
+            assert_eq!(MixedOp::Batch(got.clone()), *want);
+        }
+    }
+
+    #[test]
+    fn congestion_ledger_produces_real_restores() {
+        let g = small();
+        let cfg =
+            MixedConfig { ops: 2_000, update_fraction: 0.5, batch_size: 4, ..Default::default() };
+        let restores = mixed_trace(&g, &cfg)
+            .iter()
+            .filter_map(|op| match op {
+                MixedOp::Batch(b) => Some(b.clone()),
+                _ => None,
+            })
+            .flatten()
+            .filter(|u| g.weight(u.a, u.b) == Some(u.new_weight))
+            .count();
+        assert!(restores > 0, "long congested traces must contain recoveries");
+    }
+}

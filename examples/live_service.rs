@@ -1,0 +1,57 @@
+//! Serving distance queries *while* traffic updates are applied — the
+//! epoch-snapshot service from `stl_server`.
+//!
+//! A writer thread drains congestion batches and publishes immutable
+//! snapshots; four reader threads hammer the latest snapshot with dispatch
+//! queries the whole time. At the end, a sample of answers per generation is
+//! verified against Dijkstra on the corresponding epoch's own graph.
+//!
+//! ```sh
+//! cargo run --release --example live_service
+//! ```
+
+use std::time::Instant;
+
+use stable_tree_labelling::core::{Stl, StlConfig};
+use stable_tree_labelling::pathfinding::dijkstra;
+use stable_tree_labelling::server::{replay_mixed, ServerConfig, StlServer};
+use stable_tree_labelling::workloads::mixed::{mixed_trace, split_trace, MixedConfig};
+use stable_tree_labelling::workloads::{generate, RoadNetConfig};
+
+fn main() {
+    let g = generate(&RoadNetConfig::sized(6_000, 2025));
+    let n = g.num_vertices();
+    println!("city: {n} intersections, {} road segments", g.num_edges());
+
+    let t0 = Instant::now();
+    let stl = Stl::build(&g, &StlConfig::default());
+    println!("index built in {:.2?}", t0.elapsed());
+
+    // One replayable trace: queries go to the readers, batches to the writer.
+    let cfg = MixedConfig { ops: 40_000, update_fraction: 0.002, ..Default::default() };
+    let (queries, batches) = split_trace(mixed_trace(&g, &cfg));
+    println!("trace: {} queries interleaved with {} update batches", queries.len(), batches.len());
+
+    let server = StlServer::start(g, stl, ServerConfig::default());
+    let readers = 4usize;
+    // Readers sweep the trace's queries against live snapshots while every
+    // batch flows through the writer, one publish at a time.
+    let wall = replay_mixed(&server, &queries, &batches, readers);
+    let stats = server.stats();
+    println!(
+        "served {} queries over {} generations in {:.2?} ({:.0} queries/s with a live writer)",
+        stats.queries_served,
+        stats.batches_applied + 1,
+        wall,
+        stats.queries_served as f64 / wall.as_secs_f64()
+    );
+    println!("writer: {stats}");
+
+    // Spot-check the final epoch against Dijkstra on its own graph.
+    let snap = server.snapshot();
+    for &(s, t) in queries.iter().take(25) {
+        assert_eq!(snap.query(s, t), dijkstra::distance(snap.graph(), s, t));
+    }
+    println!("final epoch (generation {}) verified against Dijkstra", snap.generation());
+    server.shutdown();
+}

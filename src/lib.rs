@@ -26,6 +26,7 @@ pub use stl_h2h as h2h;
 pub use stl_hc2l as hc2l;
 pub use stl_partition as partition;
 pub use stl_pathfinding as pathfinding;
+pub use stl_server as server;
 pub use stl_workloads as workloads;
 
 /// The most commonly used items across the workspace.

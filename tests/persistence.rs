@@ -33,6 +33,58 @@ fn save_load_query_update_cycle() {
 }
 
 #[test]
+fn post_update_index_roundtrips() {
+    // Persisting must capture *maintained* label state, not just the freshly
+    // built one: apply mixed batches with both algorithm families, then
+    // save + load and require answer-for-answer equality.
+    use stable_tree_labelling::workloads::mixed::{mixed_trace, split_trace, MixedConfig};
+
+    let mut g = generate(&RoadNetConfig::sized(500, 67));
+    let mut stl = Stl::build(&g, &StlConfig::default());
+    let mut eng = UpdateEngine::new(g.num_vertices());
+    let (_, batches) = split_trace(mixed_trace(
+        &g,
+        &MixedConfig {
+            ops: 30,
+            update_fraction: 0.6,
+            batch_size: 6,
+            seed: 67,
+            ..Default::default()
+        },
+    ));
+    assert!(batches.len() >= 4, "want several batches, got {}", batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        let algo = if i % 2 == 0 { Maintenance::ParetoSearch } else { Maintenance::LabelSearch };
+        stl.apply_batch(&mut g, batch, algo, &mut eng);
+    }
+
+    let bytes = persist::save(&stl);
+    let loaded = persist::load(&bytes).expect("load post-update index");
+    // Loaded labels must byte-for-byte answer like the live mutated index —
+    // including INF entries created by increases and entries shrunk by
+    // decreases — and must stay exact against the mutated graph.
+    for (s, t) in random_pairs(g.num_vertices(), 300, 68) {
+        let live = stl.query(s, t);
+        assert_eq!(loaded.query(s, t), live, "query({s},{t}) after reload");
+        assert_eq!(live, dijkstra::distance(&g, s, t), "query({s},{t}) vs Dijkstra");
+    }
+    verify::check_all(&loaded, &g).expect("loaded index invariants");
+
+    // And the reloaded index must remain maintainable from that state.
+    let mut loaded = loaded;
+    let (a, b, w) = g.edges().nth(7).unwrap();
+    loaded.apply_batch(
+        &mut g,
+        &[EdgeUpdate::new(a, b, w * 2)],
+        Maintenance::ParetoSearch,
+        &mut eng,
+    );
+    for (s, t) in random_pairs(g.num_vertices(), 80, 69) {
+        assert_eq!(loaded.query(s, t), dijkstra::distance(&g, s, t));
+    }
+}
+
+#[test]
 fn corrupted_bytes_rejected_not_crashing() {
     let g = generate(&RoadNetConfig::sized(200, 63));
     let stl = Stl::build(&g, &StlConfig::default());
