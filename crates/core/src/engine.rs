@@ -49,6 +49,11 @@ pub struct UpdateEngine {
     pub(crate) heap: BinaryHeap<std::cmp::Reverse<(Dist, VertexId)>>,
     /// Per-ancestor seed queues `Q_r`, keyed by ancestor vertex.
     pub(crate) seeds: FxHashMap<VertexId, Vec<(Dist, VertexId)>>,
+    /// `seeds` drained into a τ-sorted list: hash-map iteration order is
+    /// nondeterministic, and processing ancestors in it would make
+    /// `UpdateStats` counters and repair order vary run to run — τ order
+    /// keeps differential-fuzz replays byte-stable.
+    pub(crate) seed_list: Vec<(VertexId, Vec<(Dist, VertexId)>)>,
     /// Membership of the affected set `V_aff` in increase searches.
     pub(crate) in_aff: TimestampedArray<bool>,
     /// Pareto-search heap.
@@ -76,6 +81,7 @@ impl UpdateEngine {
         Self {
             heap: BinaryHeap::new(),
             seeds: FxHashMap::default(),
+            seed_list: Vec::new(),
             in_aff: TimestampedArray::new(n, false),
             pheap: BinaryHeap::new(),
             level: TimestampedArray::new(n, 0),

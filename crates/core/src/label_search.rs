@@ -60,11 +60,14 @@ pub fn decrease(
         });
     }
 
-    // One pruned Dijkstra per ancestor (lines 8–14).
-    let seeds = std::mem::take(&mut eng.seeds);
-    for (&r, queue) in seeds.iter() {
+    // One pruned Dijkstra per ancestor (lines 8–14), in τ order: hash-map
+    // order would make repair order and stats nondeterministic.
+    eng.seed_list.clear();
+    eng.seed_list.extend(eng.seeds.drain());
+    eng.seed_list.sort_unstable_by_key(|&(r, _)| (hier.tau(r), r));
+    for (r, queue) in &eng.seed_list {
         stats.searches += 1;
-        let tr = hier.tau(r);
+        let tr = hier.tau(*r);
         eng.heap.clear();
         for &(d, v) in queue {
             eng.heap.push(Reverse((d, v)));
@@ -88,7 +91,6 @@ pub fn decrease(
             }
         }
     }
-    eng.seeds = seeds; // hand buffers back for reuse
     stats
 }
 
@@ -132,10 +134,14 @@ pub fn increase(
     }
 
     // Identify V_aff per ancestor along the old shortest-path DAG
-    // (lines 8–14); all searches precede any weight application.
+    // (lines 8–14), in τ order for run-to-run determinism; all searches
+    // precede any weight application.
     eng.aff_per_r.clear();
-    let seeds = std::mem::take(&mut eng.seeds);
-    for (&r, queue) in seeds.iter() {
+    eng.seed_list.clear();
+    eng.seed_list.extend(eng.seeds.drain());
+    eng.seed_list.sort_unstable_by_key(|&(r, _)| (hier.tau(r), r));
+    for (r, queue) in &eng.seed_list {
+        let r = *r;
         stats.searches += 1;
         let tr = hier.tau(r);
         eng.heap.clear();
@@ -165,7 +171,6 @@ pub fn increase(
         stats.affected += list.len() as u64;
         eng.aff_per_r.push((r, list));
     }
-    eng.seeds = seeds;
 
     // Apply the new weights, then repair per ancestor.
     for &u in updates {

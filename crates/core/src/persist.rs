@@ -36,7 +36,7 @@ impl std::error::Error for PersistError {}
 pub fn save(stl: &Stl) -> Vec<u8> {
     let h = &stl.hier;
     let l = &stl.labels;
-    let mut out = Vec::with_capacity(64 + l.dists.len() * 4 + h.tau.len() * 32);
+    let mut out = Vec::with_capacity(64 + l.num_entries() as usize * 4 + h.tau.len() * 32);
     out.put_slice(MAGIC);
     put_u32s(&mut out, &h.node_parent);
     put_u32s(&mut out, &h.node_depth);
@@ -56,7 +56,14 @@ pub fn save(stl: &Stl) -> Vec<u8> {
     for &o in l.offsets.iter() {
         out.put_u64_le(o);
     }
-    put_u32s(&mut out, &l.dists);
+    // The arena is chunked in memory but the on-disk format stays one flat
+    // length-prefixed array: chunks are written back-to-back in entry order.
+    out.put_u64_le(l.num_entries());
+    for chunk in l.store.chunk_slices() {
+        for &d in chunk {
+            out.put_u32_le(d);
+        }
+    }
     out
 }
 
@@ -106,8 +113,18 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
         bits: bits.into_boxed_slice(),
         depth,
     };
-    let labels = Labels { offsets: offsets.into_boxed_slice(), dists: dists.into_vec() };
-    Ok(Stl { hier, labels })
+    // Offsets must start at 0 and be non-decreasing, ending at the entry
+    // count: the chunk layout and per-vertex location records are derived
+    // from them by subtraction, so a corrupt file must be rejected here
+    // rather than produce out-of-range label views.
+    if offsets.first() != Some(&0)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+        || *offsets.last().ok_or(PersistError::Truncated)? as usize != dists.len()
+    {
+        return Err(PersistError::Truncated);
+    }
+    let labels = Labels::from_flat(offsets, dists.into_vec());
+    Ok(Stl { hier: std::sync::Arc::new(hier), labels })
 }
 
 /// Little-endian writer methods on `Vec<u8>` (the subset of `bytes::BufMut`
@@ -241,6 +258,23 @@ mod tests {
             bytes.extend_from_slice(&huge.to_le_bytes());
             assert_eq!(load(&bytes).unwrap_err(), PersistError::Truncated);
         }
+    }
+
+    #[test]
+    fn corrupt_nonmonotonic_offsets_rejected() {
+        // The label offsets drive chunk layout and per-vertex locations by
+        // subtraction; a decreasing pair must be rejected as corruption,
+        // not turned into out-of-range label views.
+        let (_, stl) = sample();
+        let mut bytes = save(&stl);
+        let n_dists = stl.labels().num_entries() as usize;
+        let n_off = stl.num_vertices() + 1;
+        // Layout from the end: [offsets: 8 + 8*n_off][dists: 8 + 4*n_dists].
+        let off_payload = bytes.len() - (8 + 4 * n_dists) - 8 * n_off;
+        // offsets[1] := total entries — far above offsets[2], so the array
+        // decreases while the final entry still matches the dist count.
+        bytes[off_payload + 8..off_payload + 16].copy_from_slice(&(n_dists as u64).to_le_bytes());
+        assert_eq!(load(&bytes).unwrap_err(), PersistError::Truncated);
     }
 
     #[test]

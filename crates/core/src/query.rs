@@ -51,7 +51,19 @@ impl Stl {
     /// from the paper's introduction). Equivalent to `targets.map(query)`
     /// but keeps `s`'s label hot in cache.
     pub fn one_to_many(&self, s: VertexId, targets: &[VertexId]) -> Vec<Dist> {
-        targets.iter().map(|&t| self.query(s, t)).collect()
+        let mut out = Vec::new();
+        self.one_to_many_into(s, targets, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Stl::one_to_many`]: clears `out` and fills it with
+    /// one distance per target, reusing its capacity. Sustained callers
+    /// (tile renderers, repeated k-NN rounds) keep one buffer alive instead
+    /// of allocating per call.
+    pub fn one_to_many_into(&self, s: VertexId, targets: &[VertexId], out: &mut Vec<Dist>) {
+        out.clear();
+        out.reserve(targets.len());
+        out.extend(targets.iter().map(|&t| self.query(s, t)));
     }
 
     /// The `k` nearest of `pois` from `s` by network distance, ascending;
@@ -59,8 +71,13 @@ impl Stl {
     pub fn k_nearest(&self, s: VertexId, pois: &[VertexId], k: usize) -> Vec<(Dist, VertexId)> {
         let mut ranked: Vec<(Dist, VertexId)> =
             pois.iter().map(|&p| (self.query(s, p), p)).filter(|&(d, _)| d != INF).collect();
+        // Partition the k smallest to the front, then sort only that prefix:
+        // O(p + k log k) instead of sorting all p candidates.
+        if k < ranked.len() {
+            ranked.select_nth_unstable(k);
+            ranked.truncate(k);
+        }
         ranked.sort_unstable();
-        ranked.truncate(k);
         ranked
     }
 }
@@ -70,7 +87,7 @@ mod tests {
     use crate::labelling::Stl;
     use crate::types::StlConfig;
     use stl_graph::builder::from_edges;
-    use stl_graph::{CsrGraph, VertexId, INF};
+    use stl_graph::{CsrGraph, Dist, VertexId, INF};
     use stl_pathfinding::dijkstra;
 
     fn grid(side: u32) -> CsrGraph {
@@ -219,6 +236,20 @@ mod tests {
     }
 
     #[test]
+    fn one_to_many_into_reuses_buffer() {
+        let g = grid(5);
+        let stl = Stl::build(&g, &StlConfig::default());
+        let targets: Vec<u32> = (0..25).collect();
+        let mut out = Vec::with_capacity(64);
+        stl.one_to_many_into(7, &targets, &mut out);
+        let cap = out.capacity();
+        assert_eq!(out, stl.one_to_many(7, &targets));
+        stl.one_to_many_into(7, &targets[..10], &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.capacity(), cap, "no reallocation on a smaller refill");
+    }
+
+    #[test]
     fn k_nearest_sorted_and_reachable() {
         let g = from_edges(6, vec![(0, 1, 5), (1, 2, 5), (2, 3, 5), (4, 5, 1)]);
         let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
@@ -227,6 +258,24 @@ mod tests {
         assert_eq!(knn, vec![(5, 1), (10, 2), (15, 3)]);
         let knn1 = stl.k_nearest(0, &[3, 1, 4, 2], 1);
         assert_eq!(knn1, vec![(5, 1)]);
+        assert!(stl.k_nearest(0, &[3, 1, 2], 0).is_empty());
+        // k larger than the candidate pool: everything, still sorted.
+        assert_eq!(stl.k_nearest(0, &[2, 1], 10), vec![(5, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn k_nearest_matches_full_sort_on_larger_pool() {
+        let g = grid(7);
+        let stl = Stl::build(&g, &StlConfig::default());
+        let pois: Vec<u32> = (0..49).collect();
+        for k in [1usize, 3, 10, 48, 49] {
+            let fast = stl.k_nearest(24, &pois, k);
+            let mut slow: Vec<(Dist, VertexId)> =
+                pois.iter().map(|&p| (stl.query(24, p), p)).filter(|&(d, _)| d != INF).collect();
+            slow.sort_unstable();
+            slow.truncate(k);
+            assert_eq!(fast, slow, "k={k}");
+        }
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Chunked copy-on-write storage for the mutable arrays of the index stack.
+//!
+//! The epoch-snapshot service publishes one immutable snapshot per applied
+//! batch. Deep-cloning the world per publish costs `O(n + m + Σ|L(v)|)` even
+//! for a one-edge batch — exactly the asymptotic the paper's maintenance
+//! algorithms avoid. This module makes publish cost proportional to what a
+//! batch actually *touched*:
+//!
+//! * Mutable flat arrays (the label arena, the CSR weight array) are split
+//!   into **vertex-aligned chunks** of roughly [`DEFAULT_CHUNK_ENTRIES`]
+//!   entries (~16 KiB), each held in an `Arc<[T]>`. Chunk boundaries never
+//!   split one vertex's span, so a vertex's entries remain one contiguous
+//!   `&[T]` and hot read loops are untouched.
+//! * A *clone* of the store clones only the `Arc` table — `O(#chunks)`
+//!   pointer copies, no data movement. That clone **is** the published
+//!   snapshot.
+//! * A *write* goes through [`cow_chunk`]: if the chunk is shared with any
+//!   snapshot it is copied first (`O(chunk)`), otherwise it is written in
+//!   place. Per epoch, a chunk is copied at most once; untouched chunks stay
+//!   physically shared across every generation that doesn't write them.
+//! * A [`DirtyTracker`] embedded in each store records the copies, so the
+//!   write points the maintenance algorithms already funnel through
+//!   (`Labels::set`, `CsrGraph::apply_update`) account bytes-copied per
+//!   generation for free; the server drains it into its published counters.
+//!
+//! [`ChunkedStore`] is the generic store; the CSR weight array uses it as
+//! [`WeightStore`], and `stl_core`'s label arena wraps it behind its
+//! per-vertex offset table.
+
+use std::sync::Arc;
+
+use crate::types::Weight;
+
+/// Target entries per chunk: `4 Ki × 4 B = 16 KiB` for `u32` payloads.
+/// Measured on the `publish` bench: a repair wave's affected vertices
+/// scatter across the arena, so bytes-copied per epoch is roughly
+/// `#touched regions × chunk size` — 16 KiB chunks copy ~4× less than
+/// 64 KiB ones for the same batch, while the per-publish `Arc`-table clone
+/// stays `O(#chunks)` pointer copies (tens of µs even at 10⁸ entries).
+pub const DEFAULT_CHUNK_ENTRIES: u64 = 4 * 1024;
+
+/// Bytes copied by copy-on-write chunk promotions, per drain window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Chunks that were physically copied (first write to a shared chunk).
+    pub chunks_copied: u64,
+    /// Total bytes those copies moved.
+    pub bytes_copied: u64,
+}
+
+impl std::ops::AddAssign for CowStats {
+    fn add_assign(&mut self, o: Self) {
+        self.chunks_copied += o.chunks_copied;
+        self.bytes_copied += o.bytes_copied;
+    }
+}
+
+impl std::ops::Add for CowStats {
+    type Output = Self;
+    fn add(mut self, o: Self) -> Self {
+        self += o;
+        self
+    }
+}
+
+/// Chunk-granular dirty set: which chunks were COW-copied since the last
+/// [`DirtyTracker::take`], and how many bytes that moved.
+#[derive(Debug, Default)]
+pub struct DirtyTracker {
+    bits: Vec<u64>,
+    marked: Vec<u32>,
+    bytes: u64,
+}
+
+impl DirtyTracker {
+    /// Tracker for `num_chunks` chunks, all clean.
+    pub fn new(num_chunks: usize) -> Self {
+        Self { bits: vec![0; num_chunks.div_ceil(64)], marked: Vec::new(), bytes: 0 }
+    }
+
+    /// Record that `chunk` was copied, moving `bytes` bytes. Idempotent per
+    /// drain window: re-marking an already-dirty chunk adds nothing (the
+    /// second write hit the already-private copy).
+    #[inline]
+    pub fn mark(&mut self, chunk: usize, bytes: usize) {
+        let (w, b) = (chunk / 64, 1u64 << (chunk % 64));
+        if self.bits[w] & b == 0 {
+            self.bits[w] |= b;
+            self.marked.push(chunk as u32);
+            self.bytes += bytes as u64;
+        }
+    }
+
+    /// Whether `chunk` was copied in the current window.
+    #[inline]
+    pub fn is_dirty(&self, chunk: usize) -> bool {
+        self.bits[chunk / 64] & (1 << (chunk % 64)) != 0
+    }
+
+    /// Counters for the current window without clearing it.
+    pub fn stats(&self) -> CowStats {
+        CowStats { chunks_copied: self.marked.len() as u64, bytes_copied: self.bytes }
+    }
+
+    /// Drain the window: return its counters and reset to all-clean in
+    /// `O(marked)`, not `O(#chunks)`.
+    pub fn take(&mut self) -> CowStats {
+        let out = self.stats();
+        for &c in &self.marked {
+            self.bits[c as usize / 64] &= !(1 << (c as usize % 64));
+        }
+        self.marked.clear();
+        self.bytes = 0;
+        out
+    }
+}
+
+/// Make `chunk` uniquely owned (copying it if any snapshot still shares it)
+/// and return its mutable payload. Copies are recorded in `dirty` under
+/// index `c`.
+#[inline]
+pub fn cow_chunk<'a, T: Copy>(
+    chunk: &'a mut Arc<[T]>,
+    c: usize,
+    dirty: &mut DirtyTracker,
+) -> &'a mut [T] {
+    if Arc::get_mut(chunk).is_none() {
+        dirty.mark(c, std::mem::size_of_val(&chunk[..]));
+        *chunk = Arc::from(&chunk[..]);
+    }
+    Arc::get_mut(chunk).expect("chunk is uniquely owned after promotion")
+}
+
+/// Partition `0..n` vertices into chunks of at most ~`target` entries each,
+/// never splitting one vertex's span. `offsets[v]..offsets[v+1]` is vertex
+/// `v`'s span in the flat array. Returns `(chunk_of_vertex, chunk_starts)`
+/// with `chunk_starts.len() == num_chunks + 1`; a vertex whose span alone
+/// exceeds `target` gets a private oversized chunk.
+pub fn partition_vertex_chunks(offsets: &[u64], target: u64) -> (Vec<u32>, Vec<u64>) {
+    assert!(target > 0, "chunk target must be positive");
+    let n = offsets.len() - 1;
+    let mut chunk_of = Vec::with_capacity(n);
+    let mut starts = vec![0u64];
+    let mut cur_start = 0u64;
+    let mut c = 0u32;
+    for v in 0..n {
+        if offsets[v] > cur_start && offsets[v + 1] - cur_start > target {
+            starts.push(offsets[v]);
+            cur_start = offsets[v];
+            c += 1;
+        }
+        chunk_of.push(c);
+    }
+    starts.push(offsets[n]);
+    (chunk_of, starts)
+}
+
+/// A flat `[T]` array split into vertex-aligned `Arc` chunks with
+/// copy-on-write writes and per-window dirty accounting.
+///
+/// Addressing is by **global index** plus the **owning vertex** (the vertex
+/// whose span contains the index), which locates the chunk in O(1) without
+/// a search. The vertex-alignment invariant guarantees any one vertex's
+/// span is one contiguous slice of one chunk.
+#[derive(Debug)]
+pub struct ChunkedStore<T: Copy> {
+    chunk_of: Arc<[u32]>,
+    chunk_starts: Arc<[u64]>,
+    chunks: Vec<Arc<[T]>>,
+    dirty: DirtyTracker,
+}
+
+impl<T: Copy> Clone for ChunkedStore<T> {
+    /// O(#chunks): shares every chunk with the original. The clone starts
+    /// with a clean dirty window of its own.
+    fn clone(&self) -> Self {
+        Self {
+            chunk_of: Arc::clone(&self.chunk_of),
+            chunk_starts: Arc::clone(&self.chunk_starts),
+            chunks: self.chunks.clone(),
+            dirty: DirtyTracker::new(self.chunks.len()),
+        }
+    }
+}
+
+impl<T: Copy> ChunkedStore<T> {
+    fn assemble(chunk_of: Vec<u32>, chunk_starts: Vec<u64>, chunks: Vec<Arc<[T]>>) -> Self {
+        let dirty = DirtyTracker::new(chunks.len());
+        Self { chunk_of: chunk_of.into(), chunk_starts: chunk_starts.into(), chunks, dirty }
+    }
+
+    /// Chunk a flat array along the vertex spans `offsets[v]..offsets[v+1]`.
+    pub fn from_flat(offsets: &[u64], flat: &[T], target: u64) -> Self {
+        assert_eq!(*offsets.last().expect("offsets never empty") as usize, flat.len());
+        let (chunk_of, chunk_starts) = partition_vertex_chunks(offsets, target);
+        let chunks = chunk_starts
+            .windows(2)
+            .map(|w| Arc::from(&flat[w[0] as usize..w[1] as usize]))
+            .collect();
+        Self::assemble(chunk_of, chunk_starts, chunks)
+    }
+
+    /// A store of `value`-filled entries with the same layout rules.
+    pub fn filled(offsets: &[u64], value: T, target: u64) -> Self {
+        let (chunk_of, chunk_starts) = partition_vertex_chunks(offsets, target);
+        let chunks =
+            chunk_starts.windows(2).map(|w| vec![value; (w[1] - w[0]) as usize].into()).collect();
+        Self::assemble(chunk_of, chunk_starts, chunks)
+    }
+
+    /// Total number of entries.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        *self.chunk_starts.last().expect("chunk_starts never empty") as usize
+    }
+
+    /// Whether the store is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry at global index `idx` inside `owner`'s span.
+    #[inline(always)]
+    pub fn get(&self, owner: usize, idx: u64) -> T {
+        let c = self.chunk_of[owner] as usize;
+        self.chunks[c][(idx - self.chunk_starts[c]) as usize]
+    }
+
+    /// Overwrite the entry at global index `idx` inside `owner`'s span,
+    /// copying the chunk first if a snapshot still shares it.
+    #[inline]
+    pub fn set(&mut self, owner: usize, idx: u64, value: T) {
+        let c = self.chunk_of[owner] as usize;
+        let j = (idx - self.chunk_starts[c]) as usize;
+        cow_chunk(&mut self.chunks[c], c, &mut self.dirty)[j] = value;
+    }
+
+    /// The contiguous entries `lo..hi`, which must lie inside `owner`'s
+    /// span (vertex alignment guarantees they share one chunk).
+    #[inline(always)]
+    pub fn slice(&self, owner: usize, lo: u64, hi: u64) -> &[T] {
+        let c = self.chunk_of[owner] as usize;
+        let base = self.chunk_starts[c];
+        &self.chunks[c][(lo - base) as usize..(hi - base) as usize]
+    }
+
+    /// The payload of chunk `c` — for callers that resolved chunk-local
+    /// coordinates themselves (e.g. a precomputed per-vertex location
+    /// table, which turns the `chunk_of → chunk_starts` pointer chase into
+    /// a single load on read hot paths).
+    #[inline(always)]
+    pub fn chunk(&self, c: usize) -> &[T] {
+        &self.chunks[c]
+    }
+
+    /// Overwrite entry `j` of chunk `c` (chunk-local coordinates), copying
+    /// the chunk first if a snapshot still shares it.
+    #[inline]
+    pub fn set_in_chunk(&mut self, c: usize, j: usize, value: T) {
+        cow_chunk(&mut self.chunks[c], c, &mut self.dirty)[j] = value;
+    }
+
+    /// Iterate all entries in global order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+
+    /// Iterate the chunk payloads in global order (serialization).
+    pub fn chunk_slices(&self) -> impl Iterator<Item = &[T]> {
+        self.chunks.iter().map(|c| &c[..])
+    }
+
+    /// `(chunk-of-vertex, chunk-start-offsets)` layout tables, for builders
+    /// that compute chunk-local indices themselves.
+    pub fn layout(&self) -> (&[u32], &[u64]) {
+        (&self.chunk_of, &self.chunk_starts)
+    }
+
+    /// Raw per-chunk base pointers for parallel builders that write disjoint
+    /// slots without synchronisation. Panics if any chunk is shared — only
+    /// freshly constructed stores qualify.
+    pub fn unique_chunk_ptrs(&mut self) -> Vec<*mut T> {
+        self.chunks
+            .iter_mut()
+            .map(|c| Arc::get_mut(c).expect("chunks must be uniquely owned").as_mut_ptr())
+            .collect()
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether chunk `c` is physically shared with `other` (same allocation).
+    pub fn shares_chunk(&self, other: &Self, c: usize) -> bool {
+        Arc::ptr_eq(&self.chunks[c], &other.chunks[c])
+    }
+
+    /// How many chunks are physically shared with `other`.
+    pub fn shared_chunks_with(&self, other: &Self) -> usize {
+        self.chunks.iter().zip(&other.chunks).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
+    /// Drain the copy-on-write counters accumulated since the last drain.
+    pub fn take_cow_stats(&mut self) -> CowStats {
+        self.dirty.take()
+    }
+
+    /// Current window's counters without draining.
+    pub fn cow_stats(&self) -> CowStats {
+        self.dirty.stats()
+    }
+
+    /// A physically independent copy (every chunk reallocated) — the cost a
+    /// deep snapshot clone pays; kept for baselines and benchmarks.
+    pub fn deep_clone(&self) -> Self {
+        Self {
+            chunk_of: Arc::clone(&self.chunk_of),
+            chunk_starts: Arc::clone(&self.chunk_starts),
+            chunks: self.chunks.iter().map(|c| Arc::from(&c[..])).collect(),
+            dirty: DirtyTracker::new(self.chunks.len()),
+        }
+    }
+
+    /// Resident bytes of payload + chunk table + layout arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+            + self.chunks.len() * std::mem::size_of::<Arc<[T]>>()
+            + self.chunk_of.len() * 4
+            + self.chunk_starts.len() * 8
+    }
+}
+
+/// The CSR weight array: a [`ChunkedStore`] over arc weights, chunked along
+/// vertex neighbour-list boundaries so `neighbor_slices` stays contiguous.
+pub type WeightStore = ChunkedStore<Weight>;
+
+impl ChunkedStore<Weight> {
+    /// Chunk the flat weight array along vertex arc-range boundaries
+    /// (`arc_offsets` is the CSR offset array, `arc_offsets[v]..[v+1]` being
+    /// vertex `v`'s arcs).
+    pub fn from_csr(arc_offsets: &[u32], weights: &[Weight]) -> Self {
+        let wide: Vec<u64> = arc_offsets.iter().map(|&o| o as u64).collect();
+        Self::from_flat(&wide, weights, DEFAULT_CHUNK_ENTRIES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offsets(spans: &[u64]) -> Vec<u64> {
+        let mut o = vec![0u64];
+        for &s in spans {
+            o.push(o.last().unwrap() + s);
+        }
+        o
+    }
+
+    #[test]
+    fn partition_respects_vertex_alignment() {
+        // Spans 3,3,3,3 with target 4: v0 alone ends at 3 (≤4, keep), v1
+        // would end at 6 (>4, split before v1), and so on.
+        let o = offsets(&[3, 3, 3, 3]);
+        let (chunk_of, starts) = partition_vertex_chunks(&o, 4);
+        assert_eq!(chunk_of, vec![0, 1, 2, 3]);
+        assert_eq!(starts, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn partition_packs_small_vertices() {
+        let o = offsets(&[2, 2, 2, 2, 2]);
+        let (chunk_of, starts) = partition_vertex_chunks(&o, 4);
+        assert_eq!(chunk_of, vec![0, 0, 1, 1, 2]);
+        assert_eq!(starts, vec![0, 4, 8, 10]);
+    }
+
+    #[test]
+    fn partition_oversized_vertex_gets_private_chunk() {
+        let o = offsets(&[1, 100, 1]);
+        let (chunk_of, starts) = partition_vertex_chunks(&o, 4);
+        assert_eq!(chunk_of, vec![0, 1, 2]);
+        assert_eq!(starts, vec![0, 1, 101, 102]);
+    }
+
+    #[test]
+    fn partition_handles_empty() {
+        let (chunk_of, starts) = partition_vertex_chunks(&[0], 4);
+        assert!(chunk_of.is_empty());
+        assert_eq!(starts, vec![0, 0]);
+    }
+
+    #[test]
+    fn dirty_tracker_idempotent_marks_and_drains() {
+        let mut d = DirtyTracker::new(130);
+        d.mark(0, 100);
+        d.mark(129, 50);
+        d.mark(0, 100); // already dirty: no double count
+        assert!(d.is_dirty(0) && d.is_dirty(129) && !d.is_dirty(64));
+        assert_eq!(d.stats(), CowStats { chunks_copied: 2, bytes_copied: 150 });
+        assert_eq!(d.take(), CowStats { chunks_copied: 2, bytes_copied: 150 });
+        assert_eq!(d.stats(), CowStats::default());
+        assert!(!d.is_dirty(0));
+    }
+
+    fn store(target: u64) -> WeightStore {
+        // 4 vertices with 2 arcs each.
+        let offs: Vec<u64> = vec![0, 2, 4, 6, 8];
+        let weights: Vec<Weight> = (0..8).collect();
+        ChunkedStore::from_flat(&offs, &weights, target)
+    }
+
+    #[test]
+    fn chunked_store_reads_match_flat_layout() {
+        let s = store(4);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.num_chunks(), 2);
+        for owner in 0..4 {
+            for idx in (owner as u64 * 2)..(owner as u64 * 2 + 2) {
+                assert_eq!(s.get(owner, idx), idx as Weight);
+            }
+        }
+        assert_eq!(s.slice(1, 2, 4), &[2, 3]);
+        assert_eq!(s.slice(3, 6, 8), &[6, 7]);
+        let all: Vec<Weight> = s.iter().collect();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+        let concat: Vec<Weight> = s.chunk_slices().flatten().copied().collect();
+        assert_eq!(concat, all);
+    }
+
+    #[test]
+    fn filled_store_matches_layout() {
+        let offs = offsets(&[3, 3, 2]);
+        let s: ChunkedStore<u32> = ChunkedStore::filled(&offs, 9, 4);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|x| x == 9));
+        let (chunk_of, starts) = s.layout();
+        assert_eq!(chunk_of.len(), 3);
+        assert_eq!(*starts.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn clone_shares_until_first_write() {
+        let mut a = store(4);
+        let b = a.clone();
+        assert_eq!(a.shared_chunks_with(&b), 2);
+        a.set(0, 1, 99);
+        assert_eq!(a.shared_chunks_with(&b), 1, "only the written chunk unshared");
+        assert!(!a.shares_chunk(&b, 0));
+        assert!(a.shares_chunk(&b, 1));
+        assert_eq!(a.get(0, 1), 99);
+        assert_eq!(b.get(0, 1), 1, "snapshot keeps the old value");
+        // First write copied one 4-entry chunk (16 bytes); second write to
+        // the same chunk is free.
+        assert_eq!(a.cow_stats(), CowStats { chunks_copied: 1, bytes_copied: 16 });
+        a.set(0, 0, 98);
+        assert_eq!(a.take_cow_stats(), CowStats { chunks_copied: 1, bytes_copied: 16 });
+    }
+
+    #[test]
+    fn unique_store_writes_in_place() {
+        let mut a = store(4);
+        a.set(2, 5, 42);
+        assert_eq!(a.cow_stats(), CowStats::default(), "no snapshot → no copy");
+        assert_eq!(a.get(2, 5), 42);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let a = store(4);
+        let b = a.deep_clone();
+        assert_eq!(a.shared_chunks_with(&b), 0);
+        assert_eq!(b.get(0, 0), 0);
+    }
+
+    #[test]
+    fn unique_chunk_ptrs_allow_direct_writes() {
+        let mut a = store(4);
+        let ptrs = a.unique_chunk_ptrs();
+        assert_eq!(ptrs.len(), 2);
+        // SAFETY: store is uniquely owned and indices are in range.
+        unsafe { *ptrs[1].add(0) = 77 };
+        assert_eq!(a.get(2, 4), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniquely owned")]
+    fn unique_chunk_ptrs_reject_shared_chunks() {
+        let mut a = store(4);
+        let _pin = a.clone();
+        let _ = a.unique_chunk_ptrs();
+    }
+}

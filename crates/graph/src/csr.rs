@@ -4,7 +4,17 @@
 //! dynamic model: "the structure of road networks is considered to be intact
 //! in general", §8); edge *weights* can be updated in place, in both arc
 //! directions at once, which is what all maintenance algorithms operate on.
+//!
+//! Storage is snapshot-friendly: the immutable topology arrays are
+//! `Arc`-shared, and the weight array lives in a chunked copy-on-write
+//! [`WeightStore`]. `CsrGraph::clone` is therefore `O(#chunks)` — it shares
+//! every byte with the original until a weight write promotes the touched
+//! chunk — which is what lets the epoch-snapshot server publish a generation
+//! without deep-copying the graph (see [`crate::cow`]).
 
+use std::sync::Arc;
+
+use crate::cow::{CowStats, WeightStore};
 use crate::error::GraphError;
 use crate::types::{Dist, EdgeUpdate, VertexId, Weight, INF};
 
@@ -14,10 +24,10 @@ use crate::types::{Dist, EdgeUpdate, VertexId, Weight, INF};
 /// Neighbour lists are sorted by target id, enabling `O(log deg)` arc lookup.
 #[derive(Debug, Clone)]
 pub struct CsrGraph {
-    offsets: Box<[u32]>,
-    targets: Box<[VertexId]>,
-    weights: Vec<Weight>,
-    coords: Option<Box<[(f32, f32)]>>,
+    offsets: Arc<[u32]>,
+    targets: Arc<[VertexId]>,
+    weights: WeightStore,
+    coords: Option<Arc<[(f32, f32)]>>,
     num_edges: usize,
 }
 
@@ -31,7 +41,8 @@ impl CsrGraph {
     ) -> Self {
         debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
         debug_assert_eq!(targets.len(), weights.len());
-        Self { offsets, targets, weights, coords: None, num_edges }
+        let weights = WeightStore::from_csr(&offsets, &weights);
+        Self { offsets: offsets.into(), targets: targets.into(), weights, coords: None, num_edges }
     }
 
     /// Number of vertices.
@@ -66,15 +77,15 @@ impl CsrGraph {
     /// Iterate `(neighbour, weight)` pairs of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        let (lo, hi) = self.arc_range(v);
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        let (ts, ws) = self.neighbor_slices(v);
+        ts.iter().copied().zip(ws.iter().copied())
     }
 
     /// Raw neighbour slices of `v` for hot loops: `(targets, weights)`.
     #[inline(always)]
     pub fn neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
         let (lo, hi) = self.arc_range(v);
-        (&self.targets[lo..hi], &self.weights[lo..hi])
+        (&self.targets[lo..hi], self.weights.slice(v as usize, lo as u64, hi as u64))
     }
 
     #[inline(always)]
@@ -92,7 +103,7 @@ impl CsrGraph {
     /// Weight of edge `{u, v}`, if present.
     #[inline]
     pub fn weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.arc_index(u, v).map(|i| self.weights[i])
+        self.arc_index(u, v).map(|i| self.weights.get(u as usize, i as u64))
     }
 
     /// Whether the edge `{u, v}` exists.
@@ -115,11 +126,11 @@ impl CsrGraph {
         if v >= n {
             return Err(GraphError::InvalidVertex(v));
         }
-        let iu = self.arc_index(u, v).ok_or(GraphError::NoSuchEdge(u, v))?;
-        let iv = self.arc_index(v, u).expect("reverse arc must exist");
-        let old = self.weights[iu];
-        self.weights[iu] = w;
-        self.weights[iv] = w;
+        let iu = self.arc_index(u, v).ok_or(GraphError::NoSuchEdge(u, v))? as u64;
+        let iv = self.arc_index(v, u).expect("reverse arc must exist") as u64;
+        let old = self.weights.get(u as usize, iu);
+        self.weights.set(u as usize, iu, w);
+        self.weights.set(v as usize, iv, w);
         Ok(old)
     }
 
@@ -143,7 +154,7 @@ impl CsrGraph {
     /// Attach planar coordinates (used by inertial partitioning and A*).
     pub fn set_coords(&mut self, coords: Vec<(f32, f32)>) {
         assert_eq!(coords.len(), self.num_vertices(), "one coordinate per vertex");
-        self.coords = Some(coords.into_boxed_slice());
+        self.coords = Some(coords.into());
     }
 
     /// Planar coordinates, if attached.
@@ -156,7 +167,7 @@ impl CsrGraph {
     /// a safe "longer than any shortest path" bound that is still `< INF`.
     pub fn weight_sum_bound(&self) -> Dist {
         let mut acc: u64 = 0;
-        for &w in &self.weights {
+        for w in self.weights.iter() {
             if w != INF {
                 acc += w as u64;
             }
@@ -169,8 +180,54 @@ impl CsrGraph {
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * 4
             + self.targets.len() * 4
-            + self.weights.len() * 4
+            + self.weights.memory_bytes()
             + self.coords.as_ref().map_or(0, |c| c.len() * 8)
+    }
+
+    // ---- copy-on-write surface (see crate::cow) ----
+
+    /// Drain the bytes-copied counters of the weight store — one publish
+    /// window's worth of copy-on-write promotions.
+    pub fn take_cow_stats(&mut self) -> CowStats {
+        self.weights.take_cow_stats()
+    }
+
+    /// Current window's copy-on-write counters without draining them.
+    pub fn cow_stats(&self) -> CowStats {
+        self.weights.cow_stats()
+    }
+
+    /// Number of weight chunks.
+    pub fn num_weight_chunks(&self) -> usize {
+        self.weights.num_chunks()
+    }
+
+    /// Whether weight chunk `c` is physically shared with `other`.
+    pub fn shares_weight_chunk(&self, other: &CsrGraph, c: usize) -> bool {
+        self.weights.shares_chunk(&other.weights, c)
+    }
+
+    /// How many weight chunks are physically shared with `other`.
+    pub fn shared_weight_chunks(&self, other: &CsrGraph) -> usize {
+        self.weights.shared_chunks_with(&other.weights)
+    }
+
+    /// Whether the immutable topology arrays are shared with `other`
+    /// (clones always share them; only independent builds do not).
+    pub fn shares_topology(&self, other: &CsrGraph) -> bool {
+        Arc::ptr_eq(&self.targets, &other.targets)
+    }
+
+    /// A physically independent copy — the `O(n + m)` cost the pre-COW
+    /// publish path paid per generation; kept for baselines and benchmarks.
+    pub fn deep_clone(&self) -> Self {
+        Self {
+            offsets: Arc::from(&self.offsets[..]),
+            targets: Arc::from(&self.targets[..]),
+            weights: self.weights.deep_clone(),
+            coords: self.coords.as_ref().map(|c| Arc::from(&c[..])),
+            num_edges: self.num_edges,
+        }
     }
 }
 
@@ -262,5 +319,33 @@ mod tests {
     fn weight_sum_bound_exceeds_any_path() {
         let g = triangle();
         assert!(g.weight_sum_bound() >= 10 + 20 + 40);
+    }
+
+    #[test]
+    fn clone_is_cow_not_deep() {
+        let mut g = triangle();
+        let snap = g.clone();
+        assert!(g.shares_topology(&snap));
+        assert_eq!(g.shared_weight_chunks(&snap), g.num_weight_chunks());
+        g.set_weight(0, 1, 3).unwrap();
+        // The write promoted the touched chunk(s); the snapshot is unchanged.
+        assert_eq!(snap.weight(0, 1), Some(10));
+        assert_eq!(g.weight(0, 1), Some(3));
+        assert!(g.cow_stats().bytes_copied > 0);
+        let drained = g.take_cow_stats();
+        assert_eq!(
+            drained.chunks_copied as usize,
+            g.num_weight_chunks() - g.shared_weight_chunks(&snap)
+        );
+        assert_eq!(g.cow_stats(), crate::cow::CowStats::default());
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let g = triangle();
+        let d = g.deep_clone();
+        assert!(!g.shares_topology(&d));
+        assert_eq!(g.shared_weight_chunks(&d), 0);
+        assert_eq!(d.weight(1, 2), Some(20));
     }
 }

@@ -16,6 +16,7 @@
 
 pub mod builder;
 pub mod components;
+pub mod cow;
 pub mod csr;
 pub mod digraph;
 pub mod error;
@@ -25,6 +26,7 @@ pub mod subgraph;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use cow::{ChunkedStore, CowStats, DirtyTracker, WeightStore};
 pub use csr::CsrGraph;
 pub use digraph::DiGraph;
 pub use error::GraphError;

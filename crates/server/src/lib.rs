@@ -19,6 +19,14 @@
 //!   `RwLock<Arc<Snapshot>>` slot. The write lock is held only for the
 //!   pointer swap, never during label repair.
 //!
+//! Publishing is **O(touched)**, not O(world): the label arena and the CSR
+//! weight array are chunked copy-on-write stores (`stl_graph::cow`), and
+//! hierarchy + topology are immutable `Arc`s. The per-epoch clone copies
+//! only chunk tables; a chunk's bytes move exactly when the batch writes it
+//! while the previous snapshot still shares it. [`ServerStats`] exposes the
+//! resulting `publish_bytes_copied` / `chunks_copied_last` counters, and
+//! `benches/publish.rs` measures COW against the old full-clone publish.
+//!
 //! ## The snapshot/epoch protocol and its consistency guarantee
 //!
 //! Publication is atomic at `Arc` granularity, which yields **snapshot

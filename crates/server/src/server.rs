@@ -97,9 +97,17 @@ impl StlServer {
                     stats
                         .apply_ns_total
                         .fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    // Publish: clone the repaired world into a fresh epoch.
-                    // Every batch publishes — even one normalised away to a
-                    // no-op — so tickets always resolve to a generation.
+                    // Applying the batch COW-promoted exactly the chunks it
+                    // wrote (the previous snapshot pinned everything else);
+                    // drain the copy accounting into the public counters.
+                    let cow = stl.take_cow_stats() + graph.take_cow_stats();
+                    stats.publish_bytes_copied.fetch_add(cow.bytes_copied, Ordering::Relaxed);
+                    stats.chunks_copied_last.store(cow.chunks_copied, Ordering::Relaxed);
+                    // Publish: O(touched) — the clone below copies only the
+                    // Arc chunk tables; every byte not written by this batch
+                    // is shared with the previous epoch. Every batch
+                    // publishes — even one normalised away to a no-op — so
+                    // tickets always resolve to a generation.
                     generation += 1;
                     let t_pub = Instant::now();
                     let snap = Arc::new(Snapshot::new(generation, graph.clone(), stl.clone()));
@@ -298,6 +306,52 @@ mod tests {
             }
         }
         assert_eq!(server.generation(), 8);
+    }
+
+    #[test]
+    fn publish_shares_untouched_chunks_across_generations() {
+        // The COW publish contract: a batch that writes nothing leaves every
+        // chunk of the new generation physically identical (Arc::ptr_eq) to
+        // the previous one, and a real batch unshares only what it wrote.
+        let g = generate(&RoadNetConfig::sized(200, 33));
+        let server = start(&g);
+        let snap0 = server.snapshot();
+
+        // No-op batch (same weight): generation bumps, zero bytes copied,
+        // all chunks shared.
+        let (a, b, w) = g.edges().next().unwrap();
+        server.wait_for(server.submit(vec![EdgeUpdate::new(a, b, w)]));
+        let snap1 = server.snapshot();
+        assert_eq!(snap1.generation(), 1);
+        assert!(snap0.graph().shares_topology(snap1.graph()));
+        let labels0 = snap0.stl().labels();
+        let labels1 = snap1.stl().labels();
+        assert_eq!(labels0.shared_chunks_with(labels1), labels0.num_chunks());
+        for c in 0..labels0.num_chunks() {
+            assert!(labels0.shares_chunk(labels1, c), "label chunk {c} must stay shared");
+        }
+        assert_eq!(
+            snap0.graph().shared_weight_chunks(snap1.graph()),
+            snap0.graph().num_weight_chunks()
+        );
+        assert_eq!(server.stats().publish_bytes_copied, 0);
+
+        // Real batch: something is copied, but strictly less than the whole
+        // world (the full-clone cost).
+        server.wait_for(server.submit(vec![EdgeUpdate::new(a, b, w * 7)]));
+        let snap2 = server.snapshot();
+        let stats = server.stats();
+        assert!(stats.publish_bytes_copied > 0, "a real update must copy its chunks");
+        let full = snap2.stl().labels().memory_bytes() + snap2.graph().memory_bytes();
+        assert!(
+            (stats.publish_bytes_copied as usize) < full,
+            "copied {} of {} — COW must not degenerate to a full clone",
+            stats.publish_bytes_copied,
+            full
+        );
+        assert!(stats.chunks_copied_last > 0);
+        assert!(snap1.graph().shares_topology(snap2.graph()));
+        server.shutdown();
     }
 
     #[test]

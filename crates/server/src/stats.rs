@@ -12,18 +12,30 @@ pub struct ServerStats {
     pub batches_applied: u64,
     /// Individual edge updates contained in those batches, pre-normalisation.
     pub updates_submitted: u64,
-    /// Nanoseconds spent cloning + swapping snapshots, summed over publishes.
+    /// Nanoseconds spent publishing snapshots (COW clone + pointer swap),
+    /// summed over publishes.
     pub publish_ns_total: u64,
     /// Publish latency of the most recent epoch, in nanoseconds.
     pub publish_ns_last: u64,
     /// Nanoseconds the writer spent inside `apply_batch`, summed.
     pub apply_ns_total: u64,
+    /// Bytes physically copied by copy-on-write chunk promotions, summed
+    /// over all epochs. Untouched chunks are shared with prior snapshots and
+    /// cost nothing — contrast with a full clone's `O(n + m + Σ|L(v)|)`.
+    pub publish_bytes_copied: u64,
+    /// Chunks copied while applying the most recent epoch's batch.
+    pub chunks_copied_last: u64,
 }
 
 impl ServerStats {
     /// Mean publish latency in nanoseconds (0 before the first publish).
     pub fn publish_ns_mean(&self) -> u64 {
         self.publish_ns_total.checked_div(self.batches_applied).unwrap_or(0)
+    }
+
+    /// Mean bytes copied per published epoch (0 before the first publish).
+    pub fn publish_bytes_mean(&self) -> u64 {
+        self.publish_bytes_copied.checked_div(self.batches_applied).unwrap_or(0)
     }
 }
 
@@ -32,13 +44,16 @@ impl std::fmt::Display for ServerStats {
         write!(
             f,
             "generation {} | {} queries | {} updates in {} batches | \
-             publish mean {:.1} us (last {:.1} us) | apply total {:.1} ms",
+             publish mean {:.1} us (last {:.1} us) | cow copied {:.1} KiB/epoch \
+             (last epoch {} chunks) | apply total {:.1} ms",
             self.batches_applied,
             self.queries_served,
             self.updates_submitted,
             self.batches_applied,
             self.publish_ns_mean() as f64 / 1e3,
             self.publish_ns_last as f64 / 1e3,
+            self.publish_bytes_mean() as f64 / 1024.0,
+            self.chunks_copied_last,
             self.apply_ns_total as f64 / 1e6,
         )
     }
@@ -53,6 +68,8 @@ pub(crate) struct StatsCells {
     pub publish_ns_total: AtomicU64,
     pub publish_ns_last: AtomicU64,
     pub apply_ns_total: AtomicU64,
+    pub publish_bytes_copied: AtomicU64,
+    pub chunks_copied_last: AtomicU64,
 }
 
 impl StatsCells {
@@ -64,6 +81,8 @@ impl StatsCells {
             publish_ns_total: self.publish_ns_total.load(Ordering::Relaxed),
             publish_ns_last: self.publish_ns_last.load(Ordering::Relaxed),
             apply_ns_total: self.apply_ns_total.load(Ordering::Relaxed),
+            publish_bytes_copied: self.publish_bytes_copied.load(Ordering::Relaxed),
+            chunks_copied_last: self.chunks_copied_last.load(Ordering::Relaxed),
         }
     }
 }
@@ -75,11 +94,25 @@ mod tests {
     #[test]
     fn mean_handles_zero_batches() {
         assert_eq!(ServerStats::default().publish_ns_mean(), 0);
+        assert_eq!(ServerStats::default().publish_bytes_mean(), 0);
     }
 
     #[test]
-    fn display_mentions_generation() {
-        let s = ServerStats { batches_applied: 7, ..Default::default() };
-        assert!(format!("{s}").contains("generation 7"));
+    fn display_mentions_generation_and_cow() {
+        let s = ServerStats {
+            batches_applied: 7,
+            publish_bytes_copied: 7 * 2048,
+            ..Default::default()
+        };
+        let text = format!("{s}");
+        assert!(text.contains("generation 7"));
+        assert!(text.contains("cow copied 2.0 KiB/epoch"));
+    }
+
+    #[test]
+    fn bytes_mean_is_per_epoch() {
+        let s =
+            ServerStats { batches_applied: 4, publish_bytes_copied: 4096, ..Default::default() };
+        assert_eq!(s.publish_bytes_mean(), 1024);
     }
 }
