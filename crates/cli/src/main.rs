@@ -8,6 +8,7 @@
 //! stl gen     <out.gr> [--vertices N] [--seed S]  synthetic road network
 //! stl serve   <graph.gr> [--readers N] [--ops N] [--update-fraction F]
 //!             [--batch-size K] [--seed S] [--algo pareto|label] [--threads T]
+//!             [--repair-threads R]
 //! ```
 //!
 //! `serve` builds an index in-process, starts the `stl_server`
@@ -180,6 +181,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     let mut seed = 0xD157u64;
     let mut algo = Maintenance::ParetoSearch;
     let mut threads = 1usize;
+    let mut repair_threads = ServerConfig::default().repair_threads;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -193,6 +195,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
             }
             "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
             "--threads" => threads = it.next().ok_or("--threads needs a value")?.parse()?,
+            "--repair-threads" => {
+                repair_threads = it.next().ok_or("--repair-threads needs a value")?.parse()?
+            }
             "--algo" => {
                 algo = match it.next().map(String::as_str) {
                     Some("pareto") => Maintenance::ParetoSearch,
@@ -205,6 +210,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     }
     if readers == 0 {
         return Err("--readers must be at least 1".into());
+    }
+    if repair_threads == 0 {
+        return Err("--repair-threads must be at least 1".into());
     }
     if batch_size == 0 {
         return Err("--batch-size must be at least 1".into());
@@ -231,8 +239,17 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         batches.len(),
         batch_size
     );
+    println!(
+        "repair: {repair_threads} thread(s), {} stable-tree shards{}",
+        stl.hierarchy().num_shards(),
+        if matches!(algo, Maintenance::ParetoSearch) {
+            " (pareto repairs serially; use --algo label to fan out)"
+        } else {
+            ""
+        }
+    );
 
-    let server = StlServer::start(g, stl, ServerConfig { algo });
+    let server = StlServer::start(g, stl, ServerConfig { algo, repair_threads });
     let wall = replay_mixed(&server, &queries, &batches, readers);
     let stats = server.shutdown();
     println!(

@@ -99,11 +99,17 @@ fn serve_runs_mixed_trace_and_reports_stats() {
         "77",
         "--algo",
         "label",
+        "--repair-threads",
+        "2",
     ]));
     assert!(out.contains("queries/s"), "serve output: {out}");
     assert!(out.contains("generation"), "serve output: {out}");
     // The trace is seeded: the query/batch split is reproducible.
     assert!(out.contains("seed 77"), "serve output: {out}");
+    // The sharded-repair banner and per-shard writer timings must surface.
+    assert!(out.contains("repair: 2 thread(s)"), "serve output: {out}");
+    assert!(out.contains("stable-tree shards"), "serve output: {out}");
+    assert!(out.contains("trees touched/skipped"), "serve output: {out}");
 }
 
 #[test]
@@ -116,6 +122,7 @@ fn serve_rejects_bad_flags() {
         vec!["serve", "x.gr", "--readers", "0"],
         vec!["serve", "x.gr", "--batch-size", "0"],
         vec!["serve", "x.gr", "--update-fraction", "1.5"],
+        vec!["serve", "x.gr", "--repair-threads", "0"],
     ] {
         let out = stl(&bad);
         assert_eq!(out.status.code(), Some(1), "args: {bad:?}");

@@ -74,8 +74,12 @@ impl DirectedStl {
 }
 
 /// Normalise a batch: last update per edge wins; classify against current
-/// weights; drop no-ops.
-fn split_batch(g: &CsrGraph, updates: &[EdgeUpdate]) -> (Vec<EdgeUpdate>, Vec<EdgeUpdate>) {
+/// weights; drop no-ops. Shared with the tree-sharded driver
+/// (`crate::shard`) so serial and sharded paths see identical batches.
+pub(crate) fn split_batch(
+    g: &CsrGraph,
+    updates: &[EdgeUpdate],
+) -> (Vec<EdgeUpdate>, Vec<EdgeUpdate>) {
     normalise_batch(updates, false, |a, b| g.weight(a, b))
 }
 

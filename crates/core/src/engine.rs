@@ -106,6 +106,48 @@ impl UpdateEngine {
     }
 }
 
+/// A reusable pool of per-worker [`UpdateEngine`]s for tree-sharded batch
+/// repair.
+///
+/// Engines are lazily grown to the requested worker count and kept warm
+/// across batches — the epoch-reset scratch arrays make reuse free, and a
+/// long-lived writer (e.g. the `stl_server` writer thread) allocates its
+/// `O(threads · |V|)` scratch exactly once.
+#[derive(Debug, Default)]
+pub struct EnginePool {
+    engines: Vec<UpdateEngine>,
+}
+
+impl EnginePool {
+    /// An empty pool; engines are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// At least `workers` engines, each with capacity for `n` vertices.
+    /// Returns exactly `workers` of them for a `thread::scope` fan-out.
+    pub fn engines(&mut self, workers: usize, n: usize) -> &mut [UpdateEngine] {
+        let workers = workers.max(1);
+        while self.engines.len() < workers {
+            self.engines.push(UpdateEngine::new(n));
+        }
+        for eng in &mut self.engines[..workers] {
+            eng.ensure_capacity(n);
+        }
+        &mut self.engines[..workers]
+    }
+
+    /// Number of engines currently held.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the pool has no engines yet.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +178,20 @@ mod tests {
         e.ensure_capacity(16);
         assert!(e.in_aff.len() >= 16);
         assert!(e.level.len() >= 16);
+    }
+
+    #[test]
+    fn engine_pool_grows_and_reuses() {
+        let mut pool = EnginePool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.engines(3, 8).len(), 3);
+        assert_eq!(pool.len(), 3);
+        // A smaller request reuses the same allocations and grows capacity.
+        let engines = pool.engines(2, 32);
+        assert_eq!(engines.len(), 2);
+        assert!(engines[0].in_aff.len() >= 32);
+        assert_eq!(pool.len(), 3, "pool never shrinks");
+        // Zero workers clamps to one engine.
+        assert_eq!(pool.engines(0, 8).len(), 1);
     }
 }

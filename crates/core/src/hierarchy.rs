@@ -25,6 +25,19 @@ use crate::types::StlConfig;
 
 const NO_NODE: u32 = u32::MAX;
 
+/// Tree depth at which the hierarchy is cut into **repair shards**: every
+/// subtree rooted at this depth (or a leaf above it) becomes one shard, and
+/// the nodes above form the shared *spine* (shard [`SPINE_SHARD`]). Depth 6
+/// yields up to 64 subtree shards — comfortably more than available
+/// hardware parallelism — while keeping the spine a tiny fraction of the
+/// cut vertices on balanced hierarchies.
+pub const SHARD_DEPTH: u32 = 6;
+
+/// Shard id of the spine (cut vertices above [`SHARD_DEPTH`]). Spine
+/// ancestors are few but their searches range over whole subtrees; they are
+/// scheduled as their own work unit.
+pub const SPINE_SHARD: u32 = 0;
+
 /// An immutable stable tree hierarchy over a graph's vertices.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
@@ -36,11 +49,53 @@ pub struct Hierarchy {
     pub(crate) cut_vertices: Box<[VertexId]>,
     pub(crate) node_path_start: Box<[u32]>, // len nodes+1, into path_anc_end
     pub(crate) path_anc_end: Box<[u32]>, // anc_end of each node on the root path (level 0..=depth)
+    /// Repair shard of each tree node ([`SPINE_SHARD`] for spine nodes);
+    /// derived from the tree shape, never persisted.
+    pub(crate) node_shard: Box<[u32]>,
+    pub(crate) num_shards: u32,
+    pub(crate) spine_has_cuts: bool,
     // ---- per vertex ----
     pub(crate) node_of: Box<[u32]>,
     pub(crate) tau: Box<[u32]>,
     pub(crate) bits: Box<[u128]>,
     pub(crate) depth: Box<[u32]>,
+}
+
+/// Derive the subtree-ownership map from the tree shape: nodes at exactly
+/// [`SHARD_DEPTH`], and leaves above it, root one shard each; nodes above
+/// with children are spine; nodes below inherit their parent's shard.
+/// Returns `(node_shard, num_shards, spine_has_cuts)`.
+pub(crate) fn derive_shards(
+    node_parent: &[u32],
+    node_depth: &[u32],
+    node_cut_start: &[u32],
+) -> (Box<[u32]>, u32, bool) {
+    let nodes = node_parent.len();
+    let mut has_child = vec![false; nodes];
+    for &p in node_parent {
+        if p != NO_NODE {
+            has_child[p as usize] = true;
+        }
+    }
+    let mut node_shard = vec![SPINE_SHARD; nodes];
+    let mut next = SPINE_SHARD + 1;
+    let mut spine_has_cuts = false;
+    for id in 0..nodes {
+        let d = node_depth[id];
+        node_shard[id] = if d == SHARD_DEPTH || (d < SHARD_DEPTH && !has_child[id]) {
+            let s = next;
+            next += 1;
+            s
+        } else if d < SHARD_DEPTH {
+            if node_cut_start[id + 1] > node_cut_start[id] {
+                spine_has_cuts = true;
+            }
+            SPINE_SHARD
+        } else {
+            node_shard[node_parent[id] as usize]
+        };
+    }
+    (node_shard.into_boxed_slice(), next, spine_has_cuts)
 }
 
 /// A tree node described externally: parent id (`u32::MAX` for the root),
@@ -169,6 +224,8 @@ impl Hierarchy {
             depth[v] = node_depth[nd as usize];
         }
 
+        let (node_shard, num_shards, spine_has_cuts) =
+            derive_shards(&node_parent, &node_depth, &node_cut_start);
         Hierarchy {
             node_parent: node_parent.into_boxed_slice(),
             node_depth: node_depth.into_boxed_slice(),
@@ -177,6 +234,9 @@ impl Hierarchy {
             cut_vertices: cut_vertices.into_boxed_slice(),
             node_path_start: node_path_start.into_boxed_slice(),
             path_anc_end: path_anc_end.into_boxed_slice(),
+            node_shard,
+            num_shards,
+            spine_has_cuts,
             node_of: node_of.into_boxed_slice(),
             tau: tau.into_boxed_slice(),
             bits: bits.into_boxed_slice(),
@@ -326,7 +386,15 @@ impl Hierarchy {
 
     /// Visit every ancestor of `v` **including `v` itself** in `τ` order,
     /// as `(ancestor_vertex, τ(ancestor))`.
-    pub fn for_each_ancestor_inclusive(&self, v: VertexId, mut f: impl FnMut(VertexId, u32)) {
+    #[inline]
+    pub fn for_each_ancestor_inclusive(&self, v: VertexId, f: impl FnMut(VertexId, u32)) {
+        self.walk_ancestors(v, None, f)
+    }
+
+    /// The one ancestor walker behind both public enumerations — the shard
+    /// filter must never drift from the unfiltered walk, or sharded repair
+    /// would silently diverge from serial.
+    fn walk_ancestors(&self, v: VertexId, shard: Option<u32>, mut f: impl FnMut(VertexId, u32)) {
         // Collect root path of ℓ(v).
         let mut path = [0u32; 128];
         let mut len = 0usize;
@@ -343,6 +411,17 @@ impl Hierarchy {
         let tv = self.tau[v as usize];
         for i in (0..len).rev() {
             let nd = path[i];
+            if let Some(s) = shard {
+                if self.node_shard[nd as usize] != s {
+                    // Spine nodes form the path prefix and subtree-shard
+                    // nodes the suffix: the first non-spine node ends the
+                    // spine walk.
+                    if s == SPINE_SHARD {
+                        return;
+                    }
+                    continue;
+                }
+            }
             let t0 = self.node_anc_offset[nd as usize];
             for (t, &r) in (t0..).zip(self.cut(nd)) {
                 if t > tv {
@@ -353,9 +432,92 @@ impl Hierarchy {
         }
     }
 
+    // ---- repair shards (subtree-ownership map) ----
+
+    /// Number of repair shards, **including** the spine slot
+    /// ([`SPINE_SHARD`], which may own no cut vertices on shallow trees).
+    #[inline]
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// Repair shard owning a tree node.
+    #[inline]
+    pub fn shard_of_node(&self, node: u32) -> u32 {
+        self.node_shard[node as usize]
+    }
+
+    /// Repair shard owning vertex `v` — the stable (sub)tree whose labels a
+    /// weight change at `v` can reach below the spine.
+    #[inline]
+    pub fn tree_of(&self, v: VertexId) -> u32 {
+        self.node_shard[self.node_of[v as usize] as usize]
+    }
+
+    /// Repair shard owning the edge `{a, b}`: the shard of the endpoint
+    /// with the smaller label index — the one whose ancestor set the
+    /// maintenance algorithms seed (Algorithm 1 line 2).
+    #[inline]
+    pub fn tree_of_edge(&self, a: VertexId, b: VertexId) -> u32 {
+        let anchor = if self.tau[a as usize] < self.tau[b as usize] { a } else { b };
+        self.tree_of(anchor)
+    }
+
+    /// Whether any spine node owns cut vertices — iff true, every batch has
+    /// a spine work unit (all root paths cross the spine).
+    #[inline]
+    pub fn spine_has_cuts(&self) -> bool {
+        self.spine_has_cuts
+    }
+
+    /// Like [`Hierarchy::for_each_ancestor_inclusive`], but visits only the
+    /// ancestors owned by `shard`. Over all shards the visits partition the
+    /// inclusive ancestor set exactly.
+    #[inline]
+    pub fn for_each_ancestor_in_shard(
+        &self,
+        v: VertexId,
+        shard: u32,
+        f: impl FnMut(VertexId, u32),
+    ) {
+        self.walk_ancestors(v, Some(shard), f)
+    }
+
+    /// Repair shard owning label entry `L(v)[i]` — the shard of the `i`-th
+    /// inclusive ancestor of `v`. Walks the root path (debug assertions and
+    /// property tests; not a hot path).
+    pub fn shard_of_entry(&self, v: VertexId, i: u32) -> u32 {
+        debug_assert!(i <= self.tau[v as usize], "entry {i} out of range for vertex {v}");
+        let mut node = self.node_of[v as usize];
+        loop {
+            let off = self.node_anc_offset[node as usize];
+            if i >= off {
+                debug_assert!(
+                    (i - off)
+                        < self.node_cut_start[node as usize + 1]
+                            - self.node_cut_start[node as usize],
+                    "label index {i} does not fall in node {node}'s cut"
+                );
+                return self.node_shard[node as usize];
+            }
+            node = self.node_parent[node as usize];
+            debug_assert_ne!(node, NO_NODE, "index {i} below the root offset");
+        }
+    }
+
+    /// Vertices owned per shard (index = shard id; `[SPINE_SHARD]` counts
+    /// spine cut vertices). Scheduling and reporting only.
+    pub fn shard_vertex_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_shards as usize];
+        for &nd in self.node_of.iter() {
+            counts[self.node_shard[nd as usize] as usize] += 1;
+        }
+        counts
+    }
+
     /// Approximate resident bytes of hierarchy metadata.
     pub fn memory_bytes(&self) -> usize {
-        self.node_parent.len() * (4 + 4 + 4)
+        self.node_parent.len() * (4 + 4 + 4 + 4)
             + self.node_cut_start.len() * 4
             + self.cut_vertices.len() * 4
             + self.node_path_start.len() * 4
@@ -539,6 +701,83 @@ mod tests {
         assert_eq!(h.num_nodes(), 1);
         assert_eq!(h.tau(0), 0);
         assert_eq!(h.common_anc_count(0, 0), 1);
+    }
+
+    #[test]
+    fn shards_partition_ancestor_visits() {
+        // Union over shards of for_each_ancestor_in_shard must equal the
+        // inclusive ancestor enumeration, per vertex, in τ order per shard.
+        let g = grid(10);
+        let h = Hierarchy::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        assert!(h.num_shards() >= 2, "tree must split into several shards");
+        for v in 0..h.num_vertices() as VertexId {
+            let mut full = Vec::new();
+            h.for_each_ancestor_inclusive(v, |r, t| full.push((r, t)));
+            let mut sharded = Vec::new();
+            for s in 0..h.num_shards() {
+                h.for_each_ancestor_in_shard(v, s, |r, t| sharded.push((r, t)));
+            }
+            sharded.sort_unstable_by_key(|&(_, t)| t);
+            assert_eq!(sharded, full, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn shard_of_entry_matches_ancestor_shards() {
+        let g = grid(9);
+        let h = Hierarchy::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        for v in 0..h.num_vertices() as VertexId {
+            h.for_each_ancestor_inclusive(v, |r, t| {
+                assert_eq!(
+                    h.shard_of_entry(v, t),
+                    h.shard_of_node(h.node_of(r)),
+                    "vertex {v} entry {t}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn spine_nodes_are_shallow_and_shard_subtrees_disjoint() {
+        let g = grid(12);
+        let h = Hierarchy::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        for node in 0..h.num_nodes() as u32 {
+            let s = h.shard_of_node(node);
+            if s == SPINE_SHARD {
+                assert!(h.node_depth(node) < SHARD_DEPTH, "spine node {node} too deep");
+            } else {
+                // A non-spine node's parent is either spine or in the same
+                // shard — shards are connected subtrees.
+                let p = h.node_parent(node);
+                if p != u32::MAX {
+                    let ps = h.shard_of_node(p);
+                    assert!(ps == SPINE_SHARD || ps == s, "shard {s} not a subtree");
+                }
+            }
+        }
+        let counts = h.shard_vertex_counts();
+        assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), h.num_vertices());
+    }
+
+    #[test]
+    fn tree_of_edge_picks_smaller_tau_endpoint() {
+        let g = grid(8);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        for (u, v, _) in g.edges() {
+            let anchor = if h.tau(u) < h.tau(v) { u } else { v };
+            assert_eq!(h.tree_of_edge(u, v), h.tree_of(anchor));
+            assert_eq!(h.tree_of_edge(u, v), h.tree_of_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn single_node_tree_has_one_shard_and_no_spine() {
+        let g = from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let h = Hierarchy::build(&g, &StlConfig { leaf_size: 8, ..Default::default() });
+        assert_eq!(h.num_nodes(), 1);
+        assert_eq!(h.num_shards(), 2, "spine slot + the single leaf shard");
+        assert!(!h.spine_has_cuts());
+        assert_eq!(h.tree_of(0), 1);
     }
 
     #[test]

@@ -12,13 +12,23 @@
 //! neighbours to `τ(n) > τ(r)`; that would exclude the ancestor `r` itself
 //! and lose repairs for its direct neighbours, so we use `τ(n) ≥ τ(r)` —
 //! along an ancestor chain the only vertex with `τ(n) = τ(r)` is `r`.
+//!
+//! All phases are **scoped**: the seed/search/repair cores are generic over
+//! [`LabelAccess`] and take an optional repair-shard filter, so the same
+//! code runs serially over the whole ancestor set (`shard = None`, the
+//! public [`decrease`]/[`increase`] entry points) or per stable tree on a
+//! [`ShardLabels`](crate::labelling::ShardLabels) view inside
+//! [`Stl::apply_batch_sharded`](crate::labelling::Stl::apply_batch_sharded)
+//! — every per-ancestor search reads and writes only entries `(v, τ(r))`
+//! with `v ∈ Desc(r)`, which is what makes the shard fan-out sound.
 
 use std::cmp::Reverse;
 
 use stl_graph::{dist_add, CsrGraph, EdgeUpdate, VertexId, INF};
 
 use crate::engine::UpdateEngine;
-use crate::labelling::Stl;
+use crate::hierarchy::Hierarchy;
+use crate::labelling::{LabelAccess, Stl};
 use crate::types::UpdateStats;
 
 /// Algorithm 1 — batch of edge-weight **decreases**.
@@ -44,24 +54,51 @@ pub fn decrease(
         debug_assert!(u.new_weight <= old, "decrease batch got an increase");
     }
 
-    // Partition seeds into per-ancestor queues Q_r (Alg. 1 lines 2–7).
+    seed_decrease(hier, labels, updates, None, eng);
+    run_decrease_searches(hier, labels, g, eng, &mut stats);
+    stats
+}
+
+/// Partition decrease seeds into per-ancestor queues `Q_r` (Alg. 1 lines
+/// 2–7), restricted to the ancestors owned by `shard` when given. The new
+/// weights must already be applied to the graph.
+pub(crate) fn seed_decrease<L: LabelAccess>(
+    hier: &Hierarchy,
+    labels: &L,
+    updates: &[EdgeUpdate],
+    shard: Option<u32>,
+    eng: &mut UpdateEngine,
+) {
     eng.seeds.clear();
     for &u in updates {
         let (a, b) = orient(hier, u.a, u.b);
         let w = u.new_weight;
-        hier.for_each_ancestor_inclusive(a, |r, tr| {
+        let seeds = &mut eng.seeds;
+        let visit = |r: VertexId, tr: u32| {
             let la = labels.get(a, tr);
             let lb = labels.get(b, tr);
             if la != INF && dist_add(la, w) < lb {
-                eng.seeds.entry(r).or_default().push((dist_add(la, w), b));
+                seeds.entry(r).or_default().push((dist_add(la, w), b));
             } else if lb != INF && dist_add(lb, w) < la {
-                eng.seeds.entry(r).or_default().push((dist_add(lb, w), a));
+                seeds.entry(r).or_default().push((dist_add(lb, w), a));
             }
-        });
+        };
+        match shard {
+            Some(s) => hier.for_each_ancestor_in_shard(a, s, visit),
+            None => hier.for_each_ancestor_inclusive(a, visit),
+        }
     }
+}
 
-    // One pruned Dijkstra per ancestor (lines 8–14), in τ order: hash-map
-    // order would make repair order and stats nondeterministic.
+/// One pruned Dijkstra per seeded ancestor (Alg. 1 lines 8–14), in τ order:
+/// hash-map order would make repair order and stats nondeterministic.
+pub(crate) fn run_decrease_searches<L: LabelAccess>(
+    hier: &Hierarchy,
+    labels: &mut L,
+    g: &CsrGraph,
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
     eng.seed_list.clear();
     eng.seed_list.extend(eng.seeds.drain());
     eng.seed_list.sort_unstable_by_key(|&(r, _)| (hier.tau(r), r));
@@ -91,7 +128,6 @@ pub fn decrease(
             }
         }
     }
-    stats
 }
 
 /// Algorithm 2 — batch of edge-weight **increases**.
@@ -112,30 +148,66 @@ pub fn increase(
     eng.ensure_capacity(g.num_vertices());
     let Stl { ref hier, ref mut labels } = *stl;
 
-    // Seeds from old labels and old weights (lines 2–7).
+    seed_increase(hier, labels, g, updates, None, eng);
+    collect_affected(hier, labels, g, eng, &mut stats);
+
+    // Apply the new weights, then repair per ancestor.
+    for &u in updates {
+        g.apply_update(u).expect("validated above");
+    }
+    let aff_per_r = std::mem::take(&mut eng.aff_per_r);
+    run_repairs(hier, labels, g, &aff_per_r, eng, &mut stats);
+    eng.aff_per_r = aff_per_r; // return buffers for reuse
+    stats
+}
+
+/// Seed increase queues from **old** labels and **old** weights (Alg. 2
+/// lines 2–7), restricted to the ancestors owned by `shard` when given.
+/// Must run before any of the batch's weights are applied.
+pub(crate) fn seed_increase<L: LabelAccess>(
+    hier: &Hierarchy,
+    labels: &L,
+    g: &CsrGraph,
+    updates: &[EdgeUpdate],
+    shard: Option<u32>,
+    eng: &mut UpdateEngine,
+) {
     eng.seeds.clear();
     for &u in updates {
         let w_old = g.weight(u.a, u.b).expect("update must target an existing edge");
         debug_assert!(u.new_weight >= w_old, "increase batch got a decrease");
         let (a, b) = orient(hier, u.a, u.b);
         let ta = hier.tau(a);
-        hier.for_each_ancestor_inclusive(a, |r, tr| {
+        let seeds = &mut eng.seeds;
+        let visit = |r: VertexId, tr: u32| {
             let la = labels.get(a, tr);
             let lb = labels.get(b, tr);
             if la != INF && lb != INF && dist_add(la, w_old) == lb {
-                eng.seeds.entry(r).or_default().push((lb, b));
+                seeds.entry(r).or_default().push((lb, b));
             } else if tr < ta && lb != INF && la != INF && dist_add(lb, w_old) == la {
                 // `tr < ta` keeps the ancestor itself out of its own queue:
                 // for r == a (only reachable through a zero-weight edge
                 // closing a zero-length cycle) the self-entry is 0 forever.
-                eng.seeds.entry(r).or_default().push((la, a));
+                seeds.entry(r).or_default().push((la, a));
             }
-        });
+        };
+        match shard {
+            Some(s) => hier.for_each_ancestor_in_shard(a, s, visit),
+            None => hier.for_each_ancestor_inclusive(a, visit),
+        }
     }
+}
 
-    // Identify V_aff per ancestor along the old shortest-path DAG
-    // (lines 8–14), in τ order for run-to-run determinism; all searches
-    // precede any weight application.
+/// Identify `V_aff` per seeded ancestor along the old shortest-path DAG
+/// (Alg. 2 lines 8–14), in τ order for run-to-run determinism, appending to
+/// `eng.aff_per_r`. All searches must precede any weight application.
+pub(crate) fn collect_affected<L: LabelAccess>(
+    hier: &Hierarchy,
+    labels: &L,
+    g: &CsrGraph,
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
     eng.aff_per_r.clear();
     eng.seed_list.clear();
     eng.seed_list.extend(eng.seeds.drain());
@@ -171,23 +243,27 @@ pub fn increase(
         stats.affected += list.len() as u64;
         eng.aff_per_r.push((r, list));
     }
+}
 
-    // Apply the new weights, then repair per ancestor.
-    for &u in updates {
-        g.apply_update(u).expect("validated above");
+/// Run `Repair` for every `(ancestor, V_aff)` pair, in the given (τ-sorted)
+/// order. The batch's new weights must already be applied.
+pub(crate) fn run_repairs<L: LabelAccess>(
+    hier: &Hierarchy,
+    labels: &mut L,
+    g: &CsrGraph,
+    aff_per_r: &[(VertexId, Vec<VertexId>)],
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
+    for (r, list) in aff_per_r {
+        repair(hier, labels, g, *r, list, eng, stats);
     }
-    let aff_per_r = std::mem::take(&mut eng.aff_per_r);
-    for (r, list) in &aff_per_r {
-        repair(hier, labels, g, *r, list, eng, &mut stats);
-    }
-    eng.aff_per_r = aff_per_r; // return buffers for reuse
-    stats
 }
 
 /// `Repair` of Algorithm 2 (lines 16–27) for one ancestor.
-fn repair(
-    hier: &crate::hierarchy::Hierarchy,
-    labels: &mut crate::labelling::Labels,
+fn repair<L: LabelAccess>(
+    hier: &Hierarchy,
+    labels: &mut L,
     g: &CsrGraph,
     r: VertexId,
     v_aff: &[VertexId],
@@ -244,7 +320,7 @@ fn repair(
 /// (`τ(a) < τ(b)`, cf. Algorithm 1 line 2; endpoints of an edge are always
 /// comparable by Lemma 5.3).
 #[inline]
-fn orient(hier: &crate::hierarchy::Hierarchy, a: VertexId, b: VertexId) -> (VertexId, VertexId) {
+pub(crate) fn orient(hier: &Hierarchy, a: VertexId, b: VertexId) -> (VertexId, VertexId) {
     if hier.tau(a) < hier.tau(b) {
         (a, b)
     } else {

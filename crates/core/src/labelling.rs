@@ -14,7 +14,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use stl_graph::cow::{ChunkedStore, CowStats, DEFAULT_CHUNK_ENTRIES};
+use stl_graph::cow::{ChunkedStore, CowStats, DisjointWriter, DEFAULT_CHUNK_ENTRIES};
 use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 use stl_pathfinding::TimestampedArray;
 
@@ -169,6 +169,119 @@ impl Labels {
             locs: Arc::clone(&self.locs),
             store: self.store.deep_clone(),
         }
+    }
+
+    /// Open a concurrent-repair phase over the arena: shared access for a
+    /// pool of shard workers with disjoint entry sets (see [`ShardLabels`]).
+    /// Copy-on-write promotions and dirty accounting behave exactly as for
+    /// serial [`Labels::set`]; promoted chunks install when the returned
+    /// writer drops.
+    pub fn disjoint_writer(&mut self) -> LabelsWriter<'_> {
+        LabelsWriter { locs: Arc::clone(&self.locs), inner: self.store.disjoint_writer() }
+    }
+}
+
+/// Uniform read/write access to label entries — implemented by the owning
+/// [`Labels`] (serial maintenance) and by per-shard [`ShardLabels`] views
+/// (tree-sharded parallel maintenance), so the search algorithms in
+/// `label_search` compile once against either.
+pub(crate) trait LabelAccess {
+    /// `L(v)[i]`.
+    fn get(&self, v: VertexId, i: u32) -> Dist;
+    /// Overwrite `L(v)[i]`.
+    fn set(&mut self, v: VertexId, i: u32, d: Dist);
+}
+
+impl LabelAccess for Labels {
+    #[inline(always)]
+    fn get(&self, v: VertexId, i: u32) -> Dist {
+        Labels::get(self, v, i)
+    }
+
+    #[inline(always)]
+    fn set(&mut self, v: VertexId, i: u32, d: Dist) {
+        Labels::set(self, v, i, d)
+    }
+}
+
+/// One tree-sharded repair phase over a label arena (from
+/// [`Labels::disjoint_writer`]). Hand each worker a [`ShardLabels`] view via
+/// [`LabelsWriter::shard_view`]; drop the writer to install copy-on-write
+/// promotions into the arena.
+#[derive(Debug)]
+pub struct LabelsWriter<'a> {
+    locs: Arc<[VertexLoc]>,
+    inner: DisjointWriter<'a, Dist>,
+}
+
+impl LabelsWriter<'_> {
+    /// A mutable view over the label region owned by `shard`.
+    ///
+    /// With `log = true` the view records every `(vertex, index)` it writes
+    /// — the instrumentation the shard-disjointness property tests consume.
+    pub fn shard_view<'w>(&'w self, hier: &'w Hierarchy, shard: u32, log: bool) -> ShardLabels<'w> {
+        ShardLabels { writer: self, hier, shard, log: log.then(Vec::new) }
+    }
+}
+
+/// Mutable view over the label entries owned by one repair shard.
+///
+/// # Why unsynchronised shared writes are sound
+/// A shard owns the entries `(v, τ(r))` for its cut vertices `r` and
+/// `v ∈ Desc(r)`. For two distinct cut vertices: if they are ⪯-comparable
+/// their τ values differ (τ is injective along a chain), so the entries
+/// differ in index; if incomparable, their descendant sets are disjoint, so
+/// the entries differ in vertex. Shards group whole subtrees (plus the
+/// spine, whose cuts are ⪯-below every subtree), hence any two shards'
+/// entry sets are disjoint — the same argument that makes
+/// [`Stl::build_with_hierarchy_parallel`] race-free. Every access is
+/// debug-asserted against [`Hierarchy::shard_of_entry`].
+#[derive(Debug)]
+pub struct ShardLabels<'w> {
+    writer: &'w LabelsWriter<'w>,
+    hier: &'w Hierarchy,
+    shard: u32,
+    log: Option<Vec<(VertexId, u32)>>,
+}
+
+impl ShardLabels<'_> {
+    /// The `(vertex, index)` write log, if logging was requested.
+    pub fn into_log(self) -> Vec<(VertexId, u32)> {
+        self.log.unwrap_or_default()
+    }
+}
+
+impl LabelAccess for ShardLabels<'_> {
+    #[inline(always)]
+    fn get(&self, v: VertexId, i: u32) -> Dist {
+        debug_assert_eq!(
+            self.hier.shard_of_entry(v, i),
+            self.shard,
+            "shard {} read entry ({v}, {i}) it does not own",
+            self.shard
+        );
+        let loc = self.writer.locs[v as usize];
+        debug_assert!(i < loc.len);
+        // SAFETY: entry sets are disjoint across shards (see type docs), so
+        // no other worker concurrently writes this entry.
+        unsafe { self.writer.inner.get_in_chunk(loc.chunk as usize, (loc.lo + i) as usize) }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, v: VertexId, i: u32, d: Dist) {
+        debug_assert_eq!(
+            self.hier.shard_of_entry(v, i),
+            self.shard,
+            "shard {} wrote entry ({v}, {i}) it does not own",
+            self.shard
+        );
+        if let Some(log) = &mut self.log {
+            log.push((v, i));
+        }
+        let loc = self.writer.locs[v as usize];
+        debug_assert!(i < loc.len);
+        // SAFETY: as in `get` — this entry belongs to this shard alone.
+        unsafe { self.writer.inner.set_in_chunk(loc.chunk as usize, (loc.lo + i) as usize, d) }
     }
 }
 

@@ -13,6 +13,9 @@
 //!   two searches with Pareto-active intervals (Algorithms 3–5).
 //! * [`batch`] — mixed-batch driver splitting updates into increase /
 //!   decrease phases.
+//! * [`shard`] — tree-sharded **parallel** batch repair: label maintenance
+//!   fanned out across worker threads by owning stable tree, with provably
+//!   disjoint write sets.
 //! * [`directed`] — the §8 extension to directed road networks.
 //! * [`structural`] — §8 edge/vertex insertion & deletion.
 //! * [`verify`] — independent invariant checkers used by the test suite.
@@ -39,14 +42,16 @@ pub mod labelling;
 pub mod pareto;
 pub mod persist;
 pub mod query;
+pub mod shard;
 pub mod stats;
 pub mod structural;
 pub mod types;
 pub mod verify;
 
-pub use engine::UpdateEngine;
-pub use hierarchy::{Hierarchy, RawNode};
-pub use labelling::{Labels, Stl};
+pub use engine::{EnginePool, UpdateEngine};
+pub use hierarchy::{Hierarchy, RawNode, SHARD_DEPTH, SPINE_SHARD};
+pub use labelling::{Labels, LabelsWriter, ShardLabels, Stl};
+pub use shard::{ShardReport, ShardWriteLog};
 pub use stats::IndexStats;
 pub use types::{Maintenance, StlConfig, UpdateStats};
 

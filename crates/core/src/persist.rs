@@ -100,6 +100,9 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
         offsets.push(buf.get_u64_le());
     }
     let dists: Box<[Dist]> = get_u32s(&mut buf)?;
+    // The repair-shard map is derived from the tree shape, not persisted.
+    let (node_shard, num_shards, spine_has_cuts) =
+        crate::hierarchy::derive_shards(&node_parent, &node_depth, &node_cut_start);
     let hier = Hierarchy {
         node_parent,
         node_depth,
@@ -108,6 +111,9 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
         cut_vertices,
         node_path_start,
         path_anc_end,
+        node_shard,
+        num_shards,
+        spine_has_cuts,
         node_of,
         tau,
         bits: bits.into_boxed_slice(),

@@ -1,0 +1,558 @@
+//! Tree-sharded parallel batch repair.
+//!
+//! The stable tree hierarchy partitions the label space: a per-ancestor
+//! Label-Search phase for cut vertex `r` reads and writes **only** the
+//! entries `(v, τ(r))` with `v ∈ Desc(r)`. Two distinct cut vertices
+//! therefore have disjoint entry sets (different τ along a chain, disjoint
+//! descendants across branches — the argument behind
+//! [`Stl::build_with_hierarchy_parallel`]), so per-ancestor repairs can run
+//! concurrently without synchronisation. This module groups those repairs
+//! by **owning stable tree** (the subtree-ownership map of
+//! [`Hierarchy::tree_of`]) and fans the shards out over `std::thread::scope`
+//! workers drawn from a reusable [`EnginePool`]:
+//!
+//! 1. the batch is normalised once (shared with [`Stl::apply_batch`]) and
+//!    **pre-grouped by tree** — shards no update maps to are skipped before
+//!    any search starts (surfaced as `UpdateStats::trees_skipped`), and the
+//!    spine (cut vertices above [`SHARD_DEPTH`](crate::hierarchy::SHARD_DEPTH))
+//!    forms its own work unit since every root path crosses it;
+//! 2. weight application stays serial and phase-fenced exactly as in the
+//!    serial algorithms (decreases before their searches, increases after
+//!    the affected-set searches and before the repairs), so every worker
+//!    sees the same graph the serial path would;
+//! 3. workers repair their shards on [`ShardLabels`] views over one shared
+//!    [`LabelsWriter`] arena phase — disjoint unsynchronised writes with
+//!    per-chunk copy-on-write promotion gates (`stl_graph::cow`);
+//! 4. per-shard [`UpdateStats`] are merged in fixed shard order and the
+//!    per-shard wall times land in a [`ShardReport`] for the server stats.
+//!
+//! The fan-out changes scheduling only, never results: with
+//! `threads = 1` the driver runs the same per-ancestor searches the serial
+//! path runs, in a shard-grouped order, and produces byte-identical labels
+//! and (search-effort) counters; with `threads > 1` disjointness makes the
+//! outcome independent of interleaving. Pareto Search is **not** shardable
+//! this way — its two searches per update write overlapping ancestor-index
+//! intervals across trees — so [`Stl::apply_batch_sharded`] falls back to
+//! the serial driver for that family.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use stl_graph::hash::FxHashMap;
+use stl_graph::{CsrGraph, EdgeUpdate, VertexId};
+
+use crate::batch::split_batch;
+use crate::engine::{EnginePool, UpdateEngine};
+use crate::hierarchy::{Hierarchy, SPINE_SHARD};
+use crate::label_search;
+use crate::labelling::Stl;
+use crate::pareto;
+use crate::types::{Maintenance, UpdateStats};
+
+/// Per-shard accounting of one sharded batch application.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Repair shards in the hierarchy (including the spine slot, whether or
+    /// not it owns cut vertices).
+    pub shards_total: u32,
+    /// Distinct shards that received work from this batch.
+    pub shards_touched: u32,
+    /// `(shard id, nanoseconds)` summed over the batch's repair phases, in
+    /// shard id order, touched shards only. The spread between entries is
+    /// the load imbalance a hotspot batch inflicts.
+    pub per_shard_ns: Vec<(u32, u64)>,
+}
+
+impl ShardReport {
+    /// Wall time of the slowest shard — the critical path of a fan-out.
+    pub fn max_ns(&self) -> u64 {
+        self.per_shard_ns.iter().map(|&(_, ns)| ns).max().unwrap_or(0)
+    }
+
+    /// Total shard work — what a serial pass would have paid.
+    pub fn sum_ns(&self) -> u64 {
+        self.per_shard_ns.iter().map(|&(_, ns)| ns).sum()
+    }
+}
+
+/// Entry-level write log of one sharded application: `(shard, writes)` in
+/// shard id order. Property tests assert pairwise disjointness across
+/// shards; see [`Stl::apply_batch_sharded_logged`].
+pub type ShardWriteLog = Vec<(u32, Vec<(VertexId, u32)>)>;
+
+/// One schedulable work unit: a repair shard plus the updates whose
+/// ancestor sets reach into it. Subtree units own their (partitioned)
+/// update lists; the spine unit borrows the whole batch — it scans every
+/// update anyway, so cloning the batch for it would be pure overhead.
+struct ShardUnit<'b> {
+    shard: u32,
+    updates: Cow<'b, [EdgeUpdate]>,
+}
+
+/// Per-shard `(ancestor, V_aff)` lists carried from increase phase A
+/// (identification, old weights) to phase B (repair, new weights).
+type ShardAffected = (u32, Vec<(VertexId, Vec<VertexId>)>);
+
+impl Stl {
+    /// [`Stl::apply_batch`] with the label-repair work fanned out across
+    /// `threads` workers by owning stable tree.
+    ///
+    /// Semantically identical to the serial driver for any thread count —
+    /// label entries come out byte-for-byte equal and the search-effort
+    /// counters of [`UpdateStats`] match; the sharded path additionally
+    /// fills the `trees_touched`/`trees_skipped` counters. Only
+    /// [`Maintenance::LabelSearch`] fans out; Pareto Search has no
+    /// disjoint-write decomposition and runs serially (see module docs).
+    pub fn apply_batch_sharded(
+        &mut self,
+        g: &mut CsrGraph,
+        updates: &[EdgeUpdate],
+        algo: Maintenance,
+        pool: &mut EnginePool,
+        threads: usize,
+    ) -> (UpdateStats, ShardReport) {
+        let (stats, report, _) =
+            self.apply_batch_sharded_inner(g, updates, algo, pool, threads, false);
+        (stats, report)
+    }
+
+    /// [`Stl::apply_batch_sharded`] with per-shard write instrumentation:
+    /// additionally returns every `(vertex, index)` label entry each shard
+    /// wrote. Costs one branch per label write plus the log allocations —
+    /// for tests and debugging, not the serving path.
+    pub fn apply_batch_sharded_logged(
+        &mut self,
+        g: &mut CsrGraph,
+        updates: &[EdgeUpdate],
+        algo: Maintenance,
+        pool: &mut EnginePool,
+        threads: usize,
+    ) -> (UpdateStats, ShardReport, ShardWriteLog) {
+        self.apply_batch_sharded_inner(g, updates, algo, pool, threads, true)
+    }
+
+    fn apply_batch_sharded_inner(
+        &mut self,
+        g: &mut CsrGraph,
+        updates: &[EdgeUpdate],
+        algo: Maintenance,
+        pool: &mut EnginePool,
+        threads: usize,
+        log: bool,
+    ) -> (UpdateStats, ShardReport, ShardWriteLog) {
+        match algo {
+            Maintenance::ParetoSearch => {
+                let eng = &mut pool.engines(1, g.num_vertices())[0];
+                let (dec, inc) = split_batch(g, updates);
+                let mut stats = UpdateStats::default();
+                stats += pareto::decrease(self, g, &dec, eng);
+                stats += pareto::increase(self, g, &inc, eng);
+                let report =
+                    ShardReport { shards_total: self.hier.num_shards(), ..Default::default() };
+                (stats, report, Vec::new())
+            }
+            Maintenance::LabelSearch => label_search_sharded(self, g, updates, pool, threads, log),
+        }
+    }
+}
+
+/// The sharded Label-Search driver; see the module docs for the phase plan.
+fn label_search_sharded(
+    stl: &mut Stl,
+    g: &mut CsrGraph,
+    updates: &[EdgeUpdate],
+    pool: &mut EnginePool,
+    threads: usize,
+    log: bool,
+) -> (UpdateStats, ShardReport, ShardWriteLog) {
+    let (dec, inc) = split_batch(g, updates);
+    let n = g.num_vertices();
+    let Stl { ref hier, ref mut labels } = *stl;
+    let num_shards = hier.num_shards() as usize;
+
+    let dec_units = group_by_tree(hier, &dec);
+    let inc_units = group_by_tree(hier, &inc);
+
+    let mut stats = UpdateStats { updates: (dec.len() + inc.len()) as u64, ..Default::default() };
+    let mut touched = vec![false; num_shards];
+    for unit in dec_units.iter().chain(&inc_units) {
+        touched[unit.shard as usize] = true;
+    }
+    stats.trees_touched = touched.iter().filter(|&&t| t).count() as u64;
+    // A spine slot that owns no cut vertices is not skippable work.
+    let effective = num_shards as u64 - u64::from(!hier.spine_has_cuts());
+    stats.trees_skipped = effective - stats.trees_touched;
+
+    let engines = pool.engines(threads, n);
+    let mut shard_ns = vec![0u64; num_shards];
+    let mut logs: FxHashMap<u32, Vec<(VertexId, u32)>> = FxHashMap::default();
+
+    // ---- decrease phase: weights first (serial), then per-shard searches.
+    for &u in &dec {
+        let old = g.apply_update(u).expect("update must target an existing edge");
+        debug_assert!(u.new_weight <= old, "decrease batch got an increase");
+    }
+    let writer = labels.disjoint_writer();
+    {
+        let g_ref: &CsrGraph = g;
+        let results = run_phase(&dec_units, engines, |eng, unit| {
+            let mut st = UpdateStats::default();
+            let mut view = writer.shard_view(hier, unit.shard, log);
+            label_search::seed_decrease(hier, &view, &unit.updates, Some(unit.shard), eng);
+            label_search::run_decrease_searches(hier, &mut view, g_ref, eng, &mut st);
+            (st, view.into_log())
+        });
+        for (unit, ((st, wlog), ns)) in dec_units.iter().zip(results) {
+            stats += st;
+            shard_ns[unit.shard as usize] += ns;
+            if log {
+                logs.entry(unit.shard).or_default().extend(wlog);
+            }
+        }
+    }
+
+    // ---- increase phase A: seeds + affected sets on the old weights.
+    let inc_work: Vec<ShardAffected> = {
+        let g_ref: &CsrGraph = g;
+        let results = run_phase(&inc_units, engines, |eng, unit| {
+            let mut st = UpdateStats::default();
+            // Identification only reads labels; no write log to collect.
+            let view = writer.shard_view(hier, unit.shard, false);
+            label_search::seed_increase(hier, &view, g_ref, &unit.updates, Some(unit.shard), eng);
+            label_search::collect_affected(hier, &view, g_ref, eng, &mut st);
+            (st, std::mem::take(&mut eng.aff_per_r))
+        });
+        inc_units
+            .iter()
+            .zip(results)
+            .map(|(unit, ((st, aff), ns))| {
+                stats += st;
+                shard_ns[unit.shard as usize] += ns;
+                (unit.shard, aff)
+            })
+            .collect()
+    };
+
+    // ---- serial fence: all searches saw old weights; apply the increases.
+    for &u in &inc {
+        g.apply_update(u).expect("validated above");
+    }
+
+    // ---- increase phase B: per-shard repairs on the new weights.
+    {
+        let g_ref: &CsrGraph = g;
+        let results = run_phase(&inc_work, engines, |eng, (shard, aff)| {
+            let mut st = UpdateStats::default();
+            let mut view = writer.shard_view(hier, *shard, log);
+            label_search::run_repairs(hier, &mut view, g_ref, aff, eng, &mut st);
+            (st, view.into_log())
+        });
+        for ((shard, _), ((st, wlog), ns)) in inc_work.iter().zip(results) {
+            stats += st;
+            shard_ns[*shard as usize] += ns;
+            if log {
+                logs.entry(*shard).or_default().extend(wlog);
+            }
+        }
+    }
+    // Hand the drained affected-list buffers back to the pool's engines —
+    // the same outer-capacity reuse the serial increase keeps per batch.
+    for (eng, (_, mut aff)) in engines.iter_mut().zip(inc_work) {
+        aff.clear();
+        eng.aff_per_r = aff;
+    }
+    // Install copy-on-write promotions into the arena + dirty accounting.
+    drop(writer);
+
+    let per_shard_ns: Vec<(u32, u64)> =
+        (0..num_shards).filter(|&s| touched[s]).map(|s| (s as u32, shard_ns[s])).collect();
+    let report = ShardReport {
+        shards_total: num_shards as u32,
+        shards_touched: stats.trees_touched as u32,
+        per_shard_ns,
+    };
+    let mut log_out: ShardWriteLog = logs.into_iter().collect();
+    log_out.sort_unstable_by_key(|&(s, _)| s);
+    (stats, report, log_out)
+}
+
+/// Pre-group a normalised batch by owning stable tree. Each update lands in
+/// the unit of its anchor endpoint's subtree shard; the spine unit (listed
+/// first — it is usually the widest-ranging work) scans the whole batch but
+/// seeds only spine ancestors. Shards with no unit are never scanned.
+fn group_by_tree<'b>(hier: &Hierarchy, updates: &'b [EdgeUpdate]) -> Vec<ShardUnit<'b>> {
+    if updates.is_empty() {
+        return Vec::new();
+    }
+    let mut groups: FxHashMap<u32, Vec<EdgeUpdate>> = FxHashMap::default();
+    for &u in updates {
+        let s = hier.tree_of_edge(u.a, u.b);
+        if s != SPINE_SHARD {
+            groups.entry(s).or_default().push(u);
+        }
+    }
+    let mut units: Vec<ShardUnit<'b>> = groups
+        .into_iter()
+        .map(|(shard, updates)| ShardUnit { shard, updates: Cow::Owned(updates) })
+        .collect();
+    units.sort_unstable_by_key(|u| u.shard);
+    if hier.spine_has_cuts() {
+        units.insert(0, ShardUnit { shard: SPINE_SHARD, updates: Cow::Borrowed(updates) });
+    }
+    units
+}
+
+/// Run one repair phase over its work units: inline in unit order for a
+/// single worker, atomic work-queue over scoped threads otherwise. Results
+/// come back in unit order either way, each with its wall time in ns.
+fn run_phase<U, R, F>(units: &[U], engines: &mut [UpdateEngine], f: F) -> Vec<(R, u64)>
+where
+    U: Sync,
+    R: Send,
+    F: Fn(&mut UpdateEngine, &U) -> R + Sync,
+{
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let workers = engines.len().min(units.len());
+    if workers <= 1 {
+        let eng = &mut engines[0];
+        return units
+            .iter()
+            .map(|u| {
+                let t = Instant::now();
+                let r = f(eng, u);
+                (r, t.elapsed().as_nanos() as u64)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(R, u64)>> = units.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = engines[..workers]
+            .iter_mut()
+            .map(|eng| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= units.len() {
+                            break;
+                        }
+                        let t = Instant::now();
+                        let r = f(eng, &units[i]);
+                        done.push((i, r, t.elapsed().as_nanos() as u64));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r, ns) in h.join().expect("shard worker panicked") {
+                slots[i] = Some((r, ns));
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every unit is processed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StlConfig;
+    use crate::verify;
+    use stl_graph::builder::from_edges;
+    use stl_graph::VertexId;
+
+    fn grid(side: u32) -> CsrGraph {
+        let idx = |x: u32, y: u32| y * side + x;
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    edges.push((idx(x, y), idx(x + 1, y), 2 + ((x * 7 + y * 13) % 11)));
+                }
+                if y + 1 < side {
+                    edges.push((idx(x, y), idx(x, y + 1), 2 + ((x * 5 + y * 11) % 11)));
+                }
+            }
+        }
+        from_edges((side * side) as usize, edges)
+    }
+
+    fn mixed_batches(g: &CsrGraph, rounds: usize, seed: u64) -> Vec<Vec<EdgeUpdate>> {
+        let edges: Vec<_> = g.edges().collect();
+        let mut state = seed;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        (0..rounds)
+            .map(|_| {
+                (0..6)
+                    .map(|_| {
+                        let (a, b, _) = edges[next(edges.len() as u64) as usize];
+                        EdgeUpdate::new(a, b, (next(24) + 1) as u32)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The sharded driver's contract: for every thread count, labels equal
+    /// the serial driver's byte-for-byte and the search-effort counters
+    /// match exactly.
+    #[test]
+    fn sharded_matches_serial_all_thread_counts() {
+        let g0 = grid(7);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        for threads in [1usize, 2, 4] {
+            let mut g_serial = g0.clone();
+            let mut g_shard = g0.clone();
+            let mut serial = Stl::build(&g0, &cfg);
+            let mut sharded = serial.clone();
+            let mut eng = UpdateEngine::new(g0.num_vertices());
+            let mut pool = EnginePool::new();
+            for (round, batch) in mixed_batches(&g0, 12, 0xBEEF ^ threads as u64).iter().enumerate()
+            {
+                let st_serial =
+                    serial.apply_batch(&mut g_serial, batch, Maintenance::LabelSearch, &mut eng);
+                let (mut st_shard, report) = sharded.apply_batch_sharded(
+                    &mut g_shard,
+                    batch,
+                    Maintenance::LabelSearch,
+                    &mut pool,
+                    threads,
+                );
+                assert!(report.shards_touched <= report.shards_total);
+                assert_eq!(
+                    report.per_shard_ns.len() as u32,
+                    report.shards_touched,
+                    "one timing entry per touched shard"
+                );
+                // Normalise the sharding-only counters before the exact
+                // comparison — the serial path leaves them 0.
+                st_shard.trees_touched = 0;
+                st_shard.trees_skipped = 0;
+                assert_eq!(st_serial, st_shard, "threads={threads} round={round}");
+                for v in 0..g0.num_vertices() as VertexId {
+                    assert_eq!(
+                        serial.labels().slice(v),
+                        sharded.labels().slice(v),
+                        "threads={threads} round={round} vertex={v}"
+                    );
+                }
+            }
+            verify::check_all(&sharded, &g_shard).unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_skips_untouched_trees() {
+        let g0 = grid(8);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        let mut g = g0.clone();
+        let mut stl = Stl::build(&g0, &cfg);
+        let mut pool = EnginePool::new();
+        assert!(stl.hierarchy().num_shards() > 2, "grid must split into several trees");
+        // A single-edge batch touches at most spine + one subtree.
+        let (a, b, w) = g0.edges().next().unwrap();
+        let (stats, report) = stl.apply_batch_sharded(
+            &mut g,
+            &[EdgeUpdate::new(a, b, w * 3)],
+            Maintenance::LabelSearch,
+            &mut pool,
+            2,
+        );
+        assert!(stats.trees_touched <= 2, "one update maps to spine + one tree at most");
+        assert!(stats.trees_skipped > 0, "the other trees must be skipped");
+        assert_eq!(
+            stats.trees_touched
+                + stats.trees_skipped
+                + u64::from(!stl.hierarchy().spine_has_cuts()),
+            stl.hierarchy().num_shards() as u64
+        );
+        assert_eq!(report.shards_touched as u64, stats.trees_touched);
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn sharded_write_log_is_disjoint_and_owned() {
+        let g0 = grid(6);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        let mut g = g0.clone();
+        let mut stl = Stl::build(&g0, &cfg);
+        let mut pool = EnginePool::new();
+        let batch = &mixed_batches(&g0, 1, 77)[0];
+        let (_, _, log) =
+            stl.apply_batch_sharded_logged(&mut g, batch, Maintenance::LabelSearch, &mut pool, 3);
+        let mut seen: std::collections::HashMap<(VertexId, u32), u32> =
+            std::collections::HashMap::new();
+        let mut writes = 0usize;
+        for (shard, entries) in &log {
+            for &(v, i) in entries {
+                writes += 1;
+                assert_eq!(
+                    stl.hierarchy().shard_of_entry(v, i),
+                    *shard,
+                    "shard {shard} wrote an entry it does not own"
+                );
+                if let Some(other) = seen.insert((v, i), *shard) {
+                    assert_eq!(other, *shard, "entry ({v},{i}) written by two shards");
+                }
+            }
+        }
+        assert!(writes > 0, "batch must have repaired something");
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn pareto_falls_back_to_serial() {
+        let g0 = grid(5);
+        let mut g1 = g0.clone();
+        let mut g2 = g0.clone();
+        let mut a = Stl::build(&g0, &StlConfig::default());
+        let mut b = a.clone();
+        let mut eng = UpdateEngine::new(g0.num_vertices());
+        let mut pool = EnginePool::new();
+        let batch = &mixed_batches(&g0, 1, 5)[0];
+        let serial = a.apply_batch(&mut g1, batch, Maintenance::ParetoSearch, &mut eng);
+        let (sharded, report) =
+            b.apply_batch_sharded(&mut g2, batch, Maintenance::ParetoSearch, &mut pool, 4);
+        assert_eq!(serial, sharded, "pareto path must be the serial driver verbatim");
+        assert!(report.per_shard_ns.is_empty());
+        for v in 0..g0.num_vertices() as VertexId {
+            assert_eq!(a.labels().slice(v), b.labels().slice(v));
+        }
+    }
+
+    #[test]
+    fn sharded_cow_accounting_matches_serial() {
+        // Pin a snapshot, apply the same batch serially and sharded: both
+        // must promote chunks (COW) and leave the snapshot untouched.
+        let g0 = grid(6);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        let mut g_serial = g0.clone();
+        let mut g_shard = g0.clone();
+        let mut serial = Stl::build(&g0, &cfg);
+        let mut sharded = serial.clone();
+        let pin_serial = serial.clone();
+        let pin_shard = sharded.clone();
+        let mut eng = UpdateEngine::new(g0.num_vertices());
+        let mut pool = EnginePool::new();
+        let batch = &mixed_batches(&g0, 1, 13)[0];
+        serial.apply_batch(&mut g_serial, batch, Maintenance::LabelSearch, &mut eng);
+        sharded.apply_batch_sharded(&mut g_shard, batch, Maintenance::LabelSearch, &mut pool, 2);
+        let cs = serial.take_cow_stats();
+        let ch = sharded.take_cow_stats();
+        assert_eq!(cs, ch, "identical write sets must promote identical chunk sets");
+        assert!(ch.bytes_copied > 0, "pinned snapshot forces promotions");
+        for v in 0..g0.num_vertices() as VertexId {
+            assert_eq!(pin_serial.labels().slice(v), pin_shard.labels().slice(v));
+            assert_eq!(serial.labels().slice(v), sharded.labels().slice(v));
+        }
+    }
+}

@@ -50,6 +50,13 @@ pub struct UpdateStats {
     pub affected: u64,
     /// Priority-queue pops in repair phases.
     pub repair_pops: u64,
+    /// Stable trees (repair shards) that received work from the batch.
+    /// Populated by the tree-sharded driver (`Stl::apply_batch_sharded`);
+    /// serial paths leave it 0.
+    pub trees_touched: u64,
+    /// Stable trees the batch pre-grouping skipped before any search
+    /// started (the skip-untouched-trees saving of the sharded driver).
+    pub trees_skipped: u64,
 }
 
 impl std::ops::AddAssign for UpdateStats {
@@ -60,6 +67,8 @@ impl std::ops::AddAssign for UpdateStats {
         self.label_writes += o.label_writes;
         self.affected += o.affected;
         self.repair_pops += o.repair_pops;
+        self.trees_touched += o.trees_touched;
+        self.trees_skipped += o.trees_skipped;
     }
 }
 

@@ -27,7 +27,8 @@
 //! [`WeightStore`], and `stl_core`'s label arena wraps it behind its
 //! per-vertex offset table.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::types::Weight;
 
@@ -332,6 +333,165 @@ impl<T: Copy> ChunkedStore<T> {
     }
 }
 
+impl<T: Copy + Send + Sync> ChunkedStore<T> {
+    /// Open a [`DisjointWriter`] phase over this store: shared access for a
+    /// pool of workers whose read/write sets are **disjoint at entry
+    /// granularity**, with copy-on-write promotion still handled per chunk.
+    pub fn disjoint_writer(&mut self) -> DisjointWriter<'_, T> {
+        let nc = self.chunks.len();
+        let mut state = Vec::with_capacity(nc);
+        let mut ptrs = Vec::with_capacity(nc);
+        let mut lens = Vec::with_capacity(nc);
+        for chunk in &mut self.chunks {
+            lens.push(chunk.len() as u32);
+            match Arc::get_mut(chunk) {
+                // Uniquely owned: workers write in place, exactly like
+                // `cow_chunk` would.
+                Some(payload) => {
+                    state.push(AtomicU8::new(CHUNK_PRIVATE));
+                    ptrs.push(AtomicPtr::new(payload.as_mut_ptr()));
+                }
+                // A snapshot still shares this chunk: the pointer is
+                // read-only until the first write promotes the chunk.
+                None => {
+                    state.push(AtomicU8::new(CHUNK_SHARED));
+                    ptrs.push(AtomicPtr::new(chunk.as_ptr().cast_mut()));
+                }
+            }
+        }
+        DisjointWriter {
+            store: self,
+            state: state.into_boxed_slice(),
+            ptrs: ptrs.into_boxed_slice(),
+            lens: lens.into_boxed_slice(),
+            promoted: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+// Per-chunk promotion states of a [`DisjointWriter`] phase.
+const CHUNK_PRIVATE: u8 = 0; // uniquely owned — write in place
+const CHUNK_SHARED: u8 = 1; // shared with a snapshot — promote before writing
+const CHUNK_PROMOTING: u8 = 2; // one worker is copying it right now
+
+/// Concurrent write access to a [`ChunkedStore`] for workers with
+/// **disjoint entry sets**, preserving the copy-on-write publish contract.
+///
+/// The serial write path (`cow_chunk`) promotes a shared chunk under `&mut`
+/// exclusivity. A pool of repair workers cannot share that: two workers may
+/// write *different entries of the same chunk* (label indices of one vertex
+/// interleave regions owned by different stable trees), so chunk-range
+/// handles cannot partition the arena. Instead this phase object hands every
+/// worker shared access with:
+///
+/// * **no per-write locking** — a write is one atomic state load plus one
+///   atomic pointer load; reads are a single atomic pointer load;
+/// * **per-chunk promotion gates** — the first write to a chunk still shared
+///   with a snapshot CASes the chunk's state to `PROMOTING`, copies the
+///   payload into a fresh `Arc`, publishes the new base pointer, and flips
+///   the state to `PRIVATE`; concurrent writers of *other entries* of the
+///   same chunk spin only for the duration of that one copy. Per phase each
+///   chunk is copied at most once, exactly as in the serial path;
+/// * **deferred installation** — promoted chunks are swapped into the store
+///   and recorded in its [`DirtyTracker`] when the phase ends (on drop), so
+///   `take_cow_stats` accounting is indistinguishable from serial repair.
+///
+/// Readers racing a promotion of their chunk may observe the old or the new
+/// payload; both hold identical values for every entry outside the
+/// promoting worker's own set, so disjointness makes either answer correct.
+/// The entry-level access methods are `unsafe`: the *caller* owns the proof
+/// that no entry is touched by two workers (for the label arena that proof
+/// is the τ-disjointness argument in `stl_core::labelling`).
+#[derive(Debug)]
+pub struct DisjointWriter<'a, T: Copy + Send + Sync> {
+    store: &'a mut ChunkedStore<T>,
+    state: Box<[AtomicU8]>,
+    ptrs: Box<[AtomicPtr<T>]>,
+    lens: Box<[u32]>,
+    /// Freshly promoted chunks, kept alive here until installed on drop.
+    promoted: Mutex<Vec<(u32, Arc<[T]>)>>,
+}
+
+impl<T: Copy + Send + Sync> DisjointWriter<'_, T> {
+    /// Read entry `j` of chunk `c`.
+    ///
+    /// # Safety
+    /// No other worker may concurrently *write* this entry. (Reads of
+    /// entries another worker owns are unsound — the disjointness contract
+    /// covers reads and writes alike.)
+    #[inline(always)]
+    pub unsafe fn get_in_chunk(&self, c: usize, j: usize) -> T {
+        debug_assert!(j < self.lens[c] as usize, "entry {j} out of chunk {c}");
+        // Acquire pairs with the Release pointer publish in `promote`: a
+        // reader that observes the promoted pointer sees the copied payload.
+        unsafe { *self.ptrs[c].load(Ordering::Acquire).add(j) }
+    }
+
+    /// Overwrite entry `j` of chunk `c`, promoting the chunk first if a
+    /// snapshot still shares it.
+    ///
+    /// # Safety
+    /// No other worker may concurrently read or write this entry.
+    #[inline]
+    pub unsafe fn set_in_chunk(&self, c: usize, j: usize, value: T) {
+        debug_assert!(j < self.lens[c] as usize, "entry {j} out of chunk {c}");
+        if self.state[c].load(Ordering::Acquire) != CHUNK_PRIVATE {
+            self.promote(c);
+        }
+        unsafe { *self.ptrs[c].load(Ordering::Acquire).add(j) = value }
+    }
+
+    /// Promote chunk `c` to a private copy (first write of the phase to a
+    /// chunk a snapshot still shares). Exactly one worker wins the CAS and
+    /// copies; losers spin until the copy is published.
+    #[cold]
+    fn promote(&self, c: usize) {
+        loop {
+            match self.state[c].compare_exchange(
+                CHUNK_SHARED,
+                CHUNK_PROMOTING,
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    let len = self.lens[c] as usize;
+                    let src = self.ptrs[c].load(Ordering::Relaxed);
+                    // SAFETY: `src` points at the shared payload, which no
+                    // worker ever writes (writes require CHUNK_PRIVATE).
+                    let mut fresh: Arc<[T]> =
+                        unsafe { std::slice::from_raw_parts(src, len) }.into();
+                    let base =
+                        Arc::get_mut(&mut fresh).expect("fresh chunk is unique").as_mut_ptr();
+                    // Keep the copy alive before publishing its pointer.
+                    self.promoted.lock().expect("promotion list poisoned").push((c as u32, fresh));
+                    self.ptrs[c].store(base, Ordering::Release);
+                    self.state[c].store(CHUNK_PRIVATE, Ordering::Release);
+                    return;
+                }
+                Err(CHUNK_PRIVATE) => return, // lost the race; copy is live
+                Err(_) => std::hint::spin_loop(), // promotion in flight
+            }
+        }
+    }
+
+    /// How many chunks this phase has promoted so far.
+    pub fn promoted_chunks(&self) -> usize {
+        self.promoted.lock().expect("promotion list poisoned").len()
+    }
+}
+
+impl<T: Copy + Send + Sync> Drop for DisjointWriter<'_, T> {
+    /// End of phase: install promoted chunks into the store and account them
+    /// in the dirty window, mirroring what serial `cow_chunk` writes did.
+    fn drop(&mut self) {
+        let promoted = std::mem::take(&mut *self.promoted.lock().expect("promotion list poisoned"));
+        for (c, fresh) in promoted {
+            self.store.dirty.mark(c as usize, std::mem::size_of_val(&fresh[..]));
+            self.store.chunks[c as usize] = fresh;
+        }
+    }
+}
+
 /// The CSR weight array: a [`ChunkedStore`] over arc weights, chunked along
 /// vertex neighbour-list boundaries so `neighbor_slices` stays contiguous.
 pub type WeightStore = ChunkedStore<Weight>;
@@ -490,5 +650,86 @@ mod tests {
         let mut a = store(4);
         let _pin = a.clone();
         let _ = a.unique_chunk_ptrs();
+    }
+
+    #[test]
+    fn disjoint_writer_in_place_when_unique() {
+        let mut a = store(4);
+        {
+            let w = a.disjoint_writer();
+            // SAFETY: single thread, disjoint trivially.
+            unsafe { w.set_in_chunk(0, 1, 91) };
+            assert_eq!(unsafe { w.get_in_chunk(0, 1) }, 91);
+            assert_eq!(w.promoted_chunks(), 0, "unique chunks write in place");
+        }
+        assert_eq!(a.get(0, 1), 91);
+        assert_eq!(a.cow_stats(), CowStats::default());
+    }
+
+    #[test]
+    fn disjoint_writer_promotes_shared_chunks_once() {
+        let mut a = store(4);
+        let snap = a.clone();
+        {
+            let w = a.disjoint_writer();
+            // SAFETY: single thread.
+            unsafe {
+                w.set_in_chunk(1, 0, 70);
+                w.set_in_chunk(1, 1, 71); // same chunk: no second copy
+                assert_eq!(w.get_in_chunk(1, 0), 70, "read-your-write after promotion");
+            }
+            assert_eq!(w.promoted_chunks(), 1);
+        }
+        // Installed on drop: values visible, snapshot untouched, dirty window
+        // carries exactly one 16-byte chunk copy (4 × u32).
+        assert_eq!(a.get(2, 4), 70);
+        assert_eq!(a.get(2, 5), 71);
+        assert_eq!(snap.get(2, 4), 4);
+        assert!(!a.shares_chunk(&snap, 1));
+        assert!(a.shares_chunk(&snap, 0), "untouched chunk stays shared");
+        assert_eq!(a.take_cow_stats(), CowStats { chunks_copied: 1, bytes_copied: 16 });
+    }
+
+    #[test]
+    fn disjoint_writer_concurrent_disjoint_entries() {
+        // 8 vertices × 4 entries, tiny chunks, everything pinned by a
+        // snapshot: two threads write interleaved disjoint entries and race
+        // on promotions.
+        let offs = offsets(&[4, 4, 4, 4, 4, 4, 4, 4]);
+        let flat: Vec<u32> = (0..32).collect();
+        let mut a: ChunkedStore<u32> = ChunkedStore::from_flat(&offs, &flat, 8);
+        let snap = a.clone();
+        {
+            let w = a.disjoint_writer();
+            let wr = &w;
+            std::thread::scope(|s| {
+                for t in 0..2u32 {
+                    s.spawn(move || {
+                        for v in 0..8usize {
+                            // Thread 0 owns entries 0..2 of every vertex,
+                            // thread 1 entries 2..4 — disjoint, interleaved
+                            // within every chunk.
+                            for e in (t as usize * 2)..(t as usize * 2 + 2) {
+                                let idx = v * 4 + e;
+                                let c = wr.store.chunk_of[v] as usize;
+                                let j = idx - wr.store.chunk_starts[c] as usize;
+                                // SAFETY: entry sets are disjoint by
+                                // construction.
+                                unsafe { wr.set_in_chunk(c, j, 1000 + idx as u32) };
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for v in 0..8usize {
+            for e in 0..4usize {
+                let idx = (v * 4 + e) as u64;
+                assert_eq!(a.get(v, idx), 1000 + idx as u32);
+                assert_eq!(snap.get(v, idx), idx as u32, "snapshot must keep old values");
+            }
+        }
+        let stats = a.take_cow_stats();
+        assert_eq!(stats.chunks_copied as usize, a.num_chunks(), "all chunks were shared");
     }
 }

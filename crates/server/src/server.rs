@@ -6,7 +6,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use stl_core::{Maintenance, Stl, UpdateEngine};
+use stl_core::{EnginePool, Maintenance, Stl};
 use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId};
 
 use crate::snapshot::Snapshot;
@@ -17,11 +17,21 @@ use crate::stats::{ServerStats, StatsCells};
 pub struct ServerConfig {
     /// Maintenance family the writer uses for every batch.
     pub algo: Maintenance,
+    /// Worker threads for tree-sharded batch repair
+    /// (`Stl::apply_batch_sharded`). `1` reproduces the serial repair path
+    /// bit-for-bit; higher values fan label repair out by owning stable
+    /// tree. Only [`Maintenance::LabelSearch`] parallelises — Pareto Search
+    /// has no disjoint-write decomposition and stays serial regardless.
+    /// Defaults to the machine's available parallelism.
+    pub repair_threads: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { algo: Maintenance::ParetoSearch }
+        Self {
+            algo: Maintenance::ParetoSearch,
+            repair_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
     }
 }
 
@@ -87,16 +97,27 @@ impl StlServer {
                 let _flag = ExitFlag(Arc::clone(&writer_shared));
                 let mut graph = graph;
                 let mut stl = stl;
-                let mut eng = UpdateEngine::new(graph.num_vertices());
+                let mut pool = EnginePool::new();
                 let mut generation = 0u64;
                 while let Ok(batch) = rx.recv() {
                     let stats = &writer_shared.stats;
                     stats.updates_submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
                     let t_apply = Instant::now();
-                    stl.apply_batch(&mut graph, &batch, cfg.algo, &mut eng);
+                    let (ustats, report) = stl.apply_batch_sharded(
+                        &mut graph,
+                        &batch,
+                        cfg.algo,
+                        &mut pool,
+                        cfg.repair_threads,
+                    );
                     stats
                         .apply_ns_total
                         .fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    stats.repair_shards_last.store(report.shards_touched as u64, Ordering::Relaxed);
+                    stats.repair_shard_ns_max_last.store(report.max_ns(), Ordering::Relaxed);
+                    stats.repair_shard_ns_sum_last.store(report.sum_ns(), Ordering::Relaxed);
+                    stats.trees_touched_total.fetch_add(ustats.trees_touched, Ordering::Relaxed);
+                    stats.trees_skipped_total.fetch_add(ustats.trees_skipped, Ordering::Relaxed);
                     // Applying the batch COW-promoted exactly the chunks it
                     // wrote (the previous snapshot pinned everything else);
                     // drain the copy accounting into the public counters.
@@ -352,6 +373,36 @@ mod tests {
         assert!(stats.chunks_copied_last > 0);
         assert!(snap1.graph().shares_topology(snap2.graph()));
         server.shutdown();
+    }
+
+    #[test]
+    fn sharded_writer_matches_oracle_and_reports_shard_timings() {
+        // Label-search writer with a multi-thread repair fan-out: every
+        // published epoch must still match Dijkstra exactly, and the
+        // per-shard repair accounting must reach ServerStats.
+        let mut g = generate(&RoadNetConfig::sized(220, 21));
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig { algo: stl_core::Maintenance::LabelSearch, repair_threads: 3 },
+        );
+        let edges: Vec<_> = g.edges().step_by(7).take(6).collect();
+        for &(a, b, w) in &edges {
+            let t = server.submit(vec![EdgeUpdate::new(a, b, w * 5)]);
+            server.wait_for(t);
+            g.set_weight(a, b, w * 5).unwrap();
+            let snap = server.snapshot();
+            for (s, dst) in [(0u32, 150u32), (9, 201), (60, 130)] {
+                assert_eq!(snap.query(s, dst), dijkstra::distance(&g, s, dst));
+            }
+            let stats = server.stats();
+            assert!(stats.repair_shards_last >= 1, "sharded repair must report its shards");
+            assert!(stats.repair_shard_ns_sum_last >= stats.repair_shard_ns_max_last);
+        }
+        let stats = server.shutdown();
+        assert!(stats.trees_touched_total >= edges.len() as u64);
+        assert!(stats.trees_skipped_total > 0, "single-edge batches must skip most stable trees");
     }
 
     #[test]

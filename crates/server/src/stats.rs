@@ -25,6 +25,20 @@ pub struct ServerStats {
     pub publish_bytes_copied: u64,
     /// Chunks copied while applying the most recent epoch's batch.
     pub chunks_copied_last: u64,
+    /// Repair shards (stable trees + spine) that did work for the most
+    /// recent batch (tree-sharded repair; 0 on the serial Pareto path).
+    pub repair_shards_last: u64,
+    /// Wall time of the slowest shard of the most recent batch, in
+    /// nanoseconds — the critical path of the repair fan-out.
+    pub repair_shard_ns_max_last: u64,
+    /// Summed per-shard wall time of the most recent batch, in nanoseconds
+    /// — what a serial pass over the same shards would have paid.
+    pub repair_shard_ns_sum_last: u64,
+    /// Stable trees that received repair work, summed over all batches.
+    pub trees_touched_total: u64,
+    /// Stable trees skipped by batch pre-grouping before any search
+    /// started, summed over all batches.
+    pub trees_skipped_total: u64,
 }
 
 impl ServerStats {
@@ -45,7 +59,9 @@ impl std::fmt::Display for ServerStats {
             f,
             "generation {} | {} queries | {} updates in {} batches | \
              publish mean {:.1} us (last {:.1} us) | cow copied {:.1} KiB/epoch \
-             (last epoch {} chunks) | apply total {:.1} ms",
+             (last epoch {} chunks) | apply total {:.1} ms | last repair: \
+             {} shards (critical path {:.1} us of {:.1} us total) | \
+             trees touched/skipped {}/{}",
             self.batches_applied,
             self.queries_served,
             self.updates_submitted,
@@ -55,6 +71,11 @@ impl std::fmt::Display for ServerStats {
             self.publish_bytes_mean() as f64 / 1024.0,
             self.chunks_copied_last,
             self.apply_ns_total as f64 / 1e6,
+            self.repair_shards_last,
+            self.repair_shard_ns_max_last as f64 / 1e3,
+            self.repair_shard_ns_sum_last as f64 / 1e3,
+            self.trees_touched_total,
+            self.trees_skipped_total,
         )
     }
 }
@@ -70,6 +91,11 @@ pub(crate) struct StatsCells {
     pub apply_ns_total: AtomicU64,
     pub publish_bytes_copied: AtomicU64,
     pub chunks_copied_last: AtomicU64,
+    pub repair_shards_last: AtomicU64,
+    pub repair_shard_ns_max_last: AtomicU64,
+    pub repair_shard_ns_sum_last: AtomicU64,
+    pub trees_touched_total: AtomicU64,
+    pub trees_skipped_total: AtomicU64,
 }
 
 impl StatsCells {
@@ -83,6 +109,11 @@ impl StatsCells {
             apply_ns_total: self.apply_ns_total.load(Ordering::Relaxed),
             publish_bytes_copied: self.publish_bytes_copied.load(Ordering::Relaxed),
             chunks_copied_last: self.chunks_copied_last.load(Ordering::Relaxed),
+            repair_shards_last: self.repair_shards_last.load(Ordering::Relaxed),
+            repair_shard_ns_max_last: self.repair_shard_ns_max_last.load(Ordering::Relaxed),
+            repair_shard_ns_sum_last: self.repair_shard_ns_sum_last.load(Ordering::Relaxed),
+            trees_touched_total: self.trees_touched_total.load(Ordering::Relaxed),
+            trees_skipped_total: self.trees_skipped_total.load(Ordering::Relaxed),
         }
     }
 }
