@@ -11,7 +11,7 @@
 //! Registered on the workspace root (like `throughput`), so
 //! `cargo bench --bench publish -- --test` works from the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, summary, BenchmarkId, Criterion};
 
 use stl_core::{Maintenance, Stl, StlConfig, UpdateEngine};
 use stl_graph::CowStats;
@@ -22,6 +22,7 @@ fn bench_publish(c: &mut Criterion) {
     let g0 = generate(&RoadNetConfig::sized(12_000, 909));
     let stl0 = Stl::build(&g0, &StlConfig::default());
     let full_bytes = (stl0.labels().memory_bytes() + g0.memory_bytes()) as u64;
+    summary::counter("full_clone_bytes", full_bytes as f64);
     println!(
         "publish bench: {} vertices, {} label chunks, full-clone cost {} KiB/generation",
         g0.num_vertices(),
@@ -76,6 +77,11 @@ fn bench_publish(c: &mut Criterion) {
         });
         if let Some(per_gen) = copied.bytes_copied.checked_div(gens) {
             let saving = full_bytes as f64 / per_gen.max(1) as f64;
+            summary::counter(format!("cow_bytes_per_gen_batch{bs}"), per_gen as f64);
+            summary::counter(
+                format!("cow_chunks_per_gen_batch{bs}"),
+                copied.chunks_copied as f64 / gens as f64,
+            );
             println!(
                 "publish/cow batch={bs}: {:.1} KiB copied/generation \
                  ({:.1} chunks) vs {} KiB full clone — {saving:.0}x less",

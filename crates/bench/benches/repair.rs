@@ -1,25 +1,31 @@
-//! Criterion bench: serial vs tree-sharded batch repair.
+//! Criterion bench: serial vs tree-sharded batch repair, both maintenance
+//! families.
 //!
-//! Runs the Label-Search maintenance family over two seeded congestion
-//! streams — **scattered** (uniform over the network, best case for
-//! sharding) and **hotspot** (concentrated in the 2 stable trees owning the
-//! most edges, worst case) — through three drivers: the serial
-//! `apply_batch`, the sharded driver at 1 thread (must be bit-identical to
-//! serial), and the sharded driver at 4 threads.
+//! Runs Label-Search **and** Pareto-Search maintenance over two seeded
+//! congestion streams — **scattered** (uniform over the network, best case
+//! for sharding) and **hotspot** (concentrated in the 2 stable trees owning
+//! the most edges, worst case) — through three drivers each: the serial
+//! `apply_batch`, the sharded driver at 1 thread, and the sharded driver at
+//! 4 threads.
 //!
 //! Before any timing, every stream is replayed through serial and sharded
 //! copies side by side and the resulting label arenas are asserted equal
-//! **entry for entry**, along with the search-effort counters (`pops`,
-//! `label_writes`, …) — sharding must never settle more nodes than serial.
-//! `cargo bench --bench repair -- --test` runs exactly this check plus one
-//! pass of each bench body; CI's release stage invokes it that way.
+//! **entry for entry**. For Label Search the search-effort counters
+//! (`pops`, `label_writes`, …) must also match serial exactly — sharding is
+//! a pure re-scheduling there. Pareto's interval-clamped decomposition runs
+//! each update's searches once per owning unit (subtree + spine residual),
+//! so its counters measure the sharded schedule; the label-equality bar is
+//! the same. `cargo bench --bench repair -- --test` runs exactly these
+//! checks plus one pass of each bench body; CI's release stage invokes it
+//! that way and, with `BENCH_SUMMARY_PATH` set, collects per-bench medians
+//! and pop counters into the `BENCH_*.json` perf trajectory.
 //!
 //! Registered on the workspace root (like `throughput` and `publish`), so
 //! the command above works from the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, summary, BenchmarkId, Criterion};
 
-use stl_core::{EnginePool, Maintenance, Stl, StlConfig, UpdateEngine};
+use stl_core::{EnginePool, Maintenance, Stl, StlConfig, UpdateEngine, UpdateStats};
 use stl_graph::{CsrGraph, EdgeUpdate, VertexId};
 use stl_workloads::updates::{hotspot_batches, HotspotConfig};
 use stl_workloads::{generate, RoadNetConfig};
@@ -27,49 +33,65 @@ use stl_workloads::{generate, RoadNetConfig};
 const BATCHES: usize = 48;
 const BATCH_SIZE: usize = 16;
 
-/// Replay `batches` serially and sharded (at `threads`) on fresh copies;
-/// assert byte-identical labels and equal search effort after every batch.
+/// Replay `batches` through the serial driver once and through a sharded
+/// copy per entry of `thread_counts`, side by side; assert byte-identical
+/// labels after every batch — plus equal search effort for Label Search,
+/// where the sharded driver runs the very same searches. Returns the
+/// accumulated serial-driver stats (the trajectory counters).
 fn assert_sharded_equals_serial(
     g0: &CsrGraph,
     stl0: &Stl,
     batches: &[Vec<EdgeUpdate>],
-    threads: usize,
+    algo: Maintenance,
+    thread_counts: &[usize],
     scenario: &str,
-) {
+) -> UpdateStats {
     let mut g_serial = g0.clone();
-    let mut g_shard = g0.clone();
     let mut serial = stl0.clone();
-    let mut sharded = stl0.clone();
     let mut eng = UpdateEngine::new(g0.num_vertices());
-    let mut pool = EnginePool::new();
+    let mut shard_runs: Vec<_> = thread_counts
+        .iter()
+        .map(|&threads| (threads, g0.clone(), stl0.clone(), EnginePool::new()))
+        .collect();
+    let mut total = UpdateStats::default();
     for (i, batch) in batches.iter().enumerate() {
-        let st_serial =
-            serial.apply_batch(&mut g_serial, batch, Maintenance::LabelSearch, &mut eng);
-        let (mut st_shard, _) = sharded.apply_batch_sharded(
-            &mut g_shard,
-            batch,
-            Maintenance::LabelSearch,
-            &mut pool,
-            threads,
-        );
-        assert!(
-            st_shard.pops <= st_serial.pops,
-            "{scenario}: sharded repair settled more nodes than serial \
-             ({} vs {}, batch {i})",
-            st_shard.pops,
-            st_serial.pops
-        );
-        st_shard.trees_touched = 0;
-        st_shard.trees_skipped = 0;
-        assert_eq!(st_serial, st_shard, "{scenario}: stats diverged at batch {i} ({threads}t)");
-        for v in 0..g0.num_vertices() as VertexId {
-            assert_eq!(
-                serial.labels().slice(v),
-                sharded.labels().slice(v),
-                "{scenario}: labels diverged at batch {i}, vertex {v} ({threads} threads)"
-            );
+        let st_serial = serial.apply_batch(&mut g_serial, batch, algo, &mut eng);
+        total += st_serial;
+        for (threads, g_shard, sharded, pool) in &mut shard_runs {
+            let threads = *threads;
+            let (mut st_shard, _) =
+                sharded.apply_batch_sharded(g_shard, batch, algo, pool, threads);
+            if algo == Maintenance::LabelSearch {
+                assert!(
+                    st_shard.pops <= st_serial.pops,
+                    "{scenario}: sharded repair settled more nodes than serial \
+                     ({} vs {}, batch {i})",
+                    st_shard.pops,
+                    st_serial.pops
+                );
+                st_shard.trees_touched = 0;
+                st_shard.trees_skipped = 0;
+                assert_eq!(
+                    st_serial, st_shard,
+                    "{scenario}: stats diverged at batch {i} ({threads}t)"
+                );
+            } else {
+                assert!(
+                    st_shard.trees_touched > 0 || st_serial.updates == 0,
+                    "{scenario}: pareto sharded path must fill tree counters (batch {i})"
+                );
+            }
+            for v in 0..g0.num_vertices() as VertexId {
+                assert_eq!(
+                    serial.labels().slice(v),
+                    sharded.labels().slice(v),
+                    "{scenario}: {algo:?} labels diverged at batch {i}, vertex {v} \
+                     ({threads} threads)"
+                );
+            }
         }
     }
+    total
 }
 
 fn bench_repair(c: &mut Criterion) {
@@ -84,65 +106,75 @@ fn bench_repair(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("repair_8k");
     group.sample_size(10);
-    for (scenario, hot_trees) in [("scattered", 0usize), ("hotspot", 2)] {
-        let batches = hotspot_batches(
-            &g0,
-            |a, b| stl0.hierarchy().tree_of_edge(a, b),
-            &HotspotConfig {
-                batches: BATCHES,
-                batch_size: BATCH_SIZE,
-                hot_trees,
-                seed: 2025 + hot_trees as u64,
-                ..Default::default()
-            },
-        );
+    for (algo, family) in
+        [(Maintenance::LabelSearch, "label"), (Maintenance::ParetoSearch, "pareto")]
+    {
+        for (scenario, hot_trees) in [("scattered", 0usize), ("hotspot", 2)] {
+            let batches = hotspot_batches(
+                &g0,
+                |a, b| stl0.hierarchy().tree_of_edge(a, b),
+                &HotspotConfig {
+                    batches: BATCHES,
+                    batch_size: BATCH_SIZE,
+                    hot_trees,
+                    seed: 2025 + hot_trees as u64,
+                    ..Default::default()
+                },
+            );
 
-        // Correctness gate (the `--test` mode contract) — sharded output
-        // equals serial output entry-for-entry, at 1 and 4 threads.
-        for threads in [1usize, 4] {
-            assert_sharded_equals_serial(&g0, &stl0, &batches, threads, scenario);
-        }
+            // Correctness gate (the `--test` mode contract) — sharded output
+            // equals serial output entry-for-entry, at 1 and 4 threads,
+            // against a single shared serial replay.
+            let gate_stats =
+                assert_sharded_equals_serial(&g0, &stl0, &batches, algo, &[1, 4], scenario);
+            summary::counter(
+                format!("{family}_{scenario}_serial_pops"),
+                (gate_stats.pops + gate_stats.repair_pops) as f64,
+            );
+            summary::counter(
+                format!("{family}_{scenario}_label_writes"),
+                gate_stats.label_writes as f64,
+            );
 
-        // Serial baseline: the pre-refactor apply path.
-        {
-            let mut g = g0.clone();
-            let mut stl = stl0.clone();
-            let mut eng = UpdateEngine::new(g.num_vertices());
-            let mut i = 0usize;
-            group.bench_function(BenchmarkId::new("serial", scenario), |b| {
-                b.iter(|| {
-                    let stats = stl.apply_batch(
-                        &mut g,
-                        &batches[i % BATCHES],
-                        Maintenance::LabelSearch,
-                        &mut eng,
-                    );
-                    i += 1;
-                    std::hint::black_box(stats);
-                })
-            });
-        }
+            // Serial baseline: the pre-refactor apply path.
+            {
+                let mut g = g0.clone();
+                let mut stl = stl0.clone();
+                let mut eng = UpdateEngine::new(g.num_vertices());
+                let mut i = 0usize;
+                group.bench_function(BenchmarkId::new(format!("{family}_serial"), scenario), |b| {
+                    b.iter(|| {
+                        let stats = stl.apply_batch(&mut g, &batches[i % BATCHES], algo, &mut eng);
+                        i += 1;
+                        std::hint::black_box(stats);
+                    })
+                });
+            }
 
-        // Sharded driver at 1 thread (grouping overhead + tree skipping,
-        // no parallelism) and at 4 threads (the fan-out).
-        for threads in [1usize, 4] {
-            let mut g = g0.clone();
-            let mut stl = stl0.clone();
-            let mut pool = EnginePool::new();
-            let mut i = 0usize;
-            group.bench_function(BenchmarkId::new(format!("sharded{threads}"), scenario), |b| {
-                b.iter(|| {
-                    let out = stl.apply_batch_sharded(
-                        &mut g,
-                        &batches[i % BATCHES],
-                        Maintenance::LabelSearch,
-                        &mut pool,
-                        threads,
-                    );
-                    i += 1;
-                    std::hint::black_box(out);
-                })
-            });
+            // Sharded driver at 1 thread (grouping overhead + tree skipping,
+            // no parallelism) and at 4 threads (the fan-out).
+            for threads in [1usize, 4] {
+                let mut g = g0.clone();
+                let mut stl = stl0.clone();
+                let mut pool = EnginePool::new();
+                let mut i = 0usize;
+                group.bench_function(
+                    BenchmarkId::new(format!("{family}_sharded{threads}"), scenario),
+                    |b| {
+                        b.iter(|| {
+                            let out = stl.apply_batch_sharded(
+                                &mut g,
+                                &batches[i % BATCHES],
+                                algo,
+                                &mut pool,
+                                threads,
+                            );
+                            i += 1;
+                            std::hint::black_box(out);
+                        })
+                    },
+                );
+            }
         }
     }
     group.finish();

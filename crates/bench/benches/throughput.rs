@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, summary, BenchmarkId, Criterion};
 
 use stl_core::{Stl, StlConfig};
 use stl_server::{ServerConfig, StlServer};
@@ -75,8 +75,13 @@ fn bench_throughput(c: &mut Criterion) {
             stop.store(true, Ordering::Relaxed);
             feeder.join().expect("feeder thread");
         });
-        server.shutdown();
+        let stats = server.shutdown();
+        summary::counter(
+            format!("batches_published_readers{readers}"),
+            stats.batches_applied as f64,
+        );
     }
+    summary::counter("queries_per_iter", QUERIES_PER_ITER as f64);
     group.finish();
 }
 

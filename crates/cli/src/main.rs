@@ -240,12 +240,12 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         batch_size
     );
     println!(
-        "repair: {repair_threads} thread(s), {} stable-tree shards{}",
+        "repair: {repair_threads} thread(s), {} stable-tree shards ({} family, \
+         tree-sharded with a spine residual)",
         stl.hierarchy().num_shards(),
-        if matches!(algo, Maintenance::ParetoSearch) {
-            " (pareto repairs serially; use --algo label to fan out)"
-        } else {
-            ""
+        match algo {
+            Maintenance::ParetoSearch => "pareto",
+            Maintenance::LabelSearch => "label",
         }
     );
 

@@ -97,8 +97,6 @@ fn serve_runs_mixed_trace_and_reports_stats() {
         "4",
         "--seed",
         "77",
-        "--algo",
-        "label",
         "--repair-threads",
         "2",
     ]));
@@ -106,9 +104,11 @@ fn serve_runs_mixed_trace_and_reports_stats() {
     assert!(out.contains("generation"), "serve output: {out}");
     // The trace is seeded: the query/batch split is reproducible.
     assert!(out.contains("seed 77"), "serve output: {out}");
-    // The sharded-repair banner and per-shard writer timings must surface.
+    // The sharded-repair banner and per-shard writer timings must surface —
+    // for the default (Pareto) family too, which fans out since the
+    // interval-clamped decomposition landed.
     assert!(out.contains("repair: 2 thread(s)"), "serve output: {out}");
-    assert!(out.contains("stable-tree shards"), "serve output: {out}");
+    assert!(out.contains("stable-tree shards (pareto family"), "serve output: {out}");
     assert!(out.contains("trees touched/skipped"), "serve output: {out}");
 }
 

@@ -73,6 +73,13 @@ pub struct UpdateEngine {
     pub(crate) rheap: BinaryHeap<std::cmp::Reverse<(Dist, VertexId, u32)>>,
     /// Scratch list of `(ancestor, affected vertices)` per increase batch.
     pub(crate) aff_per_r: Vec<(VertexId, Vec<VertexId>)>,
+    /// Per-update `(Δ, affected pairs)` lists carried from the sharded
+    /// Pareto increase's identification phase to its bump+repair phase;
+    /// kept on the engine so a long-lived worker reuses the outer buffer.
+    pub(crate) inc_pairs: Vec<(Dist, Vec<(VertexId, u32)>)>,
+    /// Drained pair buffers awaiting reuse (the inner vectors of
+    /// `inc_pairs`, handed back after each sharded Pareto batch).
+    pub(crate) pair_pool: Vec<Vec<(VertexId, u32)>>,
 }
 
 impl UpdateEngine {
@@ -92,7 +99,14 @@ impl UpdateEngine {
             snap: Vec::new(),
             rheap: BinaryHeap::new(),
             aff_per_r: Vec::new(),
+            inc_pairs: Vec::new(),
+            pair_pool: Vec::new(),
         }
+    }
+
+    /// Take an empty pair buffer, reusing a pooled allocation if available.
+    pub(crate) fn take_pair_buf(&mut self) -> Vec<(VertexId, u32)> {
+        self.pair_pool.pop().unwrap_or_default()
     }
 
     /// Grow scratch arrays if the graph is larger than at construction.

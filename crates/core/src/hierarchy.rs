@@ -54,6 +54,7 @@ pub struct Hierarchy {
     pub(crate) node_shard: Box<[u32]>,
     pub(crate) num_shards: u32,
     pub(crate) spine_has_cuts: bool,
+    pub(crate) shard_anc_start: Box<[u32]>,
     // ---- per vertex ----
     pub(crate) node_of: Box<[u32]>,
     pub(crate) tau: Box<[u32]>,
@@ -61,15 +62,30 @@ pub struct Hierarchy {
     pub(crate) depth: Box<[u32]>,
 }
 
+/// The subtree-ownership map derived from the tree shape (never persisted):
+/// per-node shard ids, the shard count, whether any spine node owns cut
+/// vertices, and per-shard ancestor-index boundaries.
+pub(crate) struct ShardMap {
+    pub node_shard: Box<[u32]>,
+    pub num_shards: u32,
+    pub spine_has_cuts: bool,
+    /// First ancestor index owned by each shard (index = shard id): the
+    /// `anc_offset` of the shard's root node, i.e. how many label entries on
+    /// any root path into the shard are owned by spine nodes above it. The
+    /// [`SPINE_SHARD`] slot is 0 — the spine owns the prefix `[0, start)` of
+    /// every subtree shard's index range.
+    pub shard_anc_start: Box<[u32]>,
+}
+
 /// Derive the subtree-ownership map from the tree shape: nodes at exactly
 /// [`SHARD_DEPTH`], and leaves above it, root one shard each; nodes above
 /// with children are spine; nodes below inherit their parent's shard.
-/// Returns `(node_shard, num_shards, spine_has_cuts)`.
 pub(crate) fn derive_shards(
     node_parent: &[u32],
     node_depth: &[u32],
     node_cut_start: &[u32],
-) -> (Box<[u32]>, u32, bool) {
+    node_anc_offset: &[u32],
+) -> ShardMap {
     let nodes = node_parent.len();
     let mut has_child = vec![false; nodes];
     for &p in node_parent {
@@ -78,6 +94,7 @@ pub(crate) fn derive_shards(
         }
     }
     let mut node_shard = vec![SPINE_SHARD; nodes];
+    let mut shard_anc_start = vec![0u32];
     let mut next = SPINE_SHARD + 1;
     let mut spine_has_cuts = false;
     for id in 0..nodes {
@@ -85,6 +102,7 @@ pub(crate) fn derive_shards(
         node_shard[id] = if d == SHARD_DEPTH || (d < SHARD_DEPTH && !has_child[id]) {
             let s = next;
             next += 1;
+            shard_anc_start.push(node_anc_offset[id]);
             s
         } else if d < SHARD_DEPTH {
             if node_cut_start[id + 1] > node_cut_start[id] {
@@ -95,7 +113,12 @@ pub(crate) fn derive_shards(
             node_shard[node_parent[id] as usize]
         };
     }
-    (node_shard.into_boxed_slice(), next, spine_has_cuts)
+    ShardMap {
+        node_shard: node_shard.into_boxed_slice(),
+        num_shards: next,
+        spine_has_cuts,
+        shard_anc_start: shard_anc_start.into_boxed_slice(),
+    }
 }
 
 /// A tree node described externally: parent id (`u32::MAX` for the root),
@@ -224,8 +247,7 @@ impl Hierarchy {
             depth[v] = node_depth[nd as usize];
         }
 
-        let (node_shard, num_shards, spine_has_cuts) =
-            derive_shards(&node_parent, &node_depth, &node_cut_start);
+        let shards = derive_shards(&node_parent, &node_depth, &node_cut_start, &node_anc_offset);
         Hierarchy {
             node_parent: node_parent.into_boxed_slice(),
             node_depth: node_depth.into_boxed_slice(),
@@ -234,9 +256,10 @@ impl Hierarchy {
             cut_vertices: cut_vertices.into_boxed_slice(),
             node_path_start: node_path_start.into_boxed_slice(),
             path_anc_end: path_anc_end.into_boxed_slice(),
-            node_shard,
-            num_shards,
-            spine_has_cuts,
+            node_shard: shards.node_shard,
+            num_shards: shards.num_shards,
+            spine_has_cuts: shards.spine_has_cuts,
+            shard_anc_start: shards.shard_anc_start,
             node_of: node_of.into_boxed_slice(),
             tau: tau.into_boxed_slice(),
             bits: bits.into_boxed_slice(),
@@ -468,6 +491,18 @@ impl Hierarchy {
     #[inline]
     pub fn spine_has_cuts(&self) -> bool {
         self.spine_has_cuts
+    }
+
+    /// First ancestor index owned by `shard`: for every vertex `v` with
+    /// `tree_of(v) == shard`, the inclusive-ancestor indices of `v` split
+    /// exactly into the spine-owned prefix `[0, start)` and the shard-owned
+    /// suffix `[start, τ(v)]` — shards are connected subtrees, so the spine
+    /// nodes on `v`'s root path are precisely the path from the root to the
+    /// shard's root node. This is the boundary at which the Pareto drivers
+    /// clamp validity intervals. Returns 0 for [`SPINE_SHARD`].
+    #[inline]
+    pub fn shard_anc_start(&self, shard: u32) -> u32 {
+        self.shard_anc_start[shard as usize]
     }
 
     /// Like [`Hierarchy::for_each_ancestor_inclusive`], but visits only the
@@ -757,6 +792,36 @@ mod tests {
         }
         let counts = h.shard_vertex_counts();
         assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), h.num_vertices());
+    }
+
+    #[test]
+    fn shard_anc_start_splits_index_range_at_spine_boundary() {
+        // For every vertex, ancestor indices below its tree's
+        // shard_anc_start are spine-owned and the rest belong to its tree —
+        // the contiguous split the Pareto interval clamping relies on.
+        let g = grid(11);
+        let h = Hierarchy::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        assert_eq!(h.shard_anc_start(SPINE_SHARD), 0);
+        for v in 0..h.num_vertices() as VertexId {
+            let s = h.tree_of(v);
+            if s == SPINE_SHARD {
+                // Spine vertices own their whole (spine-only) chain.
+                h.for_each_ancestor_inclusive(v, |_, t| {
+                    assert_eq!(h.shard_of_entry(v, t), SPINE_SHARD, "vertex {v} entry {t}");
+                });
+                continue;
+            }
+            let k = h.shard_anc_start(s);
+            assert!(k <= h.tau(v), "boundary above τ for vertex {v}");
+            h.for_each_ancestor_inclusive(v, |_, t| {
+                let owner = h.shard_of_entry(v, t);
+                if t < k {
+                    assert_eq!(owner, SPINE_SHARD, "vertex {v} entry {t} below boundary {k}");
+                } else {
+                    assert_eq!(owner, s, "vertex {v} entry {t} at/above boundary {k}");
+                }
+            });
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! along an ancestor chain the only vertex with `τ(n) = τ(r)` is `r`.
 //!
 //! All phases are **scoped**: the seed/search/repair cores are generic over
-//! [`LabelAccess`] and take an optional repair-shard filter, so the same
+//! the crate-internal `LabelAccess` trait and take an optional repair-shard filter, so the same
 //! code runs serially over the whole ancestor set (`shard = None`, the
 //! public [`decrease`]/[`increase`] entry points) or per stable tree on a
 //! [`ShardLabels`](crate::labelling::ShardLabels) view inside

@@ -20,6 +20,20 @@
 //! instead collect exact affected pairs from both searches first and apply
 //! all `+Δ` bumps after, which keeps the two searches' equality tests exact
 //! without snapshotting every label.
+//!
+//! All search cores are **scoped** like `label_search`'s: they are generic
+//! over the crate-internal `LabelAccess` trait and take an ancestor-index clamp `[lo, hi]`, so the
+//! same code runs serially over the full validity interval (the public
+//! [`decrease`]/[`increase`] entry points, clamp `[0, ∞)`) or per repair
+//! shard inside [`Stl::apply_batch_sharded`]. The clamp is sound because a
+//! Pareto search's writes at index `i` all target entries `(v, i)` with
+//! `v ∈ Desc(r_i)` for the *common* `i`-th ancestor `r_i` of the updated
+//! edge's endpoints (Definition 5.11: an item leaving `Desc(r_i)` has its
+//! `hi` clamped below `i` at the boundary vertex), and the index ranges
+//! `[0, shard_anc_start)` / `[shard_anc_start, τ]` of one root path are
+//! owned by the spine and exactly one subtree shard respectively. Search,
+//! bump and repair are all index-local, so restricting the interval
+//! restricts reads *and* writes to the owning shard's entries.
 
 use std::cmp::Reverse;
 
@@ -27,7 +41,7 @@ use stl_graph::{dist_add, CsrGraph, Dist, EdgeUpdate, VertexId, INF};
 
 use crate::engine::{ParetoItem, UpdateEngine};
 use crate::hierarchy::Hierarchy;
-use crate::labelling::{Labels, Stl};
+use crate::labelling::{LabelAccess, Stl};
 use crate::types::UpdateStats;
 
 /// Algorithm 3 — edge-weight **decreases**, one update at a time.
@@ -43,36 +57,65 @@ pub fn decrease(
     for &u in updates {
         let old = g.apply_update(u).expect("update must target an existing edge");
         debug_assert!(u.new_weight <= old, "decrease batch got an increase");
-        search_and_repair_dec(hier, labels, g, u.a, u.b, u.new_weight, eng, &mut stats);
-        search_and_repair_dec(hier, labels, g, u.b, u.a, u.new_weight, eng, &mut stats);
+        search_and_repair_dec(
+            hier,
+            labels,
+            g,
+            u.a,
+            u.b,
+            u.new_weight,
+            (0, u32::MAX),
+            eng,
+            &mut stats,
+        );
+        search_and_repair_dec(
+            hier,
+            labels,
+            g,
+            u.b,
+            u.a,
+            u.new_weight,
+            (0, u32::MAX),
+            eng,
+            &mut stats,
+        );
     }
     stats
 }
 
 /// One decrease search anchored at `r` starting at `start` (Algorithm 3's
 /// `Search-and-Repair`): explores paths `r → start → …` whose first edge is
-/// the updated edge with weight `phi`.
+/// the updated edge with weight `phi`. The validity interval is intersected
+/// with `clamp` (see module docs); an empty intersection skips the search.
 #[allow(clippy::too_many_arguments)]
-fn search_and_repair_dec(
+pub(crate) fn search_and_repair_dec<L: LabelAccess>(
     hier: &Hierarchy,
-    labels: &mut Labels,
+    labels: &mut L,
     g: &CsrGraph,
     r: VertexId,
     start: VertexId,
     phi: Dist,
+    clamp: (u32, u32),
     eng: &mut UpdateEngine,
     stats: &mut UpdateStats,
 ) {
+    let amin = hier.tau(r).min(hier.tau(start)).min(clamp.1);
+    if clamp.0 > amin {
+        return; // no index of this search falls inside the clamp
+    }
     stats.searches += 1;
-    let amin = hier.tau(r).min(hier.tau(start));
     // Snapshot the anchor's comparable label prefix: its entries cannot
     // change during this search (a positive-length cycle cannot shorten the
     // anchor's own distances), and a snapshot avoids re-indexing the arena.
+    // Below-clamp slots are never read; fill them so indexing stays direct.
     eng.snap.clear();
-    eng.snap.extend_from_slice(&labels.slice(r)[..=amin as usize]);
+    eng.snap.resize(clamp.0 as usize, INF);
+    for i in clamp.0..=amin {
+        eng.snap.push(labels.get(r, i));
+    }
     eng.level.reset();
     eng.pheap.clear();
-    eng.pheap.push(ParetoItem { d: phi, hi: amin, lo: 0, v: start });
+    eng.pheap.push(ParetoItem { d: phi, hi: amin, lo: clamp.0, v: start });
     while let Some(item) = eng.pheap.pop() {
         stats.pops += 1;
         let v = item.v;
@@ -133,8 +176,8 @@ pub fn increase(
         // Phase 1: both searches on old labels/weights, collecting exact
         // affected (v, i) pairs.
         eng.pairs.clear();
-        search_inc(hier, labels, g, u.a, u.b, w_old, eng, &mut stats);
-        search_inc(hier, labels, g, u.b, u.a, w_old, eng, &mut stats);
+        search_inc(hier, labels, g, u.a, u.b, w_old, (0, u32::MAX), eng, &mut stats);
+        search_inc(hier, labels, g, u.b, u.a, w_old, (0, u32::MAX), eng, &mut stats);
 
         // Phase 2: apply the new weight; bump affected labels by Δ (upper
         // bounds, Alg. 4 line 18) and build per-vertex affected intervals.
@@ -146,18 +189,7 @@ pub fn increase(
         eng.aff_lo.reset();
         eng.aff_hi.reset();
         eng.aff_list.clear();
-        for &(v, i) in &pairs {
-            let cur = labels.get(v, i);
-            if cur != INF {
-                labels.set(v, i, cur.saturating_add(delta));
-                stats.label_writes += 1;
-            }
-            if !eng.aff_lo.is_set(v as usize) {
-                eng.aff_list.push(v);
-                eng.aff_lo.set(v as usize, i);
-            }
-            eng.aff_hi.set(v as usize, i); // pairs sorted: last write is max
-        }
+        bump_pairs(labels, &pairs, delta, eng, &mut stats);
         eng.pairs = pairs;
 
         // Phase 3: repair (Algorithm 5).
@@ -166,26 +198,67 @@ pub fn increase(
     stats
 }
 
+/// Bump collected pairs by `delta` (upper bounds, Alg. 4 line 18) and fold
+/// them into the engine's per-vertex affected intervals (`aff_lo`/`aff_hi`
+/// must be freshly reset at the start of the batch — callers accumulate
+/// several updates' pairs into one interval set before [`repair_inc`]).
+pub(crate) fn bump_pairs<L: LabelAccess>(
+    labels: &mut L,
+    pairs: &[(VertexId, u32)],
+    delta: Dist,
+    eng: &mut UpdateEngine,
+    stats: &mut UpdateStats,
+) {
+    for &(v, i) in pairs {
+        let cur = labels.get(v, i);
+        if cur != INF {
+            labels.set(v, i, cur.saturating_add(delta));
+            stats.label_writes += 1;
+        }
+        if !eng.aff_lo.is_set(v as usize) {
+            eng.aff_list.push(v);
+            eng.aff_lo.set(v as usize, i);
+            eng.aff_hi.set(v as usize, i);
+        } else {
+            if i < eng.aff_lo.get(v as usize) {
+                eng.aff_lo.set(v as usize, i);
+            }
+            if i > eng.aff_hi.get(v as usize) {
+                eng.aff_hi.set(v as usize, i);
+            }
+        }
+    }
+}
+
 /// One increase search (Algorithm 4's `Search`): walks the old
 /// shortest-path DAG through the updated edge, collecting affected pairs.
+/// Must run before any of the batch's weights are applied; the validity
+/// interval is intersected with `clamp` as in [`search_and_repair_dec`].
 #[allow(clippy::too_many_arguments)]
-fn search_inc(
+pub(crate) fn search_inc<L: LabelAccess>(
     hier: &Hierarchy,
-    labels: &Labels,
+    labels: &L,
     g: &CsrGraph,
     r: VertexId,
     start: VertexId,
     phi_old: Dist,
+    clamp: (u32, u32),
     eng: &mut UpdateEngine,
     stats: &mut UpdateStats,
 ) {
+    let amin = hier.tau(r).min(hier.tau(start)).min(clamp.1);
+    if clamp.0 > amin {
+        return;
+    }
     stats.searches += 1;
-    let amin = hier.tau(r).min(hier.tau(start));
     eng.snap.clear();
-    eng.snap.extend_from_slice(&labels.slice(r)[..=amin as usize]);
+    eng.snap.resize(clamp.0 as usize, INF);
+    for i in clamp.0..=amin {
+        eng.snap.push(labels.get(r, i));
+    }
     eng.level.reset();
     eng.pheap.clear();
-    eng.pheap.push(ParetoItem { d: phi_old, hi: amin, lo: 0, v: start });
+    eng.pheap.push(ParetoItem { d: phi_old, hi: amin, lo: clamp.0, v: start });
     while let Some(item) = eng.pheap.pop() {
         stats.pops += 1;
         let v = item.v;
@@ -237,10 +310,14 @@ fn search_inc(
     }
 }
 
-/// Algorithm 5 — per-index repair over the affected intervals.
-fn repair_inc(
+/// Algorithm 5 — per-index repair over the affected intervals held in the
+/// engine (`aff_list`/`aff_lo`/`aff_hi`). Entirely index-local: a repair at
+/// index `i` reads and writes only index-`i` entries, so the same code
+/// serves one update's intervals (serial driver) or a whole shard-clamped
+/// batch's merged intervals (sharded driver).
+pub(crate) fn repair_inc<L: LabelAccess>(
     hier: &Hierarchy,
-    labels: &mut Labels,
+    labels: &mut L,
     g: &CsrGraph,
     eng: &mut UpdateEngine,
     stats: &mut UpdateStats,

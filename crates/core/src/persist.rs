@@ -101,8 +101,12 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
     }
     let dists: Box<[Dist]> = get_u32s(&mut buf)?;
     // The repair-shard map is derived from the tree shape, not persisted.
-    let (node_shard, num_shards, spine_has_cuts) =
-        crate::hierarchy::derive_shards(&node_parent, &node_depth, &node_cut_start);
+    let shards = crate::hierarchy::derive_shards(
+        &node_parent,
+        &node_depth,
+        &node_cut_start,
+        &node_anc_offset,
+    );
     let hier = Hierarchy {
         node_parent,
         node_depth,
@@ -111,9 +115,10 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
         cut_vertices,
         node_path_start,
         path_anc_end,
-        node_shard,
-        num_shards,
-        spine_has_cuts,
+        node_shard: shards.node_shard,
+        num_shards: shards.num_shards,
+        spine_has_cuts: shards.spine_has_cuts,
+        shard_anc_start: shards.shard_anc_start,
         node_of,
         tau,
         bits: bits.into_boxed_slice(),

@@ -20,8 +20,8 @@
 //!    serial algorithms (decreases before their searches, increases after
 //!    the affected-set searches and before the repairs), so every worker
 //!    sees the same graph the serial path would;
-//! 3. workers repair their shards on [`ShardLabels`] views over one shared
-//!    [`LabelsWriter`] arena phase — disjoint unsynchronised writes with
+//! 3. workers repair their shards on [`ShardLabels`](crate::labelling::ShardLabels) views over one shared
+//!    [`LabelsWriter`](crate::labelling::LabelsWriter) arena phase — disjoint unsynchronised writes with
 //!    per-chunk copy-on-write promotion gates (`stl_graph::cow`);
 //! 4. per-shard [`UpdateStats`] are merged in fixed shard order and the
 //!    per-shard wall times land in a [`ShardReport`] for the server stats.
@@ -30,17 +30,39 @@
 //! `threads = 1` the driver runs the same per-ancestor searches the serial
 //! path runs, in a shard-grouped order, and produces byte-identical labels
 //! and (search-effort) counters; with `threads > 1` disjointness makes the
-//! outcome independent of interleaving. Pareto Search is **not** shardable
-//! this way — its two searches per update write overlapping ancestor-index
-//! intervals across trees — so [`Stl::apply_batch_sharded`] falls back to
-//! the serial driver for that family.
+//! outcome independent of interleaving.
+//!
+//! **Pareto Search** decomposes onto the same unit structure by clamping
+//! validity intervals instead of filtering ancestors. A Pareto search for
+//! update `{a, b}` writes `L_v[i]` only for `i ≤ min(τ(a), τ(b))`, and for
+//! every such `i` the written entries `(v, i)` satisfy `v ∈ Desc(r_i)`
+//! where `r_i` is the *common* `i`-th ancestor of both endpoints — so entry
+//! ownership follows the anchor's root path. That path crosses the spine
+//! and then descends into exactly one subtree shard `s`, splitting the
+//! index range at `k = Hierarchy::shard_anc_start(s)`: indices `[0, k)` are
+//! spine-owned, `[k, τ]` belong to `s`. The sharded Pareto driver therefore
+//! runs each update's two searches twice with complementary clamps — once
+//! in its subtree unit (`[k, ∞)`) and once in the spine unit (`[0, k)`,
+//! the residual every root path shares) — and since search, bump and
+//! repair are all **index-local**, the two passes read and write disjoint
+//! entry sets and the spine unit schedules like any other work unit.
+//! Increases keep the collect-then-bump ordering behind a phase fence: all
+//! identification searches run on the old weights and labels, the batch's
+//! weights land serially, then every unit applies its summed `+Δ` bumps
+//! before its per-index repair Dijkstras (a pair collected by several
+//! updates needs the summed upper bound — paths through two increased
+//! edges grow by both deltas). Labels come out byte-identical to the
+//! serial Pareto driver at any thread count because both drivers restore
+//! the canonical exact subgraph distances; the effort counters differ
+//! (clamped searches re-explore some vertices per unit), which is why the
+//! Pareto equivalence tests compare labels and oracles, not counters.
 
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use stl_graph::hash::FxHashMap;
-use stl_graph::{CsrGraph, EdgeUpdate, VertexId};
+use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId};
 
 use crate::batch::split_batch;
 use crate::engine::{EnginePool, UpdateEngine};
@@ -98,12 +120,15 @@ impl Stl {
     /// [`Stl::apply_batch`] with the label-repair work fanned out across
     /// `threads` workers by owning stable tree.
     ///
-    /// Semantically identical to the serial driver for any thread count —
-    /// label entries come out byte-for-byte equal and the search-effort
-    /// counters of [`UpdateStats`] match; the sharded path additionally
-    /// fills the `trees_touched`/`trees_skipped` counters. Only
-    /// [`Maintenance::LabelSearch`] fans out; Pareto Search has no
-    /// disjoint-write decomposition and runs serially (see module docs).
+    /// Semantically identical to the serial driver for any thread count:
+    /// label entries come out byte-for-byte equal, and the sharded path
+    /// additionally fills the `trees_touched`/`trees_skipped` counters.
+    /// Both maintenance families fan out — [`Maintenance::LabelSearch`] by
+    /// per-ancestor ownership, [`Maintenance::ParetoSearch`] by clamping
+    /// validity intervals at the spine boundary (see module docs). For
+    /// Label Search the search-effort counters of [`UpdateStats`] also
+    /// match serial exactly; the Pareto decomposition re-explores some
+    /// vertices per unit, so its counters measure the sharded schedule.
     pub fn apply_batch_sharded(
         &mut self,
         g: &mut CsrGraph,
@@ -142,19 +167,51 @@ impl Stl {
         log: bool,
     ) -> (UpdateStats, ShardReport, ShardWriteLog) {
         match algo {
-            Maintenance::ParetoSearch => {
-                let eng = &mut pool.engines(1, g.num_vertices())[0];
-                let (dec, inc) = split_batch(g, updates);
-                let mut stats = UpdateStats::default();
-                stats += pareto::decrease(self, g, &dec, eng);
-                stats += pareto::increase(self, g, &inc, eng);
-                let report =
-                    ShardReport { shards_total: self.hier.num_shards(), ..Default::default() };
-                (stats, report, Vec::new())
-            }
+            Maintenance::ParetoSearch => pareto_sharded(self, g, updates, pool, threads, log),
             Maintenance::LabelSearch => label_search_sharded(self, g, updates, pool, threads, log),
         }
     }
+}
+
+/// Shared prologue of both sharded drivers: the batch-level counters and
+/// the touched-shard bitmap derived from the pre-grouped units.
+fn unit_accounting(
+    hier: &Hierarchy,
+    dec_units: &[ShardUnit<'_>],
+    inc_units: &[ShardUnit<'_>],
+    updates: u64,
+) -> (UpdateStats, Vec<bool>) {
+    let num_shards = hier.num_shards() as usize;
+    let mut stats = UpdateStats { updates, ..Default::default() };
+    let mut touched = vec![false; num_shards];
+    for unit in dec_units.iter().chain(inc_units) {
+        touched[unit.shard as usize] = true;
+    }
+    stats.trees_touched = touched.iter().filter(|&&t| t).count() as u64;
+    // A spine slot that owns no cut vertices is not skippable work.
+    let effective = num_shards as u64 - u64::from(!hier.spine_has_cuts());
+    stats.trees_skipped = effective - stats.trees_touched;
+    (stats, touched)
+}
+
+/// Shared epilogue: touched-shard timings folded into a [`ShardReport`] and
+/// the write log sorted into shard order.
+fn finish_report(
+    stats: &UpdateStats,
+    touched: &[bool],
+    shard_ns: &[u64],
+    logs: FxHashMap<u32, Vec<(VertexId, u32)>>,
+) -> (ShardReport, ShardWriteLog) {
+    let per_shard_ns: Vec<(u32, u64)> =
+        (0..shard_ns.len()).filter(|&s| touched[s]).map(|s| (s as u32, shard_ns[s])).collect();
+    let report = ShardReport {
+        shards_total: shard_ns.len() as u32,
+        shards_touched: stats.trees_touched as u32,
+        per_shard_ns,
+    };
+    let mut log_out: ShardWriteLog = logs.into_iter().collect();
+    log_out.sort_unstable_by_key(|&(s, _)| s);
+    (report, log_out)
 }
 
 /// The sharded Label-Search driver; see the module docs for the phase plan.
@@ -173,16 +230,8 @@ fn label_search_sharded(
 
     let dec_units = group_by_tree(hier, &dec);
     let inc_units = group_by_tree(hier, &inc);
-
-    let mut stats = UpdateStats { updates: (dec.len() + inc.len()) as u64, ..Default::default() };
-    let mut touched = vec![false; num_shards];
-    for unit in dec_units.iter().chain(&inc_units) {
-        touched[unit.shard as usize] = true;
-    }
-    stats.trees_touched = touched.iter().filter(|&&t| t).count() as u64;
-    // A spine slot that owns no cut vertices is not skippable work.
-    let effective = num_shards as u64 - u64::from(!hier.spine_has_cuts());
-    stats.trees_skipped = effective - stats.trees_touched;
+    let (mut stats, touched) =
+        unit_accounting(hier, &dec_units, &inc_units, (dec.len() + inc.len()) as u64);
 
     let engines = pool.engines(threads, n);
     let mut shard_ns = vec![0u64; num_shards];
@@ -265,15 +314,191 @@ fn label_search_sharded(
     // Install copy-on-write promotions into the arena + dirty accounting.
     drop(writer);
 
-    let per_shard_ns: Vec<(u32, u64)> =
-        (0..num_shards).filter(|&s| touched[s]).map(|s| (s as u32, shard_ns[s])).collect();
-    let report = ShardReport {
-        shards_total: num_shards as u32,
-        shards_touched: stats.trees_touched as u32,
-        per_shard_ns,
+    let (report, log_out) = finish_report(&stats, &touched, &shard_ns, logs);
+    (stats, report, log_out)
+}
+
+/// Ancestor-index ranges carried from the sharded Pareto increase's
+/// identification phase to its bump+repair phase: per unit, the per-update
+/// `(Δ, deduplicated affected pairs)` lists in batch order.
+type ParetoIncWork = (u32, Vec<(Dist, Vec<(VertexId, u32)>)>);
+
+/// The ancestor-index clamp of update `{a, b}` inside `shard`'s work unit,
+/// or `None` when the update owns no indices there. The upper bound is left
+/// open (`u32::MAX`) where the search's own `min(τ(a), τ(b))` cap is
+/// tighter; see the module docs for the spine/subtree split argument.
+fn pareto_clamp(hier: &Hierarchy, shard: u32, a: VertexId, b: VertexId) -> Option<(u32, u32)> {
+    let owner = hier.tree_of_edge(a, b);
+    if shard == SPINE_SHARD {
+        if owner == SPINE_SHARD {
+            // A spine-anchored edge: its whole validity interval runs over
+            // spine-owned ancestors.
+            return Some((0, u32::MAX));
+        }
+        let k = hier.shard_anc_start(owner);
+        if k == 0 {
+            return None; // no spine cuts above this subtree's root
+        }
+        Some((0, k - 1))
+    } else {
+        debug_assert_eq!(owner, shard, "update grouped into a foreign tree");
+        Some((hier.shard_anc_start(shard), u32::MAX))
+    }
+}
+
+/// The sharded Pareto-Search driver; see the module docs for why interval
+/// clamping at the spine boundary yields disjoint per-unit entry sets and
+/// why the phase plan (weights fenced, collect → bump → repair) preserves
+/// the serial driver's labels byte-for-byte.
+fn pareto_sharded(
+    stl: &mut Stl,
+    g: &mut CsrGraph,
+    updates: &[EdgeUpdate],
+    pool: &mut EnginePool,
+    threads: usize,
+    log: bool,
+) -> (UpdateStats, ShardReport, ShardWriteLog) {
+    let (dec, inc) = split_batch(g, updates);
+    let n = g.num_vertices();
+    let Stl { ref hier, ref mut labels } = *stl;
+    let num_shards = hier.num_shards() as usize;
+
+    let dec_units = group_by_tree(hier, &dec);
+    let inc_units = group_by_tree(hier, &inc);
+    let (mut stats, touched) =
+        unit_accounting(hier, &dec_units, &inc_units, (dec.len() + inc.len()) as u64);
+
+    let engines = pool.engines(threads, n);
+    let mut shard_ns = vec![0u64; num_shards];
+    let mut logs: FxHashMap<u32, Vec<(VertexId, u32)>> = FxHashMap::default();
+
+    // ---- decrease phase: all weights first (serial fence), then per-unit
+    // clamped searches. With every decrease applied up front, candidate
+    // path lengths explored by any search are final-graph lengths, so the
+    // per-edge searches jointly restore exact labels regardless of order.
+    for &u in &dec {
+        let old = g.apply_update(u).expect("update must target an existing edge");
+        debug_assert!(u.new_weight <= old, "decrease batch got an increase");
+    }
+    let writer = labels.disjoint_writer();
+    {
+        let g_ref: &CsrGraph = g;
+        let results = run_phase(&dec_units, engines, |eng, unit| {
+            let mut st = UpdateStats::default();
+            let mut view = writer.shard_view(hier, unit.shard, log);
+            for &u in unit.updates.iter() {
+                if let Some(clamp) = pareto_clamp(hier, unit.shard, u.a, u.b) {
+                    let w = u.new_weight;
+                    pareto::search_and_repair_dec(
+                        hier, &mut view, g_ref, u.a, u.b, w, clamp, eng, &mut st,
+                    );
+                    pareto::search_and_repair_dec(
+                        hier, &mut view, g_ref, u.b, u.a, w, clamp, eng, &mut st,
+                    );
+                }
+            }
+            (st, view.into_log())
+        });
+        for (unit, ((st, wlog), ns)) in dec_units.iter().zip(results) {
+            stats += st;
+            shard_ns[unit.shard as usize] += ns;
+            if log {
+                logs.entry(unit.shard).or_default().extend(wlog);
+            }
+        }
+    }
+
+    // ---- increase phase A: identification on the old weights and labels.
+    // Nothing is written, so every unit's equality tests run against the
+    // same pre-batch state the serial per-update schedule would reach by
+    // induction — the collected pair sets cover every entry that changes.
+    let inc_work: Vec<ParetoIncWork> = {
+        let g_ref: &CsrGraph = g;
+        let results = run_phase(&inc_units, engines, |eng, unit| {
+            let mut st = UpdateStats::default();
+            // Identification only reads labels; no write log to collect.
+            let view = writer.shard_view(hier, unit.shard, false);
+            let mut collected = std::mem::take(&mut eng.inc_pairs);
+            for &u in unit.updates.iter() {
+                let Some(clamp) = pareto_clamp(hier, unit.shard, u.a, u.b) else {
+                    continue;
+                };
+                let w_old = g_ref.weight(u.a, u.b).expect("update must target an existing edge");
+                debug_assert!(u.new_weight >= w_old, "increase batch got a decrease");
+                let delta = u.new_weight.saturating_sub(w_old);
+                if delta == 0 {
+                    continue;
+                }
+                eng.pairs.clear();
+                pareto::search_inc(hier, &view, g_ref, u.a, u.b, w_old, clamp, eng, &mut st);
+                pareto::search_inc(hier, &view, g_ref, u.b, u.a, w_old, clamp, eng, &mut st);
+                let spare = eng.take_pair_buf();
+                let mut pairs = std::mem::replace(&mut eng.pairs, spare);
+                pairs.sort_unstable();
+                pairs.dedup();
+                st.affected += pairs.len() as u64;
+                collected.push((delta, pairs));
+            }
+            (st, collected)
+        });
+        inc_units
+            .iter()
+            .zip(results)
+            .map(|(unit, ((st, collected), ns))| {
+                stats += st;
+                shard_ns[unit.shard as usize] += ns;
+                (unit.shard, collected)
+            })
+            .collect()
     };
-    let mut log_out: ShardWriteLog = logs.into_iter().collect();
-    log_out.sort_unstable_by_key(|&(s, _)| s);
+
+    // ---- serial fence: all identification saw old weights; apply them.
+    for &u in &inc {
+        g.apply_update(u).expect("validated above");
+    }
+
+    // ---- increase phase B: per-unit bumps, then per-index repairs. All of
+    // a unit's `+Δ` bumps land before its repair Dijkstras start — a pair
+    // collected by several updates needs the *summed* upper bound.
+    {
+        let g_ref: &CsrGraph = g;
+        let results = run_phase(&inc_work, engines, |eng, (shard, collected)| {
+            let mut st = UpdateStats::default();
+            let mut view = writer.shard_view(hier, *shard, log);
+            eng.aff_lo.reset();
+            eng.aff_hi.reset();
+            eng.aff_list.clear();
+            for (delta, pairs) in collected {
+                pareto::bump_pairs(&mut view, pairs, *delta, eng, &mut st);
+            }
+            pareto::repair_inc(hier, &mut view, g_ref, eng, &mut st);
+            (st, view.into_log())
+        });
+        for ((shard, _), ((st, wlog), ns)) in inc_work.iter().zip(results) {
+            stats += st;
+            shard_ns[*shard as usize] += ns;
+            if log {
+                logs.entry(*shard).or_default().extend(wlog);
+            }
+        }
+    }
+    // Hand the drained pair buffers back to the pool's engines —
+    // round-robin over all workers so nothing is dropped when touched
+    // units outnumber threads (the scattered-batch common case).
+    for (i, (_, mut collected)) in inc_work.into_iter().enumerate() {
+        let eng = &mut engines[i % engines.len()];
+        for (_, mut pairs) in collected.drain(..) {
+            pairs.clear();
+            eng.pair_pool.push(pairs);
+        }
+        if eng.inc_pairs.capacity() < collected.capacity() {
+            eng.inc_pairs = collected;
+        }
+    }
+    // Install copy-on-write promotions into the arena + dirty accounting.
+    drop(writer);
+
+    let (report, log_out) = finish_report(&stats, &touched, &shard_ns, logs);
     (stats, report, log_out)
 }
 
@@ -509,24 +734,97 @@ mod tests {
         verify::check_all(&stl, &g).unwrap();
     }
 
+    /// The sharded Pareto contract: a real decomposition (not a serial
+    /// fallback) whose labels equal the serial driver's byte-for-byte at
+    /// every thread count, with the sharding counters populated.
     #[test]
-    fn pareto_falls_back_to_serial() {
-        let g0 = grid(5);
-        let mut g1 = g0.clone();
-        let mut g2 = g0.clone();
-        let mut a = Stl::build(&g0, &StlConfig::default());
-        let mut b = a.clone();
-        let mut eng = UpdateEngine::new(g0.num_vertices());
-        let mut pool = EnginePool::new();
-        let batch = &mixed_batches(&g0, 1, 5)[0];
-        let serial = a.apply_batch(&mut g1, batch, Maintenance::ParetoSearch, &mut eng);
-        let (sharded, report) =
-            b.apply_batch_sharded(&mut g2, batch, Maintenance::ParetoSearch, &mut pool, 4);
-        assert_eq!(serial, sharded, "pareto path must be the serial driver verbatim");
-        assert!(report.per_shard_ns.is_empty());
-        for v in 0..g0.num_vertices() as VertexId {
-            assert_eq!(a.labels().slice(v), b.labels().slice(v));
+    fn pareto_sharded_matches_serial_all_thread_counts() {
+        let g0 = grid(7);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        for threads in [1usize, 2, 4] {
+            let mut g_serial = g0.clone();
+            let mut g_shard = g0.clone();
+            let mut serial = Stl::build(&g0, &cfg);
+            let mut sharded = serial.clone();
+            let mut eng = UpdateEngine::new(g0.num_vertices());
+            let mut pool = EnginePool::new();
+            for (round, batch) in mixed_batches(&g0, 12, 0xFEED ^ threads as u64).iter().enumerate()
+            {
+                serial.apply_batch(&mut g_serial, batch, Maintenance::ParetoSearch, &mut eng);
+                let (st_shard, report) = sharded.apply_batch_sharded(
+                    &mut g_shard,
+                    batch,
+                    Maintenance::ParetoSearch,
+                    &mut pool,
+                    threads,
+                );
+                assert!(st_shard.trees_touched > 0, "pareto path must fill tree counters");
+                assert_eq!(report.shards_touched as u64, st_shard.trees_touched);
+                assert_eq!(
+                    report.per_shard_ns.len() as u32,
+                    report.shards_touched,
+                    "one timing entry per touched shard"
+                );
+                for v in 0..g0.num_vertices() as VertexId {
+                    assert_eq!(
+                        serial.labels().slice(v),
+                        sharded.labels().slice(v),
+                        "threads={threads} round={round} vertex={v}"
+                    );
+                }
+            }
+            verify::check_all(&sharded, &g_shard).unwrap();
         }
+    }
+
+    #[test]
+    fn pareto_sharded_write_log_is_disjoint_and_owned() {
+        let g0 = grid(6);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        let mut g = g0.clone();
+        let mut stl = Stl::build(&g0, &cfg);
+        let mut pool = EnginePool::new();
+        let batch = &mixed_batches(&g0, 1, 78)[0];
+        let (_, _, log) =
+            stl.apply_batch_sharded_logged(&mut g, batch, Maintenance::ParetoSearch, &mut pool, 3);
+        let mut seen: std::collections::HashMap<(VertexId, u32), u32> =
+            std::collections::HashMap::new();
+        let mut writes = 0usize;
+        for (shard, entries) in &log {
+            for &(v, i) in entries {
+                writes += 1;
+                assert_eq!(
+                    stl.hierarchy().shard_of_entry(v, i),
+                    *shard,
+                    "shard {shard} wrote an entry it does not own"
+                );
+                if let Some(other) = seen.insert((v, i), *shard) {
+                    assert_eq!(other, *shard, "entry ({v},{i}) written by two shards");
+                }
+            }
+        }
+        assert!(writes > 0, "batch must have repaired something");
+        verify::check_all(&stl, &g).unwrap();
+    }
+
+    #[test]
+    fn pareto_sharded_skips_untouched_trees() {
+        let g0 = grid(8);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        let mut g = g0.clone();
+        let mut stl = Stl::build(&g0, &cfg);
+        let mut pool = EnginePool::new();
+        let (a, b, w) = g0.edges().next().unwrap();
+        let (stats, _) = stl.apply_batch_sharded(
+            &mut g,
+            &[EdgeUpdate::new(a, b, w * 3)],
+            Maintenance::ParetoSearch,
+            &mut pool,
+            2,
+        );
+        assert!(stats.trees_touched <= 2, "one update maps to spine + one tree at most");
+        assert!(stats.trees_skipped > 0, "the other trees must be skipped");
+        verify::check_all(&stl, &g).unwrap();
     }
 
     #[test]

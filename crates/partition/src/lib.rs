@@ -4,7 +4,7 @@
 //! whose removal splits the remaining vertices into sides `A`, `B` with **no
 //! edge between `A` and `B`** and `|A|, |B| ≤ (1 − β)·|V|`. This is exactly
 //! the cut primitive of Definition 4.1 in the paper (the recursive
-//! bi-partitioning of [12] *without* shortcut insertion, per Remark 1).
+//! bi-partitioning of \[12\] *without* shortcut insertion, per Remark 1).
 //!
 //! Pipeline:
 //! 1. initial bisection — inertial sweep when coordinates exist

@@ -18,12 +18,31 @@ pub struct ServerConfig {
     /// Maintenance family the writer uses for every batch.
     pub algo: Maintenance,
     /// Worker threads for tree-sharded batch repair
-    /// (`Stl::apply_batch_sharded`). `1` reproduces the serial repair path
-    /// bit-for-bit; higher values fan label repair out by owning stable
-    /// tree. Only [`Maintenance::LabelSearch`] parallelises — Pareto Search
-    /// has no disjoint-write decomposition and stays serial regardless.
+    /// (`Stl::apply_batch_sharded`). `1` runs the sharded schedule on one
+    /// worker; higher values fan label repair out by owning stable tree.
+    /// Both families parallelise: Label Search by per-ancestor ownership,
+    /// Pareto Search by clamping validity intervals at the spine boundary.
+    /// Labels are byte-identical to the serial drivers at any setting.
     /// Defaults to the machine's available parallelism.
     pub repair_threads: usize,
+}
+
+impl ServerConfig {
+    /// [`ServerConfig::default`] with `repair_threads` overridden by the
+    /// `STL_REPAIR_THREADS` environment variable when it is set to a
+    /// positive integer — the hook the CI release-stress matrix uses to
+    /// exercise the repair pipeline at both 1 and 4 workers.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(t) =
+            std::env::var("STL_REPAIR_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            if t >= 1 {
+                cfg.repair_threads = t;
+            }
+        }
+        cfg
+    }
 }
 
 impl Default for ServerConfig {
@@ -403,6 +422,52 @@ mod tests {
         let stats = server.shutdown();
         assert!(stats.trees_touched_total >= edges.len() as u64);
         assert!(stats.trees_skipped_total > 0, "single-edge batches must skip most stable trees");
+    }
+
+    #[test]
+    fn pareto_sharded_writer_matches_oracle_and_reports_shard_timings() {
+        // The default (Pareto) writer with a multi-thread repair fan-out:
+        // every published epoch must match Dijkstra exactly and the shard
+        // accounting must reach ServerStats — Pareto is no longer the
+        // serial-only family.
+        let mut g = generate(&RoadNetConfig::sized(220, 27));
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig { algo: stl_core::Maintenance::ParetoSearch, repair_threads: 3 },
+        );
+        let edges: Vec<_> = g.edges().step_by(9).take(5).collect();
+        for &(a, b, w) in &edges {
+            let t = server.submit(vec![EdgeUpdate::new(a, b, w * 4)]);
+            server.wait_for(t);
+            g.set_weight(a, b, w * 4).unwrap();
+            let snap = server.snapshot();
+            for (s, dst) in [(0u32, 150u32), (9, 201), (60, 130)] {
+                assert_eq!(snap.query(s, dst), dijkstra::distance(&g, s, dst));
+            }
+            let stats = server.stats();
+            assert!(stats.repair_shards_last >= 1, "pareto repair must report its shards");
+            assert!(stats.repair_shard_ns_sum_last >= stats.repair_shard_ns_max_last);
+        }
+        let stats = server.shutdown();
+        assert!(stats.trees_touched_total >= edges.len() as u64);
+        assert!(stats.trees_skipped_total > 0, "single-edge batches must skip most stable trees");
+    }
+
+    #[test]
+    fn config_from_env_overrides_repair_threads() {
+        // Env mutation is process-global; keep the window tiny and restore.
+        let key = "STL_REPAIR_THREADS";
+        let prev = std::env::var(key).ok();
+        std::env::set_var(key, "2");
+        assert_eq!(ServerConfig::from_env().repair_threads, 2);
+        std::env::set_var(key, "not a number");
+        assert_eq!(ServerConfig::from_env().repair_threads, ServerConfig::default().repair_threads);
+        match prev {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
     }
 
     #[test]

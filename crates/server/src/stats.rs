@@ -26,7 +26,8 @@ pub struct ServerStats {
     /// Chunks copied while applying the most recent epoch's batch.
     pub chunks_copied_last: u64,
     /// Repair shards (stable trees + spine) that did work for the most
-    /// recent batch (tree-sharded repair; 0 on the serial Pareto path).
+    /// recent batch — both families report this: Label Search shards by
+    /// per-ancestor ownership, Pareto Search by clamped validity intervals.
     pub repair_shards_last: u64,
     /// Wall time of the slowest shard of the most recent batch, in
     /// nanoseconds — the critical path of the repair fan-out.

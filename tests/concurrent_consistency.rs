@@ -63,7 +63,10 @@ fn readers_never_observe_unpublished_state() {
         oracle.push(pool.iter().map(|&(s, t)| dijkstra::distance(&g, s, t)).collect());
     }
 
-    let server = StlServer::start(g0, stl0, ServerConfig::default());
+    // CI runs this suite under an STL_REPAIR_THREADS matrix (1 and 4) so
+    // the sharded repair pipeline of the default (Pareto) writer is
+    // exercised at both a single worker and a real fan-out.
+    let server = StlServer::start(g0, stl0, ServerConfig::from_env());
     let stop = AtomicBool::new(false);
     let violations: Vec<String> = std::thread::scope(|scope| {
         let stop = &stop;

@@ -70,7 +70,8 @@ fn pinned_epochs_survive_later_batches_unchanged() {
         oracle.push(pool.iter().map(|&(s, t)| dijkstra::distance(&g, s, t)).collect());
     }
 
-    let server = StlServer::start(g0, stl0, ServerConfig::default());
+    // Honour the CI release-stress matrix (STL_REPAIR_THREADS ∈ {1, 4}).
+    let server = StlServer::start(g0, stl0, ServerConfig::from_env());
     let stop = AtomicBool::new(false);
     let pinned: Vec<Arc<Snapshot>> = std::thread::scope(|scope| {
         let stop = &stop;

@@ -15,6 +15,122 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Machine-readable run summaries for CI perf-trajectory tracking.
+///
+/// When the `BENCH_SUMMARY_PATH` environment variable is set, the harness
+/// writes a single JSON object to that path when the binary finishes:
+///
+/// ```json
+/// {"<bench>": {"median_ns": {"<label>": 123.4, ...}, "counters": {...}}}
+/// ```
+///
+/// `<bench>` is `BENCH_SUMMARY_NAME` when set, else the executable's stem
+/// with cargo's `-<hash>` suffix stripped. Medians come from the normal
+/// sample loop; in `--test` mode (where bodies normally run once, untimed)
+/// the harness takes three one-iteration timed samples instead, so CI's
+/// cheap smoke runs still produce non-empty trajectories. Bench bodies may
+/// add domain counters (queue pops, bytes copied, …) via
+/// [`summary::counter`]; everything is a no-op unless the env var is set.
+pub mod summary {
+    use std::sync::Mutex;
+
+    static MEDIANS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+    static COUNTERS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+    /// Whether summary emission was requested for this run.
+    pub fn enabled() -> bool {
+        std::env::var_os("BENCH_SUMMARY_PATH").is_some()
+    }
+
+    /// Record a named domain counter (search pops, bytes copied, …) to be
+    /// included in the summary file. No-op when emission is disabled.
+    pub fn counter(name: impl Into<String>, value: f64) {
+        if enabled() {
+            COUNTERS.lock().unwrap().push((name.into(), value));
+        }
+    }
+
+    pub(crate) fn record_median(label: &str, ns: f64) {
+        if enabled() {
+            MEDIANS.lock().unwrap().push((label.to_string(), ns));
+        }
+    }
+
+    fn bench_name() -> String {
+        if let Ok(name) = std::env::var("BENCH_SUMMARY_NAME") {
+            return name;
+        }
+        let exe = std::env::current_exe().ok();
+        let stem =
+            exe.as_deref().and_then(|p| p.file_stem()).and_then(|s| s.to_str()).unwrap_or("bench");
+        // Cargo names bench executables `<target>-<16 hex chars>`.
+        match stem.rsplit_once('-') {
+            Some((base, hash))
+                if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                base.to_string()
+            }
+            _ => stem.to_string(),
+        }
+    }
+
+    fn json_object(entries: &[(String, f64)]) -> String {
+        let fields: Vec<String> = entries
+            .iter()
+            .map(|(k, v)| {
+                // Labels are harness-generated (alnum, '/', '_', '.'); escape
+                // the JSON specials anyway so a stray name can't corrupt it.
+                let key: String = k
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' | '\\' => vec!['\\', c],
+                        c if c.is_control() => "?".chars().collect(),
+                        c => vec![c],
+                    })
+                    .collect();
+                format!("\"{key}\": {v:.1}")
+            })
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+
+    pub(crate) fn write_if_requested() {
+        let Some(path) = std::env::var_os("BENCH_SUMMARY_PATH") else {
+            return;
+        };
+        let medians = MEDIANS.lock().unwrap();
+        let counters = COUNTERS.lock().unwrap();
+        let json = format!(
+            "{{\"{}\": {{\"median_ns\": {}, \"counters\": {}}}}}\n",
+            bench_name(),
+            json_object(&medians),
+            json_object(&counters)
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write bench summary to {path:?}: {e}");
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::json_object;
+
+        #[test]
+        fn json_object_formats_and_escapes() {
+            let entries = vec![
+                ("repair_8k/serial/scattered".to_string(), 1234.56f64),
+                ("has\"quote".to_string(), 2.0),
+            ];
+            let json = json_object(&entries);
+            assert_eq!(json, "{\"repair_8k/serial/scattered\": 1234.6, \"has\\\"quote\": 2.0}");
+            assert_eq!(json_object(&[]), "{}");
+        }
+    }
+}
+
 /// Top-level harness handle, mirroring `criterion::Criterion`.
 pub struct Criterion {
     /// Substring filter from the command line (cargo bench passes trailing
@@ -110,6 +226,7 @@ impl Criterion {
     }
 
     pub fn final_summary(&self) {
+        summary::write_if_requested();
         if self.ran.get() == 0 {
             if let Some(filter) = &self.filter {
                 eprintln!(
@@ -133,6 +250,19 @@ impl Criterion {
         if self.test_mode {
             let mut b = Bencher { mode: Mode::Once, elapsed: Duration::ZERO, iters: 0 };
             f(&mut b);
+            if summary::enabled() {
+                // Cheap timed pass so `--test` smoke runs still feed the
+                // perf trajectory: three one-iteration samples, median.
+                let mut samples: Vec<f64> = (0..3)
+                    .map(|_| {
+                        b.mode = Mode::Timed { iters: 1 };
+                        f(&mut b);
+                        b.elapsed.as_secs_f64() / b.iters.max(1) as f64
+                    })
+                    .collect();
+                samples.sort_by(|a, b| a.total_cmp(b));
+                summary::record_median(label, samples[samples.len() / 2] * 1e9);
+            }
             println!("test {label} ... ok");
             return;
         }
@@ -167,6 +297,7 @@ impl Criterion {
         samples.sort_by(|a, b| a.total_cmp(b));
         let min = samples[0];
         let median = samples[samples.len() / 2];
+        summary::record_median(label, median * 1e9);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         println!(
             "{label:<40} min {:>10}  mean {:>10}  median {:>10}  ({} samples x {} iters)",
