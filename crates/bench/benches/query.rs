@@ -1,13 +1,39 @@
 //! Criterion micro-bench: query kernels of STL, HC2L, H2H and the
-//! bidirectional-Dijkstra baseline (supplements Table 5).
+//! bidirectional-Dijkstra baseline (supplements Table 5), plus the flat
+//! read-path regimes introduced by epoch compaction.
+//!
+//! The `query_8k` group keeps the cross-index comparison. The
+//! `query_path_8k` group isolates what this repo's own query pipeline
+//! gains from compaction: the *same* index is queried through
+//!
+//! - `chunked_scalar` — `Stl::query_reference`, the pre-spine oracle:
+//!   chunk-table slice resolution plus a scalar min-plus scan;
+//! - `chunked_vectorized` — the production path (spine filter + lane
+//!   kernel) on a COW-fragmented index, and
+//! - `flat_vectorized` — the production path after `Stl::compact()`,
+//!   where label slices come straight out of one contiguous arena.
+//!
+//! `QueryProfile` counters (spine early-outs, flat vs chunked slice
+//! resolutions) land in the `BENCH_SUMMARY_PATH` summary next to the
+//! medians. In `--test` mode the bench also times both regimes in-body and
+//! asserts the headline claim — flat + vectorized beats the chunked scalar
+//! oracle — so CI smoke runs catch a regressed kernel, not just a broken
+//! build (skipped in debug builds, where the query path runs its own
+//! scalar-oracle `debug_assert` per call).
+//!
+//! Registered on the workspace root (like `publish`), so
+//! `cargo bench --bench query -- --test` works from the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
-use stl_core::{Stl, StlConfig};
+use criterion::{criterion_group, criterion_main, summary, BenchmarkId, Criterion};
+
+use stl_core::{Maintenance, QueryProfile, Stl, StlConfig, UpdateEngine};
 use stl_h2h::H2hIndex;
 use stl_hc2l::Hc2l;
 use stl_pathfinding::bidirectional::BiDijkstra;
 use stl_workloads::queries::random_pairs;
+use stl_workloads::updates::{increase_batch, sample_batches};
 use stl_workloads::{generate, RoadNetConfig};
 
 fn bench_queries(c: &mut Criterion) {
@@ -55,5 +81,107 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+/// Sum a query sweep so the optimizer cannot drop it; also a cheap
+/// cross-regime consistency check (all regimes must sum identically).
+fn sweep(pairs: &[(u32, u32)], q: impl Fn(u32, u32) -> u32) -> u64 {
+    pairs.iter().map(|&(s, t)| q(s, t) as u64).sum()
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    // Fragment the index the way a live server would: a few update epochs
+    // COW-promote scattered chunks, so "chunked" means a realistic mix of
+    // shared and promoted chunks, not a freshly built single allocation.
+    let mut g = generate(&RoadNetConfig::sized(8_000, 404));
+    let mut chunked = Stl::build(&g, &StlConfig::default());
+    let mut eng = UpdateEngine::new(g.num_vertices());
+    let pinned = chunked.clone(); // pin the built epoch so writes must COW
+    for (i, wave) in sample_batches(&g, 6, 8, 777).iter().enumerate() {
+        let batch = increase_batch(wave, 2 + i as u32 % 3);
+        chunked.apply_batch(&mut g, &batch, Maintenance::ParetoSearch, &mut eng);
+    }
+    drop(pinned);
+    let mut flat = chunked.clone();
+    let bytes = flat.compact();
+    assert!(flat.is_flat() && !chunked.is_flat(), "regimes must actually differ");
+    summary::counter("compact_bytes_flattened", bytes as f64);
+
+    let pairs = random_pairs(g.num_vertices(), 1024, 3);
+    let scalar_sum = sweep(&pairs, |s, t| chunked.query_reference(s, t));
+    assert_eq!(scalar_sum, sweep(&pairs, |s, t| chunked.query(s, t)));
+    assert_eq!(scalar_sum, sweep(&pairs, |s, t| flat.query(s, t)));
+
+    // Where the sweep's time goes, per regime: spine early-outs and flat
+    // vs chunked slice resolutions, straight into the CI summary.
+    for (regime, stl) in [("chunked", &chunked), ("flat", &flat)] {
+        let mut prof = QueryProfile::default();
+        for &(s, t) in &pairs {
+            std::hint::black_box(stl.query_profiled(s, t, &mut prof));
+        }
+        summary::counter(format!("{regime}_spine_answered"), prof.spine_answered as f64);
+        summary::counter(format!("{regime}_spine_mask_rejects"), prof.spine_mask_rejects as f64);
+        summary::counter(format!("{regime}_flat_slices"), prof.flat_slices as f64);
+        summary::counter(format!("{regime}_chunked_slices"), prof.chunked_slices as f64);
+    }
+
+    let mut group = c.benchmark_group("query_path_8k");
+    group.bench_function(BenchmarkId::new("chunked_scalar", "random"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(chunked.query_reference(s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("chunked_vectorized", "random"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(chunked.query(s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("flat_vectorized", "random"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(flat.query(s, t))
+        })
+    });
+    group.finish();
+
+    // Headline assertion, independent of harness mode so `--test` smoke
+    // runs enforce it: best-of-5 sweeps, flat + vectorized + spine must
+    // beat the chunked scalar oracle. Debug builds run the scalar oracle
+    // *inside* every query (debug_assert) — no speedup to measure there.
+    if !cfg!(debug_assertions) {
+        let best = |f: &dyn Fn() -> u64| {
+            (0..5)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(f());
+                    t0.elapsed().as_nanos()
+                })
+                .min()
+                .unwrap()
+        };
+        let scalar_ns = best(&|| sweep(&pairs, |s, t| chunked.query_reference(s, t)));
+        let flat_ns = best(&|| sweep(&pairs, |s, t| flat.query(s, t)));
+        summary::counter("speedup_flat_vs_chunked_scalar", scalar_ns as f64 / flat_ns as f64);
+        println!(
+            "query_path_8k: flat+vectorized {:.1} us/sweep vs chunked scalar {:.1} us/sweep \
+             ({:.2}x)",
+            flat_ns as f64 / 1e3,
+            scalar_ns as f64 / 1e3,
+            scalar_ns as f64 / flat_ns as f64
+        );
+        assert!(
+            flat_ns * 11 <= scalar_ns * 10,
+            "flat+vectorized+spine path must beat the chunked scalar oracle by >=10% \
+             (flat {flat_ns} ns vs scalar {scalar_ns} ns per 1024-query sweep)"
+        );
+    }
+}
+
+criterion_group!(benches, bench_queries, bench_query_paths);
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! stl gen     <out.gr> [--vertices N] [--seed S]  synthetic road network
 //! stl serve   <graph.gr> [--readers N] [--ops N] [--update-fraction F]
 //!             [--batch-size K] [--seed S] [--algo pareto|label] [--threads T]
-//!             [--repair-threads R]
+//!             [--repair-threads R] [--compact-quiet-epochs Q]
+//!             [--compact-dirty-ratio D]
 //! ```
 //!
 //! `serve` builds an index in-process, starts the `stl_server`
@@ -182,6 +183,8 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     let mut algo = Maintenance::ParetoSearch;
     let mut threads = 1usize;
     let mut repair_threads = ServerConfig::default().repair_threads;
+    let mut compact_quiet_epochs = ServerConfig::default().compact_after_quiet_epochs;
+    let mut compact_dirty_ratio = ServerConfig::default().compact_dirty_ratio;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -197,6 +200,14 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
             "--threads" => threads = it.next().ok_or("--threads needs a value")?.parse()?,
             "--repair-threads" => {
                 repair_threads = it.next().ok_or("--repair-threads needs a value")?.parse()?
+            }
+            "--compact-quiet-epochs" => {
+                compact_quiet_epochs =
+                    it.next().ok_or("--compact-quiet-epochs needs a value")?.parse()?
+            }
+            "--compact-dirty-ratio" => {
+                compact_dirty_ratio =
+                    it.next().ok_or("--compact-dirty-ratio needs a value")?.parse()?
             }
             "--algo" => {
                 algo = match it.next().map(String::as_str) {
@@ -219,6 +230,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     }
     if !(0.0..=1.0).contains(&update_fraction) {
         return Err("--update-fraction must be within 0.0..=1.0".into());
+    }
+    if !(0.0..=1.0).contains(&compact_dirty_ratio) {
+        return Err("--compact-dirty-ratio must be within 0.0..=1.0".into());
     }
     let g = load_graph(graph_path)?;
     println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
@@ -248,8 +262,25 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
             Maintenance::LabelSearch => "label",
         }
     );
+    if compact_quiet_epochs == 0 {
+        println!("compaction: disabled");
+    } else {
+        println!(
+            "compaction: after {compact_quiet_epochs} quiet epoch(s) at dirty ratio \
+             <= {compact_dirty_ratio} (flat snapshots take the direct-offset query path)"
+        );
+    }
 
-    let server = StlServer::start(g, stl, ServerConfig { algo, repair_threads });
+    let server = StlServer::start(
+        g,
+        stl,
+        ServerConfig {
+            algo,
+            repair_threads,
+            compact_after_quiet_epochs: compact_quiet_epochs,
+            compact_dirty_ratio,
+        },
+    );
     let wall = replay_mixed(&server, &queries, &batches, readers);
     let stats = server.shutdown();
     println!(

@@ -46,7 +46,7 @@ pub fn decrease(
         return stats;
     }
     eng.ensure_capacity(g.num_vertices());
-    let Stl { ref hier, ref mut labels } = *stl;
+    let Stl { ref hier, ref mut labels, .. } = *stl;
 
     // Weight decreases take effect first: searches relax over new weights.
     for &u in updates {
@@ -56,6 +56,7 @@ pub fn decrease(
 
     seed_decrease(hier, labels, updates, None, eng);
     run_decrease_searches(hier, labels, g, eng, &mut stats);
+    stl.refresh_spine();
     stats
 }
 
@@ -146,7 +147,7 @@ pub fn increase(
         return stats;
     }
     eng.ensure_capacity(g.num_vertices());
-    let Stl { ref hier, ref mut labels } = *stl;
+    let Stl { ref hier, ref mut labels, .. } = *stl;
 
     seed_increase(hier, labels, g, updates, None, eng);
     collect_affected(hier, labels, g, eng, &mut stats);
@@ -158,6 +159,7 @@ pub fn increase(
     let aff_per_r = std::mem::take(&mut eng.aff_per_r);
     run_repairs(hier, labels, g, &aff_per_r, eng, &mut stats);
     eng.aff_per_r = aff_per_r; // return buffers for reuse
+    stl.refresh_spine();
     stats
 }
 

@@ -19,6 +19,7 @@ use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 use stl_pathfinding::TimestampedArray;
 
 use crate::hierarchy::Hierarchy;
+use crate::spine::SpineIndex;
 use crate::types::StlConfig;
 
 /// Per-vertex location of a label in the chunked arena. One aligned 16-byte
@@ -35,6 +36,11 @@ struct VertexLoc {
     lo: u32,
     /// Label length (`τ(v) + 1`).
     len: u32,
+    /// Global index of entry `L(v)[0]` — the direct offset into a flat
+    /// (compacted) arena, filling what used to be the record's padding.
+    /// Saturated at `u32::MAX` for arenas beyond 2³²−1 entries, which
+    /// [`Labels::compact`] therefore refuses to flatten.
+    glo: u32,
 }
 
 /// Label storage: `L(v)[i]` for `i ∈ 0..=τ(v)`.
@@ -91,6 +97,7 @@ impl Labels {
                     chunk: c,
                     lo: (offsets[v] - chunk_starts[c as usize]) as u32,
                     len: (offsets[v + 1] - offsets[v]) as u32,
+                    glo: offsets[v].min(u32::MAX as u64) as u32,
                 }
             })
             .collect();
@@ -120,6 +127,61 @@ impl Labels {
     pub fn slice(&self, v: VertexId) -> &[Dist] {
         let loc = self.locs[v as usize];
         &self.store.chunk(loc.chunk as usize)[loc.lo as usize..(loc.lo + loc.len) as usize]
+    }
+
+    /// The flat arena, if the store is compacted and unwritten since. Pass
+    /// the returned slice to [`Labels::slice_flat`] to read labels with one
+    /// direct offset instead of the chunk-table load.
+    #[inline(always)]
+    pub fn flat(&self) -> Option<&[Dist]> {
+        self.store.flat_slice()
+    }
+
+    /// The full label of `v` read out of a flat `arena` previously obtained
+    /// from [`Labels::flat`] on this same `Labels` value — branch-free
+    /// direct-offset addressing for compacted snapshots.
+    #[inline(always)]
+    pub fn slice_flat<'a>(&self, arena: &'a [Dist], v: VertexId) -> &'a [Dist] {
+        let loc = self.locs[v as usize];
+        &arena[loc.glo as usize..loc.glo as usize + loc.len as usize]
+    }
+
+    /// Re-flatten the arena into one contiguous 64-byte-aligned allocation
+    /// (see [`ChunkedStore::compact`]); returns bytes moved. Arenas with
+    /// more than `u32::MAX` entries stay chunked — the per-vertex direct
+    /// offsets are 32-bit.
+    pub fn compact(&mut self) -> u64 {
+        if self.num_entries() > u32::MAX as u64 {
+            return 0;
+        }
+        self.store.compact()
+    }
+
+    /// Whether the arena is currently flat (compacted, not written since).
+    #[inline]
+    pub fn is_flat(&self) -> bool {
+        self.store.is_flat()
+    }
+
+    /// Drain the ids of chunks written since the last drain (the input for
+    /// per-epoch spine refresh).
+    pub(crate) fn take_written_chunks(&mut self) -> Vec<u32> {
+        self.store.take_written_chunks()
+    }
+
+    /// The vertices whose labels live in chunk `c` (chunk boundaries are
+    /// vertex-aligned, so this is a contiguous range; zero-length labels on
+    /// the boundary are immaterial — they have no entries to refresh).
+    pub(crate) fn vertex_range_of_chunk(&self, c: u32) -> std::ops::Range<VertexId> {
+        let lo = self.locs.partition_point(|l| l.chunk < c);
+        let hi = self.locs.partition_point(|l| l.chunk <= c);
+        lo as VertexId..hi as VertexId
+    }
+
+    /// Number of vertices with a label span (possibly empty).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.locs.len()
     }
 
     /// Total number of label entries.
@@ -295,9 +357,23 @@ impl LabelAccess for ShardLabels<'_> {
 pub struct Stl {
     pub(crate) hier: Arc<Hierarchy>,
     pub(crate) labels: Labels,
+    /// Packed per-vertex top-cut distances + reachability masks, kept in
+    /// lock-step with `labels` by [`Stl::refresh_spine`] at the end of
+    /// every batch application.
+    pub(crate) spine: SpineIndex,
 }
 
 impl Stl {
+    /// The single construction funnel: every way of making an `Stl` ends
+    /// here, so the spine filter is always built from (and consistent with)
+    /// the final labels. The labels' written-chunk window is drained first —
+    /// construction writes are not "epoch" writes.
+    fn assemble_parts(hier: Arc<Hierarchy>, mut labels: Labels) -> Self {
+        labels.take_written_chunks();
+        let spine = SpineIndex::build(&labels);
+        Stl { hier, labels, spine }
+    }
+
     /// Build the index for `g` (hierarchy + labels).
     pub fn build(g: &CsrGraph, cfg: &StlConfig) -> Self {
         let hier = Hierarchy::build(g, cfg);
@@ -312,7 +388,7 @@ impl Stl {
     /// passed to the update algorithms).
     pub fn from_parts(hier: Hierarchy, labels: Labels) -> Self {
         assert_eq!(labels.num_entries(), hier.total_label_entries());
-        Stl { hier: Arc::new(hier), labels }
+        Self::assemble_parts(Arc::new(hier), labels)
     }
 
     /// Build labels on a pre-built hierarchy (used by rebuild paths and the
@@ -353,7 +429,7 @@ impl Stl {
                 }
             }
         }
-        Stl { hier: Arc::new(hier), labels }
+        Self::assemble_parts(Arc::new(hier), labels)
     }
 
     /// Parallel label construction over `threads` worker threads.
@@ -439,7 +515,7 @@ impl Stl {
                 });
             }
         });
-        Stl { hier: Arc::new(hier), labels }
+        Self::assemble_parts(Arc::new(hier), labels)
     }
 
     /// The underlying stable tree hierarchy.
@@ -454,27 +530,71 @@ impl Stl {
         &self.labels
     }
 
+    /// The bit-parallel spine filter (packed top-cut distances).
+    #[inline]
+    pub fn spine(&self) -> &SpineIndex {
+        &self.spine
+    }
+
+    /// Re-pack the spine rows of every vertex whose label chunk was written
+    /// since the last refresh. Called at the end of every batch application
+    /// (serial and sharded), which is the only place epoch label writes
+    /// happen, so queries between batches always see a consistent spine.
+    pub(crate) fn refresh_spine(&mut self) {
+        for c in self.labels.take_written_chunks() {
+            let range = self.labels.vertex_range_of_chunk(c);
+            self.spine.refresh(&self.labels, range);
+        }
+    }
+
+    /// Re-flatten the label arena and the spine stores into contiguous
+    /// 64-byte-aligned allocations (offline counterpart of the server's
+    /// quiescence-triggered compaction); returns total bytes moved. Queries
+    /// on the compacted index take the direct-offset read path until the
+    /// next label write.
+    pub fn compact(&mut self) -> u64 {
+        self.labels.compact() + self.spine.compact()
+    }
+
+    /// Whether the whole read path (label arena + spine stores) is flat.
+    pub fn is_flat(&self) -> bool {
+        self.labels.is_flat() && self.spine.is_flat()
+    }
+
+    /// Total COW chunk count of the read path (label chunks + spine chunks)
+    /// — the denominator matching the promotions counted by
+    /// [`Stl::take_cow_stats`].
+    pub fn num_chunks(&self) -> usize {
+        self.labels.num_chunks() + self.spine.num_chunks()
+    }
+
     /// Number of vertices indexed.
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.hier.num_vertices()
     }
 
-    /// Drain the label arena's copy-on-write counters — one publish
-    /// window's worth of chunk promotions (see `stl_graph::cow`).
+    /// Drain the copy-on-write counters of the label arena *and* the spine
+    /// stores — one publish window's worth of chunk promotions (see
+    /// `stl_graph::cow`).
     pub fn take_cow_stats(&mut self) -> CowStats {
-        self.labels.take_cow_stats()
+        self.labels.take_cow_stats() + self.spine.take_cow_stats()
     }
 
     /// Current window's copy-on-write counters without draining them.
     pub fn cow_stats(&self) -> CowStats {
-        self.labels.cow_stats()
+        self.labels.cow_stats() + self.spine.cow_stats()
     }
 
     /// A physically independent copy: hierarchy reallocated, every label
-    /// chunk reallocated — what the pre-COW publish path paid per epoch.
+    /// and spine chunk reallocated — what the pre-COW publish path paid per
+    /// epoch.
     pub fn deep_clone(&self) -> Self {
-        Stl { hier: Arc::new((*self.hier).clone()), labels: self.labels.deep_clone() }
+        Stl {
+            hier: Arc::new((*self.hier).clone()),
+            labels: self.labels.deep_clone(),
+            spine: self.spine.deep_clone(),
+        }
     }
 }
 

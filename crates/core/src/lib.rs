@@ -16,6 +16,9 @@
 //! * [`shard`] — tree-sharded **parallel** batch repair: label maintenance
 //!   fanned out across worker threads by owning stable tree, with provably
 //!   disjoint write sets.
+//! * [`spine`] — bit-parallel spine filter: packed per-vertex top-cut
+//!   distances answering (or lower-bounding) the common-prefix scan before
+//!   the label arena is touched.
 //! * [`directed`] — the §8 extension to directed road networks.
 //! * [`structural`] — §8 edge/vertex insertion & deletion.
 //! * [`verify`] — independent invariant checkers used by the test suite.
@@ -43,6 +46,7 @@ pub mod pareto;
 pub mod persist;
 pub mod query;
 pub mod shard;
+pub mod spine;
 pub mod stats;
 pub mod structural;
 pub mod types;
@@ -51,7 +55,9 @@ pub mod verify;
 pub use engine::{EnginePool, UpdateEngine};
 pub use hierarchy::{Hierarchy, RawNode, SHARD_DEPTH, SPINE_SHARD};
 pub use labelling::{Labels, LabelsWriter, ShardLabels, Stl};
+pub use query::{min_plus, min_plus_scalar, QueryProfile};
 pub use shard::{ShardReport, ShardWriteLog};
+pub use spine::{SpineIndex, SPINE_LANES};
 pub use stats::IndexStats;
 pub use types::{Maintenance, StlConfig, UpdateStats};
 

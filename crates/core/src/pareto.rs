@@ -53,7 +53,7 @@ pub fn decrease(
 ) -> UpdateStats {
     let mut stats = UpdateStats { updates: updates.len() as u64, ..Default::default() };
     eng.ensure_capacity(g.num_vertices());
-    let Stl { ref hier, ref mut labels } = *stl;
+    let Stl { ref hier, ref mut labels, .. } = *stl;
     for &u in updates {
         let old = g.apply_update(u).expect("update must target an existing edge");
         debug_assert!(u.new_weight <= old, "decrease batch got an increase");
@@ -80,6 +80,7 @@ pub fn decrease(
             &mut stats,
         );
     }
+    stl.refresh_spine();
     stats
 }
 
@@ -165,7 +166,7 @@ pub fn increase(
 ) -> UpdateStats {
     let mut stats = UpdateStats { updates: updates.len() as u64, ..Default::default() };
     eng.ensure_capacity(g.num_vertices());
-    let Stl { ref hier, ref mut labels } = *stl;
+    let Stl { ref hier, ref mut labels, .. } = *stl;
     for &u in updates {
         let w_old = g.weight(u.a, u.b).expect("update must target an existing edge");
         debug_assert!(u.new_weight >= w_old, "increase batch got a decrease");
@@ -195,6 +196,7 @@ pub fn increase(
         // Phase 3: repair (Algorithm 5).
         repair_inc(hier, labels, g, eng, &mut stats);
     }
+    stl.refresh_spine();
     stats
 }
 

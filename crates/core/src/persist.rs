@@ -135,7 +135,12 @@ pub fn load(mut buf: &[u8]) -> Result<Stl, PersistError> {
         return Err(PersistError::Truncated);
     }
     let labels = Labels::from_flat(offsets, dists.into_vec());
-    Ok(Stl { hier: std::sync::Arc::new(hier), labels })
+    // A corrupt entry count must surface as an error, not as the
+    // `from_parts` consistency assert.
+    if labels.num_entries() != hier.total_label_entries() {
+        return Err(PersistError::Truncated);
+    }
+    Ok(Stl::from_parts(hier, labels))
 }
 
 /// Little-endian writer methods on `Vec<u8>` (the subset of `bytes::BufMut`

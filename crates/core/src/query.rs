@@ -8,11 +8,160 @@
 //! The comparable prefix length `K` is found in O(1) from bitstrings and the
 //! per-node cumulative cut counts; the scan then reads two contiguous label
 //! prefixes — the cache-friendly layout the paper credits for its query
-//! speed.
+//! speed. This module layers three accelerations on that scan:
+//!
+//! 1. **Spine filter** (`crate::spine`): when the whole common prefix fits
+//!    in [`SPINE_LANES`] entries, the query is answered from two packed
+//!    cache-line rows and a mask AND without touching the label arena.
+//!    Deeper prefixes skip the spine entirely — its rows are a prefix copy
+//!    of the labels, so consulting them *and* the arena would only add
+//!    lookups to a scan that must read the arena anyway.
+//! 2. **Flat direct-offset reads**: on a compacted index
+//!    ([`Stl::compact`], or the server's quiescence trigger) the prefix is
+//!    sliced straight out of one contiguous 64-byte-aligned arena instead
+//!    of going through the chunk table.
+//! 3. **Vectorized min-plus** ([`min_plus`]): the scan runs 8 × `u32`
+//!    lanes per step with a horizontal min at the end — AVX2 intrinsics
+//!    when the CPU has them (detected once, cached by `std`), an
+//!    autovectorizable lane loop otherwise. `INF` saturation is lane-wise:
+//!    `INF == u32::MAX`, and `x + min(y, !x)` is an exact unsigned
+//!    saturating add, so unreachable entries stay unreachable per lane.
+//!
+//! The plain scalar loop survives as [`min_plus_scalar`] /
+//! [`Stl::query_reference`]: every debug-build query checks the fast path
+//! against it, and the `query` bench uses it as the before-this-PR baseline.
 
 use stl_graph::{Dist, VertexId, INF};
 
 use crate::labelling::Stl;
+use crate::spine::SPINE_LANES;
+
+/// Width of the autovectorized min-plus accumulator: 8 × `u32` matches one
+/// 256-bit vector register and divides the 64-byte chunk alignment.
+const LANES: usize = 8;
+
+/// `min_i (a[i] ⊕ b[i])` with saturating `⊕`: AVX2 intrinsics when the CPU
+/// supports them (`is_x86_feature_detected!` caches the probe in an atomic,
+/// so the dispatch is a relaxed load), otherwise a lane-accumulator loop the
+/// compiler can autovectorize. Equivalent to [`min_plus_scalar`] on every
+/// input (both slices must have equal length).
+#[inline]
+pub fn min_plus(a: &[Dist], b: &[Dist]) -> Dist {
+    debug_assert_eq!(a.len(), b.len(), "min-plus operands must pair up");
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= LANES && std::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just confirmed at runtime.
+        return unsafe { min_plus_avx2(a, b) };
+    }
+    min_plus_portable(a, b)
+}
+
+/// Portable lane-accumulator min-plus: fixed [`LANES`]-wide bodies over
+/// `&[Dist; LANES]` blocks (the shape LLVM's loop vectorizer likes), scalar
+/// tail.
+fn min_plus_portable(a: &[Dist], b: &[Dist]) -> Dist {
+    let mut acc = [INF; LANES];
+    let n = a.len() / LANES * LANES;
+    let mut i = 0;
+    while i < n {
+        let x: &[Dist; LANES] = a[i..i + LANES].try_into().unwrap();
+        let y: &[Dist; LANES] = b[i..i + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            let sum = x[l].saturating_add(y[l]);
+            acc[l] = if sum < acc[l] { sum } else { acc[l] };
+        }
+        i += LANES;
+    }
+    let mut best = INF;
+    for &v in &acc {
+        best = best.min(v);
+    }
+    for j in n..a.len() {
+        best = best.min(a[j].saturating_add(b[j]));
+    }
+    best
+}
+
+/// AVX2 min-plus: 8 lanes per step. The saturating add is
+/// `x + min(y, !x)` — if `y ≤ !x` the sum is exact, otherwise it clamps to
+/// `x + !x = u32::MAX = INF` — using only instructions AVX2 actually has
+/// (there is no native unsigned 32-bit saturating add).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn min_plus_avx2(a: &[Dist], b: &[Dist]) -> Dist {
+    use std::arch::x86_64::*;
+    let n = a.len() / LANES * LANES;
+    let ones = _mm256_set1_epi32(-1);
+    let mut acc = ones;
+    let mut i = 0;
+    while i < n {
+        let x = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let y = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let sum = _mm256_add_epi32(x, _mm256_min_epu32(y, _mm256_xor_si256(x, ones)));
+        acc = _mm256_min_epu32(acc, sum);
+        i += LANES;
+    }
+    let m = _mm_min_epu32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+    let m = _mm_min_epu32(m, _mm_shuffle_epi32(m, 0b01_00_11_10));
+    let m = _mm_min_epu32(m, _mm_shuffle_epi32(m, 0b00_00_00_01));
+    let mut best = _mm_cvtsi128_si32(m) as u32;
+    for j in n..a.len() {
+        best = best.min(a[j].saturating_add(b[j]));
+    }
+    best
+}
+
+/// The straight scalar min-plus loop — the oracle the vectorized kernel is
+/// debug-asserted against, and the pre-optimization baseline of the `query`
+/// bench.
+#[inline]
+pub fn min_plus_scalar(a: &[Dist], b: &[Dist]) -> Dist {
+    debug_assert_eq!(a.len(), b.len(), "min-plus operands must pair up");
+    let mut best = INF;
+    for (x, y) in a.iter().zip(b) {
+        let c = x.saturating_add(*y);
+        if c < best {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Min-plus over two packed spine rows, restricted to the first `k` lanes
+/// (the common ancestor prefix). Branchless: lanes at or past `k` are
+/// selected to `INF`, so the loop is a fixed 16-lane vector body.
+#[inline]
+fn spine_min_plus(rs: &[Dist], rt: &[Dist], k: usize) -> Dist {
+    let mut acc = [INF; SPINE_LANES];
+    for i in 0..SPINE_LANES {
+        let sum = rs[i].saturating_add(rt[i]);
+        acc[i] = if i < k { sum } else { INF };
+    }
+    let mut best = INF;
+    for &v in &acc {
+        best = best.min(v);
+    }
+    best
+}
+
+/// Per-query counters of the accelerated read path, filled by
+/// [`Stl::query_profiled`]. The `query` bench publishes these so a CI run
+/// shows *which* lane answered: spine rows, flat arena, or chunk table.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Queries issued (including `s == t` and disconnected pairs).
+    pub queries: u64,
+    /// Queries whose whole common prefix fit in the spine rows — the label
+    /// arena was never touched.
+    pub spine_answered: u64,
+    /// Subset of `spine_answered` where the mask AND was already empty, so
+    /// the answer was `INF` without a single distance add.
+    pub spine_mask_rejects: u64,
+    /// Label prefixes read through the flat direct-offset path.
+    pub flat_slices: u64,
+    /// Label prefixes read through the chunk table.
+    pub chunked_slices: u64,
+}
 
 impl Stl {
     /// Shortest-path distance between `s` and `t`; `INF` if disconnected.
@@ -25,16 +174,78 @@ impl Stl {
         if k == 0 {
             return INF;
         }
-        let ls = &self.labels.slice(s)[..k];
-        let lt = &self.labels.slice(t)[..k];
-        let mut best = INF;
-        for (a, b) in ls.iter().zip(lt) {
-            let c = a.saturating_add(*b);
-            if c < best {
-                best = c;
+        let d = self.query_common_prefix(s, t, k);
+        debug_assert_eq!(
+            d,
+            self.query_reference(s, t),
+            "spine+vectorized path must match the scalar oracle for ({s},{t})"
+        );
+        d
+    }
+
+    /// The min-plus over the `k`-entry common prefix: spine rows when they
+    /// cover the whole prefix, label arena (flat or chunked) otherwise.
+    #[inline]
+    fn query_common_prefix(&self, s: VertexId, t: VertexId, k: usize) -> Dist {
+        if k <= SPINE_LANES {
+            let lane_mask = (1u64 << k) - 1;
+            if self.spine.mask(s) & self.spine.mask(t) & lane_mask == 0 {
+                return INF;
             }
+            return spine_min_plus(self.spine.row(s), self.spine.row(t), k);
         }
-        best
+        let (ls, lt) = match self.labels.flat() {
+            Some(arena) => (self.labels.slice_flat(arena, s), self.labels.slice_flat(arena, t)),
+            None => (self.labels.slice(s), self.labels.slice(t)),
+        };
+        min_plus(&ls[..k], &lt[..k])
+    }
+
+    /// Scalar, chunk-table, no-spine reference query — the oracle every
+    /// debug-build [`Stl::query`] is checked against, and the baseline the
+    /// `query` bench measures the fast path's speedup over.
+    pub fn query_reference(&self, s: VertexId, t: VertexId) -> Dist {
+        if s == t {
+            return 0;
+        }
+        let k = self.hier.common_anc_count(s, t) as usize;
+        if k == 0 {
+            return INF;
+        }
+        min_plus_scalar(&self.labels.slice(s)[..k], &self.labels.slice(t)[..k])
+    }
+
+    /// [`Stl::query`] with read-path accounting into `prof` (see
+    /// [`QueryProfile`]). Same answers; a few extra counter increments.
+    pub fn query_profiled(&self, s: VertexId, t: VertexId, prof: &mut QueryProfile) -> Dist {
+        prof.queries += 1;
+        if s == t {
+            return 0;
+        }
+        let k = self.hier.common_anc_count(s, t) as usize;
+        if k == 0 {
+            return INF;
+        }
+        if k <= SPINE_LANES {
+            prof.spine_answered += 1;
+            let lane_mask = (1u64 << k) - 1;
+            if self.spine.mask(s) & self.spine.mask(t) & lane_mask == 0 {
+                prof.spine_mask_rejects += 1;
+                return INF;
+            }
+            return spine_min_plus(self.spine.row(s), self.spine.row(t), k);
+        }
+        let (ls, lt) = match self.labels.flat() {
+            Some(arena) => {
+                prof.flat_slices += 2;
+                (self.labels.slice_flat(arena, s), self.labels.slice_flat(arena, t))
+            }
+            None => {
+                prof.chunked_slices += 2;
+                (self.labels.slice(s), self.labels.slice(t))
+            }
+        };
+        min_plus(&ls[..k], &lt[..k])
     }
 
     /// Number of label-entry pairs a query between `s` and `t` scans.
@@ -59,18 +270,67 @@ impl Stl {
     /// Allocation-free [`Stl::one_to_many`]: clears `out` and fills it with
     /// one distance per target, reusing its capacity. Sustained callers
     /// (tile renderers, repeated k-NN rounds) keep one buffer alive instead
-    /// of allocating per call.
+    /// of allocating per call. The source side — label slice, spine row and
+    /// mask, flat-arena resolution — is derived once, not per target.
     pub fn one_to_many_into(&self, s: VertexId, targets: &[VertexId], out: &mut Vec<Dist>) {
         out.clear();
         out.reserve(targets.len());
-        out.extend(targets.iter().map(|&t| self.query(s, t)));
+        let arena = self.labels.flat();
+        let ls = match arena {
+            Some(a) => self.labels.slice_flat(a, s),
+            None => self.labels.slice(s),
+        };
+        let rs = self.spine.row(s);
+        let ms = self.spine.mask(s);
+        for &t in targets {
+            let d = self.query_hoisted(s, ls, rs, ms, arena, t);
+            debug_assert_eq!(d, self.query_reference(s, t), "hoisted path oracle ({s},{t})");
+            out.push(d);
+        }
+    }
+
+    /// One target of a one-to-many scan, with everything source-side
+    /// (`ls` = `s`'s full label, `rs`/`ms` = `s`'s spine row and mask,
+    /// `arena` = the flat arena if the index is compacted) hoisted by the
+    /// caller.
+    #[inline]
+    fn query_hoisted(
+        &self,
+        s: VertexId,
+        ls: &[Dist],
+        rs: &[Dist],
+        ms: u64,
+        arena: Option<&[Dist]>,
+        t: VertexId,
+    ) -> Dist {
+        if s == t {
+            return 0;
+        }
+        let k = self.hier.common_anc_count(s, t) as usize;
+        if k == 0 {
+            return INF;
+        }
+        if k <= SPINE_LANES {
+            let lane_mask = (1u64 << k) - 1;
+            if ms & self.spine.mask(t) & lane_mask == 0 {
+                return INF;
+            }
+            return spine_min_plus(rs, self.spine.row(t), k);
+        }
+        let lt = match arena {
+            Some(a) => self.labels.slice_flat(a, t),
+            None => self.labels.slice(t),
+        };
+        min_plus(&ls[..k], &lt[..k])
     }
 
     /// The `k` nearest of `pois` from `s` by network distance, ascending;
     /// unreachable POIs are excluded.
     pub fn k_nearest(&self, s: VertexId, pois: &[VertexId], k: usize) -> Vec<(Dist, VertexId)> {
+        let mut dists = Vec::new();
+        self.one_to_many_into(s, pois, &mut dists);
         let mut ranked: Vec<(Dist, VertexId)> =
-            pois.iter().map(|&p| (self.query(s, p), p)).filter(|&(d, _)| d != INF).collect();
+            dists.iter().zip(pois).map(|(&d, &p)| (d, p)).filter(|&(d, _)| d != INF).collect();
         // Partition the k smallest to the front, then sort only that prefix:
         // O(p + k log k) instead of sorting all p candidates.
         if k < ranked.len() {
@@ -84,6 +344,7 @@ impl Stl {
 
 #[cfg(test)]
 mod tests {
+    use super::{min_plus, min_plus_scalar, QueryProfile};
     use crate::labelling::Stl;
     use crate::types::StlConfig;
     use stl_graph::builder::from_edges;
@@ -114,6 +375,28 @@ mod tests {
                 assert_eq!(stl.query(s, t), oracle[t as usize], "query({s},{t})");
             }
         }
+    }
+
+    #[test]
+    fn min_plus_kernel_matches_scalar() {
+        // Lengths straddling the lane width, values straddling saturation.
+        let pats = |n: usize, salt: u32| -> Vec<Dist> {
+            (0..n)
+                .map(|i| match (i as u32 + salt) % 7 {
+                    0 => INF,
+                    1 => INF - 3,
+                    x => x * 1000 + salt,
+                })
+                .collect()
+        };
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64, 100] {
+            let a = pats(n, 1);
+            let b = pats(n, 5);
+            assert_eq!(min_plus(&a, &b), min_plus_scalar(&a, &b), "len={n}");
+        }
+        assert_eq!(min_plus(&[], &[]), INF);
+        assert_eq!(min_plus(&[INF; 20], &[INF; 20]), INF, "all-INF stays INF");
+        assert_eq!(min_plus(&[INF - 1; 9], &[5; 9]), INF, "saturation stays unreachable");
     }
 
     #[test]
@@ -187,6 +470,46 @@ mod tests {
     }
 
     #[test]
+    fn all_pairs_exact_after_compaction() {
+        // The flat direct-offset read path must answer exactly like the
+        // chunked one — small leaves force prefixes past SPINE_LANES so the
+        // arena is really read.
+        let g = grid(7);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        assert!(stl.compact() > 0);
+        assert!(stl.is_flat());
+        assert_all_pairs_exact(&g, &stl);
+    }
+
+    #[test]
+    fn profiled_queries_match_and_count() {
+        let g = grid(7);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        let mut prof = QueryProfile::default();
+        let n = g.num_vertices() as VertexId;
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(stl.query_profiled(s, t, &mut prof), stl.query(s, t));
+            }
+        }
+        assert_eq!(prof.queries, u64::from(n) * u64::from(n));
+        assert!(prof.spine_answered > 0, "some prefixes fit in the spine");
+        assert_eq!(prof.flat_slices, 0, "index not compacted yet");
+        let chunked = prof.chunked_slices;
+        assert!(chunked > 0, "leaf_size 1 must push some prefixes past the spine");
+
+        stl.compact();
+        let mut flat_prof = QueryProfile::default();
+        for s in 0..n {
+            for t in 0..n {
+                stl.query_profiled(s, t, &mut flat_prof);
+            }
+        }
+        assert_eq!(flat_prof.flat_slices, chunked, "same deep queries, now flat");
+        assert_eq!(flat_prof.chunked_slices, 0);
+    }
+
+    #[test]
     fn disconnected_queries_are_inf() {
         let g = from_edges(5, vec![(0, 1, 2), (1, 2, 2), (3, 4, 2)]);
         let stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
@@ -247,6 +570,16 @@ mod tests {
         stl.one_to_many_into(7, &targets[..10], &mut out);
         assert_eq!(out.len(), 10);
         assert_eq!(out.capacity(), cap, "no reallocation on a smaller refill");
+    }
+
+    #[test]
+    fn one_to_many_matches_on_compacted_index() {
+        let g = grid(6);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        let targets: Vec<u32> = (0..36).collect();
+        let chunked = stl.one_to_many(11, &targets);
+        stl.compact();
+        assert_eq!(stl.one_to_many(11, &targets), chunked);
     }
 
     #[test]

@@ -166,10 +166,12 @@ impl Stl {
         threads: usize,
         log: bool,
     ) -> (UpdateStats, ShardReport, ShardWriteLog) {
-        match algo {
+        let out = match algo {
             Maintenance::ParetoSearch => pareto_sharded(self, g, updates, pool, threads, log),
             Maintenance::LabelSearch => label_search_sharded(self, g, updates, pool, threads, log),
-        }
+        };
+        self.refresh_spine();
+        out
     }
 }
 
@@ -225,7 +227,7 @@ fn label_search_sharded(
 ) -> (UpdateStats, ShardReport, ShardWriteLog) {
     let (dec, inc) = split_batch(g, updates);
     let n = g.num_vertices();
-    let Stl { ref hier, ref mut labels } = *stl;
+    let Stl { ref hier, ref mut labels, .. } = *stl;
     let num_shards = hier.num_shards() as usize;
 
     let dec_units = group_by_tree(hier, &dec);
@@ -360,7 +362,7 @@ fn pareto_sharded(
 ) -> (UpdateStats, ShardReport, ShardWriteLog) {
     let (dec, inc) = split_batch(g, updates);
     let n = g.num_vertices();
-    let Stl { ref hier, ref mut labels } = *stl;
+    let Stl { ref hier, ref mut labels, .. } = *stl;
     let num_shards = hier.num_shards() as usize;
 
     let dec_units = group_by_tree(hier, &dec);

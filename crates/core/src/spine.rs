@@ -1,0 +1,200 @@
+//! Bit-parallel spine filter: packed per-vertex distances to the top cut.
+//!
+//! Every connected query scans a *common* ancestor prefix, and the first
+//! entries of that prefix — the root separator's cut vertices and their
+//! immediate successors — are shared by **all** root paths. This module
+//! precomputes, for each vertex, its first [`SPINE_LANES`] label entries as
+//! a fixed-stride SoA row (one 64-byte cache line of `u32` lanes) plus a
+//! reachability bitmask (`bit i` ⇔ lane `i` is finite — the `bpspt_s`
+//! analogue of bit-parallel PLL). A query then:
+//!
+//! with a short common prefix (`k ≤ SPINE_LANES`) then:
+//!
+//! 1. ANDs the two masks against the common-prefix lanes: a zero result
+//!    proves the answer is `INF` without a single distance add;
+//! 2. otherwise answers entirely from the two spine rows, touching two
+//!    cache lines instead of two label prefixes.
+//!
+//! Deeper prefixes bypass the spine: its rows are a strict prefix copy of
+//! the labels, so a scan that must read the arena anyway would only pay
+//! extra lookups by consulting them first.
+//!
+//! Rows live in the same chunked copy-on-write stores as the labels, so
+//! publishing a snapshot stays `O(#chunks)` and [`SpineIndex::compact`]
+//! flattens them alongside the arena. They are rebuilt *incrementally*: the
+//! label store's written-chunk window names the vertices whose labels an
+//! epoch may have changed, and [`SpineIndex::refresh`] re-packs exactly
+//! those rows, writing only lanes that actually differ (an unchanged row
+//! never dirties its chunk).
+
+use stl_graph::cow::{ChunkedStore, CowStats, DEFAULT_CHUNK_ENTRIES};
+use stl_graph::{Dist, VertexId, INF};
+
+use crate::labelling::Labels;
+
+/// Spine lanes per vertex: 16 × `u32` = one 64-byte cache line per row.
+pub const SPINE_LANES: usize = 16;
+
+/// Packed spine distances and reachability masks for every vertex (SoA).
+#[derive(Debug, Clone)]
+pub struct SpineIndex {
+    /// `SPINE_LANES` entries per vertex: label entries `0..SPINE_LANES`,
+    /// padded with `INF` past `τ(v) + 1`.
+    rows: ChunkedStore<Dist>,
+    /// One word per vertex: bit `i` set ⇔ `rows[v][i] != INF`.
+    masks: ChunkedStore<u64>,
+}
+
+impl SpineIndex {
+    /// Pack every vertex's row from `labels` (index construction / load).
+    pub fn build(labels: &Labels) -> Self {
+        let n = labels.num_vertices();
+        let row_offsets: Vec<u64> = (0..=n as u64).map(|v| v * SPINE_LANES as u64).collect();
+        let mask_offsets: Vec<u64> = (0..=n as u64).collect();
+        let rows = ChunkedStore::filled(&row_offsets, INF, DEFAULT_CHUNK_ENTRIES);
+        let masks = ChunkedStore::filled(&mask_offsets, 0u64, DEFAULT_CHUNK_ENTRIES);
+        let mut spine = Self { rows, masks };
+        spine.refresh(labels, 0..n as VertexId);
+        spine.rows.take_written_chunks();
+        spine.masks.take_written_chunks();
+        spine
+    }
+
+    /// Re-pack the rows of `vertices` from their current labels. Lanes and
+    /// masks are written only when they changed, so refreshing a vertex an
+    /// epoch did not actually touch costs reads but no copy-on-write
+    /// promotion.
+    pub fn refresh(&mut self, labels: &Labels, vertices: impl IntoIterator<Item = VertexId>) {
+        for v in vertices {
+            let ls = labels.slice(v);
+            let lanes = ls.len().min(SPINE_LANES);
+            let mut row = [INF; SPINE_LANES];
+            row[..lanes].copy_from_slice(&ls[..lanes]);
+            let mut mask = 0u64;
+            for (i, &d) in row.iter().enumerate() {
+                if d != INF {
+                    mask |= 1 << i;
+                }
+            }
+            let base = v as u64 * SPINE_LANES as u64;
+            let mut cur = [INF; SPINE_LANES];
+            cur.copy_from_slice(self.rows.slice(v as usize, base, base + SPINE_LANES as u64));
+            for i in 0..SPINE_LANES {
+                if cur[i] != row[i] {
+                    self.rows.set(v as usize, base + i as u64, row[i]);
+                }
+            }
+            if self.masks.get(v as usize, v as u64) != mask {
+                self.masks.set(v as usize, v as u64, mask);
+            }
+        }
+    }
+
+    /// Vertex `v`'s packed spine row (`SPINE_LANES` entries).
+    #[inline(always)]
+    pub fn row(&self, v: VertexId) -> &[Dist] {
+        let base = v as u64 * SPINE_LANES as u64;
+        self.rows.slice(v as usize, base, base + SPINE_LANES as u64)
+    }
+
+    /// Vertex `v`'s reachability mask (bit `i` ⇔ lane `i` finite).
+    #[inline(always)]
+    pub fn mask(&self, v: VertexId) -> u64 {
+        self.masks.get(v as usize, v as u64)
+    }
+
+    /// Flatten both stores into contiguous aligned arenas; returns bytes
+    /// moved.
+    pub fn compact(&mut self) -> u64 {
+        self.rows.compact() + self.masks.compact()
+    }
+
+    /// Whether both stores are flat (compacted, not written since).
+    pub fn is_flat(&self) -> bool {
+        self.rows.is_flat() && self.masks.is_flat()
+    }
+
+    /// Total chunk count across both stores (row chunks + mask chunks) —
+    /// the spine's contribution to an epoch's dirty-chunk denominator.
+    pub fn num_chunks(&self) -> usize {
+        self.rows.num_chunks() + self.masks.num_chunks()
+    }
+
+    /// Drain the copy-on-write counters of both stores.
+    pub fn take_cow_stats(&mut self) -> CowStats {
+        self.rows.take_cow_stats() + self.masks.take_cow_stats()
+    }
+
+    /// Current window's counters without draining.
+    pub fn cow_stats(&self) -> CowStats {
+        self.rows.cow_stats() + self.masks.cow_stats()
+    }
+
+    /// A physically independent copy (deep snapshot cost baseline).
+    pub fn deep_clone(&self) -> Self {
+        Self { rows: self.rows.deep_clone(), masks: self.masks.deep_clone() }
+    }
+
+    /// Approximate resident bytes of rows + masks.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.memory_bytes() + self.masks.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelling::Stl;
+    use crate::types::StlConfig;
+    use stl_graph::builder::from_edges;
+
+    fn line(n: u32) -> stl_graph::CsrGraph {
+        from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1, 1 + i % 3)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn rows_mirror_label_prefixes() {
+        let g = line(12);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let spine = SpineIndex::build(stl.labels());
+        for v in 0..12u32 {
+            let ls = stl.labels().slice(v);
+            let row = spine.row(v);
+            assert_eq!(row.len(), SPINE_LANES);
+            for i in 0..SPINE_LANES {
+                let want = if i < ls.len() { ls[i] } else { INF };
+                assert_eq!(row[i], want, "vertex {v} lane {i}");
+                assert_eq!(spine.mask(v) >> i & 1 == 1, want != INF, "vertex {v} mask bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_only_dirties_changed_rows() {
+        let g = line(12);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut spine = SpineIndex::build(stl.labels());
+        let pinned = spine.clone();
+        // Re-packing from unchanged labels writes nothing at all.
+        spine.refresh(stl.labels(), 0..12);
+        assert_eq!(spine.cow_stats(), CowStats::default());
+        assert_eq!(
+            spine.rows.shared_chunks_with(&pinned.rows),
+            spine.rows.num_chunks(),
+            "no-op refresh must not promote chunks"
+        );
+    }
+
+    #[test]
+    fn compact_preserves_rows() {
+        let g = line(9);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let mut spine = SpineIndex::build(stl.labels());
+        let before: Vec<Vec<Dist>> = (0..9u32).map(|v| spine.row(v).to_vec()).collect();
+        assert!(spine.compact() > 0);
+        assert!(spine.is_flat());
+        for v in 0..9u32 {
+            assert_eq!(spine.row(v), before[v as usize].as_slice());
+        }
+    }
+}

@@ -8,10 +8,11 @@
 //!
 //! * Mutable flat arrays (the label arena, the CSR weight array) are split
 //!   into **vertex-aligned chunks** of roughly [`DEFAULT_CHUNK_ENTRIES`]
-//!   entries (~16 KiB), each held in an `Arc<[T]>`. Chunk boundaries never
-//!   split one vertex's span, so a vertex's entries remain one contiguous
-//!   `&[T]` and hot read loops are untouched.
-//! * A *clone* of the store clones only the `Arc` table — `O(#chunks)`
+//!   entries (~16 KiB). Each chunk is a [`Chunk`]: an offset view into a
+//!   reference-counted, 64-byte-aligned buffer ([`AlignedBuf`]). Chunk
+//!   boundaries never split one vertex's span, so a vertex's entries remain
+//!   one contiguous `&[T]` and hot read loops are untouched.
+//! * A *clone* of the store clones only the chunk table — `O(#chunks)`
 //!   pointer copies, no data movement. That clone **is** the published
 //!   snapshot.
 //! * A *write* goes through [`cow_chunk`]: if the chunk is shared with any
@@ -22,12 +23,21 @@
 //!   write points the maintenance algorithms already funnel through
 //!   (`Labels::set`, `CsrGraph::apply_update`) account bytes-copied per
 //!   generation for free; the server drains it into its published counters.
+//! * When an index quiesces, [`ChunkedStore::compact`] re-flattens the whole
+//!   arena into **one** contiguous 64-byte-aligned allocation and re-points
+//!   every chunk into it. Because chunks are offset views, compaction does
+//!   not give up copy-on-write: the next write to a compacted store promotes
+//!   only the touched chunk back into a private buffer, and publishing stays
+//!   `O(#chunks)`. A flat store additionally exposes
+//!   [`ChunkedStore::flat_slice`] so read paths can skip the chunk-table
+//!   indirection entirely (the direct-offset query path in `stl_core`).
 //!
 //! [`ChunkedStore`] is the generic store; the CSR weight array uses it as
 //! [`WeightStore`], and `stl_core`'s label arena wraps it behind its
 //! per-vertex offset table.
 
-use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::types::Weight;
@@ -36,23 +46,180 @@ use crate::types::Weight;
 /// Measured on the `publish` bench: a repair wave's affected vertices
 /// scatter across the arena, so bytes-copied per epoch is roughly
 /// `#touched regions × chunk size` — 16 KiB chunks copy ~4× less than
-/// 64 KiB ones for the same batch, while the per-publish `Arc`-table clone
+/// 64 KiB ones for the same batch, while the per-publish chunk-table clone
 /// stays `O(#chunks)` pointer copies (tens of µs even at 10⁸ entries).
 pub const DEFAULT_CHUNK_ENTRIES: u64 = 4 * 1024;
 
-/// Bytes copied by copy-on-write chunk promotions, per drain window.
+/// Marker for element types the aligned arena may store.
+///
+/// # Safety
+///
+/// Implementors must guarantee that **any** 8-bit pattern sequence of
+/// `size_of::<Self>()` bytes is a valid value (the arena zero-initialises
+/// backing lines before payloads are copied in), and that
+/// `align_of::<Self>() <= 64` so a cache-line-aligned base pointer is
+/// aligned for `Self`.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// SAFETY: every bit pattern is a valid value for the primitive integers,
+// and all have alignment ≤ 8.
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+
+/// One cache line of backing storage for [`AlignedBuf`].
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct CacheLine([u8; 64]);
+
+/// A `[T]` allocation whose base address is 64-byte aligned.
+///
+/// Backed by whole cache lines so a flat label arena starts (and every
+/// 16-entry `u32` group stays) on a cache-line boundary — the layout the
+/// vectorized min-plus kernel in `stl_core::query` wants. `Box<[T]>` gives
+/// no alignment beyond `align_of::<T>()`, hence this wrapper.
+pub struct AlignedBuf<T: Pod> {
+    lines: Box<[CacheLine]>,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Pod> AlignedBuf<T> {
+    /// A zero-initialised buffer of `len` entries (zero bytes are a valid
+    /// `T` by the [`Pod`] contract).
+    pub fn zeroed(len: usize) -> Self {
+        let nl = (len * std::mem::size_of::<T>()).div_ceil(64);
+        Self { lines: vec![CacheLine([0u8; 64]); nl].into_boxed_slice(), len, _elem: PhantomData }
+    }
+
+    /// An aligned copy of `src`.
+    pub fn copy_of(src: &[T]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.as_mut_slice().copy_from_slice(src);
+        buf
+    }
+
+    /// Number of `T` entries.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no entries.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entries as a slice whose base pointer is 64-byte aligned.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: the backing lines cover `len * size_of::<T>()` bytes, the
+        // base is 64-byte aligned (≥ align_of::<T>() by the Pod contract),
+        // and every byte is initialised (zeroed at allocation), so any
+        // readback is a valid `T` — again the Pod contract.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<T>(), self.len) }
+    }
+
+    /// Mutable access to the entries.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as for `as_slice`, plus `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<T>(), self.len) }
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={})", self.len)
+    }
+}
+
+/// One chunk of a [`ChunkedStore`]: a `len`-entry view into a shared
+/// aligned buffer starting at entry `off`.
+///
+/// A freshly allocated (or copy-on-write promoted) chunk owns its whole
+/// buffer (`off == 0`, `len == buf.len()`); after
+/// [`ChunkedStore::compact`] every chunk of the store is a view into one
+/// flat arena at its canonical global offset. Either way `as_slice` is one
+/// bounds-checked index away, and clone is an `Arc` bump.
+#[derive(Debug, Clone)]
+pub struct Chunk<T: Pod> {
+    buf: Arc<AlignedBuf<T>>,
+    off: usize,
+    len: usize,
+}
+
+impl<T: Pod> Chunk<T> {
+    /// A chunk owning a private aligned copy of `src`.
+    fn owned(src: &[T]) -> Self {
+        Chunk { buf: Arc::new(AlignedBuf::copy_of(src)), off: 0, len: src.len() }
+    }
+
+    /// A chunk owning a private `value`-filled buffer.
+    fn owned_filled(value: T, len: usize) -> Self {
+        let mut buf = AlignedBuf::zeroed(len);
+        buf.as_mut_slice().fill(value);
+        Chunk { buf: Arc::new(buf), off: 0, len }
+    }
+
+    /// The chunk's entries.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf.as_slice()[self.off..self.off + self.len]
+    }
+
+    /// Whether this chunk owns its whole buffer (a promotion candidate for
+    /// in-place writes; views into a flat arena are never whole).
+    #[inline]
+    fn is_whole(&self) -> bool {
+        self.off == 0 && self.len == self.buf.len()
+    }
+
+    /// Whether two chunks read the same physical payload.
+    #[inline]
+    fn same_payload(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf) && self.off == other.off
+    }
+}
+
+impl<T: Pod> std::ops::Deref for Chunk<T> {
+    type Target = [T];
+    #[inline(always)]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+/// Bytes copied by copy-on-write chunk promotions (and moved by epoch
+/// compactions), per drain window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CowStats {
     /// Chunks that were physically copied (first write to a shared chunk).
     pub chunks_copied: u64,
     /// Total bytes those copies moved.
     pub bytes_copied: u64,
+    /// Epoch-compaction passes that re-flattened the store into one
+    /// contiguous aligned arena ([`ChunkedStore::compact`]).
+    pub compactions: u64,
+    /// Total bytes those compactions moved. Kept separate from
+    /// `bytes_copied`: compaction is a deliberate full-arena copy traded
+    /// for faster reads, not a per-epoch publish cost.
+    pub bytes_flattened: u64,
 }
 
 impl std::ops::AddAssign for CowStats {
     fn add_assign(&mut self, o: Self) {
         self.chunks_copied += o.chunks_copied;
         self.bytes_copied += o.bytes_copied;
+        self.compactions += o.compactions;
+        self.bytes_flattened += o.bytes_flattened;
     }
 }
 
@@ -65,18 +232,27 @@ impl std::ops::Add for CowStats {
 }
 
 /// Chunk-granular dirty set: which chunks were COW-copied since the last
-/// [`DirtyTracker::take`], and how many bytes that moved.
+/// [`DirtyTracker::take`], how many bytes that moved, and how many bytes
+/// compaction passes flattened in the same window.
 #[derive(Debug, Default)]
 pub struct DirtyTracker {
     bits: Vec<u64>,
     marked: Vec<u32>,
     bytes: u64,
+    compactions: u64,
+    flattened: u64,
 }
 
 impl DirtyTracker {
     /// Tracker for `num_chunks` chunks, all clean.
     pub fn new(num_chunks: usize) -> Self {
-        Self { bits: vec![0; num_chunks.div_ceil(64)], marked: Vec::new(), bytes: 0 }
+        Self {
+            bits: vec![0; num_chunks.div_ceil(64)],
+            marked: Vec::new(),
+            bytes: 0,
+            compactions: 0,
+            flattened: 0,
+        }
     }
 
     /// Record that `chunk` was copied, moving `bytes` bytes. Idempotent per
@@ -92,6 +268,13 @@ impl DirtyTracker {
         }
     }
 
+    /// Record one compaction pass that moved `bytes` bytes.
+    #[inline]
+    pub fn mark_compaction(&mut self, bytes: u64) {
+        self.compactions += 1;
+        self.flattened += bytes;
+    }
+
     /// Whether `chunk` was copied in the current window.
     #[inline]
     pub fn is_dirty(&self, chunk: usize) -> bool {
@@ -100,7 +283,12 @@ impl DirtyTracker {
 
     /// Counters for the current window without clearing it.
     pub fn stats(&self) -> CowStats {
-        CowStats { chunks_copied: self.marked.len() as u64, bytes_copied: self.bytes }
+        CowStats {
+            chunks_copied: self.marked.len() as u64,
+            bytes_copied: self.bytes,
+            compactions: self.compactions,
+            bytes_flattened: self.flattened,
+        }
     }
 
     /// Drain the window: return its counters and reset to all-clean in
@@ -112,24 +300,63 @@ impl DirtyTracker {
         }
         self.marked.clear();
         self.bytes = 0;
+        self.compactions = 0;
+        self.flattened = 0;
         out
     }
 }
 
-/// Make `chunk` uniquely owned (copying it if any snapshot still shares it)
-/// and return its mutable payload. Copies are recorded in `dirty` under
-/// index `c`.
+/// Chunk-granular *written* set — which chunks received any write (in-place
+/// or promoting) since the last [`TouchedChunks::take`].
+///
+/// Distinct from [`DirtyTracker`], which records only physical COW copies:
+/// a second write to an already-private chunk copies nothing but still
+/// changes values. Derived structures rebuilt per epoch from the touched
+/// set (the spine filter in `stl_core`) need the latter, so every write
+/// point marks here unconditionally.
+#[derive(Debug, Default, Clone)]
+pub struct TouchedChunks {
+    bits: Vec<u64>,
+    ids: Vec<u32>,
+}
+
+impl TouchedChunks {
+    fn new(num_chunks: usize) -> Self {
+        Self { bits: vec![0; num_chunks.div_ceil(64)], ids: Vec::new() }
+    }
+
+    #[inline]
+    fn mark(&mut self, chunk: usize) {
+        let (w, b) = (chunk / 64, 1u64 << (chunk % 64));
+        if self.bits[w] & b == 0 {
+            self.bits[w] |= b;
+            self.ids.push(chunk as u32);
+        }
+    }
+
+    /// Drain the set: the written chunk ids, in first-write order.
+    pub fn take(&mut self) -> Vec<u32> {
+        for &c in &self.ids {
+            self.bits[c as usize / 64] &= !(1 << (c as usize % 64));
+        }
+        std::mem::take(&mut self.ids)
+    }
+}
+
+/// Make `chunk` uniquely owned (copying it if any snapshot still shares its
+/// buffer, or if it is a view into a flat arena) and return its mutable
+/// payload. Copies are recorded in `dirty` under index `c`.
 #[inline]
-pub fn cow_chunk<'a, T: Copy>(
-    chunk: &'a mut Arc<[T]>,
+pub fn cow_chunk<'a, T: Pod>(
+    chunk: &'a mut Chunk<T>,
     c: usize,
     dirty: &mut DirtyTracker,
 ) -> &'a mut [T] {
-    if Arc::get_mut(chunk).is_none() {
-        dirty.mark(c, std::mem::size_of_val(&chunk[..]));
-        *chunk = Arc::from(&chunk[..]);
+    if !chunk.is_whole() || Arc::get_mut(&mut chunk.buf).is_none() {
+        dirty.mark(c, std::mem::size_of_val(chunk.as_slice()));
+        *chunk = Chunk::owned(chunk.as_slice());
     }
-    Arc::get_mut(chunk).expect("chunk is uniquely owned after promotion")
+    Arc::get_mut(&mut chunk.buf).expect("chunk is uniquely owned after promotion").as_mut_slice()
 }
 
 /// Partition `0..n` vertices into chunks of at most ~`target` entries each,
@@ -156,38 +383,53 @@ pub fn partition_vertex_chunks(offsets: &[u64], target: u64) -> (Vec<u32>, Vec<u
     (chunk_of, starts)
 }
 
-/// A flat `[T]` array split into vertex-aligned `Arc` chunks with
-/// copy-on-write writes and per-window dirty accounting.
+/// A flat `[T]` array split into vertex-aligned copy-on-write [`Chunk`]s
+/// with per-window dirty accounting and optional epoch compaction.
 ///
 /// Addressing is by **global index** plus the **owning vertex** (the vertex
 /// whose span contains the index), which locates the chunk in O(1) without
 /// a search. The vertex-alignment invariant guarantees any one vertex's
 /// span is one contiguous slice of one chunk.
 #[derive(Debug)]
-pub struct ChunkedStore<T: Copy> {
+pub struct ChunkedStore<T: Pod> {
     chunk_of: Arc<[u32]>,
     chunk_starts: Arc<[u64]>,
-    chunks: Vec<Arc<[T]>>,
+    chunks: Vec<Chunk<T>>,
+    /// `Some` iff every chunk is a view into this one contiguous arena at
+    /// its canonical offset (established by [`Self::compact`], invalidated
+    /// by the first subsequent write).
+    flat: Option<Arc<AlignedBuf<T>>>,
     dirty: DirtyTracker,
+    written: TouchedChunks,
 }
 
-impl<T: Copy> Clone for ChunkedStore<T> {
+impl<T: Pod> Clone for ChunkedStore<T> {
     /// O(#chunks): shares every chunk with the original. The clone starts
-    /// with a clean dirty window of its own.
+    /// with clean dirty and written windows of its own.
     fn clone(&self) -> Self {
         Self {
             chunk_of: Arc::clone(&self.chunk_of),
             chunk_starts: Arc::clone(&self.chunk_starts),
             chunks: self.chunks.clone(),
+            flat: self.flat.clone(),
             dirty: DirtyTracker::new(self.chunks.len()),
+            written: TouchedChunks::new(self.chunks.len()),
         }
     }
 }
 
-impl<T: Copy> ChunkedStore<T> {
-    fn assemble(chunk_of: Vec<u32>, chunk_starts: Vec<u64>, chunks: Vec<Arc<[T]>>) -> Self {
+impl<T: Pod> ChunkedStore<T> {
+    fn assemble(chunk_of: Vec<u32>, chunk_starts: Vec<u64>, chunks: Vec<Chunk<T>>) -> Self {
         let dirty = DirtyTracker::new(chunks.len());
-        Self { chunk_of: chunk_of.into(), chunk_starts: chunk_starts.into(), chunks, dirty }
+        let written = TouchedChunks::new(chunks.len());
+        Self {
+            chunk_of: chunk_of.into(),
+            chunk_starts: chunk_starts.into(),
+            chunks,
+            flat: None,
+            dirty,
+            written,
+        }
     }
 
     /// Chunk a flat array along the vertex spans `offsets[v]..offsets[v+1]`.
@@ -196,7 +438,7 @@ impl<T: Copy> ChunkedStore<T> {
         let (chunk_of, chunk_starts) = partition_vertex_chunks(offsets, target);
         let chunks = chunk_starts
             .windows(2)
-            .map(|w| Arc::from(&flat[w[0] as usize..w[1] as usize]))
+            .map(|w| Chunk::owned(&flat[w[0] as usize..w[1] as usize]))
             .collect();
         Self::assemble(chunk_of, chunk_starts, chunks)
     }
@@ -204,8 +446,10 @@ impl<T: Copy> ChunkedStore<T> {
     /// A store of `value`-filled entries with the same layout rules.
     pub fn filled(offsets: &[u64], value: T, target: u64) -> Self {
         let (chunk_of, chunk_starts) = partition_vertex_chunks(offsets, target);
-        let chunks =
-            chunk_starts.windows(2).map(|w| vec![value; (w[1] - w[0]) as usize].into()).collect();
+        let chunks = chunk_starts
+            .windows(2)
+            .map(|w| Chunk::owned_filled(value, (w[1] - w[0]) as usize))
+            .collect();
         Self::assemble(chunk_of, chunk_starts, chunks)
     }
 
@@ -234,6 +478,8 @@ impl<T: Copy> ChunkedStore<T> {
     pub fn set(&mut self, owner: usize, idx: u64, value: T) {
         let c = self.chunk_of[owner] as usize;
         let j = (idx - self.chunk_starts[c]) as usize;
+        self.flat = None;
+        self.written.mark(c);
         cow_chunk(&mut self.chunks[c], c, &mut self.dirty)[j] = value;
     }
 
@@ -243,7 +489,7 @@ impl<T: Copy> ChunkedStore<T> {
     pub fn slice(&self, owner: usize, lo: u64, hi: u64) -> &[T] {
         let c = self.chunk_of[owner] as usize;
         let base = self.chunk_starts[c];
-        &self.chunks[c][(lo - base) as usize..(hi - base) as usize]
+        &self.chunks[c].as_slice()[(lo - base) as usize..(hi - base) as usize]
     }
 
     /// The payload of chunk `c` — for callers that resolved chunk-local
@@ -252,24 +498,26 @@ impl<T: Copy> ChunkedStore<T> {
     /// a single load on read hot paths).
     #[inline(always)]
     pub fn chunk(&self, c: usize) -> &[T] {
-        &self.chunks[c]
+        self.chunks[c].as_slice()
     }
 
     /// Overwrite entry `j` of chunk `c` (chunk-local coordinates), copying
     /// the chunk first if a snapshot still shares it.
     #[inline]
     pub fn set_in_chunk(&mut self, c: usize, j: usize, value: T) {
+        self.flat = None;
+        self.written.mark(c);
         cow_chunk(&mut self.chunks[c], c, &mut self.dirty)[j] = value;
     }
 
     /// Iterate all entries in global order.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        self.chunks.iter().flat_map(|c| c.iter().copied())
+        self.chunks.iter().flat_map(|c| c.as_slice().iter().copied())
     }
 
     /// Iterate the chunk payloads in global order (serialization).
     pub fn chunk_slices(&self) -> impl Iterator<Item = &[T]> {
-        self.chunks.iter().map(|c| &c[..])
+        self.chunks.iter().map(|c| c.as_slice())
     }
 
     /// `(chunk-of-vertex, chunk-start-offsets)` layout tables, for builders
@@ -280,11 +528,22 @@ impl<T: Copy> ChunkedStore<T> {
 
     /// Raw per-chunk base pointers for parallel builders that write disjoint
     /// slots without synchronisation. Panics if any chunk is shared — only
-    /// freshly constructed stores qualify.
+    /// freshly constructed stores qualify. Every chunk is conservatively
+    /// marked written.
     pub fn unique_chunk_ptrs(&mut self) -> Vec<*mut T> {
+        self.flat = None;
+        for c in 0..self.chunks.len() {
+            self.written.mark(c);
+        }
         self.chunks
             .iter_mut()
-            .map(|c| Arc::get_mut(c).expect("chunks must be uniquely owned").as_mut_ptr())
+            .map(|c| {
+                assert!(c.is_whole(), "chunks must be uniquely owned");
+                Arc::get_mut(&mut c.buf)
+                    .expect("chunks must be uniquely owned")
+                    .as_mut_slice()
+                    .as_mut_ptr()
+            })
             .collect()
     }
 
@@ -293,14 +552,14 @@ impl<T: Copy> ChunkedStore<T> {
         self.chunks.len()
     }
 
-    /// Whether chunk `c` is physically shared with `other` (same allocation).
+    /// Whether chunk `c` is physically shared with `other` (same payload).
     pub fn shares_chunk(&self, other: &Self, c: usize) -> bool {
-        Arc::ptr_eq(&self.chunks[c], &other.chunks[c])
+        self.chunks[c].same_payload(&other.chunks[c])
     }
 
     /// How many chunks are physically shared with `other`.
     pub fn shared_chunks_with(&self, other: &Self) -> usize {
-        self.chunks.iter().zip(&other.chunks).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+        self.chunks.iter().zip(&other.chunks).filter(|(a, b)| a.same_payload(b)).count()
     }
 
     /// Drain the copy-on-write counters accumulated since the last drain.
@@ -313,27 +572,80 @@ impl<T: Copy> ChunkedStore<T> {
         self.dirty.stats()
     }
 
+    /// Drain the chunk ids written (in place or by promotion) since the
+    /// last drain — the input for rebuilding per-epoch derived structures.
+    pub fn take_written_chunks(&mut self) -> Vec<u32> {
+        self.written.take()
+    }
+
+    /// Re-flatten the store into one contiguous 64-byte-aligned arena.
+    ///
+    /// Every chunk becomes a view into the arena at its canonical global
+    /// offset, so reads (chunked or [`flat_slice`](Self::flat_slice)-based)
+    /// see identical values, clones still share per chunk, and the next
+    /// write still promotes only its own chunk (`O(chunk)`, not
+    /// `O(arena)`). Sharing with snapshots taken *before* the compaction is
+    /// given up — that full-arena copy is the price of the flat read path,
+    /// and it is accounted in [`CowStats::bytes_flattened`].
+    ///
+    /// Returns the bytes moved; 0 (and no work) if the store is already
+    /// flat.
+    pub fn compact(&mut self) -> u64 {
+        if self.flat.is_some() {
+            return 0;
+        }
+        let total = self.len();
+        let mut buf = AlignedBuf::zeroed(total);
+        let dst = buf.as_mut_slice();
+        for (c, w) in self.chunk_starts.windows(2).enumerate() {
+            dst[w[0] as usize..w[1] as usize].copy_from_slice(self.chunks[c].as_slice());
+        }
+        let arena = Arc::new(buf);
+        for (c, w) in self.chunk_starts.windows(2).enumerate() {
+            self.chunks[c] =
+                Chunk { buf: Arc::clone(&arena), off: w[0] as usize, len: (w[1] - w[0]) as usize };
+        }
+        self.flat = Some(arena);
+        let bytes = total as u64 * std::mem::size_of::<T>() as u64;
+        self.dirty.mark_compaction(bytes);
+        bytes
+    }
+
+    /// Whether the store is currently one flat arena (compacted and not
+    /// written since).
+    #[inline(always)]
+    pub fn is_flat(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// The whole store as one contiguous 64-byte-aligned slice, if flat.
+    /// Global offsets index it directly — no chunk table in the way.
+    #[inline(always)]
+    pub fn flat_slice(&self) -> Option<&[T]> {
+        self.flat.as_ref().map(|b| b.as_slice())
+    }
+
     /// A physically independent copy (every chunk reallocated) — the cost a
     /// deep snapshot clone pays; kept for baselines and benchmarks.
     pub fn deep_clone(&self) -> Self {
         Self {
             chunk_of: Arc::clone(&self.chunk_of),
             chunk_starts: Arc::clone(&self.chunk_starts),
-            chunks: self.chunks.iter().map(|c| Arc::from(&c[..])).collect(),
+            chunks: self.chunks.iter().map(|c| Chunk::owned(c.as_slice())).collect(),
+            flat: None,
             dirty: DirtyTracker::new(self.chunks.len()),
+            written: TouchedChunks::new(self.chunks.len()),
         }
     }
 
     /// Resident bytes of payload + chunk table + layout arrays.
     pub fn memory_bytes(&self) -> usize {
         self.len() * std::mem::size_of::<T>()
-            + self.chunks.len() * std::mem::size_of::<Arc<[T]>>()
+            + self.chunks.len() * std::mem::size_of::<Chunk<T>>()
             + self.chunk_of.len() * 4
             + self.chunk_starts.len() * 8
     }
-}
 
-impl<T: Copy + Send + Sync> ChunkedStore<T> {
     /// Open a [`DisjointWriter`] phase over this store: shared access for a
     /// pool of workers whose read/write sets are **disjoint at entry
     /// granularity**, with copy-on-write promotion still handled per chunk.
@@ -343,27 +655,29 @@ impl<T: Copy + Send + Sync> ChunkedStore<T> {
         let mut ptrs = Vec::with_capacity(nc);
         let mut lens = Vec::with_capacity(nc);
         for chunk in &mut self.chunks {
-            lens.push(chunk.len() as u32);
-            match Arc::get_mut(chunk) {
+            lens.push(chunk.len as u32);
+            let unique = chunk.is_whole() && Arc::get_mut(&mut chunk.buf).is_some();
+            if unique {
                 // Uniquely owned: workers write in place, exactly like
                 // `cow_chunk` would.
-                Some(payload) => {
-                    state.push(AtomicU8::new(CHUNK_PRIVATE));
-                    ptrs.push(AtomicPtr::new(payload.as_mut_ptr()));
-                }
-                // A snapshot still shares this chunk: the pointer is
-                // read-only until the first write promotes the chunk.
-                None => {
-                    state.push(AtomicU8::new(CHUNK_SHARED));
-                    ptrs.push(AtomicPtr::new(chunk.as_ptr().cast_mut()));
-                }
+                state.push(AtomicU8::new(CHUNK_PRIVATE));
+                let payload = Arc::get_mut(&mut chunk.buf).expect("chunk is unique").as_mut_slice();
+                ptrs.push(AtomicPtr::new(payload.as_mut_ptr()));
+            } else {
+                // A snapshot (or the flat arena) still shares this chunk's
+                // buffer: the pointer is read-only until the first write
+                // promotes the chunk.
+                state.push(AtomicU8::new(CHUNK_SHARED));
+                ptrs.push(AtomicPtr::new(chunk.as_slice().as_ptr().cast_mut()));
             }
         }
+        let touched = (0..nc.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
         DisjointWriter {
             store: self,
             state: state.into_boxed_slice(),
             ptrs: ptrs.into_boxed_slice(),
             lens: lens.into_boxed_slice(),
+            touched,
             promoted: Mutex::new(Vec::new()),
         }
     }
@@ -388,13 +702,16 @@ const CHUNK_PROMOTING: u8 = 2; // one worker is copying it right now
 ///   atomic pointer load; reads are a single atomic pointer load;
 /// * **per-chunk promotion gates** — the first write to a chunk still shared
 ///   with a snapshot CASes the chunk's state to `PROMOTING`, copies the
-///   payload into a fresh `Arc`, publishes the new base pointer, and flips
-///   the state to `PRIVATE`; concurrent writers of *other entries* of the
-///   same chunk spin only for the duration of that one copy. Per phase each
-///   chunk is copied at most once, exactly as in the serial path;
+///   payload into a fresh aligned buffer, publishes the new base pointer,
+///   and flips the state to `PRIVATE`; concurrent writers of *other
+///   entries* of the same chunk spin only for the duration of that one
+///   copy. Per phase each chunk is copied at most once, exactly as in the
+///   serial path;
 /// * **deferred installation** — promoted chunks are swapped into the store
 ///   and recorded in its [`DirtyTracker`] when the phase ends (on drop), so
 ///   `take_cow_stats` accounting is indistinguishable from serial repair.
+///   Written chunks (promoted or in-place) also land in the store's
+///   [`TouchedChunks`] window, and any write invalidates a flat arena.
 ///
 /// Readers racing a promotion of their chunk may observe the old or the new
 /// payload; both hold identical values for every entry outside the
@@ -403,16 +720,19 @@ const CHUNK_PROMOTING: u8 = 2; // one worker is copying it right now
 /// that no entry is touched by two workers (for the label arena that proof
 /// is the τ-disjointness argument in `stl_core::labelling`).
 #[derive(Debug)]
-pub struct DisjointWriter<'a, T: Copy + Send + Sync> {
+pub struct DisjointWriter<'a, T: Pod> {
     store: &'a mut ChunkedStore<T>,
     state: Box<[AtomicU8]>,
     ptrs: Box<[AtomicPtr<T>]>,
     lens: Box<[u32]>,
+    /// Chunk-granular written bitmap, merged into the store's
+    /// [`TouchedChunks`] on drop.
+    touched: Box<[AtomicU64]>,
     /// Freshly promoted chunks, kept alive here until installed on drop.
-    promoted: Mutex<Vec<(u32, Arc<[T]>)>>,
+    promoted: Mutex<Vec<(u32, Arc<AlignedBuf<T>>)>>,
 }
 
-impl<T: Copy + Send + Sync> DisjointWriter<'_, T> {
+impl<T: Pod> DisjointWriter<'_, T> {
     /// Read entry `j` of chunk `c`.
     ///
     /// # Safety
@@ -435,6 +755,10 @@ impl<T: Copy + Send + Sync> DisjointWriter<'_, T> {
     #[inline]
     pub unsafe fn set_in_chunk(&self, c: usize, j: usize, value: T) {
         debug_assert!(j < self.lens[c] as usize, "entry {j} out of chunk {c}");
+        let (w, b) = (c / 64, 1u64 << (c % 64));
+        if self.touched[w].load(Ordering::Relaxed) & b == 0 {
+            self.touched[w].fetch_or(b, Ordering::Relaxed);
+        }
         if self.state[c].load(Ordering::Acquire) != CHUNK_PRIVATE {
             self.promote(c);
         }
@@ -458,10 +782,13 @@ impl<T: Copy + Send + Sync> DisjointWriter<'_, T> {
                     let src = self.ptrs[c].load(Ordering::Relaxed);
                     // SAFETY: `src` points at the shared payload, which no
                     // worker ever writes (writes require CHUNK_PRIVATE).
-                    let mut fresh: Arc<[T]> =
-                        unsafe { std::slice::from_raw_parts(src, len) }.into();
-                    let base =
-                        Arc::get_mut(&mut fresh).expect("fresh chunk is unique").as_mut_ptr();
+                    let mut fresh = Arc::new(AlignedBuf::copy_of(unsafe {
+                        std::slice::from_raw_parts(src, len)
+                    }));
+                    let base = Arc::get_mut(&mut fresh)
+                        .expect("fresh chunk is unique")
+                        .as_mut_slice()
+                        .as_mut_ptr();
                     // Keep the copy alive before publishing its pointer.
                     self.promoted.lock().expect("promotion list poisoned").push((c as u32, fresh));
                     self.ptrs[c].store(base, Ordering::Release);
@@ -480,14 +807,30 @@ impl<T: Copy + Send + Sync> DisjointWriter<'_, T> {
     }
 }
 
-impl<T: Copy + Send + Sync> Drop for DisjointWriter<'_, T> {
-    /// End of phase: install promoted chunks into the store and account them
-    /// in the dirty window, mirroring what serial `cow_chunk` writes did.
+impl<T: Pod> Drop for DisjointWriter<'_, T> {
+    /// End of phase: install promoted chunks into the store, account them
+    /// in the dirty window (mirroring serial `cow_chunk` writes), and merge
+    /// the written bitmap into the store's touched-chunk window.
     fn drop(&mut self) {
         let promoted = std::mem::take(&mut *self.promoted.lock().expect("promotion list poisoned"));
         for (c, fresh) in promoted {
-            self.store.dirty.mark(c as usize, std::mem::size_of_val(&fresh[..]));
-            self.store.chunks[c as usize] = fresh;
+            let c = c as usize;
+            let len = self.store.chunks[c].len;
+            self.store.dirty.mark(c, len * std::mem::size_of::<T>());
+            self.store.chunks[c] = Chunk { buf: fresh, off: 0, len };
+        }
+        let mut any = false;
+        for (w, word) in self.touched.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                let c = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.store.written.mark(c);
+                any = true;
+            }
+        }
+        if any {
+            self.store.flat = None;
         }
     }
 }
@@ -552,16 +895,42 @@ mod tests {
     }
 
     #[test]
+    fn aligned_buf_is_cache_line_aligned() {
+        for len in [0usize, 1, 15, 16, 17, 4096] {
+            let buf = AlignedBuf::<u32>::zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % 64, 0, "len={len}");
+            assert!(buf.as_slice().iter().all(|&x| x == 0));
+        }
+        let copy = AlignedBuf::copy_of(&[7u32, 8, 9]);
+        assert_eq!(copy.as_slice(), &[7, 8, 9]);
+        assert_eq!(copy.as_slice().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
     fn dirty_tracker_idempotent_marks_and_drains() {
         let mut d = DirtyTracker::new(130);
         d.mark(0, 100);
         d.mark(129, 50);
         d.mark(0, 100); // already dirty: no double count
         assert!(d.is_dirty(0) && d.is_dirty(129) && !d.is_dirty(64));
-        assert_eq!(d.stats(), CowStats { chunks_copied: 2, bytes_copied: 150 });
-        assert_eq!(d.take(), CowStats { chunks_copied: 2, bytes_copied: 150 });
+        let want = CowStats { chunks_copied: 2, bytes_copied: 150, ..Default::default() };
+        assert_eq!(d.stats(), want);
+        assert_eq!(d.take(), want);
         assert_eq!(d.stats(), CowStats::default());
         assert!(!d.is_dirty(0));
+    }
+
+    #[test]
+    fn dirty_tracker_accounts_compactions() {
+        let mut d = DirtyTracker::new(4);
+        d.mark_compaction(4096);
+        assert_eq!(
+            d.stats(),
+            CowStats { compactions: 1, bytes_flattened: 4096, ..Default::default() }
+        );
+        assert_eq!(d.take().compactions, 1);
+        assert_eq!(d.stats(), CowStats::default());
     }
 
     fn store(target: u64) -> WeightStore {
@@ -613,9 +982,15 @@ mod tests {
         assert_eq!(b.get(0, 1), 1, "snapshot keeps the old value");
         // First write copied one 4-entry chunk (16 bytes); second write to
         // the same chunk is free.
-        assert_eq!(a.cow_stats(), CowStats { chunks_copied: 1, bytes_copied: 16 });
+        assert_eq!(
+            a.cow_stats(),
+            CowStats { chunks_copied: 1, bytes_copied: 16, ..Default::default() }
+        );
         a.set(0, 0, 98);
-        assert_eq!(a.take_cow_stats(), CowStats { chunks_copied: 1, bytes_copied: 16 });
+        assert_eq!(
+            a.take_cow_stats(),
+            CowStats { chunks_copied: 1, bytes_copied: 16, ..Default::default() }
+        );
     }
 
     #[test]
@@ -653,6 +1028,75 @@ mod tests {
     }
 
     #[test]
+    fn compact_preserves_values_and_flat_reads() {
+        let mut a = store(4);
+        assert!(!a.is_flat());
+        let bytes = a.compact();
+        assert_eq!(bytes, 8 * 4);
+        assert!(a.is_flat());
+        let flat = a.flat_slice().expect("flat after compaction");
+        assert_eq!(flat, (0..8).collect::<Vec<Weight>>().as_slice());
+        assert_eq!(flat.as_ptr() as usize % 64, 0, "arena must be 64-byte aligned");
+        // Chunked reads go through the same arena and agree.
+        for owner in 0..4 {
+            for idx in (owner as u64 * 2)..(owner as u64 * 2 + 2) {
+                assert_eq!(a.get(owner, idx), idx as Weight);
+            }
+        }
+        assert_eq!(a.cow_stats().compactions, 1);
+        assert_eq!(a.cow_stats().bytes_flattened, 32);
+        // Compacting a flat store is free.
+        assert_eq!(a.compact(), 0);
+        assert_eq!(a.cow_stats().compactions, 1);
+    }
+
+    #[test]
+    fn compact_keeps_cow_chunk_granular() {
+        let mut a = store(4);
+        a.compact();
+        let snap = a.clone();
+        assert!(snap.is_flat(), "clone of a flat store starts flat");
+        assert_eq!(a.shared_chunks_with(&snap), 2);
+        a.set(0, 1, 99);
+        assert!(!a.is_flat(), "first write un-flattens the writer");
+        assert!(snap.is_flat(), "held snapshot stays flat");
+        assert_eq!(snap.get(0, 1), 1, "snapshot keeps the old value");
+        assert_eq!(a.get(0, 1), 99);
+        // Only the touched chunk was promoted out of the arena.
+        assert_eq!(a.shared_chunks_with(&snap), 1);
+        assert_eq!(a.cow_stats().chunks_copied, 1, "write after compact copies one chunk");
+    }
+
+    #[test]
+    fn compact_after_divergence_reflattens() {
+        let mut a = store(4);
+        a.compact();
+        a.set(0, 0, 5);
+        assert!(!a.is_flat());
+        a.compact();
+        assert!(a.is_flat());
+        assert_eq!(a.flat_slice().unwrap()[0], 5);
+        assert_eq!(a.cow_stats().compactions, 2);
+    }
+
+    #[test]
+    fn written_chunks_tracked_across_write_paths() {
+        let mut a = store(4);
+        assert!(a.take_written_chunks().is_empty());
+        a.set(0, 1, 9); // chunk 0, in place (unique)
+        a.set(0, 0, 8); // same chunk, marked once
+        a.set(3, 7, 7); // chunk 1
+        assert_eq!(a.take_written_chunks(), vec![0, 1]);
+        assert!(a.take_written_chunks().is_empty(), "drained");
+        {
+            let w = a.disjoint_writer();
+            // SAFETY: single thread.
+            unsafe { w.set_in_chunk(1, 0, 70) };
+        }
+        assert_eq!(a.take_written_chunks(), vec![1]);
+    }
+
+    #[test]
     fn disjoint_writer_in_place_when_unique() {
         let mut a = store(4);
         {
@@ -687,7 +1131,27 @@ mod tests {
         assert_eq!(snap.get(2, 4), 4);
         assert!(!a.shares_chunk(&snap, 1));
         assert!(a.shares_chunk(&snap, 0), "untouched chunk stays shared");
-        assert_eq!(a.take_cow_stats(), CowStats { chunks_copied: 1, bytes_copied: 16 });
+        assert_eq!(
+            a.take_cow_stats(),
+            CowStats { chunks_copied: 1, bytes_copied: 16, ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn disjoint_writer_promotes_out_of_flat_arena() {
+        let mut a = store(4);
+        a.compact();
+        let snap = a.clone();
+        {
+            let w = a.disjoint_writer();
+            // SAFETY: single thread.
+            unsafe { w.set_in_chunk(0, 0, 55) };
+        }
+        assert!(!a.is_flat(), "writer phase with writes un-flattens");
+        assert!(snap.is_flat());
+        assert_eq!(a.get(0, 0), 55);
+        assert_eq!(snap.get(0, 0), 0, "flat snapshot keeps old values");
+        assert_eq!(a.shared_chunks_with(&snap), 1, "untouched chunk still aliases the arena");
     }
 
     #[test]

@@ -25,13 +25,32 @@ pub struct ServerConfig {
     /// Labels are byte-identical to the serial drivers at any setting.
     /// Defaults to the machine's available parallelism.
     pub repair_threads: usize,
+    /// Quiescence window for epoch compaction: after this many
+    /// *consecutive* epochs whose dirty-chunk ratio stayed at or below
+    /// [`ServerConfig::compact_dirty_ratio`], the writer re-flattens the
+    /// label arena, spine stores, and CSR weights into contiguous aligned
+    /// allocations, switching readers onto the branch-free direct-offset
+    /// query path from the next published snapshot on. `0` disables the
+    /// trigger entirely. The default (12 epochs) is deliberately
+    /// conservative: compaction copies the whole arena, so it should fire
+    /// when traffic has genuinely gone quiet, not between two bursts.
+    pub compact_after_quiet_epochs: u32,
+    /// An epoch counts as *quiet* when `chunks copied / total chunks` is at
+    /// or below this ratio (no-op batches have ratio 0). Default `0.02` —
+    /// under 2% of the world rewritten per batch.
+    pub compact_dirty_ratio: f64,
 }
 
 impl ServerConfig {
-    /// [`ServerConfig::default`] with `repair_threads` overridden by the
-    /// `STL_REPAIR_THREADS` environment variable when it is set to a
-    /// positive integer — the hook the CI release-stress matrix uses to
-    /// exercise the repair pipeline at both 1 and 4 workers.
+    /// [`ServerConfig::default`] with environment overrides:
+    ///
+    /// * `STL_REPAIR_THREADS` (positive integer) — `repair_threads`; the
+    ///   hook the CI release-stress matrix uses to exercise the repair
+    ///   pipeline at both 1 and 4 workers.
+    /// * `STL_COMPACT_QUIET_EPOCHS` (integer, `0` disables) —
+    ///   [`ServerConfig::compact_after_quiet_epochs`].
+    /// * `STL_COMPACT_DIRTY_RATIO` (non-negative float) —
+    ///   [`ServerConfig::compact_dirty_ratio`].
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Some(t) =
@@ -39,6 +58,18 @@ impl ServerConfig {
         {
             if t >= 1 {
                 cfg.repair_threads = t;
+            }
+        }
+        if let Some(q) =
+            std::env::var("STL_COMPACT_QUIET_EPOCHS").ok().and_then(|v| v.parse::<u32>().ok())
+        {
+            cfg.compact_after_quiet_epochs = q;
+        }
+        if let Some(r) =
+            std::env::var("STL_COMPACT_DIRTY_RATIO").ok().and_then(|v| v.parse::<f64>().ok())
+        {
+            if r >= 0.0 {
+                cfg.compact_dirty_ratio = r;
             }
         }
         cfg
@@ -50,6 +81,8 @@ impl Default for ServerConfig {
         Self {
             algo: Maintenance::ParetoSearch,
             repair_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            compact_after_quiet_epochs: 12,
+            compact_dirty_ratio: 0.02,
         }
     }
 }
@@ -118,6 +151,9 @@ impl StlServer {
                 let mut stl = stl;
                 let mut pool = EnginePool::new();
                 let mut generation = 0u64;
+                // Consecutive epochs at or below the quiet dirty ratio —
+                // the compaction trigger's streak counter.
+                let mut quiet_epochs = 0u32;
                 while let Ok(batch) = rx.recv() {
                     let stats = &writer_shared.stats;
                     stats.updates_submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -143,6 +179,36 @@ impl StlServer {
                     let cow = stl.take_cow_stats() + graph.take_cow_stats();
                     stats.publish_bytes_copied.fetch_add(cow.bytes_copied, Ordering::Relaxed);
                     stats.chunks_copied_last.store(cow.chunks_copied, Ordering::Relaxed);
+                    // Quiescence-triggered compaction: when the dirty-chunk
+                    // rate has stayed below the threshold for enough
+                    // consecutive epochs, re-flatten labels + spine + CSR
+                    // weights so the snapshot published below (and every one
+                    // after it, until the next write) serves the
+                    // direct-offset query path.
+                    if cfg.compact_after_quiet_epochs > 0 {
+                        let total_chunks = (stl.num_chunks() + graph.num_weight_chunks()).max(1);
+                        let ratio = cow.chunks_copied as f64 / total_chunks as f64;
+                        quiet_epochs =
+                            if ratio <= cfg.compact_dirty_ratio { quiet_epochs + 1 } else { 0 };
+                        if quiet_epochs >= cfg.compact_after_quiet_epochs
+                            && !(stl.is_flat() && graph.weights_flat())
+                        {
+                            let bytes = stl.compact() + graph.compact_weights();
+                            // Drop the compaction pass out of the next
+                            // epoch's COW window — it is accounted here, in
+                            // the dedicated counters.
+                            stl.take_cow_stats();
+                            graph.take_cow_stats();
+                            if bytes > 0 {
+                                stats.compactions_total.fetch_add(1, Ordering::Relaxed);
+                                stats.bytes_flattened_total.fetch_add(bytes, Ordering::Relaxed);
+                            }
+                            quiet_epochs = 0;
+                        }
+                    }
+                    stats
+                        .snapshot_is_flat
+                        .store(u64::from(stl.is_flat() && graph.weights_flat()), Ordering::Relaxed);
                     // Publish: O(touched) — the clone below copies only the
                     // Arc chunk tables; every byte not written by this batch
                     // is shared with the previous epoch. Every batch
@@ -404,7 +470,11 @@ mod tests {
         let server = StlServer::start(
             g.clone(),
             stl,
-            ServerConfig { algo: stl_core::Maintenance::LabelSearch, repair_threads: 3 },
+            ServerConfig {
+                algo: stl_core::Maintenance::LabelSearch,
+                repair_threads: 3,
+                ..Default::default()
+            },
         );
         let edges: Vec<_> = g.edges().step_by(7).take(6).collect();
         for &(a, b, w) in &edges {
@@ -435,7 +505,11 @@ mod tests {
         let server = StlServer::start(
             g.clone(),
             stl,
-            ServerConfig { algo: stl_core::Maintenance::ParetoSearch, repair_threads: 3 },
+            ServerConfig {
+                algo: stl_core::Maintenance::ParetoSearch,
+                repair_threads: 3,
+                ..Default::default()
+            },
         );
         let edges: Vec<_> = g.edges().step_by(9).take(5).collect();
         for &(a, b, w) in &edges {
@@ -467,6 +541,97 @@ mod tests {
         match prev {
             Some(v) => std::env::set_var(key, v),
             None => std::env::remove_var(key),
+        }
+    }
+
+    #[test]
+    fn quiescence_triggers_compaction_and_flat_snapshots() {
+        // With the trigger wound down to "compact after every epoch", the
+        // writer must flatten the arena, report it in ServerStats, and keep
+        // serving exact distances from the flat read path.
+        let mut g = generate(&RoadNetConfig::sized(180, 41));
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig {
+                compact_after_quiet_epochs: 1,
+                compact_dirty_ratio: 1.0,
+                ..Default::default()
+            },
+        );
+        let edges: Vec<_> = g.edges().step_by(11).take(4).collect();
+        for &(a, b, w) in &edges {
+            server.wait_for(server.submit(vec![EdgeUpdate::new(a, b, w * 3)]));
+            g.set_weight(a, b, w * 3).unwrap();
+            let snap = server.snapshot();
+            for (s, t) in [(0u32, 140u32), (7, 101), (33, 90)] {
+                assert_eq!(snap.query(s, t), dijkstra::distance(&g, s, t));
+            }
+        }
+        let stats = server.shutdown();
+        assert!(stats.compactions_total >= 1, "every-epoch trigger must have compacted");
+        assert!(stats.bytes_flattened_total > 0);
+        assert!(stats.snapshot_is_flat, "last published snapshot must be flat");
+    }
+
+    #[test]
+    fn compaction_never_mutates_pinned_snapshots() {
+        // A reader holding an Arc<Snapshot> across a compaction (and further
+        // batches) must observe the exact distances of its own generation —
+        // compaction re-points the *writer's* chunks, never a published epoch.
+        let mut g = generate(&RoadNetConfig::sized(160, 53));
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig {
+                compact_after_quiet_epochs: 1,
+                compact_dirty_ratio: 1.0,
+                ..Default::default()
+            },
+        );
+        let pairs = [(0u32, 120u32), (5, 99), (41, 77), (12, 150)];
+        let pinned = server.snapshot();
+        let oracle: Vec<_> = pairs.iter().map(|&(s, t)| dijkstra::distance(&g, s, t)).collect();
+        assert_eq!(pinned.generation(), 0);
+
+        let edges: Vec<_> = g.edges().step_by(13).take(5).collect();
+        for &(a, b, w) in &edges {
+            server.wait_for(server.submit(vec![EdgeUpdate::new(a, b, w + 9)]));
+            g.set_weight(a, b, w + 9).unwrap();
+        }
+        let stats = server.stats();
+        assert!(stats.compactions_total >= 1, "trigger must have fired mid-run");
+
+        // The pinned generation-0 snapshot still answers generation-0 truth.
+        assert_eq!(pinned.generation(), 0);
+        for (&(s, t), &d) in pairs.iter().zip(&oracle) {
+            assert_eq!(pinned.query(s, t), d, "pinned snapshot changed under compaction");
+        }
+        // And the current snapshot answers the updated graph, from a flat arena.
+        let snap = server.snapshot();
+        assert!(snap.is_flat());
+        for &(s, t) in &pairs {
+            assert_eq!(snap.query(s, t), dijkstra::distance(&g, s, t));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn config_from_env_overrides_compaction_knobs() {
+        let keys = ["STL_COMPACT_QUIET_EPOCHS", "STL_COMPACT_DIRTY_RATIO"];
+        let prev: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
+        std::env::set_var(keys[0], "3");
+        std::env::set_var(keys[1], "0.5");
+        let cfg = ServerConfig::from_env();
+        assert_eq!(cfg.compact_after_quiet_epochs, 3);
+        assert!((cfg.compact_dirty_ratio - 0.5).abs() < 1e-9);
+        for (k, v) in keys.iter().zip(prev) {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
         }
     }
 

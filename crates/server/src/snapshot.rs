@@ -45,4 +45,13 @@ impl Snapshot {
     pub fn stl(&self) -> &Stl {
         &self.stl
     }
+
+    /// Whether this epoch serves the flat direct-offset read path: label
+    /// arena, spine stores, and CSR weights all compacted and unwritten
+    /// since. Snapshots cloned from a compacted writer stay flat forever —
+    /// later writes promote chunks in the *writer's* stores only.
+    #[inline]
+    pub fn is_flat(&self) -> bool {
+        self.stl.is_flat() && self.graph.weights_flat()
+    }
 }

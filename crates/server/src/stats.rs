@@ -40,6 +40,14 @@ pub struct ServerStats {
     /// Stable trees skipped by batch pre-grouping before any search
     /// started, summed over all batches.
     pub trees_skipped_total: u64,
+    /// Quiescence-triggered epoch compactions (label arena + spine + CSR
+    /// weights re-flattened into contiguous aligned allocations).
+    pub compactions_total: u64,
+    /// Total bytes those compactions moved.
+    pub bytes_flattened_total: u64,
+    /// Whether the most recently published snapshot serves the flat
+    /// direct-offset query path (compacted and not written since).
+    pub snapshot_is_flat: bool,
 }
 
 impl ServerStats {
@@ -62,7 +70,8 @@ impl std::fmt::Display for ServerStats {
              publish mean {:.1} us (last {:.1} us) | cow copied {:.1} KiB/epoch \
              (last epoch {} chunks) | apply total {:.1} ms | last repair: \
              {} shards (critical path {:.1} us of {:.1} us total) | \
-             trees touched/skipped {}/{}",
+             trees touched/skipped {}/{} | {} compactions ({:.1} KiB flattened) | \
+             snapshot {}",
             self.batches_applied,
             self.queries_served,
             self.updates_submitted,
@@ -77,6 +86,9 @@ impl std::fmt::Display for ServerStats {
             self.repair_shard_ns_sum_last as f64 / 1e3,
             self.trees_touched_total,
             self.trees_skipped_total,
+            self.compactions_total,
+            self.bytes_flattened_total as f64 / 1024.0,
+            if self.snapshot_is_flat { "flat" } else { "chunked" },
         )
     }
 }
@@ -97,6 +109,10 @@ pub(crate) struct StatsCells {
     pub repair_shard_ns_sum_last: AtomicU64,
     pub trees_touched_total: AtomicU64,
     pub trees_skipped_total: AtomicU64,
+    pub compactions_total: AtomicU64,
+    pub bytes_flattened_total: AtomicU64,
+    /// 0 or 1; written by the writer thread at every publish.
+    pub snapshot_is_flat: AtomicU64,
 }
 
 impl StatsCells {
@@ -115,6 +131,9 @@ impl StatsCells {
             repair_shard_ns_sum_last: self.repair_shard_ns_sum_last.load(Ordering::Relaxed),
             trees_touched_total: self.trees_touched_total.load(Ordering::Relaxed),
             trees_skipped_total: self.trees_skipped_total.load(Ordering::Relaxed),
+            compactions_total: self.compactions_total.load(Ordering::Relaxed),
+            bytes_flattened_total: self.bytes_flattened_total.load(Ordering::Relaxed),
+            snapshot_is_flat: self.snapshot_is_flat.load(Ordering::Relaxed) != 0,
         }
     }
 }
@@ -139,6 +158,20 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("generation 7"));
         assert!(text.contains("cow copied 2.0 KiB/epoch"));
+        assert!(text.contains("snapshot chunked"));
+    }
+
+    #[test]
+    fn display_mentions_compaction_state() {
+        let s = ServerStats {
+            compactions_total: 2,
+            bytes_flattened_total: 3 * 1024,
+            snapshot_is_flat: true,
+            ..Default::default()
+        };
+        let text = format!("{s}");
+        assert!(text.contains("2 compactions (3.0 KiB flattened)"));
+        assert!(text.contains("snapshot flat"));
     }
 
     #[test]
