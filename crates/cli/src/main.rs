@@ -10,12 +10,26 @@
 //!             [--batch-size K] [--seed S] [--algo pareto|label] [--threads T]
 //!             [--repair-threads R] [--compact-quiet-epochs Q]
 //!             [--compact-dirty-ratio D]
+//! stl serve   <graph.gr> --listen ADDR [--net-readers N] [--max-conns C]
+//!             [--accept-queue Q] [--batch-latency-ms MS]
+//!             [--batch-max-updates K] [--max-queued-updates Q]
+//!             [--duration-secs S] [+ the index/repair flags above]
+//! stl bench-net <addr> <graph.gr> [--rate R] [--ops N] [--clients C]
+//!             [--update-fraction F] [--batch-size K] [--seed S]
 //! ```
 //!
 //! `serve` builds an index in-process, starts the `stl_server`
 //! epoch-snapshot service (readers on immutable snapshots, one writer
 //! publishing per batch), replays a seeded mixed query/update trace through
 //! it, and reports throughput plus the writer's publish latency.
+//!
+//! With `--listen ADDR`, `serve` instead exposes the server over TCP (the
+//! length-prefixed protocol of `stl_server::transport`) with adaptive update
+//! batching, and runs until `--duration-secs` elapses (`0` = forever). Pair
+//! it with `stl bench-net`, which drives a remote server with a seeded
+//! **open-loop** trace — Poisson arrivals at `--rate` requests/second,
+//! regardless of how fast the server answers — and reports p50/p99 latency,
+//! achieved throughput, and explicit rejection/shed counts under overload.
 //!
 //! Graphs are DIMACS 9th-challenge `.gr` files (1-based vertex ids on the
 //! command line, matching the format). Indexes are the compact binary
@@ -24,12 +38,14 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use stl_core::{persist, IndexStats, Maintenance, Stl, StlConfig};
 use stl_graph::{io as gio, CsrGraph};
-use stl_server::{replay_mixed, ServerConfig, StlServer};
-use stl_workloads::mixed::{mixed_trace, split_trace, MixedConfig};
+use stl_server::{replay_mixed, NetClient, NetConfig, NetServer, ServerConfig, StlServer};
+use stl_workloads::mixed::{mixed_trace, split_trace, MixedConfig, MixedOp};
+use stl_workloads::openloop::{open_loop_trace, percentile, Arrival, OpenLoopConfig};
 use stl_workloads::{generate, RoadNetConfig};
 
 fn main() -> ExitCode {
@@ -41,8 +57,9 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-net") => cmd_bench_net(&args[1..]),
         _ => {
-            eprintln!("usage: stl <info|build|query|bench|gen|serve> ... (see --help in README)");
+            eprintln!("usage: stl <info|build|query|bench|gen|serve|bench-net> ... (see README)");
             return ExitCode::from(2);
         }
     };
@@ -185,9 +202,37 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     let mut repair_threads = ServerConfig::default().repair_threads;
     let mut compact_quiet_epochs = ServerConfig::default().compact_after_quiet_epochs;
     let mut compact_dirty_ratio = ServerConfig::default().compact_dirty_ratio;
+    let mut listen: Option<String> = None;
+    let mut net = NetConfig::default();
+    let mut duration_secs = 0u64;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--listen" => listen = it.next().cloned(),
+            "--net-readers" => {
+                net.reader_threads = it.next().ok_or("--net-readers needs a value")?.parse()?
+            }
+            "--max-conns" => {
+                net.max_connections = it.next().ok_or("--max-conns needs a value")?.parse()?
+            }
+            "--accept-queue" => {
+                net.accept_queue = it.next().ok_or("--accept-queue needs a value")?.parse()?
+            }
+            "--batch-latency-ms" => {
+                net.batcher.latency_ms =
+                    it.next().ok_or("--batch-latency-ms needs a value")?.parse()?
+            }
+            "--batch-max-updates" => {
+                net.batcher.max_updates =
+                    it.next().ok_or("--batch-max-updates needs a value")?.parse()?
+            }
+            "--max-queued-updates" => {
+                net.batcher.max_queued =
+                    it.next().ok_or("--max-queued-updates needs a value")?.parse()?
+            }
+            "--duration-secs" => {
+                duration_secs = it.next().ok_or("--duration-secs needs a value")?.parse()?
+            }
             "--readers" => readers = it.next().ok_or("--readers needs a value")?.parse()?,
             "--ops" => ops = it.next().ok_or("--ops needs a value")?.parse()?,
             "--update-fraction" => {
@@ -234,6 +279,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     if !(0.0..=1.0).contains(&compact_dirty_ratio) {
         return Err("--compact-dirty-ratio must be within 0.0..=1.0".into());
     }
+    if net.reader_threads == 0 {
+        return Err("--net-readers must be at least 1".into());
+    }
     let g = load_graph(graph_path)?;
     println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
     let cfg = StlConfig::default();
@@ -241,6 +289,57 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     let stl =
         if threads > 1 { Stl::build_parallel(&g, &cfg, threads) } else { Stl::build(&g, &cfg) };
     println!("index built in {:.2?}", t0.elapsed());
+
+    let server_cfg = ServerConfig {
+        algo,
+        repair_threads,
+        compact_after_quiet_epochs: compact_quiet_epochs,
+        compact_dirty_ratio,
+    };
+
+    if let Some(addr) = listen {
+        let server = Arc::new(StlServer::start(g, stl, server_cfg));
+        let net_server = NetServer::start(Arc::clone(&server), addr.as_str(), net.clone())
+            .map_err(|e| format!("cannot listen on '{addr}': {e}"))?;
+        println!(
+            "batching: up to {} updates or {} ms, {} queued max; \
+             {} net readers, {} connections ({} queued) max",
+            net.batcher.max_updates,
+            net.batcher.latency_ms,
+            net.batcher.max_queued,
+            net.reader_threads,
+            net.max_connections,
+            net.accept_queue,
+        );
+        // The smoke tests and bench drivers wait for this exact line.
+        println!("listening on {}", net_server.local_addr());
+        if duration_secs == 0 {
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        std::thread::sleep(Duration::from_secs(duration_secs));
+        let net_stats = net_server.shutdown();
+        println!(
+            "transport: {} connections accepted, {} shed, {} bad frames, {} requests",
+            net_stats.connections_accepted,
+            net_stats.connections_shed,
+            net_stats.frames_rejected,
+            net_stats.requests_served,
+        );
+        println!(
+            "batcher: {} batches from {} requests ({} shed, {} rejected pre-validate); \
+             {} size flushes, {} timer flushes",
+            net_stats.batcher.batches_submitted,
+            net_stats.batcher.requests_coalesced,
+            net_stats.batcher.requests_shed,
+            net_stats.batcher.requests_rejected,
+            net_stats.batcher.flushes_by_size,
+            net_stats.batcher.flushes_by_timer,
+        );
+        println!("writer: {}", server.stats());
+        return Ok(());
+    }
 
     let trace = mixed_trace(
         &g,
@@ -271,16 +370,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         );
     }
 
-    let server = StlServer::start(
-        g,
-        stl,
-        ServerConfig {
-            algo,
-            repair_threads,
-            compact_after_quiet_epochs: compact_quiet_epochs,
-            compact_dirty_ratio,
-        },
-    );
+    let server = StlServer::start(g, stl, server_cfg);
     let wall = replay_mixed(&server, &queries, &batches, readers);
     let stats = server.shutdown();
     println!(
@@ -290,6 +380,177 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         stats.queries_served as f64 / wall.as_secs_f64()
     );
     println!("writer: {stats}");
+    Ok(())
+}
+
+/// Per-client tally of an open-loop run.
+#[derive(Default)]
+struct NetTally {
+    query_lat: Vec<Duration>,
+    update_lat: Vec<Duration>,
+    applied: u64,
+    rejected: u64,
+    shed: u64,
+    io_errors: u64,
+}
+
+impl NetTally {
+    fn merge(&mut self, other: NetTally) {
+        self.query_lat.extend(other.query_lat);
+        self.update_lat.extend(other.update_lat);
+        self.applied += other.applied;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.io_errors += other.io_errors;
+    }
+}
+
+/// Replay one client's share of the arrivals open-loop: sleep until each
+/// offset and fire, whether or not the server has answered the last one in
+/// time — lag accumulates as latency, exactly as it would for real traffic.
+fn run_net_client(addr: &str, arrivals: &[Arrival], start: Instant) -> Result<NetTally, String> {
+    let mut client = NetClient::connect_retry(addr, Duration::from_secs(10))
+        .map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    let mut tally = NetTally::default();
+    for arrival in arrivals {
+        let target = start + arrival.offset;
+        if let Some(wait) = target.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let t0 = Instant::now();
+        match &arrival.op {
+            MixedOp::Query(s, t) => match client.query(*s, *t) {
+                Ok(_) => tally.query_lat.push(t0.elapsed()),
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => tally.shed += 1,
+                Err(_) => tally.io_errors += 1,
+            },
+            MixedOp::Batch(batch) => match client.update(batch) {
+                Ok(outcome) => {
+                    tally.update_lat.push(t0.elapsed());
+                    if outcome.applied {
+                        tally.applied += 1;
+                    } else {
+                        tally.rejected += 1;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => tally.shed += 1,
+                Err(_) => tally.io_errors += 1,
+            },
+        }
+    }
+    Ok(tally)
+}
+
+fn fmt_lat(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.2?}", d),
+        None => "-".into(),
+    }
+}
+
+fn cmd_bench_net(args: &[String]) -> Result<(), AnyErr> {
+    if args.len() < 2 {
+        return Err("usage: stl bench-net <addr> <graph.gr> [--rate R] [--ops N] \
+                    [--clients C] [--update-fraction F] [--batch-size K] [--seed S]"
+            .into());
+    }
+    let addr = args[0].clone();
+    let graph_path = &args[1];
+    let mut rate = 2_000.0f64;
+    let mut ops = 20_000usize;
+    let mut clients = 4usize;
+    let mut update_fraction = 0.02f64;
+    let mut batch_size = 8usize;
+    let mut seed = 0xD157u64;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rate" => rate = it.next().ok_or("--rate needs a value")?.parse()?,
+            "--ops" => ops = it.next().ok_or("--ops needs a value")?.parse()?,
+            "--clients" => clients = it.next().ok_or("--clients needs a value")?.parse()?,
+            "--update-fraction" => {
+                update_fraction = it.next().ok_or("--update-fraction needs a value")?.parse()?
+            }
+            "--batch-size" => {
+                batch_size = it.next().ok_or("--batch-size needs a value")?.parse()?
+            }
+            "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+    if clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    let g = load_graph(graph_path)?;
+    let trace = open_loop_trace(
+        &g,
+        &OpenLoopConfig {
+            rate_per_sec: rate,
+            mixed: MixedConfig { ops, update_fraction, batch_size, seed, ..Default::default() },
+        },
+    );
+    println!(
+        "open-loop: {ops} ops at {rate:.0}/s across {clients} client(s) \
+         (update fraction {update_fraction}, batch size {batch_size}, seed {seed})"
+    );
+
+    // Round-robin the arrivals: each client keeps the global offsets, so the
+    // aggregate process still arrives at `rate` regardless of client count.
+    let shares: Vec<Vec<Arrival>> =
+        (0..clients).map(|c| trace.iter().skip(c).step_by(clients).cloned().collect()).collect();
+    let start = Instant::now() + Duration::from_millis(200); // common epoch
+    let handles: Vec<_> = shares
+        .into_iter()
+        .map(|share| {
+            let addr = addr.clone();
+            std::thread::spawn(move || run_net_client(&addr, &share, start))
+        })
+        .collect();
+    let mut tally = NetTally::default();
+    for h in handles {
+        tally.merge(h.join().map_err(|_| "client thread panicked")??);
+    }
+    let wall = start.elapsed();
+
+    let served = tally.query_lat.len() + tally.update_lat.len();
+    println!(
+        "served {served}/{ops} in {:.2?} — {:.0} req/s achieved \
+         ({} shed, {} io errors)",
+        wall,
+        served as f64 / wall.as_secs_f64(),
+        tally.shed,
+        tally.io_errors,
+    );
+    println!(
+        "queries: {} answered, p50 {}, p99 {}",
+        tally.query_lat.len(),
+        fmt_lat(percentile(&tally.query_lat, 50.0)),
+        fmt_lat(percentile(&tally.query_lat, 99.0)),
+    );
+    println!(
+        "updates: {} applied, {} rejected, p50 {}, p99 {}",
+        tally.applied,
+        tally.rejected,
+        fmt_lat(percentile(&tally.update_lat, 50.0)),
+        fmt_lat(percentile(&tally.update_lat, 99.0)),
+    );
+    if tally.io_errors as f64 > ops as f64 * 0.5 {
+        return Err("more than half the requests failed with io errors".into());
+    }
+    if let Ok(mut probe) = NetClient::connect(addr.as_str()) {
+        if let Ok(stats) = probe.stats() {
+            println!(
+                "server: generation {}, {} batches applied, {} rejected, \
+                 {} requests coalesced into {} batches, {} update requests shed",
+                stats.generation,
+                stats.batches_applied,
+                stats.batches_rejected,
+                stats.batcher_requests_coalesced,
+                stats.batcher_batches_submitted,
+                stats.batcher_requests_shed,
+            );
+        }
+    }
     Ok(())
 }
 

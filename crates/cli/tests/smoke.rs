@@ -123,11 +123,108 @@ fn serve_rejects_bad_flags() {
         vec!["serve", "x.gr", "--batch-size", "0"],
         vec!["serve", "x.gr", "--update-fraction", "1.5"],
         vec!["serve", "x.gr", "--repair-threads", "0"],
+        vec!["serve", "x.gr", "--net-readers", "0"],
+        vec!["serve", "x.gr", "--listen", "not-an-address", "--duration-secs", "1"],
     ] {
         let out = stl(&bad);
         assert_eq!(out.status.code(), Some(1), "args: {bad:?}");
         assert!(String::from_utf8_lossy(&out.stderr).contains("error:"), "args: {bad:?}");
     }
+}
+
+#[test]
+fn serve_listen_answers_over_tcp() {
+    use std::io::BufRead;
+
+    let scratch = Scratch::new();
+    let graph = scratch.path("net.gr");
+    stdout_of(&stl(&["gen", &graph, "--vertices", "250", "--seed", "21"]));
+
+    // Ephemeral port: the child prints the bound address once it is up.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stl"))
+        .args([
+            "serve",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--duration-secs",
+            "60",
+            "--batch-latency-ms",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn stl serve --listen");
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read child stdout");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+
+    let g = {
+        let f = std::fs::File::open(&graph).unwrap();
+        stl_graph::io::read_dimacs_gr(std::io::BufReader::new(f)).unwrap()
+    };
+    let oracle = stl_core::Stl::build(&g, &stl_core::StlConfig::default());
+    let mut client =
+        stl_server::NetClient::connect_retry(addr.as_str(), std::time::Duration::from_secs(10))
+            .expect("connect to child server");
+
+    // Queries over TCP answer from the same index the oracle built.
+    assert_eq!(client.query(0, 249).unwrap(), oracle.query(0, 249));
+    assert_eq!(client.query(16, 202).unwrap(), oracle.query(16, 202));
+
+    // A real edge updates and publishes; a nonexistent one is rejected
+    // without killing the server.
+    let (a, b, w) =
+        g.edges().find(|&(_, _, w)| w < stl_graph::INF - 1).expect("graph has a finite edge");
+    let applied = client.update(&[stl_graph::EdgeUpdate::new(a, b, w + 1)]).unwrap();
+    assert!(applied.applied, "reason: {}", applied.reason);
+    let non_edge = (0..250u32)
+        .flat_map(|x| (0..250u32).map(move |y| (x, y)))
+        .find(|&(x, y)| x != y && !g.has_edge(x, y))
+        .expect("a sparse road network has non-edges");
+    let rejected = client.update(&[stl_graph::EdgeUpdate::new(non_edge.0, non_edge.1, 5)]).unwrap();
+    assert!(!rejected.applied);
+    assert!(rejected.reason.contains("no edge"), "reason: {}", rejected.reason);
+    assert_eq!(client.query(0, 249).unwrap(), {
+        // Still serving, now from the post-update epoch.
+        let mut g2 = g.clone();
+        g2.set_weight(a, b, w + 1).unwrap();
+        stl_core::Stl::build(&g2, &stl_core::StlConfig::default()).query(0, 249)
+    });
+
+    // The open-loop client mode drives the same server and reports
+    // percentiles and rejection counts.
+    let out = stdout_of(&stl(&[
+        "bench-net",
+        &addr,
+        &graph,
+        "--rate",
+        "3000",
+        "--ops",
+        "1500",
+        "--clients",
+        "2",
+        "--update-fraction",
+        "0.01",
+        "--seed",
+        "5",
+    ]));
+    assert!(out.contains("req/s achieved"), "bench-net output: {out}");
+    assert!(out.contains("queries:"), "bench-net output: {out}");
+    assert!(out.contains("updates:"), "bench-net output: {out}");
+    assert!(out.contains("p99"), "bench-net output: {out}");
+
+    child.kill().expect("stop child server");
+    let _ = child.wait();
 }
 
 #[test]

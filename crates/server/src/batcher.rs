@@ -1,0 +1,407 @@
+//! Adaptive update batching between request producers and the writer.
+//!
+//! The paper's batch experiments (§7) quantify the trade-off this module
+//! makes user-facing: larger batches amortise label repair (one search pass,
+//! one publish, one spine refresh for many updates) at the cost of update
+//! visibility latency. The [`AdaptiveBatcher`] sits between any number of
+//! producers — the TCP transport's reader pool, or in-process callers — and
+//! [`StlServer::submit`]: it accumulates incoming update requests until
+//! either a **latency budget** ([`BatcherConfig::latency_ms`]) or a **size
+//! budget** ([`BatcherConfig::max_updates`]) trips, then submits everything
+//! accumulated as one writer batch and fans the resulting [`BatchOutcome`]
+//! back to every contributing request.
+//!
+//! Two properties keep bad input and overload survivable:
+//!
+//! * **Pre-validation.** Every request is validated against the (immutable)
+//!   topology before it may join a merged batch
+//!   ([`crate::server::validate_batch`]); an invalid request is answered
+//!   [`BatchOutcome::Rejected`] on its own and can never poison the merged
+//!   batch of innocent co-submitters. Since validation is purely structural
+//!   and structure never changes, the pre-check is exact — the writer's own
+//!   validation (the backstop for direct `submit` callers) never fires for
+//!   batched traffic.
+//! * **Admission control.** At most [`BatcherConfig::max_queued`] updates
+//!   may be pending; beyond that, new requests are shed immediately with an
+//!   explicit `Rejected("overloaded: …")` instead of growing the queue
+//!   without bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use stl_graph::{CsrGraph, EdgeUpdate};
+
+use crate::server::{validate_batch, BatchOutcome, StlServer};
+
+/// Batching knobs (see the module docs for the trade-off they control).
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Latency budget in milliseconds: a pending batch is flushed once its
+    /// oldest update has waited this long. `0` flushes as soon as the
+    /// flusher can grab the pending set (minimal added latency, minimal
+    /// amortisation).
+    pub latency_ms: u64,
+    /// Size budget: a pending batch is flushed as soon as it holds at least
+    /// this many updates, regardless of age.
+    pub max_updates: usize,
+    /// Admission bound: requests arriving while this many updates are
+    /// already pending are shed with an explicit rejection instead of
+    /// queued. Bounds both memory and worst-case flush size.
+    pub max_queued: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self { latency_ms: 10, max_updates: 256, max_queued: 4096 }
+    }
+}
+
+/// Counters of one batcher's lifetime, all monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Merged batches handed to the writer.
+    pub batches_submitted: u64,
+    /// Client requests folded into those batches (≥ `batches_submitted`
+    /// whenever coalescing happened).
+    pub requests_coalesced: u64,
+    /// Requests shed by admission control (queue full).
+    pub requests_shed: u64,
+    /// Requests rejected by pre-validation (bad edge, INF weight, …).
+    pub requests_rejected: u64,
+    /// Flushes tripped by the size budget.
+    pub flushes_by_size: u64,
+    /// Flushes tripped by the latency budget.
+    pub flushes_by_timer: u64,
+}
+
+#[derive(Debug, Default)]
+struct OutcomeSlot {
+    outcome: Mutex<Option<BatchOutcome>>,
+    ready: Condvar,
+}
+
+impl OutcomeSlot {
+    fn resolve(&self, outcome: BatchOutcome) {
+        *self.outcome.lock().unwrap() = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one enqueued update request; [`PendingUpdate::wait`] blocks
+/// until the request's merged batch has been applied (or the request was
+/// rejected/shed up front) and returns the outcome.
+#[derive(Debug)]
+pub struct PendingUpdate(Arc<OutcomeSlot>);
+
+impl PendingUpdate {
+    fn resolved(outcome: BatchOutcome) -> Self {
+        let slot = OutcomeSlot::default();
+        *slot.outcome.lock().unwrap() = Some(outcome);
+        Self(Arc::new(slot))
+    }
+
+    /// Block until the outcome is known. Idempotent — repeated calls return
+    /// the same outcome.
+    pub fn wait(&self) -> BatchOutcome {
+        let guard = self.0.outcome.lock().unwrap();
+        let guard = self.0.ready.wait_while(guard, |o| o.is_none()).unwrap();
+        guard.clone().expect("wait_while guarantees Some")
+    }
+}
+
+struct FlushState {
+    pending: Vec<EdgeUpdate>,
+    waiters: Vec<Arc<OutcomeSlot>>,
+    opened_at: Option<Instant>,
+    stop: bool,
+}
+
+struct BatcherShared {
+    server: Arc<StlServer>,
+    /// Topology reference for pre-validation. Weights are irrelevant to
+    /// validation and structure is immutable, so a COW clone taken at
+    /// construction stays accurate forever.
+    graph: CsrGraph,
+    cfg: BatcherConfig,
+    state: Mutex<FlushState>,
+    kick: Condvar,
+    batches_submitted: AtomicU64,
+    requests_coalesced: AtomicU64,
+    requests_shed: AtomicU64,
+    requests_rejected: AtomicU64,
+    flushes_by_size: AtomicU64,
+    flushes_by_timer: AtomicU64,
+}
+
+/// The accumulating middleman between producers and the writer (see the
+/// module docs). Cheap to share behind an `Arc`; submission is `&self`.
+pub struct AdaptiveBatcher {
+    shared: Arc<BatcherShared>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl AdaptiveBatcher {
+    /// Start the flusher thread in front of `server`.
+    pub fn start(server: Arc<StlServer>, cfg: BatcherConfig) -> Self {
+        let graph = server.snapshot().graph().clone();
+        let shared = Arc::new(BatcherShared {
+            server,
+            graph,
+            cfg,
+            state: Mutex::new(FlushState {
+                pending: Vec::new(),
+                waiters: Vec::new(),
+                opened_at: None,
+                stop: false,
+            }),
+            kick: Condvar::new(),
+            batches_submitted: AtomicU64::new(0),
+            requests_coalesced: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            requests_rejected: AtomicU64::new(0),
+            flushes_by_size: AtomicU64::new(0),
+            flushes_by_timer: AtomicU64::new(0),
+        });
+        let flusher_shared = Arc::clone(&shared);
+        let flusher = std::thread::Builder::new()
+            .name("stl-batcher".into())
+            .spawn(move || flusher_loop(&flusher_shared))
+            .expect("spawn stl-batcher thread");
+        Self { shared, flusher: Mutex::new(Some(flusher)) }
+    }
+
+    /// Enqueue one update request.
+    ///
+    /// Returns immediately with a [`PendingUpdate`]; call
+    /// [`PendingUpdate::wait`] for the outcome. Invalid requests and
+    /// requests shed by admission control come back already resolved to
+    /// [`BatchOutcome::Rejected`] without touching the queue.
+    pub fn submit(&self, updates: Vec<EdgeUpdate>) -> PendingUpdate {
+        if let Err(reason) = validate_batch(&self.shared.graph, &updates) {
+            self.shared.requests_rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.server.note_rejected_batch();
+            return PendingUpdate::resolved(BatchOutcome::Rejected(reason));
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        if st.stop {
+            return PendingUpdate::resolved(BatchOutcome::Rejected(
+                "batcher shut down before the request was accepted".into(),
+            ));
+        }
+        if st.pending.len() + updates.len() > self.shared.cfg.max_queued {
+            let queued = st.pending.len();
+            drop(st);
+            self.shared.requests_shed.fetch_add(1, Ordering::Relaxed);
+            return PendingUpdate::resolved(BatchOutcome::Rejected(format!(
+                "overloaded: {queued} updates queued (admission limit {})",
+                self.shared.cfg.max_queued
+            )));
+        }
+        if st.pending.is_empty() {
+            st.opened_at = Some(Instant::now());
+        }
+        st.pending.extend(updates);
+        let slot = Arc::new(OutcomeSlot::default());
+        st.waiters.push(Arc::clone(&slot));
+        drop(st);
+        self.shared.kick.notify_all();
+        PendingUpdate(slot)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            batches_submitted: self.shared.batches_submitted.load(Ordering::Relaxed),
+            requests_coalesced: self.shared.requests_coalesced.load(Ordering::Relaxed),
+            requests_shed: self.shared.requests_shed.load(Ordering::Relaxed),
+            requests_rejected: self.shared.requests_rejected.load(Ordering::Relaxed),
+            flushes_by_size: self.shared.flushes_by_size.load(Ordering::Relaxed),
+            flushes_by_timer: self.shared.flushes_by_timer.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flush whatever is pending, resolve every outstanding waiter, and join
+    /// the flusher thread. Idempotent; also runs on drop. Requests arriving
+    /// after shutdown are rejected immediately.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.stop = true;
+        }
+        self.shared.kick.notify_all();
+        if let Some(handle) = self.flusher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AdaptiveBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn flusher_loop(shared: &BatcherShared) {
+    loop {
+        let (batch, waiters, by_size, by_timer) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.waiters.is_empty() {
+                    if st.stop {
+                        return;
+                    }
+                    st = shared.kick.wait(st).unwrap();
+                    continue;
+                }
+                let budget = Duration::from_millis(shared.cfg.latency_ms);
+                let age = st.opened_at.map_or(budget, |t| t.elapsed());
+                let by_size = st.pending.len() >= shared.cfg.max_updates;
+                if st.stop || by_size || age >= budget {
+                    st.opened_at = None;
+                    break (
+                        std::mem::take(&mut st.pending),
+                        std::mem::take(&mut st.waiters),
+                        by_size,
+                        !by_size && !st.stop,
+                    );
+                }
+                // Not ripe yet: sleep out the remaining budget, re-checking
+                // whenever a new request lands (it may trip the size budget).
+                let (guard, _) = shared.kick.wait_timeout(st, budget - age).unwrap();
+                st = guard;
+            }
+        };
+        // Submit outside the lock: producers keep accumulating the *next*
+        // batch while the writer applies this one — the wait below is
+        // exactly where repair amortisation comes from under load.
+        let ticket = shared.server.submit(batch);
+        let outcome = shared.server.wait_for(ticket);
+        shared.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        shared.requests_coalesced.fetch_add(waiters.len() as u64, Ordering::Relaxed);
+        if by_size {
+            shared.flushes_by_size.fetch_add(1, Ordering::Relaxed);
+        } else if by_timer {
+            shared.flushes_by_timer.fetch_add(1, Ordering::Relaxed);
+        }
+        for waiter in waiters {
+            waiter.resolve(outcome.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use stl_core::{Stl, StlConfig};
+    use stl_graph::builder::from_edges;
+
+    fn diamond_server() -> Arc<StlServer> {
+        let g = from_edges(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)]);
+        let stl = Stl::build(&g, &StlConfig::default());
+        Arc::new(StlServer::start(g, stl, ServerConfig::default()))
+    }
+
+    #[test]
+    fn coalesces_concurrent_requests_into_one_writer_batch() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig { latency_ms: 250, ..Default::default() },
+        );
+        // Three requests inside one latency window → one merged batch.
+        let pends: Vec<PendingUpdate> = vec![
+            batcher.submit(vec![EdgeUpdate::new(0, 1, 5)]),
+            batcher.submit(vec![EdgeUpdate::new(1, 2, 6)]),
+            batcher.submit(vec![EdgeUpdate::new(2, 3, 7)]),
+        ];
+        for p in &pends {
+            assert_eq!(p.wait(), BatchOutcome::Applied);
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.batches_submitted, 1, "three requests must merge into one batch");
+        assert_eq!(stats.requests_coalesced, 3);
+        assert_eq!(stats.flushes_by_timer, 1);
+        batcher.shutdown();
+        assert_eq!(server.generation(), 1);
+        assert_eq!(server.snapshot().query(0, 2), 11);
+    }
+
+    #[test]
+    fn size_budget_trips_before_the_timer() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig { latency_ms: 10_000, max_updates: 2, ..Default::default() },
+        );
+        let a = batcher.submit(vec![EdgeUpdate::new(0, 1, 9)]);
+        let b = batcher.submit(vec![EdgeUpdate::new(1, 2, 9)]);
+        assert_eq!(a.wait(), BatchOutcome::Applied);
+        assert_eq!(b.wait(), BatchOutcome::Applied);
+        assert!(batcher.stats().flushes_by_size >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn invalid_request_is_rejected_alone_without_poisoning_the_batch() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig { latency_ms: 250, ..Default::default() },
+        );
+        let good = batcher.submit(vec![EdgeUpdate::new(0, 1, 8)]);
+        let bad = batcher.submit(vec![EdgeUpdate::new(0, 2, 8)]); // no such edge
+        match bad.wait() {
+            BatchOutcome::Rejected(reason) => assert!(reason.contains("no edge"), "{reason}"),
+            BatchOutcome::Applied => panic!("invalid request must not be applied"),
+        }
+        assert_eq!(good.wait(), BatchOutcome::Applied, "co-submitter must be unaffected");
+        assert_eq!(server.snapshot().query(0, 1), 8);
+        assert_eq!(batcher.stats().requests_rejected, 1);
+        assert_eq!(server.stats().batches_rejected, 1, "pre-check rejections reach ServerStats");
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn admission_control_sheds_beyond_the_queue_bound() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig { latency_ms: 300, max_updates: 1000, max_queued: 3 },
+        );
+        // Fill the queue within one latency window, then overflow it.
+        let fill: Vec<PendingUpdate> =
+            (0..3).map(|i| batcher.submit(vec![EdgeUpdate::new(0, 1, 10 + i)])).collect();
+        let shed = batcher.submit(vec![EdgeUpdate::new(2, 3, 9)]);
+        match shed.wait() {
+            BatchOutcome::Rejected(reason) => {
+                assert!(reason.contains("overloaded"), "shed must be explicit: {reason}")
+            }
+            BatchOutcome::Applied => panic!("requests beyond the bound must shed"),
+        }
+        assert_eq!(batcher.stats().requests_shed, 1);
+        for p in fill {
+            assert_eq!(p.wait(), BatchOutcome::Applied, "queued requests still apply");
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_and_rejects_new() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig {
+                latency_ms: 10_000, // would never flush by timer within the test
+                ..Default::default()
+            },
+        );
+        let p = batcher.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        batcher.shutdown();
+        assert_eq!(p.wait(), BatchOutcome::Applied, "shutdown must flush, not drop");
+        assert_eq!(server.snapshot().query(0, 3), 2);
+        assert!(!batcher.submit(vec![EdgeUpdate::new(0, 1, 4)]).wait().is_applied());
+    }
+}

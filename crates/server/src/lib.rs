@@ -65,16 +65,43 @@
 //! assert_eq!(stats.batches_applied, 1);
 //! ```
 //!
+//! ## Surviving bad input
+//!
+//! The apply path is **fallible**: every batch is validated against the
+//! graph's topology before `apply_batch_sharded` runs, and a batch naming a
+//! nonexistent edge (or an out-of-range vertex, a self-loop, or an `INF`
+//! weight) is **rejected, not fatal**. [`StlServer::wait_for`] returns a
+//! [`BatchOutcome`] — `Applied` or `Rejected(reason)` — the writer stays
+//! alive, rejected batches consume no generation, and
+//! [`ServerStats::batches_rejected`] counts them. `submit`/`wait_for` never
+//! panic, even if the writer thread is gone.
+//!
+//! ## Network serving
+//!
+//! The [`transport`] module puts the server on a TCP socket: a tiny
+//! length-prefixed binary protocol (see its module docs for the frame
+//! layout), a fixed-size reader pool that refreshes its `Arc<Snapshot>` per
+//! request, and connection/queue admission control so overload sheds
+//! instead of piling up. Incoming updates flow through the [`batcher`]
+//! module's [`AdaptiveBatcher`], which accumulates them until a latency or
+//! size budget trips — trading publish frequency against repair
+//! amortization, the knob the paper's batch experiments motivate.
+//!
 //! No dependencies beyond `std`: the swap slot is `RwLock<Arc<Snapshot>>`,
 //! the queue is `std::sync::mpsc`, and the publish barrier is a
-//! `Mutex<u64>` + `Condvar` pair.
+//! `Mutex<Progress>` + `Condvar` pair; the transport is `std::net` with a
+//! thread pool.
 
+pub mod batcher;
 pub mod replay;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
+pub mod transport;
 
+pub use batcher::{AdaptiveBatcher, BatcherConfig, BatcherStats, PendingUpdate};
 pub use replay::replay_mixed;
-pub use server::{ServerConfig, StlServer, Ticket};
+pub use server::{validate_batch, BatchOutcome, ServerConfig, StlServer, Ticket};
 pub use snapshot::Snapshot;
 pub use stats::ServerStats;
+pub use transport::{NetClient, NetConfig, NetServer, NetStats, RemoteOutcome, RemoteStats};

@@ -1,5 +1,6 @@
 //! The service: one writer thread, any number of snapshot readers.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -7,10 +8,77 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use stl_core::{EnginePool, Maintenance, Stl};
-use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId};
+use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId, INF};
 
 use crate::snapshot::Snapshot;
 use crate::stats::{ServerStats, StatsCells};
+
+/// How many rejection reasons the server retains for [`StlServer::wait_for`].
+///
+/// Rejections are an error path: retaining every reason forever would let a
+/// misbehaving client grow server memory without bound (exactly the class of
+/// remote-triggerable failure the fallible writer exists to prevent), so only
+/// the most recent window is kept. Clients that wait promptly — everything in
+/// this crate does — always see their reason.
+const REJECTION_WINDOW: usize = 1024;
+
+/// What happened to a submitted batch, per ticket (see [`StlServer::wait_for`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The batch validated, was applied, and its epoch is published: every
+    /// snapshot taken after `wait_for` returned reflects it.
+    Applied,
+    /// The batch failed validation and was dropped **before any mutation** —
+    /// graph, labels, and generation are exactly as if it was never
+    /// submitted, and the writer keeps serving later batches. The payload is
+    /// a human-readable reason naming the first offending update.
+    Rejected(String),
+}
+
+impl BatchOutcome {
+    /// Whether the batch was applied and published.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, BatchOutcome::Applied)
+    }
+}
+
+/// Validate a batch against the (immutable) topology of `g` without applying
+/// anything: every update must target an existing edge between distinct
+/// in-range vertices with a finite weight. Returns the first violation as a
+/// human-readable reason.
+///
+/// This is the gate that makes the serving path total: `Stl::apply_batch`
+/// panics on a missing edge (its documented in-process contract), so the
+/// writer — and the transport's [`crate::AdaptiveBatcher`] in front of it —
+/// run this check first and turn bad input into
+/// [`BatchOutcome::Rejected`] instead of a dead writer thread. Validation is
+/// purely topological (road-network structure is fixed, §8), so a batch that
+/// passes here never panics in the apply path regardless of concurrent
+/// weight changes.
+pub fn validate_batch(g: &CsrGraph, batch: &[EdgeUpdate]) -> Result<(), String> {
+    let n = g.num_vertices() as u64;
+    for (i, u) in batch.iter().enumerate() {
+        if u64::from(u.a) >= n || u64::from(u.b) >= n {
+            return Err(format!(
+                "update {i}: vertex out of range (({}, {}) in a {n}-vertex graph)",
+                u.a, u.b
+            ));
+        }
+        if u.a == u.b {
+            return Err(format!("update {i}: self-loop update on vertex {}", u.a));
+        }
+        if u.new_weight == INF {
+            return Err(format!(
+                "update {i}: weight INF is reserved for unreachability; road closures are \
+                 structural updates, not weight updates"
+            ));
+        }
+        if !g.has_edge(u.a, u.b) {
+            return Err(format!("update {i}: no edge between {} and {}", u.a, u.b));
+        }
+    }
+    Ok(())
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -49,30 +117,48 @@ impl ServerConfig {
     ///   pipeline at both 1 and 4 workers.
     /// * `STL_COMPACT_QUIET_EPOCHS` (integer, `0` disables) —
     ///   [`ServerConfig::compact_after_quiet_epochs`].
-    /// * `STL_COMPACT_DIRTY_RATIO` (non-negative float) —
+    /// * `STL_COMPACT_DIRTY_RATIO` (float in `0.0..=1.0`) —
     ///   [`ServerConfig::compact_dirty_ratio`].
-    pub fn from_env() -> Self {
+    ///
+    /// A set-but-malformed variable is an **error**, not a silent default:
+    /// `STL_REPAIR_THREADS=abc` (or `=0`) used to fall back to the default
+    /// without a word, which meant a typo in the CI matrix quietly tested
+    /// the wrong configuration. Callers decide how loud to be — the test
+    /// harnesses `expect` the result so a bad matrix entry fails the run.
+    pub fn from_env() -> Result<Self, String> {
         let mut cfg = Self::default();
-        if let Some(t) =
-            std::env::var("STL_REPAIR_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
-        {
-            if t >= 1 {
-                cfg.repair_threads = t;
+        if let Some(t) = parsed_env::<usize>("STL_REPAIR_THREADS")? {
+            if t == 0 {
+                return Err("STL_REPAIR_THREADS must be at least 1".into());
             }
+            cfg.repair_threads = t;
         }
-        if let Some(q) =
-            std::env::var("STL_COMPACT_QUIET_EPOCHS").ok().and_then(|v| v.parse::<u32>().ok())
-        {
+        if let Some(q) = parsed_env::<u32>("STL_COMPACT_QUIET_EPOCHS")? {
             cfg.compact_after_quiet_epochs = q;
         }
-        if let Some(r) =
-            std::env::var("STL_COMPACT_DIRTY_RATIO").ok().and_then(|v| v.parse::<f64>().ok())
-        {
-            if r >= 0.0 {
-                cfg.compact_dirty_ratio = r;
+        if let Some(r) = parsed_env::<f64>("STL_COMPACT_DIRTY_RATIO")? {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("STL_COMPACT_DIRTY_RATIO must be within 0.0..=1.0, got {r}"));
             }
+            cfg.compact_dirty_ratio = r;
         }
-        cfg
+        Ok(cfg)
+    }
+}
+
+/// Read and parse an environment variable, distinguishing "absent" (fine,
+/// `None`) from "present but unparsable" (an error worth surfacing).
+fn parsed_env<T: std::str::FromStr>(key: &str) -> Result<Option<T>, String> {
+    match std::env::var(key) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            Err(format!("{key} is set but not valid unicode: {raw:?}"))
+        }
+        Ok(raw) => raw
+            .trim()
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{key}={raw:?} is not a valid {}", std::any::type_name::<T>())),
     }
 }
 
@@ -87,13 +173,21 @@ impl Default for ServerConfig {
     }
 }
 
-/// Position of a submitted batch in the publish sequence: the batch is
-/// visible to readers once the current generation reaches the ticket.
+/// Position of a submitted batch in the writer's processing sequence: the
+/// batch's [`BatchOutcome`] is available — and, if applied, its epoch is
+/// visible to readers — once the writer has processed the ticket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Ticket(pub u64);
 
-/// `(generation published so far, writer exited)` guarded by the barrier.
-type Progress = (u64, bool);
+/// Writer progress guarded by the publish barrier. `processed` counts every
+/// ticket the writer finished (applied *or* rejected); `generation` counts
+/// only applied batches, so the two diverge exactly by the rejections.
+#[derive(Debug, Clone, Copy, Default)]
+struct Progress {
+    processed: u64,
+    generation: u64,
+    exited: bool,
+}
 
 struct Shared {
     /// The publish slot. Writers hold the write half only for the pointer
@@ -102,6 +196,10 @@ struct Shared {
     stats: StatsCells,
     progress: Mutex<Progress>,
     published: Condvar,
+    /// Reasons of the most recent `REJECTION_WINDOW` (1024) rejected tickets,
+    /// oldest first. Tickets absent from this window were applied (or their
+    /// reason aged out — see [`StlServer::wait_for`]).
+    rejections: Mutex<VecDeque<(u64, Arc<str>)>>,
 }
 
 /// Epoch-snapshot query service over a [`Stl`] index.
@@ -129,20 +227,22 @@ impl StlServer {
         let shared = Arc::new(Shared {
             current: RwLock::new(first),
             stats: StatsCells::default(),
-            progress: Mutex::new((0, false)),
+            progress: Mutex::new(Progress::default()),
             published: Condvar::new(),
+            rejections: Mutex::new(VecDeque::new()),
         });
         let (tx, rx) = mpsc::channel::<Vec<EdgeUpdate>>();
         let writer_shared = Arc::clone(&shared);
         let writer = std::thread::Builder::new()
             .name("stl-writer".into())
             .spawn(move || {
-                // Flag writer exit (normal drain or panic inside
-                // `apply_batch`) so `wait_for` never blocks forever.
+                // Flag writer exit (normal drain, or a panic from an
+                // *internal* bug — bad input no longer reaches the apply
+                // path) so `wait_for` never blocks forever.
                 struct ExitFlag(Arc<Shared>);
                 impl Drop for ExitFlag {
                     fn drop(&mut self) {
-                        self.0.progress.lock().unwrap().1 = true;
+                        self.0.progress.lock().unwrap().exited = true;
                         self.0.published.notify_all();
                     }
                 }
@@ -151,12 +251,33 @@ impl StlServer {
                 let mut stl = stl;
                 let mut pool = EnginePool::new();
                 let mut generation = 0u64;
+                let mut processed = 0u64;
                 // Consecutive epochs at or below the quiet dirty ratio —
                 // the compaction trigger's streak counter.
                 let mut quiet_epochs = 0u32;
                 while let Ok(batch) = rx.recv() {
+                    processed += 1;
                     let stats = &writer_shared.stats;
                     stats.updates_submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    // The bugfix that makes remote serving survivable: a bad
+                    // update used to kill the writer (apply_batch's panic
+                    // contract), turning one malformed client batch into a
+                    // total outage. Validate first; reject without mutating.
+                    if let Err(reason) = validate_batch(&graph, &batch) {
+                        stats.batches_rejected.fetch_add(1, Ordering::Relaxed);
+                        {
+                            let mut rej = writer_shared.rejections.lock().unwrap();
+                            if rej.len() == REJECTION_WINDOW {
+                                rej.pop_front();
+                            }
+                            rej.push_back((processed, reason.into()));
+                        }
+                        let mut p = writer_shared.progress.lock().unwrap();
+                        p.processed = processed;
+                        drop(p);
+                        writer_shared.published.notify_all();
+                        continue;
+                    }
                     let t_apply = Instant::now();
                     let (ustats, report) = stl.apply_batch_sharded(
                         &mut graph,
@@ -206,23 +327,28 @@ impl StlServer {
                             quiet_epochs = 0;
                         }
                     }
-                    stats
-                        .snapshot_is_flat
-                        .store(u64::from(stl.is_flat() && graph.weights_flat()), Ordering::Relaxed);
                     // Publish: O(touched) — the clone below copies only the
                     // Arc chunk tables; every byte not written by this batch
-                    // is shared with the previous epoch. Every batch
+                    // is shared with the previous epoch. Every *valid* batch
                     // publishes — even one normalised away to a no-op — so
-                    // tickets always resolve to a generation.
+                    // applied tickets always resolve to a generation.
                     generation += 1;
                     let t_pub = Instant::now();
                     let snap = Arc::new(Snapshot::new(generation, graph.clone(), stl.clone()));
+                    let snap_flat = snap.is_flat();
                     *writer_shared.current.write().unwrap() = snap;
+                    // Stored only *after* the pointer swap: storing before it
+                    // opened a window where stats() reported a flat snapshot
+                    // while readers still held the chunked one.
+                    stats.snapshot_is_flat.store(u64::from(snap_flat), Ordering::Relaxed);
                     let pub_ns = t_pub.elapsed().as_nanos() as u64;
                     stats.publish_ns_total.fetch_add(pub_ns, Ordering::Relaxed);
                     stats.publish_ns_last.store(pub_ns, Ordering::Relaxed);
                     stats.batches_applied.store(generation, Ordering::Relaxed);
-                    writer_shared.progress.lock().unwrap().0 = generation;
+                    let mut p = writer_shared.progress.lock().unwrap();
+                    p.processed = processed;
+                    p.generation = generation;
+                    drop(p);
                     writer_shared.published.notify_all();
                 }
             })
@@ -232,33 +358,57 @@ impl StlServer {
 
     /// Enqueue a batch of edge-weight updates for the writer thread.
     ///
-    /// Returns immediately; the change is visible to readers once the
-    /// generation reaches the returned [`Ticket`] (see [`StlServer::wait_for`]).
-    /// Every update must target an existing edge — a bad update kills the
-    /// writer (matching `apply_batch`'s contract), after which `submit` and
-    /// `wait_for` panic instead of hanging.
+    /// Returns immediately. The writer validates the batch against the graph
+    /// before applying it: a valid batch is applied and published (visible
+    /// to readers once [`StlServer::wait_for`] returns
+    /// [`BatchOutcome::Applied`] for the ticket), an invalid one is dropped
+    /// whole with [`BatchOutcome::Rejected`] — the writer stays alive and
+    /// later submissions are unaffected. Panics only if called after
+    /// [`StlServer::shutdown`] (unreachable through the owned API).
     pub fn submit(&self, batch: Vec<EdgeUpdate>) -> Ticket {
         let mut tx = self.tx.lock().unwrap();
         let (sender, count) = tx.as_mut().expect("server already shut down");
-        sender.send(batch).expect("stl-writer thread terminated");
+        // A failed send means the writer died (an internal bug, since bad
+        // input is rejected, not fatal). Still hand out the ticket: wait_for
+        // reports the death as a Rejected outcome instead of panicking here.
+        let _ = sender.send(batch);
         *count += 1;
         Ticket(*count)
     }
 
-    /// Block until the batch behind `ticket` has been published.
+    /// Block until the writer has processed the batch behind `ticket`, and
+    /// report what happened to it.
     ///
-    /// Panics if the writer thread died before reaching it.
-    pub fn wait_for(&self, ticket: Ticket) {
+    /// Never panics: a batch that failed validation — or a writer lost to an
+    /// internal bug before reaching the ticket — is reported as
+    /// [`BatchOutcome::Rejected`] with the reason, and the server keeps
+    /// answering queries either way. Rejection reasons are retained for the
+    /// most recent `REJECTION_WINDOW` (1024) rejections; waiting promptly (as
+    /// every caller in this workspace does) always observes the true
+    /// outcome.
+    pub fn wait_for(&self, ticket: Ticket) -> BatchOutcome {
         let guard = self.shared.progress.lock().unwrap();
         let guard = self
             .shared
             .published
-            .wait_while(guard, |&mut (gen, exited)| gen < ticket.0 && !exited)
+            .wait_while(guard, |p| p.processed < ticket.0 && !p.exited)
             .unwrap();
-        assert!(guard.0 >= ticket.0, "stl-writer thread terminated before ticket {}", ticket.0);
+        if guard.processed < ticket.0 {
+            return BatchOutcome::Rejected(format!(
+                "stl-writer thread terminated before ticket {} (processed {})",
+                ticket.0, guard.processed
+            ));
+        }
+        drop(guard);
+        let rejections = self.shared.rejections.lock().unwrap();
+        match rejections.iter().rev().find(|(t, _)| *t == ticket.0) {
+            Some((_, reason)) => BatchOutcome::Rejected(reason.to_string()),
+            None => BatchOutcome::Applied,
+        }
     }
 
-    /// Block until everything submitted so far has been published.
+    /// Block until everything submitted so far has been processed (applied
+    /// and published, or rejected).
     pub fn drain(&self) {
         let count = self.tx.lock().unwrap().as_ref().expect("server already shut down").1;
         self.wait_for(Ticket(count));
@@ -284,9 +434,18 @@ impl StlServer {
         self.shared.stats.queries_served.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Latest published generation.
+    /// Latest published generation. Advances per *applied* batch — rejected
+    /// tickets consume no generation.
     pub fn generation(&self) -> u64 {
-        self.shared.progress.lock().unwrap().0
+        self.shared.progress.lock().unwrap().generation
+    }
+
+    /// Count a batch rejected before it reached the writer (the adaptive
+    /// batcher pre-validates so one bad client request cannot poison a
+    /// merged batch); keeps [`ServerStats::batches_rejected`] covering both
+    /// rejection sites.
+    pub(crate) fn note_rejected_batch(&self) {
+        self.shared.stats.batches_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current counters.
@@ -535,9 +694,15 @@ mod tests {
         let key = "STL_REPAIR_THREADS";
         let prev = std::env::var(key).ok();
         std::env::set_var(key, "2");
-        assert_eq!(ServerConfig::from_env().repair_threads, 2);
+        assert_eq!(ServerConfig::from_env().unwrap().repair_threads, 2);
+        // Malformed or out-of-range values are errors now, not silent
+        // defaults — a CI-matrix typo must fail the run, loudly.
         std::env::set_var(key, "not a number");
-        assert_eq!(ServerConfig::from_env().repair_threads, ServerConfig::default().repair_threads);
+        let err = ServerConfig::from_env().unwrap_err();
+        assert!(err.contains("STL_REPAIR_THREADS"), "error must name the variable: {err}");
+        std::env::set_var(key, "0");
+        let err = ServerConfig::from_env().unwrap_err();
+        assert!(err.contains("at least 1"), "zero threads must be rejected: {err}");
         match prev {
             Some(v) => std::env::set_var(key, v),
             None => std::env::remove_var(key),
@@ -624,15 +789,122 @@ mod tests {
         let prev: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
         std::env::set_var(keys[0], "3");
         std::env::set_var(keys[1], "0.5");
-        let cfg = ServerConfig::from_env();
+        let cfg = ServerConfig::from_env().unwrap();
         assert_eq!(cfg.compact_after_quiet_epochs, 3);
         assert!((cfg.compact_dirty_ratio - 0.5).abs() < 1e-9);
+        std::env::set_var(keys[1], "1.5");
+        let err = ServerConfig::from_env().unwrap_err();
+        assert!(err.contains("0.0..=1.0"), "out-of-range ratio must error: {err}");
         for (k, v) in keys.iter().zip(prev) {
             match v {
                 Some(v) => std::env::set_var(k, v),
                 None => std::env::remove_var(k),
             }
         }
+    }
+
+    #[test]
+    fn rejected_batch_leaves_server_serving() {
+        // The regression this PR exists for: a batch with a nonexistent edge
+        // must come back Rejected — writer alive, queries exact, and later
+        // valid batches applied and published as new generations.
+        let g = diamond();
+        let server = start(&g);
+        let bad = server.submit(vec![EdgeUpdate::new(0, 2, 9)]); // no such edge
+        match server.wait_for(bad) {
+            BatchOutcome::Rejected(reason) => {
+                assert!(reason.contains("no edge between 0 and 2"), "got: {reason}");
+            }
+            BatchOutcome::Applied => panic!("nonexistent edge must be rejected"),
+        }
+        // No generation consumed, state untouched.
+        assert_eq!(server.generation(), 0);
+        assert_eq!(server.snapshot().query(0, 3), 12);
+        // The writer is still alive: a valid batch publishes a new epoch.
+        let good = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        assert_eq!(server.wait_for(good), BatchOutcome::Applied);
+        assert_eq!(server.generation(), 1);
+        assert_eq!(server.snapshot().query(0, 3), 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.batches_rejected, 1);
+        assert_eq!(stats.batches_applied, 1);
+    }
+
+    #[test]
+    fn validation_names_the_offense() {
+        let g = diamond();
+        assert!(validate_batch(&g, &[EdgeUpdate::new(0, 1, 5)]).is_ok());
+        let oob = validate_batch(&g, &[EdgeUpdate::new(0, 99, 5)]).unwrap_err();
+        assert!(oob.contains("out of range"), "got: {oob}");
+        let selfloop = validate_batch(&g, &[EdgeUpdate::new(2, 2, 5)]).unwrap_err();
+        assert!(selfloop.contains("self-loop"), "got: {selfloop}");
+        let inf = validate_batch(&g, &[EdgeUpdate::new(0, 1, stl_graph::INF)]).unwrap_err();
+        assert!(inf.contains("INF"), "got: {inf}");
+        // The index of the offending update is part of the reason.
+        let second =
+            validate_batch(&g, &[EdgeUpdate::new(0, 1, 5), EdgeUpdate::new(1, 3, 5)]).unwrap_err();
+        assert!(second.starts_with("update 1:"), "got: {second}");
+    }
+
+    #[test]
+    fn rejections_interleave_with_applies() {
+        // Tickets and generations diverge by exactly the rejections, and
+        // every ticket reports its own outcome.
+        let g = diamond();
+        let server = start(&g);
+        let t1 = server.submit(vec![EdgeUpdate::new(1, 2, 7)]); // valid
+        let t2 = server.submit(vec![EdgeUpdate::new(1, 3, 7)]); // no such edge
+        let t3 = server.submit(vec![EdgeUpdate::new(2, 3, 9)]); // valid
+        assert_eq!(server.wait_for(t1), BatchOutcome::Applied);
+        assert!(!server.wait_for(t2).is_applied());
+        assert_eq!(server.wait_for(t3), BatchOutcome::Applied);
+        // Re-reading an outcome is stable (the window retains it).
+        assert!(!server.wait_for(t2).is_applied());
+        assert_eq!(server.generation(), 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.batches_applied, 2);
+        assert_eq!(stats.batches_rejected, 1);
+        assert_eq!(stats.updates_submitted, 3);
+    }
+
+    #[test]
+    fn flat_flag_tracks_the_published_snapshot() {
+        // Regression for the ordering bug: snapshot_is_flat used to be
+        // stored *before* the pointer swap, so stats() could claim a flat
+        // snapshot while readers still got the chunked one. Pin the
+        // invariant: after every wait_for, the flag equals the published
+        // snapshot's own is_flat() — across epochs that flip it both ways
+        // (chunked → compacted/flat → written/chunked again).
+        let mut g = generate(&RoadNetConfig::sized(160, 47));
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig {
+                compact_after_quiet_epochs: 2,
+                compact_dirty_ratio: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut seen_flat = false;
+        let mut seen_chunked = false;
+        let edges: Vec<_> = g.edges().step_by(9).take(6).collect();
+        for &(a, b, w) in &edges {
+            server.wait_for(server.submit(vec![EdgeUpdate::new(a, b, w + 5)]));
+            g.set_weight(a, b, w + 5).unwrap();
+            let snap = server.snapshot();
+            let stats = server.stats();
+            assert_eq!(
+                stats.snapshot_is_flat,
+                snap.is_flat(),
+                "stats flag diverged from the published snapshot at generation {}",
+                snap.generation()
+            );
+            seen_flat |= snap.is_flat();
+            seen_chunked |= !snap.is_flat();
+        }
+        assert!(seen_flat && seen_chunked, "test must cover both flag states");
+        server.shutdown();
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub struct ServerStats {
     pub queries_served: u64,
     /// Batches applied and published (equals the latest generation).
     pub batches_applied: u64,
+    /// Batches rejected by validation instead of applied — by the writer
+    /// (`StlServer::submit` of an invalid batch) or by the adaptive batcher
+    /// pre-check in front of it. A rejected batch consumes no generation and
+    /// leaves graph and labels untouched.
+    pub batches_rejected: u64,
     /// Individual edge updates contained in those batches, pre-normalisation.
     pub updates_submitted: u64,
     /// Nanoseconds spent publishing snapshots (COW clone + pointer swap),
@@ -66,7 +71,7 @@ impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "generation {} | {} queries | {} updates in {} batches | \
+            "generation {} | {} queries | {} updates in {} batches ({} rejected) | \
              publish mean {:.1} us (last {:.1} us) | cow copied {:.1} KiB/epoch \
              (last epoch {} chunks) | apply total {:.1} ms | last repair: \
              {} shards (critical path {:.1} us of {:.1} us total) | \
@@ -76,6 +81,7 @@ impl std::fmt::Display for ServerStats {
             self.queries_served,
             self.updates_submitted,
             self.batches_applied,
+            self.batches_rejected,
             self.publish_ns_mean() as f64 / 1e3,
             self.publish_ns_last as f64 / 1e3,
             self.publish_bytes_mean() as f64 / 1024.0,
@@ -98,6 +104,7 @@ impl std::fmt::Display for ServerStats {
 pub(crate) struct StatsCells {
     pub queries_served: AtomicU64,
     pub batches_applied: AtomicU64,
+    pub batches_rejected: AtomicU64,
     pub updates_submitted: AtomicU64,
     pub publish_ns_total: AtomicU64,
     pub publish_ns_last: AtomicU64,
@@ -120,6 +127,7 @@ impl StatsCells {
         ServerStats {
             queries_served: self.queries_served.load(Ordering::Relaxed),
             batches_applied: self.batches_applied.load(Ordering::Relaxed),
+            batches_rejected: self.batches_rejected.load(Ordering::Relaxed),
             updates_submitted: self.updates_submitted.load(Ordering::Relaxed),
             publish_ns_total: self.publish_ns_total.load(Ordering::Relaxed),
             publish_ns_last: self.publish_ns_last.load(Ordering::Relaxed),

@@ -1,0 +1,1058 @@
+//! TCP front-end: a tiny length-prefixed binary protocol over a fixed-size
+//! reader-thread pool, with admission control and adaptive update batching.
+//!
+//! ## Frame layout
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 LE    | payload (len bytes)       |
+//! +----------------+---------------------------+
+//! payload = opcode: u8, body (opcode-specific, all integers LE)
+//! ```
+//!
+//! Requests:
+//!
+//! | opcode | name          | body                                   |
+//! |--------|---------------|----------------------------------------|
+//! | `0x01` | `QUERY`       | `s: u32, t: u32`                       |
+//! | `0x02` | `UPDATE`      | `n: u32, n × (a: u32, b: u32, w: u32)` |
+//! | `0x03` | `STATS`       | —                                      |
+//! | `0x04` | `ONE_TO_MANY` | `s: u32, n: u32, n × t: u32`           |
+//!
+//! Responses:
+//!
+//! | opcode | name         | body                                          |
+//! |--------|--------------|-----------------------------------------------|
+//! | `0x81` | `DIST`       | `d: u32` (`u32::MAX` = unreachable)           |
+//! | `0x82` | `BATCH`      | `code: u8 (0 applied / 1 rejected), generation: u64, reason: u16 len + utf-8` |
+//! | `0x83` | `STATS`      | `n: u32, n × u64` (see [`RemoteStats`])       |
+//! | `0x84` | `MANY`       | `n: u32, n × d: u32`                          |
+//! | `0xEB` | `BUSY`       | `reason: u16 len + utf-8`, connection closes  |
+//! | `0xEE` | `ERROR`      | `reason: u16 len + utf-8`                     |
+//!
+//! A **malformed frame** — oversized length prefix, unknown opcode, body
+//! shorter or longer than its opcode requires, or a connection cut mid-frame
+//! — draws a best-effort `ERROR` response and closes **that connection
+//! only**; the server and every other connection keep serving. A well-formed
+//! request with bad arguments (e.g. a query for an out-of-range vertex) gets
+//! an `ERROR` response and the connection stays open.
+//!
+//! ## Threading and backpressure
+//!
+//! One acceptor thread admits connections into a queue drained by
+//! [`NetConfig::reader_threads`] worker threads; each worker serves one
+//! connection at a time and re-grabs an `Arc<Snapshot>` **per request**, so
+//! queries always answer from the latest published epoch without ever
+//! blocking the writer. Overload sheds instead of piling up, at two gates:
+//!
+//! * **Connections** — beyond [`NetConfig::max_connections`] open or
+//!   [`NetConfig::accept_queue`] waiting for a worker, new connections get a
+//!   `BUSY` frame and are closed immediately.
+//! * **Updates** — the shared [`AdaptiveBatcher`] bounds pending updates
+//!   ([`crate::BatcherConfig::max_queued`]); requests beyond it come back
+//!   `rejected` with an explicit `overloaded` reason.
+//!
+//! Updates flow through the batcher: a worker blocks its connection until
+//! the merged batch containing its request is applied and published (or
+//! rejected), so an `applied` response is a **read-your-writes guarantee** —
+//! any later query on any connection sees the update.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use stl_graph::{Dist, EdgeUpdate, VertexId};
+
+use crate::batcher::{AdaptiveBatcher, BatcherConfig, BatcherStats};
+use crate::server::{BatchOutcome, StlServer};
+
+/// Upper bound on a frame's payload length; anything larger is malformed.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Request opcode: distance query `s → t`.
+pub const OP_QUERY: u8 = 0x01;
+/// Request opcode: submit an update batch.
+pub const OP_UPDATE: u8 = 0x02;
+/// Request opcode: server counters.
+pub const OP_STATS: u8 = 0x03;
+/// Request opcode: one-to-many distances from a single source.
+pub const OP_ONE_TO_MANY: u8 = 0x04;
+/// Response opcode: a single distance.
+pub const RESP_DIST: u8 = 0x81;
+/// Response opcode: batch outcome.
+pub const RESP_BATCH: u8 = 0x82;
+/// Response opcode: counters.
+pub const RESP_STATS: u8 = 0x83;
+/// Response opcode: one-to-many distances.
+pub const RESP_MANY: u8 = 0x84;
+/// Response opcode: connection shed by admission control (then closed).
+pub const RESP_BUSY: u8 = 0xEB;
+/// Response opcode: request failed; body carries the reason.
+pub const RESP_ERROR: u8 = 0xEE;
+
+/// `BATCH` response code for an applied-and-published batch.
+pub const OUTCOME_APPLIED: u8 = 0;
+/// `BATCH` response code for a rejected batch (validation or overload).
+pub const OUTCOME_REJECTED: u8 = 1;
+
+/// Transport configuration (see the module docs for the backpressure model).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker threads serving connections. Each worker owns one connection
+    /// at a time and refreshes its snapshot per request.
+    pub reader_threads: usize,
+    /// Hard cap on connections open at once (serving + waiting); beyond it,
+    /// accepts are shed with a `BUSY` frame.
+    pub max_connections: usize,
+    /// Cap on accepted connections waiting for a free worker; beyond it,
+    /// accepts are shed with a `BUSY` frame.
+    pub accept_queue: usize,
+    /// Knobs of the shared [`AdaptiveBatcher`] all update requests flow
+    /// through.
+    pub batcher: BatcherConfig,
+    /// Close a connection after this many milliseconds without a complete
+    /// request (`0` = never). Protects the fixed-size pool from idle or
+    /// stalled clients.
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            reader_threads: 4,
+            max_connections: 256,
+            accept_queue: 64,
+            batcher: BatcherConfig::default(),
+            idle_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// Transport-level counters (monotone; see [`NetServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted and admitted to the worker queue.
+    pub connections_accepted: u64,
+    /// Connections shed at accept time by admission control.
+    pub connections_shed: u64,
+    /// Malformed frames (each one closed its connection).
+    pub frames_rejected: u64,
+    /// Requests served over all connections (queries, updates, stats).
+    pub requests_served: u64,
+    /// Counters of the shared update batcher.
+    pub batcher: BatcherStats,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    connections_accepted: AtomicU64,
+    connections_shed: AtomicU64,
+    frames_rejected: AtomicU64,
+    requests_served: AtomicU64,
+}
+
+struct NetShared {
+    server: Arc<StlServer>,
+    batcher: AdaptiveBatcher,
+    cfg: NetConfig,
+    stop: AtomicBool,
+    /// Connections accepted but not yet picked up by a worker.
+    queued: AtomicUsize,
+    /// Connections currently being served by a worker.
+    active: AtomicUsize,
+    counters: NetCounters,
+}
+
+/// The TCP front-end. Binds in [`NetServer::start`], serves until
+/// [`NetServer::shutdown`]. All state is shared through `Arc`s, so the
+/// handle is cheap to move across threads.
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Keeps the queue sender alive until shutdown; dropping it releases the
+    /// workers blocked on `recv`.
+    conn_tx: Mutex<Option<Sender<TcpStream>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port — the bound address is
+    /// [`NetServer::local_addr`]) and start the acceptor and worker threads.
+    pub fn start(
+        server: Arc<StlServer>,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> io::Result<Self> {
+        assert!(cfg.reader_threads >= 1, "need at least one reader thread");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let batcher = AdaptiveBatcher::start(Arc::clone(&server), cfg.batcher.clone());
+        let shared = Arc::new(NetShared {
+            server,
+            batcher,
+            cfg,
+            stop: AtomicBool::new(false),
+            queued: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            counters: NetCounters::default(),
+        });
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(shared.cfg.reader_threads);
+        for i in 0..shared.cfg.reader_threads {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&conn_rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("stl-net-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn net worker"),
+            );
+        }
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor_tx = conn_tx.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("stl-net-accept".into())
+            .spawn(move || accept_loop(&acceptor_shared, &listener, &acceptor_tx))
+            .expect("spawn net acceptor");
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            conn_tx: Mutex::new(Some(conn_tx)),
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time transport counters.
+    pub fn stats(&self) -> NetStats {
+        let c = &self.shared.counters;
+        NetStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_shed: c.connections_shed.load(Ordering::Relaxed),
+            frames_rejected: c.frames_rejected.load(Ordering::Relaxed),
+            requests_served: c.requests_served.load(Ordering::Relaxed),
+            batcher: self.shared.batcher.stats(),
+        }
+    }
+
+    /// Stop accepting, finish in-flight requests, flush the batcher, join
+    /// every thread, and return the final counters. Also runs on drop.
+    pub fn shutdown(mut self) -> NetStats {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Release workers blocked on the queue, then join them; they abandon
+        // held connections at the next frame boundary (the read poll sees
+        // the stop flag within ~100 ms).
+        drop(self.conn_tx.lock().unwrap().take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Deterministic teardown so callers can Arc::try_unwrap the
+        // StlServer afterwards: the flusher thread holds the only other
+        // reference and shutdown() joins it.
+        self.shared.batcher.shutdown();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn accept_loop(shared: &NetShared, listener: &TcpListener, tx: &Sender<TcpStream>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let queued = shared.queued.load(Ordering::Relaxed);
+                let open = queued + shared.active.load(Ordering::Relaxed);
+                if open >= shared.cfg.max_connections || queued >= shared.cfg.accept_queue {
+                    shared.counters.connections_shed.fetch_add(1, Ordering::Relaxed);
+                    // Best-effort BUSY so the client learns it was shed, not
+                    // dropped; a short write timeout keeps a dead peer from
+                    // stalling the acceptor.
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = write_frame(&mut stream, &busy_payload("server overloaded"));
+                    continue; // drop closes the stream
+                }
+                shared.counters.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                shared.queued.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    return; // workers gone: shutdown raced us
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(shared: &NetShared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not while serving.
+        let conn = match rx.lock().unwrap().recv() {
+            Ok(c) => c,
+            Err(_) => return, // sender dropped: shutdown
+        };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_connection(shared, conn);
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Why a frame read ended without a frame.
+enum ReadEnd {
+    /// Clean EOF at a frame boundary.
+    Closed,
+    /// Shutdown requested while waiting.
+    Stopped,
+    /// Idle deadline passed, either between frames or mid-frame.
+    TimedOut,
+    /// The peer vanished mid-frame or sent an oversized length.
+    Malformed(&'static str),
+    /// A hard socket error; treated like a hangup.
+    Io(#[allow(dead_code)] io::Error),
+}
+
+fn serve_connection(shared: &NetShared, mut stream: TcpStream) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    // Poll in 100 ms slices so the stop flag and the idle deadline are
+    // checked even while the peer is silent.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let idle = match shared.cfg.idle_timeout_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    loop {
+        let payload = match read_frame_polling(&mut stream, &shared.stop, idle) {
+            Ok(p) => p,
+            Err(ReadEnd::Closed) | Err(ReadEnd::Stopped) | Err(ReadEnd::TimedOut) => {
+                return Ok(());
+            }
+            Err(ReadEnd::Malformed(why)) => {
+                shared.counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut stream, &error_payload(why));
+                return Ok(());
+            }
+            Err(ReadEnd::Io(_)) => return Ok(()),
+        };
+        shared.counters.requests_served.fetch_add(1, Ordering::Relaxed);
+        // Refresh the snapshot per request: each answer comes from the
+        // latest published epoch at the moment the request is handled.
+        let snap = shared.server.snapshot();
+        let n = snap.graph().num_vertices() as u64;
+        let response = match parse_request(&payload) {
+            Err(why) => {
+                // Malformed at the payload level: answer and close, exactly
+                // like a malformed frame.
+                shared.counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut stream, &error_payload(why));
+                return Ok(());
+            }
+            Ok(Request::Query { s, t }) => {
+                if u64::from(s) >= n || u64::from(t) >= n {
+                    error_payload("vertex out of range")
+                } else {
+                    shared.server.record_queries(1);
+                    dist_payload(snap.query(s, t))
+                }
+            }
+            Ok(Request::OneToMany { s, targets }) => {
+                if u64::from(s) >= n || targets.iter().any(|&t| u64::from(t) >= n) {
+                    error_payload("vertex out of range")
+                } else {
+                    shared.server.record_queries(targets.len() as u64);
+                    many_payload(&snap.stl().one_to_many(s, &targets))
+                }
+            }
+            Ok(Request::Update(batch)) => {
+                // Blocks this connection (not the worker pool's siblings'
+                // queues — each worker owns one connection) until the merged
+                // batch publishes: read-your-writes for the client.
+                let outcome = shared.batcher.submit(batch).wait();
+                batch_payload(&outcome, shared.server.generation())
+            }
+            Ok(Request::Stats) => stats_payload(shared),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return Ok(()); // peer gone mid-response; nothing to salvage
+        }
+    }
+}
+
+enum Request {
+    Query { s: VertexId, t: VertexId },
+    Update(Vec<EdgeUpdate>),
+    Stats,
+    OneToMany { s: VertexId, targets: Vec<VertexId> },
+}
+
+fn parse_request(payload: &[u8]) -> Result<Request, &'static str> {
+    let (&op, body) = payload.split_first().ok_or("empty frame")?;
+    match op {
+        OP_QUERY => {
+            if body.len() != 8 {
+                return Err("QUERY body must be exactly 8 bytes");
+            }
+            Ok(Request::Query { s: get_u32(body, 0), t: get_u32(body, 4) })
+        }
+        OP_UPDATE => {
+            if body.len() < 4 {
+                return Err("UPDATE body too short");
+            }
+            let count = get_u32(body, 0) as usize;
+            if body.len() != 4 + count * 12 {
+                return Err("UPDATE body length does not match its count");
+            }
+            let batch = (0..count)
+                .map(|i| {
+                    let at = 4 + i * 12;
+                    EdgeUpdate::new(get_u32(body, at), get_u32(body, at + 4), get_u32(body, at + 8))
+                })
+                .collect();
+            Ok(Request::Update(batch))
+        }
+        OP_STATS => {
+            if !body.is_empty() {
+                return Err("STATS takes no body");
+            }
+            Ok(Request::Stats)
+        }
+        OP_ONE_TO_MANY => {
+            if body.len() < 8 {
+                return Err("ONE_TO_MANY body too short");
+            }
+            let s = get_u32(body, 0);
+            let count = get_u32(body, 4) as usize;
+            if body.len() != 8 + count * 4 {
+                return Err("ONE_TO_MANY body length does not match its count");
+            }
+            let targets = (0..count).map(|i| get_u32(body, 8 + i * 4)).collect();
+            Ok(Request::OneToMany { s, targets })
+        }
+        _ => Err("unknown opcode"),
+    }
+}
+
+// ---- response payload builders -----------------------------------------
+
+fn dist_payload(d: Dist) -> Vec<u8> {
+    let mut p = vec![RESP_DIST];
+    put_u32(&mut p, d);
+    p
+}
+
+fn many_payload(dists: &[Dist]) -> Vec<u8> {
+    let mut p = vec![RESP_MANY];
+    put_u32(&mut p, dists.len() as u32);
+    for &d in dists {
+        put_u32(&mut p, d);
+    }
+    p
+}
+
+fn batch_payload(outcome: &BatchOutcome, generation: u64) -> Vec<u8> {
+    let mut p = vec![RESP_BATCH];
+    match outcome {
+        BatchOutcome::Applied => {
+            p.push(OUTCOME_APPLIED);
+            put_u64(&mut p, generation);
+            put_str(&mut p, "");
+        }
+        BatchOutcome::Rejected(reason) => {
+            p.push(OUTCOME_REJECTED);
+            put_u64(&mut p, generation);
+            put_str(&mut p, reason);
+        }
+    }
+    p
+}
+
+fn stats_payload(shared: &NetShared) -> Vec<u8> {
+    let server = shared.server.stats();
+    let batcher = shared.batcher.stats();
+    let c = &shared.counters;
+    let fields = [
+        shared.server.generation(),
+        server.queries_served,
+        server.batches_applied,
+        server.batches_rejected,
+        server.updates_submitted,
+        c.connections_accepted.load(Ordering::Relaxed),
+        c.connections_shed.load(Ordering::Relaxed),
+        c.frames_rejected.load(Ordering::Relaxed),
+        batcher.batches_submitted,
+        batcher.requests_coalesced,
+        batcher.requests_shed,
+    ];
+    let mut p = vec![RESP_STATS];
+    put_u32(&mut p, fields.len() as u32);
+    for f in fields {
+        put_u64(&mut p, f);
+    }
+    p
+}
+
+fn error_payload(reason: &str) -> Vec<u8> {
+    let mut p = vec![RESP_ERROR];
+    put_str(&mut p, reason);
+    p
+}
+
+fn busy_payload(reason: &str) -> Vec<u8> {
+    let mut p = vec![RESP_BUSY];
+    put_str(&mut p, reason);
+    p
+}
+
+// ---- wire helpers -------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("bounds checked by caller"))
+}
+
+fn get_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("bounds checked by caller"))
+}
+
+fn get_str(b: &[u8], at: usize) -> Option<(String, usize)> {
+    if b.len() < at + 2 {
+        return None;
+    }
+    let len = u16::from_le_bytes(b[at..at + 2].try_into().unwrap()) as usize;
+    if b.len() < at + 2 + len {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&b[at + 2..at + 2 + len]).into_owned();
+    Some((s, at + 2 + len))
+}
+
+/// Write one frame: length prefix + payload.
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Blocking frame read for clients: `Ok(None)` on clean EOF at a frame
+/// boundary, `Err` on anything else.
+fn read_frame_blocking(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Worker-side frame read: polls in read-timeout slices so the stop flag and
+/// the idle deadline stay live, and classifies every way a read can end.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    idle: Option<Duration>,
+) -> Result<Vec<u8>, ReadEnd> {
+    let deadline = idle.map(|d| Instant::now() + d);
+    let mut len_buf = [0u8; 4];
+    read_exact_polling(stream, &mut len_buf, stop, deadline, true)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(ReadEnd::Malformed("frame length exceeds the 16 MiB cap"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    // Mid-frame now: EOF or a stall past the deadline is a truncated frame.
+    read_exact_polling(stream, &mut payload, stop, deadline, false)?;
+    Ok(payload)
+}
+
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+    at_boundary: bool,
+) -> Result<(), ReadEnd> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err(ReadEnd::Stopped);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(ReadEnd::Closed)
+                } else {
+                    Err(ReadEnd::Malformed("connection closed mid-frame"))
+                };
+            }
+            Ok(k) => filled += k,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return if at_boundary && filled == 0 {
+                            Err(ReadEnd::TimedOut)
+                        } else {
+                            Err(ReadEnd::Malformed("idle deadline passed mid-frame"))
+                        };
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadEnd::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+// ---- blocking client -----------------------------------------------------
+
+/// A remote batch outcome as reported in a `BATCH` response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteOutcome {
+    /// Whether the batch was applied and published.
+    pub applied: bool,
+    /// The server's published generation when the response was built (for an
+    /// applied batch this is at or past the batch's own epoch).
+    pub generation: u64,
+    /// Rejection reason; empty for applied batches.
+    pub reason: String,
+}
+
+impl RemoteOutcome {
+    /// Convert into the in-process outcome type.
+    pub fn outcome(&self) -> BatchOutcome {
+        if self.applied {
+            BatchOutcome::Applied
+        } else {
+            BatchOutcome::Rejected(self.reason.clone())
+        }
+    }
+}
+
+/// Server counters as reported in a `STATS` response frame, in field order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Latest published generation.
+    pub generation: u64,
+    /// [`crate::ServerStats::queries_served`].
+    pub queries_served: u64,
+    /// [`crate::ServerStats::batches_applied`].
+    pub batches_applied: u64,
+    /// [`crate::ServerStats::batches_rejected`].
+    pub batches_rejected: u64,
+    /// [`crate::ServerStats::updates_submitted`].
+    pub updates_submitted: u64,
+    /// [`NetStats::connections_accepted`].
+    pub connections_accepted: u64,
+    /// [`NetStats::connections_shed`].
+    pub connections_shed: u64,
+    /// [`NetStats::frames_rejected`].
+    pub frames_rejected: u64,
+    /// [`crate::BatcherStats::batches_submitted`].
+    pub batcher_batches_submitted: u64,
+    /// [`crate::BatcherStats::requests_coalesced`].
+    pub batcher_requests_coalesced: u64,
+    /// [`crate::BatcherStats::requests_shed`].
+    pub batcher_requests_shed: u64,
+}
+
+/// Minimal blocking client for the protocol — one request in flight per
+/// connection. Used by `stl bench-net`, the loopback tests, and the net
+/// bench; also a reference implementation of the frame layout.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connect once.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// Connect with retries until `timeout` elapses — for racing a server
+    /// that is still binding (CI smoke tests, freshly spawned processes).
+    pub fn connect_retry(addr: impl ToSocketAddrs + Clone, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, request: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame_blocking(&mut self.stream)? {
+            Some(payload) if !payload.is_empty() => Ok(payload),
+            Some(_) => Err(io::Error::new(io::ErrorKind::InvalidData, "empty response frame")),
+            None => {
+                Err(io::Error::new(io::ErrorKind::ConnectionAborted, "server closed connection"))
+            }
+        }
+    }
+
+    /// Map an `ERROR`/`BUSY` response to `Err`, anything else to `Ok`.
+    fn expect_op(payload: Vec<u8>, want: u8) -> io::Result<Vec<u8>> {
+        match payload[0] {
+            op if op == want => Ok(payload),
+            RESP_ERROR => {
+                let reason = get_str(&payload, 1).map(|(s, _)| s).unwrap_or_default();
+                Err(io::Error::new(io::ErrorKind::InvalidInput, format!("server error: {reason}")))
+            }
+            RESP_BUSY => {
+                let reason = get_str(&payload, 1).map(|(s, _)| s).unwrap_or_default();
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, format!("shed: {reason}")))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response opcode {other:#04x}"),
+            )),
+        }
+    }
+
+    /// Distance query `s → t` against the latest published epoch.
+    pub fn query(&mut self, s: VertexId, t: VertexId) -> io::Result<Dist> {
+        let mut req = vec![OP_QUERY];
+        put_u32(&mut req, s);
+        put_u32(&mut req, t);
+        let resp = Self::expect_op(self.roundtrip(&req)?, RESP_DIST)?;
+        if resp.len() != 5 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short DIST response"));
+        }
+        Ok(get_u32(&resp, 1))
+    }
+
+    /// One-to-many distances from `s`, in `targets` order.
+    pub fn one_to_many(&mut self, s: VertexId, targets: &[VertexId]) -> io::Result<Vec<Dist>> {
+        let mut req = vec![OP_ONE_TO_MANY];
+        put_u32(&mut req, s);
+        put_u32(&mut req, targets.len() as u32);
+        for &t in targets {
+            put_u32(&mut req, t);
+        }
+        let resp = Self::expect_op(self.roundtrip(&req)?, RESP_MANY)?;
+        if resp.len() < 5 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short MANY response"));
+        }
+        let count = get_u32(&resp, 1) as usize;
+        if resp.len() != 5 + count * 4 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated MANY response"));
+        }
+        Ok((0..count).map(|i| get_u32(&resp, 5 + i * 4)).collect())
+    }
+
+    /// Submit an update batch; blocks until the server reports its outcome
+    /// (applied and published, or rejected with a reason).
+    pub fn update(&mut self, batch: &[EdgeUpdate]) -> io::Result<RemoteOutcome> {
+        let mut req = vec![OP_UPDATE];
+        put_u32(&mut req, batch.len() as u32);
+        for u in batch {
+            put_u32(&mut req, u.a);
+            put_u32(&mut req, u.b);
+            put_u32(&mut req, u.new_weight);
+        }
+        let resp = Self::expect_op(self.roundtrip(&req)?, RESP_BATCH)?;
+        if resp.len() < 12 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short BATCH response"));
+        }
+        let applied = match resp[1] {
+            OUTCOME_APPLIED => true,
+            OUTCOME_REJECTED => false,
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown outcome code")),
+        };
+        let generation = get_u64(&resp, 2);
+        let reason = get_str(&resp, 10)
+            .map(|(s, _)| s)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated BATCH reason"))?;
+        Ok(RemoteOutcome { applied, generation, reason })
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> io::Result<RemoteStats> {
+        let resp = Self::expect_op(self.roundtrip(&[OP_STATS])?, RESP_STATS)?;
+        if resp.len() < 5 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short STATS response"));
+        }
+        let count = get_u32(&resp, 1) as usize;
+        if count < 11 || resp.len() != 5 + count * 8 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated STATS response"));
+        }
+        let f = |i: usize| get_u64(&resp, 5 + i * 8);
+        Ok(RemoteStats {
+            generation: f(0),
+            queries_served: f(1),
+            batches_applied: f(2),
+            batches_rejected: f(3),
+            updates_submitted: f(4),
+            connections_accepted: f(5),
+            connections_shed: f(6),
+            frames_rejected: f(7),
+            batcher_batches_submitted: f(8),
+            batcher_requests_coalesced: f(9),
+            batcher_requests_shed: f(10),
+        })
+    }
+
+    /// Send `payload` as one raw frame without awaiting a response. Test
+    /// hook for malformed-input coverage.
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Send arbitrary bytes, bypassing framing entirely. Test hook for
+    /// truncated-frame coverage.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read one raw response frame (`None` on clean EOF). Test hook.
+    pub fn recv_raw(&mut self) -> io::Result<Option<Vec<u8>>> {
+        read_frame_blocking(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use stl_core::{Stl, StlConfig};
+    use stl_graph::builder::from_edges;
+    use stl_graph::CsrGraph;
+
+    fn diamond() -> CsrGraph {
+        from_edges(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)])
+    }
+
+    fn start_net(g: &CsrGraph, cfg: NetConfig) -> (Arc<StlServer>, NetServer) {
+        let stl = Stl::build(g, &StlConfig::default());
+        let server = Arc::new(StlServer::start(g.clone(), stl, ServerConfig::default()));
+        let net = NetServer::start(Arc::clone(&server), "127.0.0.1:0", cfg).expect("bind");
+        (server, net)
+    }
+
+    fn fast_cfg() -> NetConfig {
+        NetConfig {
+            batcher: BatcherConfig { latency_ms: 0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn query_update_stats_roundtrip() {
+        let g = diamond();
+        let (_server, net) = start_net(&g, fast_cfg());
+        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        assert_eq!(client.query(0, 3).unwrap(), 12);
+        assert_eq!(client.one_to_many(0, &[1, 2, 3]).unwrap(), vec![3, 7, 12]);
+
+        let out = client.update(&[EdgeUpdate::new(0, 3, 2)]).unwrap();
+        assert!(out.applied);
+        assert!(out.generation >= 1);
+        assert!(out.reason.is_empty());
+        // Read-your-writes: the ack came after publish.
+        assert_eq!(client.query(0, 3).unwrap(), 2);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.batches_rejected, 0);
+        assert!(stats.queries_served >= 5);
+        assert_eq!(stats.connections_accepted, 1);
+        let net_stats = net.shutdown();
+        assert_eq!(net_stats.connections_accepted, 1);
+        assert!(net_stats.requests_served >= 4);
+    }
+
+    #[test]
+    fn bad_edge_over_tcp_rejects_but_keeps_serving() {
+        // The acceptance scenario, over the wire: a nonexistent edge comes
+        // back rejected with a reason, then the same connection keeps
+        // querying and a valid batch still publishes a new generation.
+        let g = diamond();
+        let (server, net) = start_net(&g, fast_cfg());
+        let mut client = NetClient::connect(net.local_addr()).unwrap();
+
+        let out = client.update(&[EdgeUpdate::new(0, 2, 9)]).unwrap();
+        assert!(!out.applied);
+        assert!(out.reason.contains("no edge between 0 and 2"), "got: {}", out.reason);
+        assert_eq!(client.query(0, 3).unwrap(), 12, "state must be untouched");
+
+        let out = client.update(&[EdgeUpdate::new(1, 2, 1)]).unwrap();
+        assert!(out.applied, "writer must be alive after a rejection");
+        assert_eq!(client.query(0, 3).unwrap(), 9);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.batches_rejected, 1);
+        assert_eq!(stats.batches_applied, 1);
+        net.shutdown();
+        assert_eq!(server.generation(), 1);
+    }
+
+    #[test]
+    fn malformed_frame_closes_only_that_connection() {
+        let g = diamond();
+        let (_server, net) = start_net(&g, fast_cfg());
+        let addr = net.local_addr();
+
+        // Unknown opcode: ERROR response, then EOF on this connection.
+        let mut bad = NetClient::connect(addr).unwrap();
+        bad.send_raw(&[0x7F, 1, 2, 3]).unwrap();
+        let resp = bad.recv_raw().unwrap().expect("error frame before close");
+        assert_eq!(resp[0], RESP_ERROR);
+        assert!(bad.recv_raw().unwrap().is_none(), "connection must be closed");
+
+        // Length/count mismatch inside an UPDATE payload: same treatment.
+        let mut mismatched = NetClient::connect(addr).unwrap();
+        let mut payload = vec![OP_UPDATE];
+        put_u32(&mut payload, 5); // claims 5 updates, carries none
+        mismatched.send_raw(&payload).unwrap();
+        let resp = mismatched.recv_raw().unwrap().expect("error frame before close");
+        assert_eq!(resp[0], RESP_ERROR);
+        assert!(mismatched.recv_raw().unwrap().is_none());
+
+        // Oversized length prefix: rejected before allocating.
+        let mut oversized = NetClient::connect(addr).unwrap();
+        oversized.send_bytes(&(MAX_FRAME_BYTES + 1).to_le_bytes()).unwrap();
+        let resp = oversized.recv_raw().unwrap().expect("error frame before close");
+        assert_eq!(resp[0], RESP_ERROR);
+
+        // The server survives all three: a fresh connection still works.
+        let mut fine = NetClient::connect(addr).unwrap();
+        assert_eq!(fine.query(0, 3).unwrap(), 12);
+        let net_stats = net.shutdown();
+        assert!(net_stats.frames_rejected >= 3);
+    }
+
+    #[test]
+    fn client_disconnect_mid_frame_is_survived() {
+        let g = diamond();
+        let (_server, net) = start_net(&g, fast_cfg());
+        {
+            let mut quitter = NetClient::connect(net.local_addr()).unwrap();
+            // Announce a 9-byte frame, deliver 3 bytes, vanish.
+            quitter.send_bytes(&9u32.to_le_bytes()).unwrap();
+            quitter.send_bytes(&[OP_QUERY, 0, 0]).unwrap();
+        } // drop closes the socket mid-frame
+          // The worker notices, counts it, and moves on to the next client.
+        let mut fine = NetClient::connect(net.local_addr()).unwrap();
+        assert_eq!(fine.query(0, 2).unwrap(), 7);
+        let stats = net.shutdown();
+        assert_eq!(stats.frames_rejected, 1, "mid-frame hangup counts as malformed");
+    }
+
+    #[test]
+    fn well_formed_bad_arguments_keep_the_connection_open() {
+        let g = diamond();
+        let (_server, net) = start_net(&g, fast_cfg());
+        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let err = client.query(0, 99).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Same connection, next request still answered.
+        assert_eq!(client.query(0, 3).unwrap(), 12);
+        net.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_connections_with_busy() {
+        // One worker, zero waiting room: while the worker is pinned by a
+        // slow update (large latency budget), any further connection must be
+        // shed with BUSY instead of queueing without bound.
+        let g = diamond();
+        let (_server, net) = start_net(
+            &g,
+            NetConfig {
+                reader_threads: 1,
+                max_connections: 1,
+                accept_queue: 1,
+                batcher: BatcherConfig { latency_ms: 1_000, ..Default::default() },
+                idle_timeout_ms: 30_000,
+            },
+        );
+        let addr = net.local_addr();
+
+        // Pin the only worker: this update waits out the 1 s latency budget.
+        let pinned = std::thread::spawn(move || {
+            let mut c = NetClient::connect(addr).unwrap();
+            c.update(&[EdgeUpdate::new(0, 1, 5)]).unwrap()
+        });
+        // Give the worker time to pick the connection up.
+        std::thread::sleep(Duration::from_millis(300));
+
+        // The worker is busy; this connection waits in the accept queue.
+        let _waiting = NetClient::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Queue full (1 waiting) and at the connection cap: shed.
+        let mut shed = NetClient::connect(addr).unwrap();
+        let err = shed.query(0, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "expected BUSY, got {err}");
+
+        assert!(pinned.join().unwrap().applied);
+        let stats = net.shutdown();
+        assert!(stats.connections_shed >= 1, "admission control must have shed");
+    }
+
+    #[test]
+    fn stop_releases_workers_holding_idle_connections() {
+        let g = diamond();
+        let (_server, net) = start_net(&g, fast_cfg());
+        let _idle = NetClient::connect(net.local_addr()).unwrap();
+        let t0 = Instant::now();
+        net.shutdown(); // must not wait for the idle client to hang up
+        assert!(t0.elapsed() < Duration::from_secs(5), "shutdown stalled on an idle connection");
+    }
+}

@@ -10,10 +10,12 @@
 
 pub mod datasets;
 pub mod mixed;
+pub mod openloop;
 pub mod queries;
 pub mod roadnet;
 pub mod updates;
 
 pub use datasets::{build_dataset, Scale, DATASETS};
 pub use mixed::{mixed_trace, split_trace, MixedConfig, MixedOp};
+pub use openloop::{open_loop_trace, percentile, Arrival, OpenLoopConfig};
 pub use roadnet::{generate, RoadNetConfig};

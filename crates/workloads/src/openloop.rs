@@ -1,0 +1,169 @@
+//! Open-loop (arrival-rate driven) load generation.
+//!
+//! A closed-loop client sends its next request only after the previous one
+//! answers, so an overloaded server quietly slows the *offered* load down and
+//! latency percentiles look flat. An **open-loop** workload decouples the
+//! two: requests arrive on a Poisson process at a target rate regardless of
+//! how the server is doing, which is what exposes queueing delay, admission
+//! sheds, and p99 blow-up under overload — the regime `stl bench-net` and
+//! the `net` bench measure.
+//!
+//! The trace is pure data: each [`Arrival`] pairs a [`MixedOp`] (from the
+//! same congestion-ledger generator as [`mixed_trace`]) with an absolute
+//! **offset** from the start of the run. A driver replays it by sleeping
+//! until each offset and firing the op — if the server is behind, the
+//! arrivals keep coming and the lag shows up as latency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use stl_graph::CsrGraph;
+
+use crate::mixed::{mixed_trace, MixedConfig, MixedOp};
+
+use std::time::Duration;
+
+/// Open-loop trace parameters.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Target arrival rate, requests per second (the Poisson intensity λ).
+    pub rate_per_sec: f64,
+    /// Op mix: count, update fraction, batch size, congestion factors, seed.
+    pub mixed: MixedConfig,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self { rate_per_sec: 1_000.0, mixed: MixedConfig::default() }
+    }
+}
+
+/// One scheduled request of an open-loop trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// When this request enters the system, measured from the trace start.
+    pub offset: Duration,
+    /// The request itself.
+    pub op: MixedOp,
+}
+
+/// Draw `Uniform(0, 1)` — strictly positive so its log is finite — from the
+/// vendored integer-only PRNG by scaling a 53-bit draw (the f64 mantissa
+/// width, so every value is exact).
+fn unit_uniform(rng: &mut StdRng) -> f64 {
+    const BITS: u32 = 53;
+    let draw = rng.random_range(0u64..(1u64 << BITS));
+    (draw as f64 + 0.5) / (1u64 << BITS) as f64
+}
+
+/// Generate a seeded open-loop trace over `g`: [`mixed_trace`] ops with
+/// exponential inter-arrival gaps (`-ln(U)/λ`), i.e. Poisson arrivals at
+/// `rate_per_sec`. Offsets are strictly increasing; equal configs over equal
+/// graphs yield identical traces.
+pub fn open_loop_trace(g: &CsrGraph, cfg: &OpenLoopConfig) -> Vec<Arrival> {
+    assert!(
+        cfg.rate_per_sec.is_finite() && cfg.rate_per_sec > 0.0,
+        "arrival rate must be positive"
+    );
+    let ops = mixed_trace(g, &cfg.mixed);
+    // Fresh generator, decorrelated from the op stream's seed, so changing
+    // the rate never changes which ops are generated.
+    let mut rng = StdRng::seed_from_u64(cfg.mixed.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut clock = 0.0f64;
+    ops.into_iter()
+        .map(|op| {
+            clock += -unit_uniform(&mut rng).ln() / cfg.rate_per_sec;
+            Arrival { offset: Duration::from_secs_f64(clock), op }
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of a latency sample. Sorts a
+/// copy; returns `None` on an empty sample.
+pub fn percentile(samples: &[Duration], p: f64) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roadnet::{generate, RoadNetConfig};
+
+    fn small() -> CsrGraph {
+        generate(&RoadNetConfig::sized(300, 5))
+    }
+
+    fn cfg(rate: f64, ops: usize, seed: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            rate_per_sec: rate,
+            mixed: MixedConfig { ops, update_fraction: 0.1, seed, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn trace_is_replayable_and_seed_sensitive() {
+        let g = small();
+        let c = cfg(500.0, 400, 7);
+        assert_eq!(open_loop_trace(&g, &c), open_loop_trace(&g, &c));
+        assert_ne!(open_loop_trace(&g, &c), open_loop_trace(&g, &cfg(500.0, 400, 8)));
+    }
+
+    #[test]
+    fn offsets_increase_and_ops_match_the_mixed_trace() {
+        let g = small();
+        let c = cfg(2_000.0, 600, 3);
+        let trace = open_loop_trace(&g, &c);
+        assert_eq!(trace.len(), 600);
+        for pair in trace.windows(2) {
+            assert!(pair[0].offset < pair[1].offset, "offsets must strictly increase");
+        }
+        // The op stream is exactly mixed_trace: rate shapes timing only.
+        let ops: Vec<MixedOp> = trace.into_iter().map(|a| a.op).collect();
+        assert_eq!(ops, mixed_trace(&g, &c.mixed));
+        let faster = open_loop_trace(&g, &cfg(20_000.0, 600, 3));
+        let slower_ops: Vec<MixedOp> = faster.into_iter().map(|a| a.op).collect();
+        assert_eq!(ops, slower_ops, "changing the rate must not change the ops");
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_rate() {
+        let g = small();
+        for rate in [100.0, 5_000.0] {
+            let trace = open_loop_trace(&g, &cfg(rate, 4_000, 11));
+            let span = trace.last().unwrap().offset.as_secs_f64();
+            let empirical = trace.len() as f64 / span;
+            // Poisson with n = 4000: the empirical rate lands well within
+            // ±10% of λ; this guards the math, not the RNG's quality.
+            assert!((empirical / rate - 1.0).abs() < 0.1, "λ = {rate}, empirical = {empirical:.1}");
+        }
+    }
+
+    #[test]
+    fn doubling_the_rate_halves_the_span() {
+        let g = small();
+        let once = open_loop_trace(&g, &cfg(1_000.0, 2_000, 5));
+        let twice = open_loop_trace(&g, &cfg(2_000.0, 2_000, 5));
+        let ratio =
+            once.last().unwrap().offset.as_secs_f64() / twice.last().unwrap().offset.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01, "same seed draws the same gaps, scaled: {ratio}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&samples, 50.0), Some(ms(50)));
+        assert_eq!(percentile(&samples, 99.0), Some(ms(99)));
+        assert_eq!(percentile(&samples, 100.0), Some(ms(100)));
+        assert_eq!(percentile(&samples, 0.0), Some(ms(1)));
+        assert_eq!(percentile(&[ms(7)], 99.0), Some(ms(7)));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

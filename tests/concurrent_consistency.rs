@@ -66,7 +66,11 @@ fn readers_never_observe_unpublished_state() {
     // CI runs this suite under an STL_REPAIR_THREADS matrix (1 and 4) so
     // the sharded repair pipeline of the default (Pareto) writer is
     // exercised at both a single worker and a real fan-out.
-    let server = StlServer::start(g0, stl0, ServerConfig::from_env());
+    let server = StlServer::start(
+        g0,
+        stl0,
+        ServerConfig::from_env().expect("env-driven server config must parse"),
+    );
     let stop = AtomicBool::new(false);
     let violations: Vec<String> = std::thread::scope(|scope| {
         let stop = &stop;

@@ -71,7 +71,11 @@ fn pinned_epochs_survive_later_batches_unchanged() {
     }
 
     // Honour the CI release-stress matrix (STL_REPAIR_THREADS ∈ {1, 4}).
-    let server = StlServer::start(g0, stl0, ServerConfig::from_env());
+    let server = StlServer::start(
+        g0,
+        stl0,
+        ServerConfig::from_env().expect("env-driven server config must parse"),
+    );
     let stop = AtomicBool::new(false);
     let pinned: Vec<Arc<Snapshot>> = std::thread::scope(|scope| {
         let stop = &stop;

@@ -1,0 +1,144 @@
+//! Loopback differential test: the TCP transport must be a transparent
+//! skin over the in-process server.
+//!
+//! The same seeded `mixed_trace` is replayed twice — once through
+//! `NetClient` frames over a real socket, once through direct
+//! `submit`/`wait_for`/`snapshot` calls — in the same sequential order.
+//! Sequential replay makes the comparison exact: an `UPDATE` response only
+//! arrives after the batch is applied and published (or rejected), so after
+//! every op both servers sit at the same generation and every query must
+//! return bit-identical distances.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stable_tree_labelling::core::{Stl, StlConfig};
+use stable_tree_labelling::graph::{CsrGraph, EdgeUpdate, VertexId};
+use stable_tree_labelling::server::{
+    BatchOutcome, BatcherConfig, NetClient, NetConfig, NetServer, ServerConfig, StlServer,
+};
+use stable_tree_labelling::workloads::mixed::{mixed_trace, MixedConfig, MixedOp};
+use stable_tree_labelling::workloads::roadnet::{generate, RoadNetConfig};
+
+fn start_tcp(g: &CsrGraph) -> (Arc<StlServer>, NetServer) {
+    let stl = Stl::build(g, &StlConfig::default());
+    let server = Arc::new(StlServer::start(g.clone(), stl, ServerConfig::default()));
+    let net = NetServer::start(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        NetConfig {
+            // Flush immediately: sequential replay has exactly one update
+            // in flight, so batching would only add latency here.
+            batcher: BatcherConfig { latency_ms: 0, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    (server, net)
+}
+
+#[test]
+fn tcp_replay_matches_in_process_replay() {
+    let g = generate(&RoadNetConfig::sized(250, 33));
+    let trace = mixed_trace(
+        &g,
+        &MixedConfig {
+            ops: 600,
+            update_fraction: 0.08,
+            batch_size: 5,
+            seed: 0xD1FF,
+            ..Default::default()
+        },
+    );
+
+    let (_tcp_server, net) = start_tcp(&g);
+    let mut client = NetClient::connect_retry(net.local_addr(), Duration::from_secs(10))
+        .expect("connect loopback");
+
+    let stl = Stl::build(&g, &StlConfig::default());
+    let local = StlServer::start(g.clone(), stl, ServerConfig::default());
+
+    for (i, op) in trace.iter().enumerate() {
+        match op {
+            MixedOp::Query(s, t) => {
+                let over_tcp = client.query(*s, *t).expect("query frame");
+                let in_process = local.snapshot().query(*s, *t);
+                assert_eq!(over_tcp, in_process, "op {i}: d({s}, {t}) diverged");
+            }
+            MixedOp::Batch(batch) => {
+                let remote = client.update(batch).expect("update frame");
+                let ticket = local.submit(batch.clone());
+                let outcome = local.wait_for(ticket);
+                // mixed_trace only emits valid updates: both paths apply.
+                assert!(
+                    remote.applied && outcome == BatchOutcome::Applied,
+                    "op {i}: applied over TCP = {}, in-process = {outcome:?}",
+                    remote.applied
+                );
+                assert_eq!(
+                    remote.generation,
+                    local.generation(),
+                    "op {i}: generations diverged after publish"
+                );
+            }
+        }
+    }
+
+    // Sweep a fixed query set over the final epochs as a last differential
+    // pass, then make sure the transport was actually exercised.
+    let n = g.num_vertices() as VertexId;
+    for s in (0..n).step_by(37) {
+        let targets: Vec<VertexId> = (0..n).step_by(41).filter(|&t| t != s).collect();
+        let over_tcp = client.one_to_many(s, &targets).expect("one-to-many frame");
+        let snap = local.snapshot();
+        let in_process: Vec<_> = targets.iter().map(|&t| snap.query(s, t)).collect();
+        assert_eq!(over_tcp, in_process, "one-to-many from {s} diverged");
+    }
+    let stats = net.shutdown();
+    assert!(stats.requests_served as usize >= trace.len());
+    assert_eq!(stats.frames_rejected, 0);
+    local.shutdown();
+}
+
+#[test]
+fn bad_edge_over_tcp_is_rejected_and_both_paths_agree_after() {
+    // The acceptance scenario at road-network scale: a batch naming a
+    // nonexistent edge is rejected over TCP, the server keeps serving, and
+    // subsequent valid batches land identically on both paths.
+    let g = generate(&RoadNetConfig::sized(250, 34));
+    let (tcp_server, net) = start_tcp(&g);
+    let mut client = NetClient::connect_retry(net.local_addr(), Duration::from_secs(10))
+        .expect("connect loopback");
+
+    let non_edge = (0..250u32)
+        .flat_map(|x| (0..250u32).map(move |y| (x, y)))
+        .find(|&(x, y)| x != y && !g.has_edge(x, y))
+        .expect("sparse network has non-edges");
+    let remote = client
+        .update(&[EdgeUpdate::new(non_edge.0, non_edge.1, 7)])
+        .expect("rejection still answers the frame");
+    assert!(!remote.applied);
+    assert!(remote.reason.contains("no edge"), "reason: {}", remote.reason);
+    assert_eq!(tcp_server.generation(), 0, "rejected batches consume no generation");
+
+    let (a, b, w) = g
+        .edges()
+        .find(|&(_, _, w)| w < stable_tree_labelling::graph::INF / 2)
+        .expect("finite edge");
+    let remote = client.update(&[EdgeUpdate::new(a, b, w * 2)]).expect("update frame");
+    assert!(remote.applied, "writer must survive the rejection");
+    assert_eq!(remote.generation, 1);
+
+    let stl = Stl::build(&g, &StlConfig::default());
+    let local = StlServer::start(g.clone(), stl, ServerConfig::default());
+    let outcome = local.wait_for(local.submit(vec![EdgeUpdate::new(a, b, w * 2)]));
+    assert_eq!(outcome, BatchOutcome::Applied);
+    let snap = local.snapshot();
+    for s in (0..250).step_by(11) {
+        for t in (0..250).step_by(13) {
+            assert_eq!(client.query(s, t).expect("query frame"), snap.query(s, t));
+        }
+    }
+    net.shutdown();
+    local.shutdown();
+}
