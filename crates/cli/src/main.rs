@@ -9,11 +9,13 @@
 //! stl serve   <graph.gr> [--readers N] [--ops N] [--update-fraction F]
 //!             [--batch-size K] [--seed S] [--algo pareto|label] [--threads T]
 //!             [--repair-threads R] [--compact-quiet-epochs Q]
-//!             [--compact-dirty-ratio D]
+//!             [--compact-dirty-ratio D] [--state-dir DIR]
+//!             [--fsync always|never|every:N] [--rejection-window N]
+//!             [--dedup-window N]
 //! stl serve   <graph.gr> --listen ADDR [--net-readers N] [--max-conns C]
 //!             [--accept-queue Q] [--batch-latency-ms MS]
 //!             [--batch-max-updates K] [--max-queued-updates Q]
-//!             [--duration-secs S] [+ the index/repair flags above]
+//!             [--duration-secs S] [+ the index/repair/durability flags above]
 //! stl bench-net <addr> <graph.gr> [--rate R] [--ops N] [--clients C]
 //!             [--update-fraction F] [--batch-size K] [--seed S]
 //! ```
@@ -31,6 +33,14 @@
 //! regardless of how fast the server answers — and reports p50/p99 latency,
 //! achieved throughput, and explicit rejection/shed counts under overload.
 //!
+//! With `--state-dir DIR`, `serve` becomes **crash-safe**: accepted update
+//! batches are write-ahead logged before they apply (`--fsync` picks the
+//! durability/throughput point), quiet moments fold the log into an atomic
+//! checkpoint, and the next boot with the same `--state-dir` recovers the
+//! exact pre-crash state — replaying the WAL tail and truncating torn crash
+//! debris. `SIGINT`/`SIGTERM` trigger a clean landing: drain, final
+//! checkpoint, closing stats.
+//!
 //! Graphs are DIMACS 9th-challenge `.gr` files (1-based vertex ids on the
 //! command line, matching the format). Indexes are the compact binary
 //! format of `stl_core::persist`.
@@ -43,7 +53,10 @@ use std::time::{Duration, Instant};
 
 use stl_core::{persist, IndexStats, Maintenance, Stl, StlConfig};
 use stl_graph::{io as gio, CsrGraph};
-use stl_server::{replay_mixed, NetClient, NetConfig, NetServer, ServerConfig, StlServer};
+use stl_server::{
+    replay_mixed, DurabilityConfig, FsyncPolicy, NetClient, NetConfig, NetServer, ServerConfig,
+    StlServer,
+};
 use stl_workloads::mixed::{mixed_trace, split_trace, MixedConfig, MixedOp};
 use stl_workloads::openloop::{open_loop_trace, percentile, Arrival, OpenLoopConfig};
 use stl_workloads::{generate, RoadNetConfig};
@@ -73,6 +86,50 @@ fn main() -> ExitCode {
 }
 
 type AnyErr = Box<dyn std::error::Error>;
+
+/// `SIGINT`/`SIGTERM` → a flag the serve loops poll, so a durable server
+/// always gets to drain, fsync its WAL, and write a final checkpoint before
+/// the process exits. No dependencies: the handler is registered through
+/// libc's `signal(2)` (always linked on unix) and only performs an atomic
+/// store, the one thing a signal handler may safely do.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Install the handler for `SIGINT` and `SIGTERM`. Idempotent.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
 
 fn load_graph(path: &str) -> Result<CsrGraph, AnyErr> {
     let f = File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
@@ -202,6 +259,10 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     let mut repair_threads = ServerConfig::default().repair_threads;
     let mut compact_quiet_epochs = ServerConfig::default().compact_after_quiet_epochs;
     let mut compact_dirty_ratio = ServerConfig::default().compact_dirty_ratio;
+    let mut rejection_window = ServerConfig::default().rejection_window;
+    let mut dedup_window = ServerConfig::default().dedup_window;
+    let mut state_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Always;
     let mut listen: Option<String> = None;
     let mut net = NetConfig::default();
     let mut duration_secs = 0u64;
@@ -209,6 +270,14 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--listen" => listen = it.next().cloned(),
+            "--state-dir" => state_dir = it.next().cloned(),
+            "--fsync" => fsync = FsyncPolicy::parse(it.next().ok_or("--fsync needs a value")?)?,
+            "--rejection-window" => {
+                rejection_window = it.next().ok_or("--rejection-window needs a value")?.parse()?
+            }
+            "--dedup-window" => {
+                dedup_window = it.next().ok_or("--dedup-window needs a value")?.parse()?
+            }
             "--net-readers" => {
                 net.reader_threads = it.next().ok_or("--net-readers needs a value")?.parse()?
             }
@@ -290,15 +359,36 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         if threads > 1 { Stl::build_parallel(&g, &cfg, threads) } else { Stl::build(&g, &cfg) };
     println!("index built in {:.2?}", t0.elapsed());
 
+    if rejection_window == 0 {
+        return Err("--rejection-window must be at least 1".into());
+    }
     let server_cfg = ServerConfig {
         algo,
         repair_threads,
         compact_after_quiet_epochs: compact_quiet_epochs,
         compact_dirty_ratio,
+        rejection_window,
+        dedup_window,
+        ..ServerConfig::default()
+    };
+
+    sig::install();
+    let start_server = |g: CsrGraph, stl: Stl| -> Result<StlServer, AnyErr> {
+        match &state_dir {
+            Some(dir) => {
+                let durability = DurabilityConfig { state_dir: dir.into(), fsync };
+                let (server, report) = StlServer::start_durable(g, stl, server_cfg, durability)
+                    .map_err(|e| format!("cannot recover from '{dir}': {e}"))?;
+                println!("durability: state dir {dir}, fsync {fsync}");
+                println!("recovery: {report}");
+                Ok(server)
+            }
+            None => Ok(StlServer::start(g, stl, server_cfg)),
+        }
     };
 
     if let Some(addr) = listen {
-        let server = Arc::new(StlServer::start(g, stl, server_cfg));
+        let server = Arc::new(start_server(g, stl)?);
         let net_server = NetServer::start(Arc::clone(&server), addr.as_str(), net.clone())
             .map_err(|e| format!("cannot listen on '{addr}': {e}"))?;
         println!(
@@ -313,12 +403,14 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         );
         // The smoke tests and bench drivers wait for this exact line.
         println!("listening on {}", net_server.local_addr());
-        if duration_secs == 0 {
-            loop {
-                std::thread::sleep(Duration::from_secs(3600));
-            }
+        let deadline =
+            (duration_secs > 0).then(|| Instant::now() + Duration::from_secs(duration_secs));
+        while !sig::requested() && deadline.is_none_or(|d| Instant::now() < d) {
+            std::thread::sleep(Duration::from_millis(100));
         }
-        std::thread::sleep(Duration::from_secs(duration_secs));
+        if sig::requested() {
+            println!("shutdown signal: draining, syncing the wal, writing a final checkpoint");
+        }
         let net_stats = net_server.shutdown();
         println!(
             "transport: {} connections accepted, {} shed, {} bad frames, {} requests",
@@ -337,7 +429,13 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
             net_stats.batcher.flushes_by_size,
             net_stats.batcher.flushes_by_timer,
         );
-        println!("writer: {}", server.stats());
+        // The transport is down and its batcher joined, so this is the only
+        // handle left; the owned shutdown drains the writer, syncs the WAL,
+        // and (on durable servers) writes the final checkpoint.
+        match Arc::try_unwrap(server) {
+            Ok(server) => println!("writer: {}", server.shutdown()),
+            Err(server) => println!("writer: {}", server.stats()),
+        }
         return Ok(());
     }
 
@@ -370,7 +468,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyErr> {
         );
     }
 
-    let server = StlServer::start(g, stl, server_cfg);
+    let server = start_server(g, stl)?;
     let wall = replay_mixed(&server, &queries, &batches, readers);
     let stats = server.shutdown();
     println!(

@@ -113,6 +113,44 @@ fn serve_runs_mixed_trace_and_reports_stats() {
 }
 
 #[test]
+fn serve_with_state_dir_recovers_on_the_next_boot() {
+    let scratch = Scratch::new();
+    let graph = scratch.path("durable.gr");
+    let state = scratch.path("state");
+    stdout_of(&stl(&["gen", &graph, "--vertices", "200", "--seed", "33"]));
+
+    let serve = |ops: &str| {
+        stdout_of(&stl(&[
+            "serve",
+            &graph,
+            "--state-dir",
+            &state,
+            "--fsync",
+            "always",
+            "--readers",
+            "1",
+            "--ops",
+            ops,
+            "--update-fraction",
+            "0.05",
+            "--batch-size",
+            "2",
+            "--seed",
+            "7",
+        ]))
+    };
+    // First run: fresh state dir, clean shutdown writes a final checkpoint.
+    let out = serve("400");
+    assert!(out.contains("durability: state dir"), "serve output: {out}");
+    assert!(out.contains("recovery: no checkpoint"), "first boot is fresh: {out}");
+    assert!(out.contains("checkpoints"), "closing stats must count checkpoints: {out}");
+
+    // Second run on the same dir: boots from that checkpoint.
+    let out = serve("200");
+    assert!(out.contains("recovery: checkpoint at generation"), "second boot recovers: {out}");
+}
+
+#[test]
 fn serve_rejects_bad_flags() {
     let out = stl(&["serve", "/nonexistent.gr"]);
     assert_eq!(out.status.code(), Some(1));
@@ -125,6 +163,9 @@ fn serve_rejects_bad_flags() {
         vec!["serve", "x.gr", "--repair-threads", "0"],
         vec!["serve", "x.gr", "--net-readers", "0"],
         vec!["serve", "x.gr", "--listen", "not-an-address", "--duration-secs", "1"],
+        vec!["serve", "x.gr", "--fsync", "sometimes"],
+        vec!["serve", "x.gr", "--fsync", "every:0"],
+        vec!["serve", "x.gr", "--rejection-window", "0"],
     ] {
         let out = stl(&bad);
         assert_eq!(out.status.code(), Some(1), "args: {bad:?}");

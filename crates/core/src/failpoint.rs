@@ -1,0 +1,271 @@
+//! Fault-injection points for crash-safety testing.
+//!
+//! A **failpoint** is a named site in production code where a test can make
+//! the process misbehave on purpose: panic the current thread, exit the
+//! process, or abort it. The durability layer (`stl_server::wal`,
+//! checkpointing, the supervised writer) threads [`fire`] calls through
+//! every step that must survive a crash — appending a WAL record, fsyncing
+//! it, renaming a checkpoint into place, publishing an epoch, writing a
+//! response frame — and the crash-recovery suites arm them one at a time to
+//! prove each kill site recovers to a state bit-identical to a run that
+//! never crashed.
+//!
+//! ## Cost when disabled
+//!
+//! Production builds pay **one relaxed atomic load per [`fire`] call** and
+//! nothing else: the registry is only consulted after a global enabled flag
+//! says at least one point is armed. No allocation, no locking, no
+//! environment lookup on the hot path.
+//!
+//! ## Arming points
+//!
+//! Two ways, combinable:
+//!
+//! * **Environment** — `STL_FAILPOINTS=point=action[@N],point2=action` is
+//!   parsed once, on the first [`fire`] call of the process. `@N` delays the
+//!   action to the `N`-th hit of that point (default 1). Actions: `panic`,
+//!   `exit` (status [`EXIT_CODE`]), `exit:CODE`, `abort`. This is how the
+//!   out-of-process chaos tests kill a spawned `stl serve` at a chosen
+//!   point.
+//! * **Programmatic** — [`arm`] / [`disarm`] / [`disarm_all`], used by
+//!   in-process tests (no cross-test environment races, no subprocess).
+//!
+//! Every armed point is **one-shot**: after its action fires (or would have
+//! fired, for [`Action::Panic`] the panic unwinds first) the point disarms
+//! itself, so a supervised component that respawns after the injected death
+//! does not die again on the same site.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Process exit status used by the bare `exit` action — distinctive enough
+/// that a chaos harness can tell an injected exit from a real failure.
+pub const EXIT_CODE: i32 = 86;
+
+/// Environment variable holding the failpoint spec parsed on first use.
+pub const ENV: &str = "STL_FAILPOINTS";
+
+/// What an armed failpoint does when its hit count is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic the calling thread (unwinds; a supervisor can catch the death).
+    Panic,
+    /// `std::process::exit` with the given status — no destructors run, the
+    /// closest in-process stand-in for a `kill -9` that still lets the
+    /// parent observe a status code.
+    Exit(i32),
+    /// `std::process::abort` (SIGABRT) — not even atexit handlers run.
+    Abort,
+}
+
+#[derive(Debug)]
+struct Armed {
+    action: Action,
+    /// Fires when `hits` reaches this value (1 = first hit).
+    at_hit: u64,
+    hits: u64,
+}
+
+/// 0 = registry not initialised, 1 = initialised and empty (fast path),
+/// 2 = at least one point armed.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static REGISTRY: Mutex<Option<HashMap<String, Armed>>> = Mutex::new(None);
+
+fn registry() -> std::sync::MutexGuard<'static, Option<HashMap<String, Armed>>> {
+    // A thread killed *by* a failpoint can never hold this lock (the action
+    // runs after the guard is dropped), but be robust to poisoning anyway.
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn sync_state(map: &HashMap<String, Armed>) {
+    STATE.store(if map.is_empty() { 1 } else { 2 }, Ordering::Release);
+}
+
+fn init_from_env(map: &mut HashMap<String, Armed>) {
+    let Ok(spec) = std::env::var(ENV) else { return };
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match parse_spec(part) {
+            Ok((name, armed)) => {
+                map.insert(name, armed);
+            }
+            Err(why) => eprintln!("{ENV}: ignoring malformed entry {part:?}: {why}"),
+        }
+    }
+}
+
+fn parse_spec(part: &str) -> Result<(String, Armed), String> {
+    let (name, rest) = part.split_once('=').ok_or("expected name=action[@N]")?;
+    if name.is_empty() {
+        return Err("empty point name".into());
+    }
+    let (action, at_hit) = match rest.split_once('@') {
+        Some((a, n)) => (a, n.parse::<u64>().map_err(|_| format!("bad hit count {n:?}"))?.max(1)),
+        None => (rest, 1),
+    };
+    let action = match action {
+        "panic" => Action::Panic,
+        "exit" => Action::Exit(EXIT_CODE),
+        "abort" => Action::Abort,
+        other => match other.split_once(':') {
+            Some(("exit", code)) => {
+                Action::Exit(code.parse().map_err(|_| format!("bad exit code {code:?}"))?)
+            }
+            _ => return Err(format!("unknown action {other:?}")),
+        },
+    };
+    Ok((name.to_string(), Armed { action, at_hit, hits: 0 }))
+}
+
+/// Hit the failpoint `name`. A no-op (one relaxed atomic load) unless a
+/// matching point is armed; when the armed point's hit count is reached, it
+/// disarms itself and performs its [`Action`].
+#[inline]
+pub fn fire(name: &str) {
+    match STATE.load(Ordering::Acquire) {
+        1 => {}
+        0 => {
+            {
+                let mut guard = registry();
+                if guard.is_none() {
+                    let mut map = HashMap::new();
+                    init_from_env(&mut map);
+                    sync_state(&map);
+                    *guard = Some(map);
+                }
+            }
+            fire(name);
+        }
+        _ => fire_armed(name),
+    }
+}
+
+#[cold]
+fn fire_armed(name: &str) {
+    let action = {
+        let mut guard = registry();
+        let Some(map) = guard.as_mut() else { return };
+        let Some(armed) = map.get_mut(name) else { return };
+        armed.hits += 1;
+        if armed.hits < armed.at_hit {
+            return;
+        }
+        // One-shot: disarm before acting so a respawned component survives.
+        let action = armed.action;
+        map.remove(name);
+        sync_state(map);
+        action
+    };
+    match action {
+        Action::Panic => panic!("failpoint {name:?} fired (injected)"),
+        Action::Exit(code) => std::process::exit(code),
+        Action::Abort => std::process::abort(),
+    }
+}
+
+/// Arm `name` to perform `action` on its `at_hit`-th hit (1 = next hit).
+/// Replaces any previous arming of the same point.
+pub fn arm(name: &str, action: Action, at_hit: u64) {
+    let mut guard = registry();
+    let map = guard.get_or_insert_with(|| {
+        let mut map = HashMap::new();
+        init_from_env(&mut map);
+        map
+    });
+    map.insert(name.to_string(), Armed { action, at_hit: at_hit.max(1), hits: 0 });
+    sync_state(map);
+}
+
+/// Disarm `name` if armed. Returns whether it was.
+pub fn disarm(name: &str) -> bool {
+    let mut guard = registry();
+    let Some(map) = guard.as_mut() else { return false };
+    let was = map.remove(name).is_some();
+    sync_state(map);
+    was
+}
+
+/// Disarm every point (including any armed from the environment).
+pub fn disarm_all() {
+    let mut guard = registry();
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.clear();
+    sync_state(map);
+}
+
+/// Whether `name` is currently armed (for test assertions).
+pub fn is_armed(name: &str) -> bool {
+    registry().as_ref().is_some_and(|m| m.contains_key(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests serialise on a local lock
+    // so parallel test threads cannot observe each other's armings.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_fire_is_a_noop() {
+        let _l = locked();
+        disarm_all();
+        fire("nothing-armed-here");
+    }
+
+    #[test]
+    fn armed_panic_fires_once_then_disarms() {
+        let _l = locked();
+        disarm_all();
+        arm("p1", Action::Panic, 1);
+        assert!(is_armed("p1"));
+        let err = std::panic::catch_unwind(|| fire("p1")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("failpoint \"p1\" fired"), "got: {msg}");
+        assert!(!is_armed("p1"), "one-shot points must disarm after firing");
+        fire("p1"); // must not panic again
+    }
+
+    #[test]
+    fn hit_count_delays_the_action() {
+        let _l = locked();
+        disarm_all();
+        arm("p2", Action::Panic, 3);
+        fire("p2");
+        fire("p2");
+        assert!(is_armed("p2"), "must survive the first two hits");
+        assert!(std::panic::catch_unwind(|| fire("p2")).is_err());
+        assert!(!is_armed("p2"));
+    }
+
+    #[test]
+    fn other_points_do_not_fire() {
+        let _l = locked();
+        disarm_all();
+        arm("p3", Action::Panic, 1);
+        fire("not-p3");
+        assert!(disarm("p3"), "p3 must still be armed");
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let (name, armed) = parse_spec("wal-append=panic@4").unwrap();
+        assert_eq!(name, "wal-append");
+        assert_eq!(armed.action, Action::Panic);
+        assert_eq!(armed.at_hit, 4);
+        let (_, armed) = parse_spec("fsync=exit").unwrap();
+        assert_eq!(armed.action, Action::Exit(EXIT_CODE));
+        let (_, armed) = parse_spec("publish=exit:7").unwrap();
+        assert_eq!(armed.action, Action::Exit(7));
+        let (_, armed) = parse_spec("x=abort").unwrap();
+        assert_eq!(armed.action, Action::Abort);
+        assert!(parse_spec("no-equals").is_err());
+        assert!(parse_spec("x=frobnicate").is_err());
+        assert!(parse_spec("x=panic@zero").is_err());
+        assert!(parse_spec("=panic").is_err());
+    }
+}

@@ -23,6 +23,7 @@
 //! * [`structural`] — §8 edge/vertex insertion & deletion.
 //! * [`verify`] — independent invariant checkers used by the test suite.
 //! * [`persist`] — compact binary serialization of a built index.
+//! * [`failpoint`] — env-gated fault injection for crash-safety testing.
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@ pub mod batch;
 pub mod directed;
 pub mod directed_dynamic;
 pub mod engine;
+pub mod failpoint;
 pub mod hierarchy;
 pub mod label_search;
 pub mod labelling;

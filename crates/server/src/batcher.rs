@@ -25,7 +25,16 @@
 //!   may be pending; beyond that, new requests are shed immediately with an
 //!   explicit `Rejected("overloaded: …")` instead of growing the queue
 //!   without bound.
+//!
+//! A third makes client *retries* survivable: **idempotency keys**
+//! ([`AdaptiveBatcher::submit_keyed`]). A keyed request that already applied
+//! is answered from the server's dedup window without re-applying, and a
+//! keyed request whose twin is still pending *joins* the pending request's
+//! outcome slot instead of enqueueing a duplicate — so a client that times
+//! out and retries (or reconnects after a writer restart) can never
+//! double-apply its update.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -70,6 +79,11 @@ pub struct BatcherStats {
     pub requests_shed: u64,
     /// Requests rejected by pre-validation (bad edge, INF weight, …).
     pub requests_rejected: u64,
+    /// Keyed retries that joined an already-pending request with the same
+    /// idempotency key instead of enqueueing a duplicate (dedup-window hits
+    /// for already-*applied* keys are counted in
+    /// [`crate::ServerStats::dedup_hits`] instead).
+    pub requests_joined: u64,
     /// Flushes tripped by the size budget.
     pub flushes_by_size: u64,
     /// Flushes tripped by the latency budget.
@@ -113,7 +127,12 @@ impl PendingUpdate {
 
 struct FlushState {
     pending: Vec<EdgeUpdate>,
-    waiters: Vec<Arc<OutcomeSlot>>,
+    /// One entry per enqueued request: its idempotency key (if any) and the
+    /// slot its outcome resolves into.
+    waiters: Vec<(Option<u64>, Arc<OutcomeSlot>)>,
+    /// Keys currently pending or in a submitted-but-unresolved batch; a
+    /// retry carrying one of these joins the existing slot.
+    in_flight: HashMap<u64, Arc<OutcomeSlot>>,
     opened_at: Option<Instant>,
     stop: bool,
 }
@@ -131,6 +150,7 @@ struct BatcherShared {
     requests_coalesced: AtomicU64,
     requests_shed: AtomicU64,
     requests_rejected: AtomicU64,
+    requests_joined: AtomicU64,
     flushes_by_size: AtomicU64,
     flushes_by_timer: AtomicU64,
 }
@@ -153,6 +173,7 @@ impl AdaptiveBatcher {
             state: Mutex::new(FlushState {
                 pending: Vec::new(),
                 waiters: Vec::new(),
+                in_flight: HashMap::new(),
                 opened_at: None,
                 stop: false,
             }),
@@ -161,6 +182,7 @@ impl AdaptiveBatcher {
             requests_coalesced: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
             requests_rejected: AtomicU64::new(0),
+            requests_joined: AtomicU64::new(0),
             flushes_by_size: AtomicU64::new(0),
             flushes_by_timer: AtomicU64::new(0),
         });
@@ -179,16 +201,45 @@ impl AdaptiveBatcher {
     /// requests shed by admission control come back already resolved to
     /// [`BatchOutcome::Rejected`] without touching the queue.
     pub fn submit(&self, updates: Vec<EdgeUpdate>) -> PendingUpdate {
+        self.submit_keyed(None, updates)
+    }
+
+    /// [`AdaptiveBatcher::submit`] with an optional client-supplied
+    /// **idempotency key**, the safe-retry contract:
+    ///
+    /// * If `key` already **applied** (it is in the server's dedup window),
+    ///   the request resolves immediately to the original
+    ///   `Applied { seq }` — nothing is re-applied.
+    /// * If a request with `key` is still **pending or in flight**, this
+    ///   request joins its outcome slot — both callers see the one outcome
+    ///   of the one enqueued copy.
+    /// * Otherwise the request enqueues normally and its key travels with
+    ///   the merged batch into the writer (and, on a durable server, into
+    ///   the WAL record and checkpoints).
+    ///
+    /// Keys are client-chosen `u64`s; callers must make them unique per
+    /// logical update (a random 64-bit value per request is fine).
+    pub fn submit_keyed(&self, key: Option<u64>, updates: Vec<EdgeUpdate>) -> PendingUpdate {
         if let Err(reason) = validate_batch(&self.shared.graph, &updates) {
             self.shared.requests_rejected.fetch_add(1, Ordering::Relaxed);
             self.shared.server.note_rejected_batch();
             return PendingUpdate::resolved(BatchOutcome::Rejected(reason));
+        }
+        if let Some(k) = key {
+            if let Some(seq) = self.shared.server.dedup_lookup(k) {
+                return PendingUpdate::resolved(BatchOutcome::Applied { seq });
+            }
         }
         let mut st = self.shared.state.lock().unwrap();
         if st.stop {
             return PendingUpdate::resolved(BatchOutcome::Rejected(
                 "batcher shut down before the request was accepted".into(),
             ));
+        }
+        if let Some(slot) = key.and_then(|k| st.in_flight.get(&k).cloned()) {
+            drop(st);
+            self.shared.requests_joined.fetch_add(1, Ordering::Relaxed);
+            return PendingUpdate(slot);
         }
         if st.pending.len() + updates.len() > self.shared.cfg.max_queued {
             let queued = st.pending.len();
@@ -204,7 +255,10 @@ impl AdaptiveBatcher {
         }
         st.pending.extend(updates);
         let slot = Arc::new(OutcomeSlot::default());
-        st.waiters.push(Arc::clone(&slot));
+        if let Some(k) = key {
+            st.in_flight.insert(k, Arc::clone(&slot));
+        }
+        st.waiters.push((key, Arc::clone(&slot)));
         drop(st);
         self.shared.kick.notify_all();
         PendingUpdate(slot)
@@ -217,6 +271,7 @@ impl AdaptiveBatcher {
             requests_coalesced: self.shared.requests_coalesced.load(Ordering::Relaxed),
             requests_shed: self.shared.requests_shed.load(Ordering::Relaxed),
             requests_rejected: self.shared.requests_rejected.load(Ordering::Relaxed),
+            requests_joined: self.shared.requests_joined.load(Ordering::Relaxed),
             flushes_by_size: self.shared.flushes_by_size.load(Ordering::Relaxed),
             flushes_by_timer: self.shared.flushes_by_timer.load(Ordering::Relaxed),
         }
@@ -276,7 +331,8 @@ fn flusher_loop(shared: &BatcherShared) {
         // Submit outside the lock: producers keep accumulating the *next*
         // batch while the writer applies this one — the wait below is
         // exactly where repair amortisation comes from under load.
-        let ticket = shared.server.submit(batch);
+        let keys: Vec<u64> = waiters.iter().filter_map(|(k, _)| *k).collect();
+        let ticket = shared.server.submit_with_keys(keys, batch);
         let outcome = shared.server.wait_for(ticket);
         shared.batches_submitted.fetch_add(1, Ordering::Relaxed);
         shared.requests_coalesced.fetch_add(waiters.len() as u64, Ordering::Relaxed);
@@ -285,8 +341,17 @@ fn flusher_loop(shared: &BatcherShared) {
         } else if by_timer {
             shared.flushes_by_timer.fetch_add(1, Ordering::Relaxed);
         }
-        for waiter in waiters {
+        // Resolve before releasing the keys: a retry arriving in between
+        // either joins the already-resolved slot (fine — PendingUpdate::wait
+        // is idempotent) or, after release, hits the server's dedup window.
+        for (_, waiter) in &waiters {
             waiter.resolve(outcome.clone());
+        }
+        let mut st = shared.state.lock().unwrap();
+        for (key, _) in &waiters {
+            if let Some(k) = key {
+                st.in_flight.remove(k);
+            }
         }
     }
 }
@@ -318,7 +383,7 @@ mod tests {
             batcher.submit(vec![EdgeUpdate::new(2, 3, 7)]),
         ];
         for p in &pends {
-            assert_eq!(p.wait(), BatchOutcome::Applied);
+            assert_eq!(p.wait(), BatchOutcome::Applied { seq: 1 });
         }
         let stats = batcher.stats();
         assert_eq!(stats.batches_submitted, 1, "three requests must merge into one batch");
@@ -338,8 +403,8 @@ mod tests {
         );
         let a = batcher.submit(vec![EdgeUpdate::new(0, 1, 9)]);
         let b = batcher.submit(vec![EdgeUpdate::new(1, 2, 9)]);
-        assert_eq!(a.wait(), BatchOutcome::Applied);
-        assert_eq!(b.wait(), BatchOutcome::Applied);
+        assert_eq!(a.wait(), BatchOutcome::Applied { seq: 1 });
+        assert_eq!(b.wait(), BatchOutcome::Applied { seq: 1 });
         assert!(batcher.stats().flushes_by_size >= 1);
         batcher.shutdown();
     }
@@ -355,9 +420,13 @@ mod tests {
         let bad = batcher.submit(vec![EdgeUpdate::new(0, 2, 8)]); // no such edge
         match bad.wait() {
             BatchOutcome::Rejected(reason) => assert!(reason.contains("no edge"), "{reason}"),
-            BatchOutcome::Applied => panic!("invalid request must not be applied"),
+            BatchOutcome::Applied { .. } => panic!("invalid request must not be applied"),
         }
-        assert_eq!(good.wait(), BatchOutcome::Applied, "co-submitter must be unaffected");
+        assert_eq!(
+            good.wait(),
+            BatchOutcome::Applied { seq: 1 },
+            "co-submitter must be unaffected"
+        );
         assert_eq!(server.snapshot().query(0, 1), 8);
         assert_eq!(batcher.stats().requests_rejected, 1);
         assert_eq!(server.stats().batches_rejected, 1, "pre-check rejections reach ServerStats");
@@ -379,12 +448,54 @@ mod tests {
             BatchOutcome::Rejected(reason) => {
                 assert!(reason.contains("overloaded"), "shed must be explicit: {reason}")
             }
-            BatchOutcome::Applied => panic!("requests beyond the bound must shed"),
+            BatchOutcome::Applied { .. } => panic!("requests beyond the bound must shed"),
         }
         assert_eq!(batcher.stats().requests_shed, 1);
         for p in fill {
-            assert_eq!(p.wait(), BatchOutcome::Applied, "queued requests still apply");
+            assert_eq!(p.wait(), BatchOutcome::Applied { seq: 1 }, "queued requests still apply");
         }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn keyed_retry_after_apply_is_answered_from_the_dedup_window() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig { latency_ms: 0, ..Default::default() },
+        );
+        let first = batcher.submit_keyed(Some(42), vec![EdgeUpdate::new(0, 1, 7)]);
+        assert_eq!(first.wait(), BatchOutcome::Applied { seq: 1 });
+        // Same key again — e.g. the client timed out and retried after the
+        // batch already landed. Must be acknowledged with the *original*
+        // sequence number, without submitting a second batch.
+        let retry = batcher.submit_keyed(Some(42), vec![EdgeUpdate::new(0, 1, 7)]);
+        assert_eq!(retry.wait(), BatchOutcome::Applied { seq: 1 });
+        assert_eq!(batcher.stats().batches_submitted, 1, "retry must not re-apply");
+        assert_eq!(server.stats().dedup_hits, 1);
+        assert_eq!(server.generation(), 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_keyed_retry_joins_the_pending_slot() {
+        let server = diamond_server();
+        let batcher = AdaptiveBatcher::start(
+            Arc::clone(&server),
+            BatcherConfig { latency_ms: 250, ..Default::default() },
+        );
+        // Two submissions with the same key inside one latency window: the
+        // second joins the first's outcome slot instead of enqueueing a
+        // duplicate update.
+        let a = batcher.submit_keyed(Some(7), vec![EdgeUpdate::new(1, 2, 9)]);
+        let b = batcher.submit_keyed(Some(7), vec![EdgeUpdate::new(1, 2, 9)]);
+        assert_eq!(a.wait(), BatchOutcome::Applied { seq: 1 });
+        assert_eq!(b.wait(), BatchOutcome::Applied { seq: 1 });
+        let stats = batcher.stats();
+        assert_eq!(stats.requests_joined, 1, "second submission must join, not enqueue");
+        assert_eq!(stats.batches_submitted, 1);
+        assert_eq!(server.snapshot().query(1, 2), 9, "the update applied exactly once");
+        assert_eq!(server.stats().updates_submitted, 1);
         batcher.shutdown();
     }
 
@@ -400,7 +511,7 @@ mod tests {
         );
         let p = batcher.submit(vec![EdgeUpdate::new(0, 3, 2)]);
         batcher.shutdown();
-        assert_eq!(p.wait(), BatchOutcome::Applied, "shutdown must flush, not drop");
+        assert_eq!(p.wait(), BatchOutcome::Applied { seq: 1 }, "shutdown must flush, not drop");
         assert_eq!(server.snapshot().query(0, 3), 2);
         assert!(!batcher.submit(vec![EdgeUpdate::new(0, 1, 4)]).wait().is_applied());
     }

@@ -57,7 +57,7 @@
 //!
 //! assert_eq!(server.snapshot().query(0, 3), 12);
 //! let ticket = server.submit(vec![EdgeUpdate::new(1, 2, 40)]); // congestion
-//! server.wait_for(ticket);
+//! assert!(server.wait_for(ticket).is_applied());
 //! let snap = server.snapshot();
 //! assert_eq!(snap.query(0, 3), 20); // direct road now wins
 //! assert!(snap.generation() >= 1);
@@ -76,6 +76,24 @@
 //! [`ServerStats::batches_rejected`] counts them. `submit`/`wait_for` never
 //! panic, even if the writer thread is gone.
 //!
+//! ## Surviving crashes
+//!
+//! The server can also survive its *own* death. [`StlServer::start_durable`]
+//! adds a durability layer rooted in a state directory: every accepted
+//! batch is appended to a CRC-framed **write-ahead log** ([`wal`]) before it
+//! is applied, the quiescence trigger (and clean shutdown) folds the log
+//! into an atomic **checkpoint** ([`durable`]), and boot **recovers** by
+//! overlaying the checkpoint and replaying the WAL tail through the normal
+//! sharded-repair path — truncating, never panicking on, torn crash debris.
+//! In-process, a **supervisor** respawns a dead writer thread from the last
+//! published snapshot, resolving whatever batch was in flight as rolled
+//! back (`Rejected("writer restarted")`) or landed. Clients retry safely
+//! with **idempotency keys** ([`DedupWindow`]): a key that already applied
+//! is acknowledged with its original sequence number instead of re-applied.
+//! `stl_core::failpoint` lets the crash-recovery suites kill the process at
+//! every step of this machinery and prove recovery is bit-identical to a
+//! run that never crashed.
+//!
 //! ## Network serving
 //!
 //! The [`transport`] module puts the server on a TCP socket: a tiny
@@ -93,15 +111,21 @@
 //! thread pool.
 
 pub mod batcher;
+pub mod durable;
 pub mod replay;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
 pub mod transport;
+pub mod wal;
 
 pub use batcher::{AdaptiveBatcher, BatcherConfig, BatcherStats, PendingUpdate};
+pub use durable::{DedupWindow, DurabilityConfig, RecoveryReport};
 pub use replay::replay_mixed;
 pub use server::{validate_batch, BatchOutcome, ServerConfig, StlServer, Ticket};
 pub use snapshot::Snapshot;
 pub use stats::ServerStats;
-pub use transport::{NetClient, NetConfig, NetServer, NetStats, RemoteOutcome, RemoteStats};
+pub use transport::{
+    NetClient, NetConfig, NetServer, NetStats, RemoteOutcome, RemoteStats, RetryPolicy,
+};
+pub use wal::FsyncPolicy;

@@ -1,44 +1,70 @@
-//! The service: one writer thread, any number of snapshot readers.
+//! The service: one supervised writer thread, any number of snapshot readers.
 
 use std::collections::VecDeque;
+use std::io;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use stl_core::{EnginePool, Maintenance, Stl};
+use stl_core::{failpoint, EnginePool, Maintenance, Stl};
 use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId, INF};
 
+use crate::durable::{self, DedupWindow, DurabilityConfig, RecoveryReport};
 use crate::snapshot::Snapshot;
 use crate::stats::{ServerStats, StatsCells};
+use crate::wal::WalWriter;
 
-/// How many rejection reasons the server retains for [`StlServer::wait_for`].
-///
-/// Rejections are an error path: retaining every reason forever would let a
-/// misbehaving client grow server memory without bound (exactly the class of
-/// remote-triggerable failure the fallible writer exists to prevent), so only
-/// the most recent window is kept. Clients that wait promptly — everything in
-/// this crate does — always see their reason.
-const REJECTION_WINDOW: usize = 1024;
+/// Lock a mutex, recovering from poisoning: the writer thread can die at an
+/// injected failpoint while holding any of the shared locks, and the state
+/// they guard stays consistent (every multi-step transition is finished or
+/// rolled back by the supervisor), so the poison flag carries no information
+/// here.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_ok<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_ok<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// What happened to a submitted batch, per ticket (see [`StlServer::wait_for`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchOutcome {
     /// The batch validated, was applied, and its epoch is published: every
     /// snapshot taken after `wait_for` returned reflects it.
-    Applied,
+    Applied {
+        /// The batch's **sequence number**, equal to the generation its epoch
+        /// published (and, on a durable server, to its WAL record's sequence
+        /// number) — the handle a client stores to correlate snapshots,
+        /// checkpoints, and idempotent retries.
+        ///
+        /// `0` means the true sequence is no longer resolvable: the ticket
+        /// predates the retained rejection window *and* reasons have been
+        /// evicted, so the exact count of earlier rejections is unknown (see
+        /// [`StlServer::wait_for`]). Real sequence numbers start at 1.
+        seq: u64,
+    },
     /// The batch failed validation and was dropped **before any mutation** —
     /// graph, labels, and generation are exactly as if it was never
     /// submitted, and the writer keeps serving later batches. The payload is
     /// a human-readable reason naming the first offending update.
+    ///
+    /// A batch in flight when the writer died is also reported here, with
+    /// reason `"writer restarted"` — it was rolled back (including its WAL
+    /// record) and can be resubmitted, idempotently if keyed.
     Rejected(String),
 }
 
 impl BatchOutcome {
     /// Whether the batch was applied and published.
     pub fn is_applied(&self) -> bool {
-        matches!(self, BatchOutcome::Applied)
+        matches!(self, BatchOutcome::Applied { .. })
     }
 }
 
@@ -54,7 +80,8 @@ impl BatchOutcome {
 /// [`BatchOutcome::Rejected`] instead of a dead writer thread. Validation is
 /// purely topological (road-network structure is fixed, §8), so a batch that
 /// passes here never panics in the apply path regardless of concurrent
-/// weight changes.
+/// weight changes. The write-ahead log records only batches that passed this
+/// gate, which is what makes replay infallible on an unchanged graph file.
 pub fn validate_batch(g: &CsrGraph, batch: &[EdgeUpdate]) -> Result<(), String> {
     let n = g.num_vertices() as u64;
     for (i, u) in batch.iter().enumerate() {
@@ -98,7 +125,9 @@ pub struct ServerConfig {
     /// [`ServerConfig::compact_dirty_ratio`], the writer re-flattens the
     /// label arena, spine stores, and CSR weights into contiguous aligned
     /// allocations, switching readers onto the branch-free direct-offset
-    /// query path from the next published snapshot on. `0` disables the
+    /// query path from the next published snapshot on. On a durable server
+    /// the same trigger also writes a checkpoint and resets the WAL — the
+    /// quiet moment when copying the world is cheapest. `0` disables the
     /// trigger entirely. The default (12 epochs) is deliberately
     /// conservative: compaction copies the whole arena, so it should fire
     /// when traffic has genuinely gone quiet, not between two bursts.
@@ -107,6 +136,30 @@ pub struct ServerConfig {
     /// or below this ratio (no-op batches have ratio 0). Default `0.02` —
     /// under 2% of the world rewritten per batch.
     pub compact_dirty_ratio: f64,
+    /// How many rejection reasons [`StlServer::wait_for`] can still resolve,
+    /// i.e. the depth of the bounded reason window (default 1024, minimum
+    /// 1). Rejections are an error path: retaining every reason forever
+    /// would let a misbehaving client grow server memory without bound, so
+    /// only the most recent window is kept and evictions are counted in
+    /// [`ServerStats::rejection_reasons_evicted`]. A ticket that predates
+    /// every retained reason *after* evictions have occurred resolves as
+    /// [`BatchOutcome::Applied`] with `seq == 0` — the "absent ⇒ Applied"
+    /// ambiguity is inherent to bounding the window; clients that wait
+    /// promptly (everything in this crate does) always see the exact
+    /// outcome.
+    pub rejection_window: usize,
+    /// How many idempotency keys the server remembers (default 4096; `0`
+    /// disables dedup). A keyed update whose key is still in the window is
+    /// acknowledged with its original sequence number instead of being
+    /// re-applied — the guarantee that makes client retries after a timeout,
+    /// dropped connection, or writer restart safe. Eviction is FIFO.
+    pub dedup_window: usize,
+    /// How many times the supervisor respawns a dead writer thread before
+    /// giving up and failing outstanding waiters (default 8). Writer deaths
+    /// are internal bugs or injected faults — bad input is rejected by
+    /// validation, never fatal — so a low ceiling suffices to distinguish
+    /// "survived an injected crash" from "crashing in a loop".
+    pub max_writer_restarts: u32,
 }
 
 impl ServerConfig {
@@ -119,6 +172,10 @@ impl ServerConfig {
     ///   [`ServerConfig::compact_after_quiet_epochs`].
     /// * `STL_COMPACT_DIRTY_RATIO` (float in `0.0..=1.0`) —
     ///   [`ServerConfig::compact_dirty_ratio`].
+    /// * `STL_REJECTION_WINDOW` (positive integer) —
+    ///   [`ServerConfig::rejection_window`].
+    /// * `STL_DEDUP_WINDOW` (integer, `0` disables) —
+    ///   [`ServerConfig::dedup_window`].
     ///
     /// A set-but-malformed variable is an **error**, not a silent default:
     /// `STL_REPAIR_THREADS=abc` (or `=0`) used to fall back to the default
@@ -141,6 +198,15 @@ impl ServerConfig {
                 return Err(format!("STL_COMPACT_DIRTY_RATIO must be within 0.0..=1.0, got {r}"));
             }
             cfg.compact_dirty_ratio = r;
+        }
+        if let Some(w) = parsed_env::<usize>("STL_REJECTION_WINDOW")? {
+            if w == 0 {
+                return Err("STL_REJECTION_WINDOW must be at least 1".into());
+            }
+            cfg.rejection_window = w;
+        }
+        if let Some(d) = parsed_env::<usize>("STL_DEDUP_WINDOW")? {
+            cfg.dedup_window = d;
         }
         Ok(cfg)
     }
@@ -169,6 +235,9 @@ impl Default for ServerConfig {
             repair_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             compact_after_quiet_epochs: 12,
             compact_dirty_ratio: 0.02,
+            rejection_window: 1024,
+            dedup_window: 4096,
+            max_writer_restarts: 8,
         }
     }
 }
@@ -179,14 +248,122 @@ impl Default for ServerConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Ticket(pub u64);
 
+/// A submitted batch travelling the queue to the writer. The ticket rides
+/// with the batch (instead of being recounted writer-side) so a writer
+/// restart mid-queue cannot shift later tickets.
+struct Job {
+    ticket: u64,
+    /// Idempotency keys of the client requests merged into this batch;
+    /// recorded in the WAL and the dedup window at publish.
+    keys: Vec<u64>,
+    batch: Vec<EdgeUpdate>,
+}
+
 /// Writer progress guarded by the publish barrier. `processed` counts every
-/// ticket the writer finished (applied *or* rejected); `generation` counts
-/// only applied batches, so the two diverge exactly by the rejections.
+/// ticket the writer finished (applied *or* rejected); `generation` is the
+/// latest published generation (it starts at the recovered base on a durable
+/// server), so the two diverge exactly by base + rejections.
 #[derive(Debug, Clone, Copy, Default)]
 struct Progress {
     processed: u64,
     generation: u64,
     exited: bool,
+}
+
+/// Rejection reasons of the most recent `cap` rejected tickets, plus the
+/// running arithmetic [`StlServer::wait_for`] needs to map an *applied*
+/// ticket to its sequence number without retaining anything per applied
+/// ticket: each entry stores the cumulative count of rejections at-or-before
+/// its ticket, so `seq = base + ticket − rejections_before(ticket)` is exact
+/// for any ticket not older than the whole retained window.
+struct RejectionWindow {
+    /// `(ticket, cumulative rejections ≤ ticket, reason)`, ticket-ascending.
+    entries: VecDeque<(u64, u64, Arc<str>)>,
+    cap: usize,
+    /// Rejections ever pushed (monotone; the cum of the newest entry).
+    total: u64,
+    /// Entries dropped to respect `cap`.
+    evicted: u64,
+}
+
+/// What [`RejectionWindow::resolve`] can say about a processed ticket.
+enum Resolution {
+    /// The ticket was rejected with this reason.
+    Rejected(Arc<str>),
+    /// The ticket was applied; this many earlier tickets were rejected.
+    Applied { rejected_before: u64 },
+    /// The ticket predates the retained window and reasons have been
+    /// evicted: it was applied or rejected, but which — and with what
+    /// sequence — is no longer resolvable.
+    AgedOut,
+}
+
+impl RejectionWindow {
+    fn new(cap: usize) -> Self {
+        Self { entries: VecDeque::new(), cap: cap.max(1), total: 0, evicted: 0 }
+    }
+
+    fn contains(&self, ticket: u64) -> bool {
+        self.entries.iter().any(|(t, _, _)| *t == ticket)
+    }
+
+    /// Record a rejection. Idempotent per ticket (the supervisor and the
+    /// writer can race to reject the same in-flight ticket). Returns how
+    /// many old reasons were evicted to make room.
+    fn push(&mut self, ticket: u64, reason: Arc<str>) -> u64 {
+        if self.contains(ticket) {
+            return 0;
+        }
+        self.total += 1;
+        self.entries.push_back((ticket, self.total, reason));
+        let mut dropped = 0;
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+            self.evicted += 1;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    fn resolve(&self, ticket: u64) -> Resolution {
+        for (t, cum, reason) in self.entries.iter().rev() {
+            if *t == ticket {
+                return Resolution::Rejected(Arc::clone(reason));
+            }
+            if *t < ticket {
+                // `cum` counts rejections ≤ *t; everything in (*t, ticket)
+                // was applied, so it is also the count strictly before
+                // `ticket` — exact even when older entries were evicted,
+                // because cum is cumulative since server start.
+                return Resolution::Applied { rejected_before: *cum };
+            }
+        }
+        if self.evicted == 0 {
+            Resolution::Applied { rejected_before: 0 }
+        } else {
+            Resolution::AgedOut
+        }
+    }
+}
+
+/// The durability half of the shared state: where checkpoints live and the
+/// open write-ahead log.
+struct DurableShared {
+    cfg: DurabilityConfig,
+    wal: Mutex<WalWriter>,
+}
+
+/// The batch the writer is processing right now, tracked so the supervisor
+/// can resolve it if the writer dies mid-flight: roll it back (annulling its
+/// WAL record) and reject, or — if the epoch was already published — finish
+/// its bookkeeping.
+struct InFlight {
+    ticket: u64,
+    seq: u64,
+    keys: Vec<u64>,
+    /// Byte offset of this batch's WAL record, once appended; truncating the
+    /// log back to it annuls the record on rollback.
+    wal_start: Option<u64>,
 }
 
 struct Shared {
@@ -196,17 +373,24 @@ struct Shared {
     stats: StatsCells,
     progress: Mutex<Progress>,
     published: Condvar,
-    /// Reasons of the most recent `REJECTION_WINDOW` (1024) rejected tickets,
-    /// oldest first. Tickets absent from this window were applied (or their
-    /// reason aged out — see [`StlServer::wait_for`]).
-    rejections: Mutex<VecDeque<(u64, Arc<str>)>>,
+    rejections: Mutex<RejectionWindow>,
+    /// Idempotency keys → the sequence that applied them.
+    dedup: Mutex<DedupWindow>,
+    in_flight: Mutex<Option<InFlight>>,
+    /// `Some` on servers started with [`StlServer::start_durable`].
+    durable: Option<DurableShared>,
+    /// Generation the server booted at (0, or the recovered generation) —
+    /// the offset in the ticket → sequence arithmetic of `wait_for`.
+    base_generation: u64,
 }
 
 /// Epoch-snapshot query service over a [`Stl`] index.
 ///
 /// See the crate docs for the protocol and its consistency guarantee. The
-/// server starts its writer thread in [`StlServer::start`] and joins it in
-/// [`StlServer::shutdown`] (or on drop).
+/// server starts a supervisor thread in [`StlServer::start`] (or
+/// [`StlServer::start_durable`]) which in turn runs the writer thread,
+/// respawning it from the last published state if it dies; everything is
+/// joined in [`StlServer::shutdown`] (or on drop).
 pub struct StlServer {
     shared: Arc<Shared>,
     /// Queue handle plus the ticket counter, under one lock: assigning a
@@ -214,146 +398,133 @@ pub struct StlServer {
     /// order could diverge from ticket order under concurrent submitters
     /// (and `wait_for` would then report a not-yet-applied batch as
     /// published). `None` after shutdown.
-    tx: Mutex<Option<(Sender<Vec<EdgeUpdate>>, u64)>>,
-    writer: Option<JoinHandle<()>>,
+    tx: Mutex<Option<(Sender<Job>, u64)>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl StlServer {
-    /// Take ownership of the world (graph + index) and start serving.
+    /// Take ownership of the world (graph + index) and start serving,
+    /// **without** durability: state lives in memory only.
     ///
     /// The initial state is published immediately as generation 0.
     pub fn start(graph: CsrGraph, stl: Stl, cfg: ServerConfig) -> Self {
-        let first = Arc::new(Snapshot::new(0, graph.clone(), stl.clone()));
+        let dedup = DedupWindow::new(cfg.dedup_window);
+        Self::start_inner(graph, stl, cfg, 0, dedup, None)
+    }
+
+    /// Start serving **durably**: recover from `durability.state_dir`
+    /// (checkpoint + WAL replay — see [`crate::durable`]), then serve with
+    /// every accepted batch logged before it is applied.
+    ///
+    /// `graph`/`stl` are the freshly built or loaded generation-0 world the
+    /// recovered state overlays; the graph file remains the topology's
+    /// source of truth, the state dir holds only weights, labels, and the
+    /// dedup window. Returns the server and a [`RecoveryReport`] describing
+    /// what was restored. Fails if the state dir is unusable or holds a
+    /// corrupt checkpoint (booting fresh over a corrupt checkpoint would
+    /// silently resurrect stale distances — the operator must decide).
+    pub fn start_durable(
+        graph: CsrGraph,
+        stl: Stl,
+        cfg: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let rec = durable::recover(&durability, &cfg, graph, stl)?;
+        let report = rec.report;
+        let durable = DurableShared { cfg: durability, wal: Mutex::new(rec.wal) };
+        let server =
+            Self::start_inner(rec.graph, rec.stl, cfg, rec.generation, rec.dedup, Some(durable));
+        let stats = &server.shared.stats;
+        stats.wal_records_replayed.store(report.wal_records_replayed, Ordering::Relaxed);
+        stats.wal_torn_tail.store(u64::from(report.wal_torn_tail), Ordering::Relaxed);
+        Ok((server, report))
+    }
+
+    fn start_inner(
+        graph: CsrGraph,
+        stl: Stl,
+        cfg: ServerConfig,
+        base_generation: u64,
+        dedup: DedupWindow,
+        durable: Option<DurableShared>,
+    ) -> Self {
+        let first = Arc::new(Snapshot::new(base_generation, graph, stl));
         let shared = Arc::new(Shared {
             current: RwLock::new(first),
             stats: StatsCells::default(),
-            progress: Mutex::new(Progress::default()),
+            progress: Mutex::new(Progress {
+                processed: 0,
+                generation: base_generation,
+                exited: false,
+            }),
             published: Condvar::new(),
-            rejections: Mutex::new(VecDeque::new()),
+            rejections: Mutex::new(RejectionWindow::new(cfg.rejection_window)),
+            dedup: Mutex::new(dedup),
+            in_flight: Mutex::new(None),
+            durable,
+            base_generation,
         });
-        let (tx, rx) = mpsc::channel::<Vec<EdgeUpdate>>();
-        let writer_shared = Arc::clone(&shared);
-        let writer = std::thread::Builder::new()
-            .name("stl-writer".into())
+        shared.stats.batches_applied.store(base_generation, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = std::thread::Builder::new()
+            .name("stl-supervisor".into())
             .spawn(move || {
-                // Flag writer exit (normal drain, or a panic from an
-                // *internal* bug — bad input no longer reaches the apply
-                // path) so `wait_for` never blocks forever.
+                // Flag service exit (clean drain, or the supervisor giving
+                // up on a crash-looping writer) so `wait_for` never blocks
+                // forever. Lives at supervisor scope: a writer death that
+                // will be followed by a respawn must NOT look like exit.
                 struct ExitFlag(Arc<Shared>);
                 impl Drop for ExitFlag {
                     fn drop(&mut self) {
-                        self.0.progress.lock().unwrap().exited = true;
+                        lock_ok(&self.0.progress).exited = true;
                         self.0.published.notify_all();
                     }
                 }
-                let _flag = ExitFlag(Arc::clone(&writer_shared));
-                let mut graph = graph;
-                let mut stl = stl;
-                let mut pool = EnginePool::new();
-                let mut generation = 0u64;
-                let mut processed = 0u64;
-                // Consecutive epochs at or below the quiet dirty ratio —
-                // the compaction trigger's streak counter.
-                let mut quiet_epochs = 0u32;
-                while let Ok(batch) = rx.recv() {
-                    processed += 1;
-                    let stats = &writer_shared.stats;
-                    stats.updates_submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    // The bugfix that makes remote serving survivable: a bad
-                    // update used to kill the writer (apply_batch's panic
-                    // contract), turning one malformed client batch into a
-                    // total outage. Validate first; reject without mutating.
-                    if let Err(reason) = validate_batch(&graph, &batch) {
-                        stats.batches_rejected.fetch_add(1, Ordering::Relaxed);
-                        {
-                            let mut rej = writer_shared.rejections.lock().unwrap();
-                            if rej.len() == REJECTION_WINDOW {
-                                rej.pop_front();
+                let _flag = ExitFlag(Arc::clone(&sup_shared));
+                let mut restarts = 0u32;
+                loop {
+                    // The writer's working state is (re)derived from the
+                    // last *published* snapshot — cheap COW clones — which
+                    // is exactly the state every acknowledged batch is in.
+                    let (graph, stl, generation) = {
+                        let snap = read_ok(&sup_shared.current);
+                        (snap.graph().clone(), snap.stl().clone(), snap.generation())
+                    };
+                    let w_shared = Arc::clone(&sup_shared);
+                    let w_rx = Arc::clone(&rx);
+                    let w_cfg = cfg.clone();
+                    let writer = std::thread::Builder::new()
+                        .name("stl-writer".into())
+                        .spawn(move || {
+                            writer_loop(graph, stl, generation, &w_shared, &w_rx, &w_cfg)
+                        })
+                        .expect("spawn stl-writer thread");
+                    match writer.join() {
+                        // Clean exit: the queue was closed and drained.
+                        Ok(()) => break,
+                        // The writer panicked (an internal bug or an
+                        // injected failpoint). Resolve whatever was in
+                        // flight, then respawn from the published state.
+                        Err(_) => {
+                            sup_shared.stats.writer_restarts.fetch_add(1, Ordering::Relaxed);
+                            resolve_orphan(&sup_shared);
+                            restarts += 1;
+                            if restarts > cfg.max_writer_restarts {
+                                eprintln!(
+                                    "stl-server: writer died {restarts} times \
+                                     (max {}); giving up",
+                                    cfg.max_writer_restarts
+                                );
+                                break;
                             }
-                            rej.push_back((processed, reason.into()));
-                        }
-                        let mut p = writer_shared.progress.lock().unwrap();
-                        p.processed = processed;
-                        drop(p);
-                        writer_shared.published.notify_all();
-                        continue;
-                    }
-                    let t_apply = Instant::now();
-                    let (ustats, report) = stl.apply_batch_sharded(
-                        &mut graph,
-                        &batch,
-                        cfg.algo,
-                        &mut pool,
-                        cfg.repair_threads,
-                    );
-                    stats
-                        .apply_ns_total
-                        .fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    stats.repair_shards_last.store(report.shards_touched as u64, Ordering::Relaxed);
-                    stats.repair_shard_ns_max_last.store(report.max_ns(), Ordering::Relaxed);
-                    stats.repair_shard_ns_sum_last.store(report.sum_ns(), Ordering::Relaxed);
-                    stats.trees_touched_total.fetch_add(ustats.trees_touched, Ordering::Relaxed);
-                    stats.trees_skipped_total.fetch_add(ustats.trees_skipped, Ordering::Relaxed);
-                    // Applying the batch COW-promoted exactly the chunks it
-                    // wrote (the previous snapshot pinned everything else);
-                    // drain the copy accounting into the public counters.
-                    let cow = stl.take_cow_stats() + graph.take_cow_stats();
-                    stats.publish_bytes_copied.fetch_add(cow.bytes_copied, Ordering::Relaxed);
-                    stats.chunks_copied_last.store(cow.chunks_copied, Ordering::Relaxed);
-                    // Quiescence-triggered compaction: when the dirty-chunk
-                    // rate has stayed below the threshold for enough
-                    // consecutive epochs, re-flatten labels + spine + CSR
-                    // weights so the snapshot published below (and every one
-                    // after it, until the next write) serves the
-                    // direct-offset query path.
-                    if cfg.compact_after_quiet_epochs > 0 {
-                        let total_chunks = (stl.num_chunks() + graph.num_weight_chunks()).max(1);
-                        let ratio = cow.chunks_copied as f64 / total_chunks as f64;
-                        quiet_epochs =
-                            if ratio <= cfg.compact_dirty_ratio { quiet_epochs + 1 } else { 0 };
-                        if quiet_epochs >= cfg.compact_after_quiet_epochs
-                            && !(stl.is_flat() && graph.weights_flat())
-                        {
-                            let bytes = stl.compact() + graph.compact_weights();
-                            // Drop the compaction pass out of the next
-                            // epoch's COW window — it is accounted here, in
-                            // the dedicated counters.
-                            stl.take_cow_stats();
-                            graph.take_cow_stats();
-                            if bytes > 0 {
-                                stats.compactions_total.fetch_add(1, Ordering::Relaxed);
-                                stats.bytes_flattened_total.fetch_add(bytes, Ordering::Relaxed);
-                            }
-                            quiet_epochs = 0;
                         }
                     }
-                    // Publish: O(touched) — the clone below copies only the
-                    // Arc chunk tables; every byte not written by this batch
-                    // is shared with the previous epoch. Every *valid* batch
-                    // publishes — even one normalised away to a no-op — so
-                    // applied tickets always resolve to a generation.
-                    generation += 1;
-                    let t_pub = Instant::now();
-                    let snap = Arc::new(Snapshot::new(generation, graph.clone(), stl.clone()));
-                    let snap_flat = snap.is_flat();
-                    *writer_shared.current.write().unwrap() = snap;
-                    // Stored only *after* the pointer swap: storing before it
-                    // opened a window where stats() reported a flat snapshot
-                    // while readers still held the chunked one.
-                    stats.snapshot_is_flat.store(u64::from(snap_flat), Ordering::Relaxed);
-                    let pub_ns = t_pub.elapsed().as_nanos() as u64;
-                    stats.publish_ns_total.fetch_add(pub_ns, Ordering::Relaxed);
-                    stats.publish_ns_last.store(pub_ns, Ordering::Relaxed);
-                    stats.batches_applied.store(generation, Ordering::Relaxed);
-                    let mut p = writer_shared.progress.lock().unwrap();
-                    p.processed = processed;
-                    p.generation = generation;
-                    drop(p);
-                    writer_shared.published.notify_all();
                 }
             })
-            .expect("spawn stl-writer thread");
-        Self { shared, tx: Mutex::new(Some((tx, 0))), writer: Some(writer) }
+            .expect("spawn stl-supervisor thread");
+        Self { shared, tx: Mutex::new(Some((tx, 0))), supervisor: Some(supervisor) }
     }
 
     /// Enqueue a batch of edge-weight updates for the writer thread.
@@ -366,33 +537,56 @@ impl StlServer {
     /// later submissions are unaffected. Panics only if called after
     /// [`StlServer::shutdown`] (unreachable through the owned API).
     pub fn submit(&self, batch: Vec<EdgeUpdate>) -> Ticket {
-        let mut tx = self.tx.lock().unwrap();
+        self.submit_with_keys(Vec::new(), batch)
+    }
+
+    /// [`StlServer::submit`] carrying the idempotency keys of the client
+    /// requests merged into `batch`. On a durable server the keys travel in
+    /// the batch's WAL record and checkpoint, so [`StlServer::dedup_lookup`]
+    /// keeps answering across restarts.
+    pub fn submit_with_keys(&self, keys: Vec<u64>, batch: Vec<EdgeUpdate>) -> Ticket {
+        let mut tx = lock_ok(&self.tx);
         let (sender, count) = tx.as_mut().expect("server already shut down");
-        // A failed send means the writer died (an internal bug, since bad
-        // input is rejected, not fatal). Still hand out the ticket: wait_for
-        // reports the death as a Rejected outcome instead of panicking here.
-        let _ = sender.send(batch);
         *count += 1;
-        Ticket(*count)
+        let ticket = *count;
+        // A failed send means the supervisor gave up (an internal bug or an
+        // exhausted restart budget — bad input is rejected, not fatal).
+        // Still hand out the ticket: wait_for reports the death as a
+        // Rejected outcome instead of panicking here.
+        let _ = sender.send(Job { ticket, keys, batch });
+        Ticket(ticket)
+    }
+
+    /// The sequence number that already applied idempotency key `key`, if it
+    /// is still inside the dedup window. A hit (counted in
+    /// [`ServerStats::dedup_hits`]) means a retry carrying this key must be
+    /// acknowledged as `Applied { seq }` without re-submitting.
+    pub fn dedup_lookup(&self, key: u64) -> Option<u64> {
+        let hit = lock_ok(&self.shared.dedup).get(key);
+        if hit.is_some() {
+            self.shared.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
     }
 
     /// Block until the writer has processed the batch behind `ticket`, and
     /// report what happened to it.
     ///
-    /// Never panics: a batch that failed validation — or a writer lost to an
-    /// internal bug before reaching the ticket — is reported as
-    /// [`BatchOutcome::Rejected`] with the reason, and the server keeps
-    /// answering queries either way. Rejection reasons are retained for the
-    /// most recent `REJECTION_WINDOW` (1024) rejections; waiting promptly (as
-    /// every caller in this workspace does) always observes the true
-    /// outcome.
+    /// Never panics: a batch that failed validation — or one in flight when
+    /// the writer died — is reported as [`BatchOutcome::Rejected`] with the
+    /// reason, and the server keeps answering queries either way. Rejection
+    /// reasons are retained for the most recent
+    /// [`ServerConfig::rejection_window`] rejections; a ticket that predates
+    /// the whole retained window after evictions resolves as
+    /// `Applied { seq: 0 }` (sequence unknown). Waiting promptly — as every
+    /// caller in this workspace does — always observes the exact outcome.
     pub fn wait_for(&self, ticket: Ticket) -> BatchOutcome {
-        let guard = self.shared.progress.lock().unwrap();
+        let guard = lock_ok(&self.shared.progress);
         let guard = self
             .shared
             .published
             .wait_while(guard, |p| p.processed < ticket.0 && !p.exited)
-            .unwrap();
+            .unwrap_or_else(|e| e.into_inner());
         if guard.processed < ticket.0 {
             return BatchOutcome::Rejected(format!(
                 "stl-writer thread terminated before ticket {} (processed {})",
@@ -400,24 +594,26 @@ impl StlServer {
             ));
         }
         drop(guard);
-        let rejections = self.shared.rejections.lock().unwrap();
-        match rejections.iter().rev().find(|(t, _)| *t == ticket.0) {
-            Some((_, reason)) => BatchOutcome::Rejected(reason.to_string()),
-            None => BatchOutcome::Applied,
+        match lock_ok(&self.shared.rejections).resolve(ticket.0) {
+            Resolution::Rejected(reason) => BatchOutcome::Rejected(reason.to_string()),
+            Resolution::Applied { rejected_before } => BatchOutcome::Applied {
+                seq: self.shared.base_generation + ticket.0 - rejected_before,
+            },
+            Resolution::AgedOut => BatchOutcome::Applied { seq: 0 },
         }
     }
 
     /// Block until everything submitted so far has been processed (applied
     /// and published, or rejected).
     pub fn drain(&self) {
-        let count = self.tx.lock().unwrap().as_ref().expect("server already shut down").1;
+        let count = lock_ok(&self.tx).as_ref().expect("server already shut down").1;
         self.wait_for(Ticket(count));
     }
 
     /// Clone out the latest published epoch. O(1); never blocks the writer
     /// beyond the duration of a pointer swap.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.shared.current.read().unwrap())
+        Arc::clone(&read_ok(&self.shared.current))
     }
 
     /// One-shot query against the latest epoch, counted in the stats.
@@ -435,9 +631,10 @@ impl StlServer {
     }
 
     /// Latest published generation. Advances per *applied* batch — rejected
-    /// tickets consume no generation.
+    /// tickets consume no generation. On a durable server this starts at the
+    /// recovered generation, not 0.
     pub fn generation(&self) -> u64 {
-        self.shared.progress.lock().unwrap().generation
+        lock_ok(&self.shared.progress).generation
     }
 
     /// Count a batch rejected before it reached the writer (the adaptive
@@ -453,20 +650,21 @@ impl StlServer {
         self.shared.stats.load()
     }
 
-    /// Close the queue, drain outstanding batches, join the writer, and
-    /// return the final counters.
+    /// Close the queue, drain outstanding batches, join the writer (which
+    /// on a durable server fsyncs the WAL and writes a final checkpoint),
+    /// and return the final counters.
     pub fn shutdown(mut self) -> ServerStats {
         self.close();
         self.stats()
     }
 
     fn close(&mut self) {
-        drop(self.tx.lock().unwrap().take());
-        if let Some(w) = self.writer.take() {
+        drop(lock_ok(&self.tx).take());
+        if let Some(s) = self.supervisor.take() {
             // The writer drains remaining batches then sees the closed
             // channel. A panic inside it already printed its message; the
             // join error adds nothing.
-            let _ = w.join();
+            let _ = s.join();
         }
     }
 }
@@ -474,6 +672,269 @@ impl StlServer {
 impl Drop for StlServer {
     fn drop(&mut self) {
         self.close();
+    }
+}
+
+/// Reject `ticket` with `reason`: count it, retain the reason, advance
+/// progress, and clear the in-flight slot.
+fn reject(shared: &Shared, ticket: u64, reason: String) {
+    let stats = &shared.stats;
+    stats.batches_rejected.fetch_add(1, Ordering::Relaxed);
+    let evicted = lock_ok(&shared.rejections).push(ticket, reason.into());
+    if evicted > 0 {
+        stats.rejection_reasons_evicted.fetch_add(evicted, Ordering::Relaxed);
+    }
+    let mut p = lock_ok(&shared.progress);
+    p.processed = p.processed.max(ticket);
+    drop(p);
+    shared.published.notify_all();
+    *lock_ok(&shared.in_flight) = None;
+}
+
+/// Supervisor-side cleanup after a writer death: decide what happened to the
+/// batch that was in flight and make the world consistent with it.
+///
+/// The publish pointer swap is the commit point. If the dead writer got past
+/// it (`published ≥ seq`), the batch **landed** — finish its bookkeeping
+/// (dedup keys, applied counter) idempotently. If not, the batch is **rolled
+/// back**: its WAL record (appended before apply) is annulled by truncation
+/// so a crash right after the restart cannot replay a batch that was
+/// reported `Rejected`, and the ticket resolves `Rejected("writer
+/// restarted")`.
+fn resolve_orphan(shared: &Arc<Shared>) {
+    let Some(inf) = lock_ok(&shared.in_flight).take() else { return };
+    let published = read_ok(&shared.current).generation();
+    if published >= inf.seq {
+        if !inf.keys.is_empty() {
+            let mut dedup = lock_ok(&shared.dedup);
+            for k in &inf.keys {
+                dedup.insert(*k, inf.seq);
+            }
+        }
+        shared.stats.batches_applied.store(published, Ordering::Relaxed);
+    } else {
+        if let (Some(d), Some(start)) = (&shared.durable, inf.wal_start) {
+            let mut wal = lock_ok(&d.wal);
+            if let Err(e) = wal.truncate_to(start) {
+                eprintln!("stl-server: failed to annul wal record {}: {e}", inf.seq);
+            }
+        }
+        let mut rejections = lock_ok(&shared.rejections);
+        if !rejections.contains(inf.ticket) {
+            shared.stats.batches_rejected.fetch_add(1, Ordering::Relaxed);
+            let evicted = rejections.push(inf.ticket, "writer restarted".into());
+            if evicted > 0 {
+                shared.stats.rejection_reasons_evicted.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+    let mut p = lock_ok(&shared.progress);
+    p.processed = p.processed.max(inf.ticket);
+    p.generation = p.generation.max(published);
+    drop(p);
+    shared.published.notify_all();
+}
+
+/// Checkpoint the served world and reset the WAL. Failure is logged, not
+/// fatal: the WAL keeps every batch since the last successful checkpoint,
+/// so durability is unaffected — the next trigger retries.
+fn do_checkpoint(shared: &Shared, graph: &CsrGraph, stl: &Stl, generation: u64) {
+    let Some(d) = &shared.durable else { return };
+    // Hold the dedup lock across the dump so the serialized window is a
+    // consistent cut with `generation`.
+    let dedup = lock_ok(&shared.dedup);
+    match durable::write_checkpoint(&d.cfg, graph, stl, generation, &dedup) {
+        Ok(_) => {
+            drop(dedup);
+            let mut wal = lock_ok(&d.wal);
+            match wal.reset_atomic() {
+                Ok(()) => {
+                    shared.stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                }
+                // The checkpoint covers everything in the log, so a stale
+                // log is redundancy, not corruption: replay skips covered
+                // sequence numbers.
+                Err(e) => eprintln!("stl-server: wal reset after checkpoint failed: {e}"),
+            }
+        }
+        Err(e) => eprintln!(
+            "stl-server: checkpoint at generation {generation} failed: {e} \
+             (will retry on next trigger)"
+        ),
+    }
+}
+
+/// The writer: drains the queue, logs (durable servers), applies, and
+/// publishes — one epoch per accepted batch. Runs under the supervisor;
+/// returning means the queue closed and everything (including the final
+/// checkpoint) is done.
+fn writer_loop(
+    mut graph: CsrGraph,
+    mut stl: Stl,
+    mut generation: u64,
+    shared: &Arc<Shared>,
+    rx: &Mutex<Receiver<Job>>,
+    cfg: &ServerConfig,
+) {
+    let mut pool = EnginePool::new();
+    // Consecutive epochs at or below the quiet dirty ratio — the
+    // compaction/checkpoint trigger's streak counter.
+    let mut quiet_epochs = 0u32;
+    // Held for the writer's whole life: exactly one writer drains the queue
+    // at a time, and a respawned writer takes over atomically.
+    let rx = lock_ok(rx);
+    while let Ok(Job { ticket, keys, batch }) = rx.recv() {
+        let stats = &shared.stats;
+        stats.updates_submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // The sequence this batch will publish as, fixed before any
+        // fallible step so the supervisor can tell "landed" from "rolled
+        // back" by comparing it with the published generation.
+        let seq = generation + 1;
+        *lock_ok(&shared.in_flight) =
+            Some(InFlight { ticket, seq, keys: keys.clone(), wal_start: None });
+        // The bugfix that makes remote serving survivable: a bad update
+        // used to kill the writer (apply_batch's panic contract), turning
+        // one malformed client batch into a total outage. Validate first;
+        // reject without mutating — and without logging: the WAL holds only
+        // accepted batches.
+        if let Err(reason) = validate_batch(&graph, &batch) {
+            reject(shared, ticket, reason);
+            continue;
+        }
+        // Log before apply: once the record is (policy-permitting) synced,
+        // a crash at any later point replays the batch instead of losing
+        // it. The acknowledgement (wait_for observing `processed`) happens
+        // only after publish, so under `fsync=always` no acknowledged batch
+        // can be lost.
+        if let Some(d) = &shared.durable {
+            let mut wal = lock_ok(&d.wal);
+            // Record the pre-append offset *before* touching the file: if
+            // the writer dies mid-append, the supervisor truncates the torn
+            // bytes away so the next record starts on a clean boundary.
+            if let Some(inf) = lock_ok(&shared.in_flight).as_mut() {
+                inf.wal_start = Some(wal.len());
+            }
+            match wal.append(seq, &keys, &batch) {
+                Ok(start) => {
+                    stats.wal_records_appended.fetch_add(1, Ordering::Relaxed);
+                    match wal.maybe_sync() {
+                        Ok(true) => {
+                            stats.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(false) => {}
+                        Err(e) => {
+                            // The record may not be durable; treat the batch
+                            // as not accepted: annul the record and reject.
+                            let _ = wal.truncate_to(start);
+                            drop(wal);
+                            reject(shared, ticket, format!("wal fsync failed: {e}"));
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // A failed append may have left partial bytes past the
+                    // last complete record; cut them off.
+                    let len = wal.len();
+                    let _ = wal.truncate_to(len);
+                    drop(wal);
+                    reject(shared, ticket, format!("wal append failed: {e}"));
+                    continue;
+                }
+            }
+        }
+        let t_apply = Instant::now();
+        let (ustats, report) =
+            stl.apply_batch_sharded(&mut graph, &batch, cfg.algo, &mut pool, cfg.repair_threads);
+        stats.apply_ns_total.fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        stats.repair_shards_last.store(report.shards_touched as u64, Ordering::Relaxed);
+        stats.repair_shard_ns_max_last.store(report.max_ns(), Ordering::Relaxed);
+        stats.repair_shard_ns_sum_last.store(report.sum_ns(), Ordering::Relaxed);
+        stats.trees_touched_total.fetch_add(ustats.trees_touched, Ordering::Relaxed);
+        stats.trees_skipped_total.fetch_add(ustats.trees_skipped, Ordering::Relaxed);
+        // Applying the batch COW-promoted exactly the chunks it wrote (the
+        // previous snapshot pinned everything else); drain the copy
+        // accounting into the public counters.
+        let cow = stl.take_cow_stats() + graph.take_cow_stats();
+        stats.publish_bytes_copied.fetch_add(cow.bytes_copied, Ordering::Relaxed);
+        stats.chunks_copied_last.store(cow.chunks_copied, Ordering::Relaxed);
+        // Quiescence trigger: when the dirty-chunk rate has stayed below
+        // the threshold for enough consecutive epochs, re-flatten labels +
+        // spine + CSR weights so the snapshot published below serves the
+        // direct-offset query path — and, on a durable server, checkpoint
+        // after the publish (traffic is quiet, copying is cheapest).
+        let mut checkpoint_due = false;
+        if cfg.compact_after_quiet_epochs > 0 {
+            let total_chunks = (stl.num_chunks() + graph.num_weight_chunks()).max(1);
+            let ratio = cow.chunks_copied as f64 / total_chunks as f64;
+            quiet_epochs = if ratio <= cfg.compact_dirty_ratio { quiet_epochs + 1 } else { 0 };
+            if quiet_epochs >= cfg.compact_after_quiet_epochs {
+                if !(stl.is_flat() && graph.weights_flat()) {
+                    let bytes = stl.compact() + graph.compact_weights();
+                    // Drop the compaction pass out of the next epoch's COW
+                    // window — it is accounted here, in the dedicated
+                    // counters.
+                    stl.take_cow_stats();
+                    graph.take_cow_stats();
+                    if bytes > 0 {
+                        stats.compactions_total.fetch_add(1, Ordering::Relaxed);
+                        stats.bytes_flattened_total.fetch_add(bytes, Ordering::Relaxed);
+                    }
+                }
+                checkpoint_due = shared.durable.is_some();
+                quiet_epochs = 0;
+            }
+        }
+        // Publish: O(touched) — the clone below copies only the Arc chunk
+        // tables; every byte not written by this batch is shared with the
+        // previous epoch. Every *valid* batch publishes — even one
+        // normalised away to a no-op — so applied tickets always resolve to
+        // a sequence number.
+        generation = seq;
+        let t_pub = Instant::now();
+        let snap = Arc::new(Snapshot::new(generation, graph.clone(), stl.clone()));
+        let snap_flat = snap.is_flat();
+        // Fires *before* the pointer swap: a batch killed here is rolled
+        // back (WAL record annulled), so readers must never have seen it.
+        failpoint::fire("publish");
+        *write_ok(&shared.current) = snap;
+        // Stored only *after* the pointer swap: storing before it opened a
+        // window where stats() reported a flat snapshot while readers still
+        // held the chunked one.
+        stats.snapshot_is_flat.store(u64::from(snap_flat), Ordering::Relaxed);
+        let pub_ns = t_pub.elapsed().as_nanos() as u64;
+        stats.publish_ns_total.fetch_add(pub_ns, Ordering::Relaxed);
+        stats.publish_ns_last.store(pub_ns, Ordering::Relaxed);
+        stats.batches_applied.store(generation, Ordering::Relaxed);
+        if !keys.is_empty() {
+            let mut dedup = lock_ok(&shared.dedup);
+            for k in &keys {
+                dedup.insert(*k, seq);
+            }
+        }
+        let mut p = lock_ok(&shared.progress);
+        p.processed = p.processed.max(ticket);
+        p.generation = p.generation.max(generation);
+        drop(p);
+        shared.published.notify_all();
+        *lock_ok(&shared.in_flight) = None;
+        if checkpoint_due {
+            do_checkpoint(shared, &graph, &stl, generation);
+        }
+    }
+    // Clean shutdown: make everything in the log durable, then fold it into
+    // a final checkpoint so the next boot skips replay entirely.
+    if let Some(d) = &shared.durable {
+        let dirty = {
+            let mut wal = lock_ok(&d.wal);
+            if let Err(e) = wal.sync() {
+                eprintln!("stl-server: final wal sync failed: {e}");
+            }
+            !wal.is_empty()
+        };
+        if dirty {
+            do_checkpoint(shared, &graph, &stl, generation);
+        }
     }
 }
 
@@ -485,6 +946,15 @@ mod tests {
     use stl_pathfinding::dijkstra;
     use stl_workloads::{generate, RoadNetConfig};
 
+    /// The failpoint registry is process-global; tests that arm points
+    /// serialise on this lock so parallel test threads cannot observe each
+    /// other's armings.
+    static FP_LOCK: Mutex<()> = Mutex::new(());
+
+    fn fp_locked() -> MutexGuard<'static, ()> {
+        FP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn diamond() -> CsrGraph {
         from_edges(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5), (0, 3, 20)])
     }
@@ -492,6 +962,28 @@ mod tests {
     fn start(g: &CsrGraph) -> StlServer {
         let stl = Stl::build(g, &StlConfig::default());
         StlServer::start(g.clone(), stl, ServerConfig::default())
+    }
+
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::AtomicU64;
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "stl-server-{tag}-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
     }
 
     #[test]
@@ -520,6 +1012,24 @@ mod tests {
         assert_eq!(stats.batches_applied, 3);
         assert_eq!(stats.updates_submitted, 3);
         assert!(stats.publish_ns_total >= stats.publish_ns_last);
+    }
+
+    #[test]
+    fn applied_outcome_carries_the_publish_seq() {
+        // Sequence numbers are generations: rejections consume none, so the
+        // ticket → seq mapping shifts by exactly the rejections before it.
+        let g = diamond();
+        let server = start(&g);
+        let t1 = server.submit(vec![EdgeUpdate::new(1, 2, 7)]); // valid -> seq 1
+        let t2 = server.submit(vec![EdgeUpdate::new(1, 3, 7)]); // no such edge
+        let t3 = server.submit(vec![EdgeUpdate::new(2, 3, 9)]); // valid -> seq 2
+        let t4 = server.submit(vec![EdgeUpdate::new(0, 3, 8)]); // valid -> seq 3
+        assert_eq!(server.wait_for(t1), BatchOutcome::Applied { seq: 1 });
+        assert!(!server.wait_for(t2).is_applied());
+        assert_eq!(server.wait_for(t3), BatchOutcome::Applied { seq: 2 });
+        assert_eq!(server.wait_for(t4), BatchOutcome::Applied { seq: 3 });
+        assert_eq!(server.generation(), 3);
+        server.shutdown();
     }
 
     #[test]
@@ -710,6 +1220,26 @@ mod tests {
     }
 
     #[test]
+    fn config_from_env_overrides_durability_windows() {
+        let keys = ["STL_REJECTION_WINDOW", "STL_DEDUP_WINDOW"];
+        let prev: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
+        std::env::set_var(keys[0], "7");
+        std::env::set_var(keys[1], "0");
+        let cfg = ServerConfig::from_env().unwrap();
+        assert_eq!(cfg.rejection_window, 7);
+        assert_eq!(cfg.dedup_window, 0, "0 must be accepted (disables dedup)");
+        std::env::set_var(keys[0], "0");
+        let err = ServerConfig::from_env().unwrap_err();
+        assert!(err.contains("at least 1"), "zero-deep rejection window must error: {err}");
+        for (k, v) in keys.iter().zip(prev) {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+    }
+
+    #[test]
     fn quiescence_triggers_compaction_and_flat_snapshots() {
         // With the trigger wound down to "compact after every epoch", the
         // writer must flatten the arena, report it in ServerStats, and keep
@@ -815,14 +1345,14 @@ mod tests {
             BatchOutcome::Rejected(reason) => {
                 assert!(reason.contains("no edge between 0 and 2"), "got: {reason}");
             }
-            BatchOutcome::Applied => panic!("nonexistent edge must be rejected"),
+            BatchOutcome::Applied { .. } => panic!("nonexistent edge must be rejected"),
         }
         // No generation consumed, state untouched.
         assert_eq!(server.generation(), 0);
         assert_eq!(server.snapshot().query(0, 3), 12);
         // The writer is still alive: a valid batch publishes a new epoch.
         let good = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
-        assert_eq!(server.wait_for(good), BatchOutcome::Applied);
+        assert_eq!(server.wait_for(good), BatchOutcome::Applied { seq: 1 });
         assert_eq!(server.generation(), 1);
         assert_eq!(server.snapshot().query(0, 3), 2);
         let stats = server.shutdown();
@@ -855,9 +1385,9 @@ mod tests {
         let t1 = server.submit(vec![EdgeUpdate::new(1, 2, 7)]); // valid
         let t2 = server.submit(vec![EdgeUpdate::new(1, 3, 7)]); // no such edge
         let t3 = server.submit(vec![EdgeUpdate::new(2, 3, 9)]); // valid
-        assert_eq!(server.wait_for(t1), BatchOutcome::Applied);
+        assert_eq!(server.wait_for(t1), BatchOutcome::Applied { seq: 1 });
         assert!(!server.wait_for(t2).is_applied());
-        assert_eq!(server.wait_for(t3), BatchOutcome::Applied);
+        assert_eq!(server.wait_for(t3), BatchOutcome::Applied { seq: 2 });
         // Re-reading an outcome is stable (the window retains it).
         assert!(!server.wait_for(t2).is_applied());
         assert_eq!(server.generation(), 2);
@@ -865,6 +1395,173 @@ mod tests {
         assert_eq!(stats.batches_applied, 2);
         assert_eq!(stats.batches_rejected, 1);
         assert_eq!(stats.updates_submitted, 3);
+    }
+
+    #[test]
+    fn rejection_window_evicts_and_ages_out_to_ambiguous_applied() {
+        // With a 2-deep window, the third rejection evicts the first
+        // reason: the evicted ticket resolves to the documented ambiguous
+        // Applied { seq: 0 }, the eviction is counted, and retained tickets
+        // still resolve exactly.
+        let g = diamond();
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig { rejection_window: 2, ..Default::default() },
+        );
+        let bad = || vec![EdgeUpdate::new(1, 3, 7)]; // no such edge
+        let t1 = server.submit(bad());
+        let t2 = server.submit(bad());
+        let t3 = server.submit(bad());
+        let t4 = server.submit(vec![EdgeUpdate::new(0, 1, 9)]); // valid -> seq 1
+        server.wait_for(t4);
+        assert!(!server.wait_for(t2).is_applied());
+        assert!(!server.wait_for(t3).is_applied());
+        // t1's reason aged out: absent ⇒ Applied, with the unknown-seq marker.
+        assert_eq!(server.wait_for(t1), BatchOutcome::Applied { seq: 0 });
+        // t4 is after retained rejections, so its seq is exact.
+        assert_eq!(server.wait_for(t4), BatchOutcome::Applied { seq: 1 });
+        let stats = server.shutdown();
+        assert_eq!(stats.rejection_reasons_evicted, 1);
+        assert_eq!(stats.batches_rejected, 3);
+    }
+
+    #[test]
+    fn dedup_window_maps_keys_to_sequences() {
+        let g = diamond();
+        let server = start(&g);
+        assert_eq!(server.dedup_lookup(77), None);
+        let t = server.submit_with_keys(vec![77], vec![EdgeUpdate::new(0, 1, 5)]);
+        assert_eq!(server.wait_for(t), BatchOutcome::Applied { seq: 1 });
+        assert_eq!(server.dedup_lookup(77), Some(1));
+        // A rejected batch records no keys.
+        let t = server.submit_with_keys(vec![88], vec![EdgeUpdate::new(1, 3, 5)]);
+        assert!(!server.wait_for(t).is_applied());
+        assert_eq!(server.dedup_lookup(88), None);
+        let stats = server.shutdown();
+        assert_eq!(stats.dedup_hits, 1);
+    }
+
+    #[test]
+    fn writer_restart_rolls_back_the_in_flight_batch() {
+        // Kill the writer at the publish failpoint (before the pointer
+        // swap): the in-flight batch must come back Rejected("writer
+        // restarted") with no state change, and the respawned writer must
+        // serve later batches with an unbroken sequence.
+        let _l = fp_locked();
+        stl_core::failpoint::disarm_all();
+        let g = diamond();
+        let server = start(&g);
+        stl_core::failpoint::arm("publish", stl_core::failpoint::Action::Panic, 1);
+        let t1 = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        match server.wait_for(t1) {
+            BatchOutcome::Rejected(reason) => {
+                assert!(reason.contains("writer restarted"), "got: {reason}");
+            }
+            BatchOutcome::Applied { .. } => panic!("killed-at-publish batch must be rejected"),
+        }
+        // Rolled back: no generation consumed, distances untouched.
+        assert_eq!(server.generation(), 0);
+        assert_eq!(server.snapshot().query(0, 3), 12);
+        // The respawned writer picks up exactly where the dead one left.
+        let t2 = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        assert_eq!(server.wait_for(t2), BatchOutcome::Applied { seq: 1 });
+        assert_eq!(server.snapshot().query(0, 3), 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.writer_restarts, 1);
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.batches_rejected, 1);
+    }
+
+    #[test]
+    fn supervisor_gives_up_after_max_restarts() {
+        let _l = fp_locked();
+        stl_core::failpoint::disarm_all();
+        let g = diamond();
+        let stl = Stl::build(&g, &StlConfig::default());
+        let server = StlServer::start(
+            g.clone(),
+            stl,
+            ServerConfig { max_writer_restarts: 0, ..Default::default() },
+        );
+        stl_core::failpoint::arm("publish", stl_core::failpoint::Action::Panic, 1);
+        let t1 = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        assert!(!server.wait_for(t1).is_applied());
+        // Zero restarts allowed: the service is down, but waiters must
+        // still resolve (as Rejected) instead of hanging.
+        let t2 = server.submit(vec![EdgeUpdate::new(0, 3, 2)]);
+        match server.wait_for(t2) {
+            BatchOutcome::Rejected(reason) => {
+                assert!(reason.contains("terminated"), "got: {reason}");
+            }
+            BatchOutcome::Applied { .. } => panic!("dead service cannot apply"),
+        }
+        // Reads keep working from the last published snapshot.
+        assert_eq!(server.snapshot().query(0, 3), 12);
+        server.shutdown();
+    }
+
+    #[test]
+    fn durable_server_persists_across_clean_restarts() {
+        let s = Scratch::new("clean-restart");
+        let mut g = generate(&RoadNetConfig::sized(140, 23));
+        let stl = Stl::build(&g, &StlConfig::default());
+        let edges: Vec<_> = g.edges().step_by(4).take(5).collect();
+        let (server, report) = StlServer::start_durable(
+            g.clone(),
+            stl.clone(),
+            ServerConfig::default(),
+            DurabilityConfig::new(&s.0),
+        )
+        .unwrap();
+        assert_eq!(report.generation, 0);
+        for (i, &(a, b, w)) in edges.iter().enumerate() {
+            let t =
+                server.submit_with_keys(vec![900 + i as u64], vec![EdgeUpdate::new(a, b, w + 3)]);
+            assert_eq!(server.wait_for(t), BatchOutcome::Applied { seq: i as u64 + 1 });
+            g.set_weight(a, b, w + 3).unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.wal_records_appended, 5);
+        assert!(stats.wal_fsyncs >= 5, "fsync=always must sync every append");
+        assert!(stats.checkpoints_written >= 1, "clean shutdown must checkpoint");
+
+        // Reboot from the state dir over a *fresh* generation-0 world.
+        let fresh = Stl::build(&generate(&RoadNetConfig::sized(140, 23)), &StlConfig::default());
+        let (server, report) = StlServer::start_durable(
+            generate(&RoadNetConfig::sized(140, 23)),
+            fresh,
+            ServerConfig::default(),
+            DurabilityConfig::new(&s.0),
+        )
+        .unwrap();
+        assert_eq!(report.generation, 5);
+        assert_eq!(report.checkpoint_generation, Some(5));
+        assert_eq!(report.wal_records_replayed, 0, "final checkpoint must cover the whole log");
+        assert_eq!(server.generation(), 5);
+        // The dedup window survived the restart (via the checkpoint).
+        assert_eq!(server.dedup_lookup(900), Some(1));
+        assert_eq!(server.dedup_lookup(904), Some(5));
+        // Distances match the in-memory twin, and serving continues: the
+        // next batch takes sequence 6.
+        let snap = server.snapshot();
+        for (a, b, _) in g.edges().step_by(17).take(10) {
+            assert_eq!(snap.query(a, b), dijkstra::distance(&g, a, b));
+        }
+        let (a, b, w) = g.edges().next().unwrap();
+        let t = server.submit(vec![EdgeUpdate::new(a, b, w + 1)]);
+        assert_eq!(server.wait_for(t), BatchOutcome::Applied { seq: 6 });
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_and_record_feed_stats() {
+        let g = diamond();
+        let server = start(&g);
+        assert_eq!(server.query(0, 2), 7);
+        server.record_queries(41);
+        assert_eq!(server.stats().queries_served, 42);
     }
 
     #[test]
@@ -905,15 +1602,6 @@ mod tests {
         }
         assert!(seen_flat && seen_chunked, "test must cover both flag states");
         server.shutdown();
-    }
-
-    #[test]
-    fn query_and_record_feed_stats() {
-        let g = diamond();
-        let server = start(&g);
-        assert_eq!(server.query(0, 2), 7);
-        server.record_queries(41);
-        assert_eq!(server.stats().queries_served, 42);
     }
 
     #[test]

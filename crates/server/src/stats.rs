@@ -53,6 +53,32 @@ pub struct ServerStats {
     /// Whether the most recently published snapshot serves the flat
     /// direct-offset query path (compacted and not written since).
     pub snapshot_is_flat: bool,
+    /// Write-ahead-log records appended this process lifetime (durable
+    /// servers only; one per accepted batch, written before the apply).
+    pub wal_records_appended: u64,
+    /// Times the WAL was fsynced — equals `wal_records_appended` under
+    /// `fsync=always`, amortised under `every:N`, 0 under `never`.
+    pub wal_fsyncs: u64,
+    /// WAL records replayed through the repair path at boot (records the
+    /// checkpoint already covered are skipped and not counted here).
+    pub wal_records_replayed: u64,
+    /// Whether boot-time recovery found — and truncated — a torn or
+    /// corrupt WAL tail (0 or 1; a torn tail is expected crash debris, not
+    /// an error).
+    pub wal_torn_tail: u64,
+    /// Checkpoints written (quiescence-triggered and the final one at clean
+    /// shutdown), each atomically resetting the WAL.
+    pub checkpoints_written: u64,
+    /// Times the supervisor respawned a dead writer thread from the last
+    /// published state.
+    pub writer_restarts: u64,
+    /// Idempotent-update lookups that hit the dedup window — each one a
+    /// retry acknowledged without re-applying.
+    pub dedup_hits: u64,
+    /// Rejection reasons evicted from the bounded window
+    /// ([`crate::ServerConfig::rejection_window`]); while this is 0, every
+    /// ticket resolves its exact outcome.
+    pub rejection_reasons_evicted: u64,
 }
 
 impl ServerStats {
@@ -76,7 +102,9 @@ impl std::fmt::Display for ServerStats {
              (last epoch {} chunks) | apply total {:.1} ms | last repair: \
              {} shards (critical path {:.1} us of {:.1} us total) | \
              trees touched/skipped {}/{} | {} compactions ({:.1} KiB flattened) | \
-             snapshot {}",
+             snapshot {} | wal {} appended / {} fsyncs / {} replayed{} | \
+             {} checkpoints | {} writer restarts | {} dedup hits | \
+             {} reasons evicted",
             self.batches_applied,
             self.queries_served,
             self.updates_submitted,
@@ -95,6 +123,14 @@ impl std::fmt::Display for ServerStats {
             self.compactions_total,
             self.bytes_flattened_total as f64 / 1024.0,
             if self.snapshot_is_flat { "flat" } else { "chunked" },
+            self.wal_records_appended,
+            self.wal_fsyncs,
+            self.wal_records_replayed,
+            if self.wal_torn_tail != 0 { " (torn tail truncated)" } else { "" },
+            self.checkpoints_written,
+            self.writer_restarts,
+            self.dedup_hits,
+            self.rejection_reasons_evicted,
         )
     }
 }
@@ -120,6 +156,15 @@ pub(crate) struct StatsCells {
     pub bytes_flattened_total: AtomicU64,
     /// 0 or 1; written by the writer thread at every publish.
     pub snapshot_is_flat: AtomicU64,
+    pub wal_records_appended: AtomicU64,
+    pub wal_fsyncs: AtomicU64,
+    pub wal_records_replayed: AtomicU64,
+    /// 0 or 1; set once at boot from the recovery report.
+    pub wal_torn_tail: AtomicU64,
+    pub checkpoints_written: AtomicU64,
+    pub writer_restarts: AtomicU64,
+    pub dedup_hits: AtomicU64,
+    pub rejection_reasons_evicted: AtomicU64,
 }
 
 impl StatsCells {
@@ -142,6 +187,14 @@ impl StatsCells {
             compactions_total: self.compactions_total.load(Ordering::Relaxed),
             bytes_flattened_total: self.bytes_flattened_total.load(Ordering::Relaxed),
             snapshot_is_flat: self.snapshot_is_flat.load(Ordering::Relaxed) != 0,
+            wal_records_appended: self.wal_records_appended.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_records_replayed: self.wal_records_replayed.load(Ordering::Relaxed),
+            wal_torn_tail: self.wal_torn_tail.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            writer_restarts: self.writer_restarts.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            rejection_reasons_evicted: self.rejection_reasons_evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -180,6 +233,23 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("2 compactions (3.0 KiB flattened)"));
         assert!(text.contains("snapshot flat"));
+    }
+
+    #[test]
+    fn display_mentions_durability_counters() {
+        let s = ServerStats {
+            wal_records_appended: 9,
+            wal_fsyncs: 3,
+            wal_records_replayed: 4,
+            wal_torn_tail: 1,
+            checkpoints_written: 2,
+            writer_restarts: 1,
+            ..Default::default()
+        };
+        let text = format!("{s}");
+        assert!(text.contains("wal 9 appended / 3 fsyncs / 4 replayed (torn tail truncated)"));
+        assert!(text.contains("2 checkpoints"));
+        assert!(text.contains("1 writer restarts"));
     }
 
     #[test]

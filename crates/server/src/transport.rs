@@ -20,6 +20,7 @@
 //! | `0x02` | `UPDATE`      | `n: u32, n × (a: u32, b: u32, w: u32)` |
 //! | `0x03` | `STATS`       | —                                      |
 //! | `0x04` | `ONE_TO_MANY` | `s: u32, n: u32, n × t: u32`           |
+//! | `0x05` | `UPDATE_KEYED`| `key: u64, n: u32, n × (a, b, w)`      |
 //!
 //! Responses:
 //!
@@ -58,6 +59,19 @@
 //! the merged batch containing its request is applied and published (or
 //! rejected), so an `applied` response is a **read-your-writes guarantee** —
 //! any later query on any connection sees the update.
+//!
+//! ## Idempotent retries
+//!
+//! A client that sends `UPDATE` and loses the connection before the `BATCH`
+//! response cannot tell whether its update applied — resending may
+//! double-apply. `UPDATE_KEYED` closes that window: the client attaches a
+//! **idempotency key** (any `u64` it will not reuse for a different update),
+//! and the server deduplicates through the batcher's in-flight set and the
+//! [`crate::DedupWindow`] — a retried key that already applied is
+//! acknowledged with its original sequence number instead of re-applied.
+//! [`NetClient::update_keyed_retry`] packages the full loop: send, and on a
+//! connection-level failure reconnect and resend the same key under a
+//! [`RetryPolicy`] (exponential backoff, full jitter).
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -83,6 +97,8 @@ pub const OP_UPDATE: u8 = 0x02;
 pub const OP_STATS: u8 = 0x03;
 /// Request opcode: one-to-many distances from a single source.
 pub const OP_ONE_TO_MANY: u8 = 0x04;
+/// Request opcode: submit an update batch under an idempotency key.
+pub const OP_UPDATE_KEYED: u8 = 0x05;
 /// Response opcode: a single distance.
 pub const RESP_DIST: u8 = 0x81;
 /// Response opcode: batch outcome.
@@ -319,7 +335,12 @@ fn worker_loop(shared: &NetShared, rx: &Mutex<Receiver<TcpStream>>) {
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         shared.active.fetch_add(1, Ordering::Relaxed);
-        let _ = serve_connection(shared, conn);
+        // A panic while serving (a failpoint, or a bug in a handler) kills
+        // that connection, not the worker: the pool keeps its full size and
+        // every other connection keeps being served.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = serve_connection(shared, conn);
+        }));
         shared.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -396,8 +417,17 @@ fn serve_connection(shared: &NetShared, mut stream: TcpStream) -> io::Result<()>
                 let outcome = shared.batcher.submit(batch).wait();
                 batch_payload(&outcome, shared.server.generation())
             }
+            Ok(Request::UpdateKeyed { key, batch }) => {
+                let outcome = shared.batcher.submit_keyed(Some(key), batch).wait();
+                batch_payload(&outcome, shared.server.generation())
+            }
             Ok(Request::Stats) => stats_payload(shared),
         };
+        // The ack-loss window the keyed-retry machinery exists for: the
+        // update has applied (and hit the WAL, on durable servers) but the
+        // response is not yet on the wire. The crash suite kills here and
+        // proves a keyed resend is acknowledged without re-applying.
+        stl_core::failpoint::fire("frame-write");
         if write_frame(&mut stream, &response).is_err() {
             return Ok(()); // peer gone mid-response; nothing to salvage
         }
@@ -407,8 +437,22 @@ fn serve_connection(shared: &NetShared, mut stream: TcpStream) -> io::Result<()>
 enum Request {
     Query { s: VertexId, t: VertexId },
     Update(Vec<EdgeUpdate>),
+    UpdateKeyed { key: u64, batch: Vec<EdgeUpdate> },
     Stats,
     OneToMany { s: VertexId, targets: Vec<VertexId> },
+}
+
+fn parse_update_body(body: &[u8], at: usize) -> Result<Vec<EdgeUpdate>, &'static str> {
+    let count = get_u32(body, at) as usize;
+    if body.len() != at + 4 + count * 12 {
+        return Err("UPDATE body length does not match its count");
+    }
+    Ok((0..count)
+        .map(|i| {
+            let o = at + 4 + i * 12;
+            EdgeUpdate::new(get_u32(body, o), get_u32(body, o + 4), get_u32(body, o + 8))
+        })
+        .collect())
 }
 
 fn parse_request(payload: &[u8]) -> Result<Request, &'static str> {
@@ -424,17 +468,14 @@ fn parse_request(payload: &[u8]) -> Result<Request, &'static str> {
             if body.len() < 4 {
                 return Err("UPDATE body too short");
             }
-            let count = get_u32(body, 0) as usize;
-            if body.len() != 4 + count * 12 {
-                return Err("UPDATE body length does not match its count");
+            Ok(Request::Update(parse_update_body(body, 0)?))
+        }
+        OP_UPDATE_KEYED => {
+            if body.len() < 12 {
+                return Err("UPDATE_KEYED body too short");
             }
-            let batch = (0..count)
-                .map(|i| {
-                    let at = 4 + i * 12;
-                    EdgeUpdate::new(get_u32(body, at), get_u32(body, at + 4), get_u32(body, at + 8))
-                })
-                .collect();
-            Ok(Request::Update(batch))
+            let key = get_u64(body, 0);
+            Ok(Request::UpdateKeyed { key, batch: parse_update_body(body, 8)? })
         }
         OP_STATS => {
             if !body.is_empty() {
@@ -478,9 +519,12 @@ fn many_payload(dists: &[Dist]) -> Vec<u8> {
 fn batch_payload(outcome: &BatchOutcome, generation: u64) -> Vec<u8> {
     let mut p = vec![RESP_BATCH];
     match outcome {
-        BatchOutcome::Applied => {
+        BatchOutcome::Applied { seq } => {
             p.push(OUTCOME_APPLIED);
-            put_u64(&mut p, generation);
+            // The batch's own sequence number (== the generation its epoch
+            // published); falls back to the server's current generation in
+            // the rare aged-out case where the exact seq is unknown.
+            put_u64(&mut p, if *seq > 0 { *seq } else { generation });
             put_str(&mut p, "");
         }
         BatchOutcome::Rejected(reason) => {
@@ -564,6 +608,34 @@ fn get_str(b: &[u8], at: usize) -> Option<(String, usize)> {
     }
     let s = String::from_utf8_lossy(&b[at + 2..at + 2 + len]).into_owned();
     Some((s, at + 2 + len))
+}
+
+/// Append `n: u32, n × (a, b, w)` — the tail shared by `UPDATE` and
+/// `UPDATE_KEYED` requests.
+fn put_update_body(buf: &mut Vec<u8>, batch: &[EdgeUpdate]) {
+    put_u32(buf, batch.len() as u32);
+    for u in batch {
+        put_u32(buf, u.a);
+        put_u32(buf, u.b);
+        put_u32(buf, u.new_weight);
+    }
+}
+
+/// Decode a `BATCH` response payload (opcode already checked).
+fn parse_batch_response(resp: Vec<u8>) -> io::Result<RemoteOutcome> {
+    if resp.len() < 12 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "short BATCH response"));
+    }
+    let applied = match resp[1] {
+        OUTCOME_APPLIED => true,
+        OUTCOME_REJECTED => false,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown outcome code")),
+    };
+    let generation = get_u64(&resp, 2);
+    let reason = get_str(&resp, 10)
+        .map(|(s, _)| s)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated BATCH reason"))?;
+    Ok(RemoteOutcome { applied, generation, reason })
 }
 
 /// Write one frame: length prefix + payload.
@@ -656,6 +728,85 @@ fn read_exact_polling(
 
 // ---- blocking client -----------------------------------------------------
 
+/// Retry schedule for client-side reconnects and keyed-update resends:
+/// **exponential backoff with full jitter**.
+///
+/// Attempt `i` (zero-based) draws its sleep uniformly from
+/// `[0, min(base_ms × 2^i, cap_ms)]` milliseconds. Full jitter — rather than
+/// a fixed exponential ladder — decorrelates a herd of clients that all lost
+/// the same server at the same instant (a restart), so the recovered server
+/// sees a spread-out trickle instead of synchronized thundering waves. The
+/// jitter source is a tiny splitmix-style mixer over a process-global
+/// counter: no dependencies, no clock reads, distinct streams per policy
+/// instance.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Backoff ceiling of the first retry, in milliseconds; doubles per
+    /// attempt until [`RetryPolicy::cap_ms`].
+    pub base_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub cap_ms: u64,
+    /// Total attempts before giving up (the initial try counts as one; `1`
+    /// means no retries).
+    pub max_attempts: u32,
+    /// Private jitter stream state.
+    rng: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts backing off through ceilings 25 → 50 → 100 → 200 ms.
+    fn default() -> Self {
+        Self::new(25, 200, 5)
+    }
+}
+
+impl RetryPolicy {
+    /// Build a policy; see the type docs for what the knobs mean.
+    pub fn new(base_ms: u64, cap_ms: u64, max_attempts: u32) -> Self {
+        // Seed each policy from a striding global counter: distinct policy
+        // instances (and distinct threads) get distinct jitter streams
+        // without any clock or OS entropy.
+        static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+        let rng = SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        Self { base_ms, cap_ms, max_attempts: max_attempts.max(1), rng }
+    }
+
+    /// The sleep before retry number `attempt` (zero-based): uniform in
+    /// `[0, min(base × 2^attempt, cap)]` ms.
+    pub fn backoff(&mut self, attempt: u32) -> Duration {
+        let ceiling = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        if ceiling == 0 {
+            return Duration::ZERO;
+        }
+        // splitmix64 finalizer: full-period, passes the bar for jitter.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Duration::from_millis(z % (ceiling + 1))
+    }
+}
+
+/// Whether an I/O failure is worth retrying: connection-level trouble is
+/// (the server may be restarting), protocol-level rejection is not.
+fn retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::NotConnected
+    )
+}
+
 /// A remote batch outcome as reported in a `BATCH` response frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemoteOutcome {
@@ -672,7 +823,7 @@ impl RemoteOutcome {
     /// Convert into the in-process outcome type.
     pub fn outcome(&self) -> BatchOutcome {
         if self.applied {
-            BatchOutcome::Applied
+            BatchOutcome::Applied { seq: self.generation }
         } else {
             BatchOutcome::Rejected(self.reason.clone())
         }
@@ -712,6 +863,8 @@ pub struct RemoteStats {
 #[derive(Debug)]
 pub struct NetClient {
     stream: TcpStream,
+    /// Peer address, kept so the keyed-retry path can reconnect.
+    peer: SocketAddr,
 }
 
 impl NetClient {
@@ -719,18 +872,46 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Self { stream })
+        let peer = stream.peer_addr()?;
+        Ok(Self { stream, peer })
+    }
+
+    /// Connect under `policy`: up to [`RetryPolicy::max_attempts`] tries with
+    /// jittered exponential backoff between them. The error of the last
+    /// attempt is returned if every try fails.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + Clone,
+        mut policy: RetryPolicy,
+    ) -> io::Result<Self> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if attempt + 1 >= policy.max_attempts => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Connect with retries until `timeout` elapses — for racing a server
     /// that is still binding (CI smoke tests, freshly spawned processes).
+    /// Backoff follows a default [`RetryPolicy`] schedule re-armed until the
+    /// deadline.
     pub fn connect_retry(addr: impl ToSocketAddrs + Clone, timeout: Duration) -> io::Result<Self> {
         let deadline = Instant::now() + timeout;
+        let mut policy = RetryPolicy::default();
+        let mut attempt = 0u32;
         loop {
             match Self::connect(addr.clone()) {
                 Ok(c) => return Ok(c),
                 Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt = (attempt + 1).min(policy.max_attempts - 1);
+                }
             }
         }
     }
@@ -798,28 +979,62 @@ impl NetClient {
 
     /// Submit an update batch; blocks until the server reports its outcome
     /// (applied and published, or rejected with a reason).
+    ///
+    /// If the connection dies before the response arrives, the caller cannot
+    /// know whether the batch applied — resending may double-apply. Use
+    /// [`NetClient::update_keyed`] (and [`NetClient::update_keyed_retry`])
+    /// when that matters.
     pub fn update(&mut self, batch: &[EdgeUpdate]) -> io::Result<RemoteOutcome> {
         let mut req = vec![OP_UPDATE];
-        put_u32(&mut req, batch.len() as u32);
-        for u in batch {
-            put_u32(&mut req, u.a);
-            put_u32(&mut req, u.b);
-            put_u32(&mut req, u.new_weight);
+        put_update_body(&mut req, batch);
+        let resp = self.roundtrip(&req)?;
+        parse_batch_response(Self::expect_op(resp, RESP_BATCH)?)
+    }
+
+    /// Submit an update batch under idempotency key `key` (single attempt).
+    /// The server deduplicates on `key`: if a batch with this key already
+    /// applied (or is still in flight), the response acknowledges the
+    /// *original* application instead of applying again. Never reuse a key
+    /// for a different batch.
+    pub fn update_keyed(&mut self, key: u64, batch: &[EdgeUpdate]) -> io::Result<RemoteOutcome> {
+        let mut req = vec![OP_UPDATE_KEYED];
+        put_u64(&mut req, key);
+        put_update_body(&mut req, batch);
+        let resp = self.roundtrip(&req)?;
+        parse_batch_response(Self::expect_op(resp, RESP_BATCH)?)
+    }
+
+    /// [`NetClient::update_keyed`] wrapped in the full at-least-once-send /
+    /// at-most-once-apply loop: on a connection-level failure (reset, EOF
+    /// before the ack, refused reconnect while the server restarts), back
+    /// off per `policy`, reconnect to the same peer, and resend the same
+    /// key. Protocol-level failures (a rejected batch, a malformed-response
+    /// error) are returned immediately — retrying cannot fix those.
+    pub fn update_keyed_retry(
+        &mut self,
+        key: u64,
+        batch: &[EdgeUpdate],
+        mut policy: RetryPolicy,
+    ) -> io::Result<RemoteOutcome> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.update_keyed(key, batch) {
+                Ok(outcome) => return Ok(outcome),
+                Err(e) if retryable(e.kind()) => e,
+                Err(e) => return Err(e),
+            };
+            if attempt + 1 >= policy.max_attempts {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(attempt));
+            attempt += 1;
+            // Reconnect before the resend; failure to connect just burns
+            // this attempt and falls through to the next backoff.
+            if let Ok(stream) = TcpStream::connect(self.peer) {
+                let _ = stream.set_nodelay(true);
+                self.stream = stream;
+            }
         }
-        let resp = Self::expect_op(self.roundtrip(&req)?, RESP_BATCH)?;
-        if resp.len() < 12 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "short BATCH response"));
-        }
-        let applied = match resp[1] {
-            OUTCOME_APPLIED => true,
-            OUTCOME_REJECTED => false,
-            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown outcome code")),
-        };
-        let generation = get_u64(&resp, 2);
-        let reason = get_str(&resp, 10)
-            .map(|(s, _)| s)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated BATCH reason"))?;
-        Ok(RemoteOutcome { applied, generation, reason })
     }
 
     /// Fetch the server's counters.
@@ -1044,6 +1259,61 @@ mod tests {
         assert!(pinned.join().unwrap().applied);
         let stats = net.shutdown();
         assert!(stats.connections_shed >= 1, "admission control must have shed");
+    }
+
+    #[test]
+    fn keyed_update_over_tcp_is_idempotent() {
+        let g = diamond();
+        let (server, net) = start_net(&g, fast_cfg());
+        let mut client = NetClient::connect(net.local_addr()).unwrap();
+
+        let first = client.update_keyed(77, &[EdgeUpdate::new(0, 1, 5)]).unwrap();
+        assert!(first.applied);
+        assert_eq!(first.generation, 1, "BATCH carries the batch's own seq");
+
+        // Simulated retry after a lost ack: same key, fresh connection.
+        let mut retry = NetClient::connect(net.local_addr()).unwrap();
+        let second = retry.update_keyed(77, &[EdgeUpdate::new(0, 1, 5)]).unwrap();
+        assert!(second.applied);
+        assert_eq!(second.generation, 1, "ack must carry the original seq, not a new one");
+        assert_eq!(client.query(0, 1).unwrap(), 5);
+
+        net.shutdown();
+        assert_eq!(server.generation(), 1, "the retry must not have re-applied");
+        assert_eq!(server.stats().dedup_hits, 1);
+    }
+
+    #[test]
+    fn update_keyed_retry_succeeds_on_a_healthy_server() {
+        let g = diamond();
+        let (_server, net) = start_net(&g, fast_cfg());
+        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let out = client
+            .update_keyed_retry(5, &[EdgeUpdate::new(2, 3, 1)], RetryPolicy::default())
+            .unwrap();
+        assert!(out.applied);
+        assert_eq!(client.query(0, 3).unwrap(), 8);
+        net.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_backoffs_respect_ceiling_and_cap() {
+        let mut p = RetryPolicy::new(10, 40, 8);
+        for attempt in 0..8 {
+            let ceiling = (10u64 << attempt).min(40);
+            for _ in 0..32 {
+                let d = p.backoff(attempt);
+                assert!(
+                    d <= Duration::from_millis(ceiling),
+                    "attempt {attempt}: {d:?} exceeds {ceiling} ms"
+                );
+            }
+        }
+        // Full jitter actually varies (not a constant schedule).
+        let samples: Vec<Duration> = (0..16).map(|_| p.backoff(7)).collect();
+        assert!(samples.iter().any(|d| *d != samples[0]), "jitter must vary");
+        // max_attempts is clamped to at least one try.
+        assert_eq!(RetryPolicy::new(1, 1, 0).max_attempts, 1);
     }
 
     #[test]

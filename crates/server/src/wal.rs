@@ -1,0 +1,613 @@
+//! Write-ahead log for accepted update batches.
+//!
+//! Every batch the writer accepts (post-[`crate::server::validate_batch`],
+//! pre-apply) is appended here **before** it touches the graph, so a crash
+//! at any later point can replay it. The ack to the client happens only
+//! after the batch is both logged and published; under
+//! [`FsyncPolicy::Always`] that makes acknowledged batches durable — a
+//! `kill -9` loses at most batches that were never acknowledged.
+//!
+//! ## Record format
+//!
+//! Little-endian, length-prefixed, CRC-framed — the same wire style as
+//! `stl_core::persist`:
+//!
+//! | field     | bytes | contents                                        |
+//! |-----------|-------|-------------------------------------------------|
+//! | `len`     | 4     | payload length in bytes                         |
+//! | `crc`     | 4     | CRC-32 (IEEE) of the payload                    |
+//! | `seq`     | 8     | monotone batch sequence number                  |
+//! | `nkeys`   | 8     | number of idempotency keys                      |
+//! | `keys`    | 8·n   | client-supplied idempotency keys                |
+//! | `nupd`    | 8     | number of edge updates                          |
+//! | `updates` | 12·n  | `(a: u32, b: u32, new_weight: u32)` per update  |
+//!
+//! (`seq` onward is the payload covered by `crc`.)
+//!
+//! ## Torn tails
+//!
+//! A crash mid-append leaves a **torn tail**: a partial header, a payload
+//! shorter than `len`, or a payload whose CRC does not match. [`replay`]
+//! stops at the first such record and reports the byte offset of the last
+//! valid record's end; recovery truncates the file there and carries on —
+//! a torn tail is expected crash debris, never a panic.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use stl_core::failpoint;
+use stl_graph::EdgeUpdate;
+
+/// Largest payload [`replay`] will attempt to read. A length prefix above
+/// this is treated as corruption (torn tail), not an allocation request:
+/// comfortably above any real batch (the TCP frame cap is 16 MiB).
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// When the WAL file is flushed to stable storage.
+///
+/// | policy | acked-batch durability | cost |
+/// |--------|------------------------|------|
+/// | [`Always`](FsyncPolicy::Always) | no acknowledged batch is ever lost | one `fdatasync` per batch |
+/// | [`EveryN`](FsyncPolicy::EveryN) | at most `n − 1` acked batches lost | amortised |
+/// | [`Never`](FsyncPolicy::Never) | OS page-cache only (process crash safe, power loss not) | none |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended batch.
+    Always,
+    /// Fsync after every `n`-th appended batch (`n ≥ 1`; `EveryN(1)` ≡ `Always`).
+    EveryN(u32),
+    /// Never fsync on append; the OS flushes whenever it likes. A final
+    /// fsync still happens on clean shutdown and before every checkpoint.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse the CLI / env spelling: `always`, `never`, or `every:N`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => match other.split_once(':') {
+                Some(("every", n)) => {
+                    let n: u32 = n.parse().map_err(|_| format!("bad fsync interval {n:?}"))?;
+                    if n == 0 {
+                        return Err("fsync interval must be >= 1".into());
+                    }
+                    Ok(FsyncPolicy::EveryN(n))
+                }
+                _ => Err(format!("unknown fsync policy {other:?} (want always|never|every:N)")),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every:{n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// One decoded WAL record: an accepted batch with its sequence number and
+/// the idempotency keys submitted alongside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone batch sequence number (also reported in
+    /// [`crate::BatchOutcome::Applied`]).
+    pub seq: u64,
+    /// Client-supplied idempotency keys covered by this batch.
+    pub keys: Vec<u64>,
+    /// The accepted edge updates, in submission order.
+    pub updates: Vec<EdgeUpdate>,
+}
+
+/// Result of scanning a WAL file with [`replay`].
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the end of the last valid record — truncate here.
+    pub valid_len: u64,
+    /// Whether a torn/corrupt tail was found (and implicitly dropped).
+    pub torn: bool,
+}
+
+/// Appender for the write-ahead log. One per server; the writer thread owns
+/// it behind the server's shared state.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    len: u64,
+    since_sync: u32,
+    /// Records appended over this writer's lifetime.
+    pub appended: u64,
+    /// Fsyncs issued over this writer's lifetime.
+    pub fsyncs: u64,
+}
+
+impl WalWriter {
+    /// Open (or create) the WAL at `path`, truncating it to `valid_len`
+    /// first — the length reported by [`replay`] — so any torn tail from a
+    /// previous crash is dropped before new records are appended after it.
+    pub fn open(path: &Path, policy: FsyncPolicy, valid_len: u64) -> io::Result<Self> {
+        // Existing records up to `valid_len` are kept — `set_len` below does
+        // the (partial) truncation, not the open.
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            len: valid_len,
+            since_sync: 0,
+            appended: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// Current file length (end of the last complete record).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no records are currently in the log.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one record. Returns the byte offset the record starts at —
+    /// the supervisor records it before apply so it can [`truncate_to`]
+    /// (annul) the record if the writer dies before the batch publishes.
+    ///
+    /// The `wal-append` failpoint fires between the header and the payload:
+    /// an injected kill there manufactures exactly the torn tail a real
+    /// mid-write crash leaves.
+    ///
+    /// [`truncate_to`]: WalWriter::truncate_to
+    pub fn append(&mut self, seq: u64, keys: &[u64], updates: &[EdgeUpdate]) -> io::Result<u64> {
+        let mut payload = Vec::with_capacity(24 + keys.len() * 8 + updates.len() * 12);
+        put_u64(&mut payload, seq);
+        put_u64(&mut payload, keys.len() as u64);
+        for &k in keys {
+            put_u64(&mut payload, k);
+        }
+        put_u64(&mut payload, updates.len() as u64);
+        for u in updates {
+            put_u32(&mut payload, u.a);
+            put_u32(&mut payload, u.b);
+            put_u32(&mut payload, u.new_weight);
+        }
+        let start = self.len;
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(&payload).to_le_bytes());
+        self.file.write_all(&header)?;
+        failpoint::fire("wal-append");
+        self.file.write_all(&payload)?;
+        self.len += 8 + payload.len() as u64;
+        self.appended += 1;
+        self.since_sync += 1;
+        Ok(start)
+    }
+
+    /// Fsync if the configured [`FsyncPolicy`] calls for one now. Returns
+    /// whether a sync was issued. The `fsync` failpoint fires just before
+    /// the `fdatasync` call.
+    pub fn maybe_sync(&mut self) -> io::Result<bool> {
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.since_sync >= n,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(due)
+    }
+
+    /// Unconditional fsync (used on clean shutdown and before checkpoints).
+    pub fn sync(&mut self) -> io::Result<()> {
+        failpoint::fire("fsync");
+        self.file.sync_data()?;
+        self.since_sync = 0;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Truncate the log back to `len` — annuls the record(s) appended after
+    /// that offset. Used by the supervisor to roll back the in-flight
+    /// record of a batch whose writer died before publishing it.
+    pub fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.len = len;
+        Ok(())
+    }
+
+    /// Atomically replace the log with an empty one — called after a
+    /// checkpoint makes every logged record redundant. A fresh empty file
+    /// is created alongside, synced, and renamed over the log, so a crash
+    /// at any instant leaves either the full old log or the empty new one,
+    /// never a half-truncated file.
+    pub fn reset_atomic(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension("new");
+        let fresh =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&tmp)?;
+        fresh.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        sync_parent_dir(&self.path)?;
+        self.file = fresh;
+        self.len = 0;
+        self.since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Scan the WAL at `path`, returning every valid record and the offset of
+/// the valid prefix. A missing file is an empty log. Torn tails — partial
+/// headers, short payloads, CRC mismatches, undecodable payloads, or
+/// absurd length prefixes — terminate the scan without error.
+pub fn replay(path: &Path) -> io::Result<WalReplay> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = false;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || bytes.len() - pos - 8 < len as usize {
+            torn = true;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            torn = true;
+            break;
+        }
+        match decode_record(payload) {
+            Some(rec) => records.push(rec),
+            None => {
+                torn = true;
+                break;
+            }
+        }
+        pos += 8 + len as usize;
+    }
+    // Trailing bytes too short for a header are also a torn tail.
+    if pos < bytes.len() && !torn {
+        torn = true;
+    }
+    Ok(WalReplay { records, valid_len: pos as u64, torn })
+}
+
+fn decode_record(mut p: &[u8]) -> Option<WalRecord> {
+    let seq = get_u64(&mut p)?;
+    let nkeys = get_u64(&mut p)? as usize;
+    if p.len() / 8 < nkeys {
+        return None;
+    }
+    let mut keys = Vec::with_capacity(nkeys);
+    for _ in 0..nkeys {
+        keys.push(get_u64(&mut p)?);
+    }
+    let nupd = get_u64(&mut p)? as usize;
+    if p.len() / 12 < nupd {
+        return None;
+    }
+    let mut updates = Vec::with_capacity(nupd);
+    for _ in 0..nupd {
+        let a = get_u32(&mut p)?;
+        let b = get_u32(&mut p)?;
+        let w = get_u32(&mut p)?;
+        updates.push(EdgeUpdate::new(a, b, w));
+    }
+    if !p.is_empty() {
+        return None;
+    }
+    Some(WalRecord { seq, keys, updates })
+}
+
+/// Fsync the directory containing `path`, making a just-renamed entry
+/// durable. Best-effort on platforms where directories cannot be opened.
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+pub(crate) fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Some(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+pub(crate) fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Some(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// CRC-32 (IEEE 802.3, reflected, `0xEDB88320`) — the ubiquitous zlib/PNG
+/// polynomial, table-driven, computed at compile time so the crate stays
+/// dependency-free.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "stl-wal-{tag}-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+        fn wal(&self) -> PathBuf {
+            self.0.join("wal")
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn batch(i: u32) -> Vec<EdgeUpdate> {
+        vec![EdgeUpdate::new(i, i + 1, 10 + i), EdgeUpdate::new(i + 2, i + 3, 20 + i)]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values from the zlib crc32() function.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let s = Scratch::new("roundtrip");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Always, 0).unwrap();
+        for i in 0..5 {
+            w.append(i as u64, &[100 + i as u64], &batch(i)).unwrap();
+            w.maybe_sync().unwrap();
+        }
+        assert_eq!(w.appended, 5);
+        assert_eq!(w.fsyncs, 5);
+        let r = replay(&s.wal()).unwrap();
+        assert!(!r.torn);
+        assert_eq!(r.valid_len, w.len());
+        assert_eq!(r.records.len(), 5);
+        for (i, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.keys, vec![100 + i as u64]);
+            assert_eq!(rec.updates, batch(i as u32));
+        }
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let s = Scratch::new("missing");
+        let r = replay(&s.wal()).unwrap();
+        assert!(r.records.is_empty());
+        assert_eq!(r.valid_len, 0);
+        assert!(!r.torn);
+    }
+
+    #[test]
+    fn torn_payload_is_truncated_not_fatal() {
+        let s = Scratch::new("torn");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Never, 0).unwrap();
+        w.append(0, &[], &batch(0)).unwrap();
+        let good = w.len();
+        w.append(1, &[], &batch(1)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Chop the second record mid-payload: a mid-write crash.
+        let f = OpenOptions::new().write(true).open(s.wal()).unwrap();
+        f.set_len(good + 11).unwrap();
+        drop(f);
+        let r = replay(&s.wal()).unwrap();
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_len, good);
+        // Re-opening at valid_len drops the tail and appends cleanly after.
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Never, r.valid_len).unwrap();
+        w.append(1, &[], &batch(1)).unwrap();
+        w.sync().unwrap();
+        let r = replay(&s.wal()).unwrap();
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[1].seq, 1);
+    }
+
+    #[test]
+    fn partial_header_is_torn() {
+        let s = Scratch::new("header");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Never, 0).unwrap();
+        w.append(0, &[7], &batch(0)).unwrap();
+        let good = w.len();
+        w.sync().unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(s.wal()).unwrap();
+        f.write_all(&[0xAB; 5]).unwrap(); // 5 bytes: not even a full header
+        drop(f);
+        let r = replay(&s.wal()).unwrap();
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_len, good);
+    }
+
+    #[test]
+    fn bad_crc_is_torn() {
+        let s = Scratch::new("crc");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Never, 0).unwrap();
+        w.append(0, &[], &batch(0)).unwrap();
+        let good = w.len();
+        w.append(1, &[], &batch(1)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(s.wal()).unwrap();
+        let idx = good as usize + 12;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(s.wal(), &bytes).unwrap();
+        let r = replay(&s.wal()).unwrap();
+        assert!(r.torn);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_len, good);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_torn_not_allocated() {
+        let s = Scratch::new("hugelen");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(s.wal(), &bytes).unwrap();
+        let r = replay(&s.wal()).unwrap();
+        assert!(r.torn);
+        assert!(r.records.is_empty());
+        assert_eq!(r.valid_len, 0);
+    }
+
+    #[test]
+    fn undecodable_payload_is_torn() {
+        let s = Scratch::new("garbage");
+        // Valid frame (len+crc match) around a payload that is not a record.
+        let payload = [1u8, 2, 3];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(s.wal(), &bytes).unwrap();
+        let r = replay(&s.wal()).unwrap();
+        assert!(r.torn);
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn truncate_to_annuls_last_record() {
+        let s = Scratch::new("annul");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Never, 0).unwrap();
+        w.append(0, &[], &batch(0)).unwrap();
+        let start = w.append(1, &[], &batch(1)).unwrap();
+        w.truncate_to(start).unwrap();
+        w.append(1, &[9], &batch(9)).unwrap();
+        w.sync().unwrap();
+        let r = replay(&s.wal()).unwrap();
+        assert!(!r.torn);
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[1].keys, vec![9]);
+        assert_eq!(r.records[1].updates, batch(9));
+    }
+
+    #[test]
+    fn reset_atomic_empties_the_log_and_appends_continue() {
+        let s = Scratch::new("reset");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Always, 0).unwrap();
+        w.append(0, &[], &batch(0)).unwrap();
+        w.sync().unwrap();
+        w.reset_atomic().unwrap();
+        assert!(w.is_empty());
+        assert!(replay(&s.wal()).unwrap().records.is_empty());
+        w.append(1, &[], &batch(1)).unwrap();
+        w.sync().unwrap();
+        let r = replay(&s.wal()).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].seq, 1);
+    }
+
+    #[test]
+    fn every_n_policy_amortises_fsyncs() {
+        let s = Scratch::new("everyn");
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::EveryN(3), 0).unwrap();
+        let mut synced = 0;
+        for i in 0..7 {
+            w.append(i, &[], &batch(i as u32)).unwrap();
+            if w.maybe_sync().unwrap() {
+                synced += 1;
+            }
+        }
+        assert_eq!(synced, 2); // after records 3 and 6
+        assert_eq!(w.fsyncs, 2);
+        let mut w = WalWriter::open(&s.wal(), FsyncPolicy::Never, w.len()).unwrap();
+        w.append(7, &[], &batch(7)).unwrap();
+        assert!(!w.maybe_sync().unwrap());
+        assert_eq!(w.fsyncs, 0);
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every:16"), Ok(FsyncPolicy::EveryN(16)));
+        assert!(FsyncPolicy::parse("every:0").is_err());
+        assert!(FsyncPolicy::parse("every:x").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::parse("every:4").unwrap().to_string(), "every:4");
+    }
+}

@@ -71,7 +71,7 @@ fn tcp_replay_matches_in_process_replay() {
                 let outcome = local.wait_for(ticket);
                 // mixed_trace only emits valid updates: both paths apply.
                 assert!(
-                    remote.applied && outcome == BatchOutcome::Applied,
+                    remote.applied && matches!(outcome, BatchOutcome::Applied { .. }),
                     "op {i}: applied over TCP = {}, in-process = {outcome:?}",
                     remote.applied
                 );
@@ -132,7 +132,7 @@ fn bad_edge_over_tcp_is_rejected_and_both_paths_agree_after() {
     let stl = Stl::build(&g, &StlConfig::default());
     let local = StlServer::start(g.clone(), stl, ServerConfig::default());
     let outcome = local.wait_for(local.submit(vec![EdgeUpdate::new(a, b, w * 2)]));
-    assert_eq!(outcome, BatchOutcome::Applied);
+    assert_eq!(outcome, BatchOutcome::Applied { seq: 1 });
     let snap = local.snapshot();
     for s in (0..250).step_by(11) {
         for t in (0..250).step_by(13) {
