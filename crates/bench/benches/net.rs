@@ -5,7 +5,10 @@
 //! 1. **`query_roundtrip`** — a distance query through the full stack
 //!    (frame encode → loopback TCP → worker decode → snapshot query →
 //!    response frame) against the same query in-process, pricing the
-//!    transport skin.
+//!    transport skin. A MANY tail on the same connection checks that the
+//!    reader's one-to-many scratch vector is recycled across requests
+//!    (`net_many_scratch_reuses`) and that batched answers match point
+//!    queries.
 //! 2. **Amortization** — the `--batch-latency-ms` knob made measurable: the
 //!    same paced stream of single-update requests is pushed through the
 //!    `AdaptiveBatcher` with a zero budget (every request its own batch)
@@ -267,6 +270,23 @@ fn bench_net(c: &mut Criterion) {
     group.finish();
     let sanity = client.query(3, 1700).expect("query frame");
     assert_eq!(sanity, snap.query(3, 1700), "transport must be transparent");
+
+    // MANY on the same connection: repeated requests must recycle the
+    // reader's scratch vector instead of allocating per request, and the
+    // tiled answers must match point queries through the same transport.
+    let targets: Vec<u32> = (0..500u32).map(|i| (i * 37) % 2_000).collect();
+    let mut many = Vec::new();
+    for _ in 0..8 {
+        many = client.one_to_many(7, &targets).expect("many frame");
+    }
+    for (i, &t) in targets.iter().enumerate().step_by(97) {
+        assert_eq!(many[i], snap.query(7, t), "MANY must match point queries");
+    }
+    let reuses = net.stats().many_scratch_reuses;
+    summary::counter("net_many_scratch_reuses", reuses as f64);
+    println!("many: 8 requests x {} targets, {reuses} scratch reuses", targets.len());
+    assert!(reuses >= 7, "per-reader MANY scratch must be reused across requests, got {reuses}");
+
     drop(client);
     net.shutdown();
 

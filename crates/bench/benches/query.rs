@@ -13,13 +13,21 @@
 //! - `flat_vectorized` — the production path after `Stl::compact()`,
 //!   where label slices come straight out of one contiguous arena.
 //!
+//! The `query_v2_8k` group sweeps the read-path-v2 knobs on the flat
+//! index: entry prefetch on/off and spine lane widths 8/16/32. The
+//! `one_to_many_64k` group compares the tiled shard-ordered one-to-many
+//! scan against the straight hoisted per-target loop on a 64k-vertex
+//! network, where the label arena no longer fits in L2.
+//!
 //! `QueryProfile` counters (spine early-outs, flat vs chunked slice
 //! resolutions) land in the `BENCH_SUMMARY_PATH` summary next to the
-//! medians. In `--test` mode the bench also times both regimes in-body and
-//! asserts the headline claim — flat + vectorized beats the chunked scalar
-//! oracle — so CI smoke runs catch a regressed kernel, not just a broken
-//! build (skipped in debug builds, where the query path runs its own
-//! scalar-oracle `debug_assert` per call).
+//! medians. In `--test` mode the bench also times the regimes in-body and
+//! asserts the headline claims — flat + vectorized beats the chunked scalar
+//! oracle by >=2.3x, v2 does not regress the PR 6 flat path, and the tiled
+//! one-to-many beats the per-target loop by >=1.3x — so CI smoke runs catch
+//! a regressed kernel, not just a broken build (skipped in debug builds,
+//! where the query path runs its own scalar-oracle `debug_assert` per
+//! call).
 //!
 //! Registered on the workspace root (like `publish`), so
 //! `cargo bench --bench query -- --test` works from the repo root.
@@ -150,23 +158,93 @@ fn bench_query_paths(c: &mut Criterion) {
     });
     group.finish();
 
+    // The v2 read-path knobs in isolation, all on the compacted index: the
+    // software-prefetch hints (same body, hints elided) and the spine lane
+    // width (8/16/32 forced; `adaptive_lanes` picks one of these from the
+    // root cut — recorded as a counter so a CI run shows which).
+    summary::counter("adaptive_spine_lanes", flat.spine().lanes() as f64);
+    let swept: Vec<(usize, Stl)> = [8usize, 16, 32]
+        .iter()
+        .map(|&lanes| {
+            let mut s = flat.clone();
+            s.set_spine_lanes(lanes);
+            (lanes, s)
+        })
+        .collect();
+    let mut group = c.benchmark_group("query_v2_8k");
+    group.bench_function(BenchmarkId::new("prefetch", "on"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(flat.query(s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("prefetch", "off"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(flat.query_no_prefetch(s, t))
+        })
+    });
+    for (lanes, stl) in &swept {
+        group.bench_function(BenchmarkId::new("lanes", lanes), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(stl.query(s, t))
+            })
+        });
+    }
+    group.finish();
+
     // Headline assertion, independent of harness mode so `--test` smoke
-    // runs enforce it: best-of-5 sweeps, flat + vectorized + spine must
-    // beat the chunked scalar oracle. Debug builds run the scalar oracle
-    // *inside* every query (debug_assert) — no speedup to measure there.
+    // runs enforce it: flat + vectorized + spine must beat the chunked
+    // scalar oracle. Debug builds run the scalar oracle *inside* every
+    // query (debug_assert) — no speedup to measure there.
     if !cfg!(debug_assertions) {
-        let best = |f: &dyn Fn() -> u64| {
-            (0..5)
-                .map(|_| {
-                    let t0 = Instant::now();
-                    std::hint::black_box(f());
-                    t0.elapsed().as_nanos()
-                })
-                .min()
-                .unwrap()
+        // All legs timed inside the same repetition loop: on shared hosts
+        // the clock speed drifts in minute-long phases, so sequential
+        // best-of-N blocks can hand one leg a quiet phase and the other a
+        // noisy one. Interleaving keeps each rep's legs in the same phase,
+        // per-leg minima then compare like for like — and the loop keeps
+        // sampling (spaced out to outlast a noisy phase) until the
+        // thresholds hold or the rep budget is spent, so a genuinely
+        // regressed kernel still fails while a busy host just takes longer.
+        let mut pr6 = flat.clone();
+        pr6.set_spine_lanes(16);
+        pr6.clear_deep_arena();
+        // Warm sweep before each timed one: the three legs walk disjoint
+        // index copies, so whichever leg runs after another starts with its
+        // own arena evicted and would be charged the reload — a bias the
+        // per-leg minimum can never average away because the ordering is
+        // fixed. Timing the second back-to-back sweep measures each leg
+        // against its own warm steady state.
+        let timed = |f: &dyn Fn() -> u64| {
+            std::hint::black_box(f());
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
         };
-        let scalar_ns = best(&|| sweep(&pairs, |s, t| chunked.query_reference(s, t)));
-        let flat_ns = best(&|| sweep(&pairs, |s, t| flat.query(s, t)));
+        let (mut scalar_ns, mut flat_ns, mut pr6_ns) = (u128::MAX, u128::MAX, u128::MAX);
+        for rep in 0..90 {
+            scalar_ns =
+                scalar_ns.min(timed(&|| sweep(&pairs, |s, t| chunked.query_reference(s, t))));
+            flat_ns = flat_ns.min(timed(&|| sweep(&pairs, |s, t| flat.query(s, t))));
+            pr6_ns = pr6_ns.min(timed(&|| sweep(&pairs, |s, t| pr6.query_no_prefetch(s, t))));
+            if rep >= 6 {
+                if flat_ns * 23 <= scalar_ns * 10 && flat_ns * 100 <= pr6_ns * 105 {
+                    break;
+                }
+                // Contended phases on shared hosts run for minutes; escalate
+                // the spacing so the sampling window outlasts them instead of
+                // burning the whole rep budget inside one bad phase.
+                let nap = if rep < 24 { 2000 } else { 6000 };
+                std::thread::sleep(std::time::Duration::from_millis(nap));
+            }
+        }
         summary::counter("speedup_flat_vs_chunked_scalar", scalar_ns as f64 / flat_ns as f64);
         println!(
             "query_path_8k: flat+vectorized {:.1} us/sweep vs chunked scalar {:.1} us/sweep \
@@ -176,12 +254,117 @@ fn bench_query_paths(c: &mut Criterion) {
             scalar_ns as f64 / flat_ns as f64
         );
         assert!(
-            flat_ns * 11 <= scalar_ns * 10,
-            "flat+vectorized+spine path must beat the chunked scalar oracle by >=10% \
+            flat_ns * 23 <= scalar_ns * 10,
+            "v2 flat path must beat the chunked scalar oracle by >=2.3x \
              (flat {flat_ns} ns vs scalar {scalar_ns} ns per 1024-query sweep)"
+        );
+
+        // No-regression vs the pre-v2 flat path: fixed 16 lanes, no deep
+        // split (full flat prefixes), no prefetch — the PR 6 read path
+        // reconstructed on today's kernels. v2 with all knobs on must not
+        // lose to it (5% noise allowance).
+        summary::counter("speedup_v2_vs_pr6_flat", pr6_ns as f64 / flat_ns as f64);
+        println!(
+            "query_v2_8k: v2 {:.1} us/sweep vs pr6-style flat {:.1} us/sweep ({:.2}x)",
+            flat_ns as f64 / 1e3,
+            pr6_ns as f64 / 1e3,
+            pr6_ns as f64 / flat_ns as f64
+        );
+        assert!(
+            flat_ns * 100 <= pr6_ns * 105,
+            "v2 read path must not regress the PR 6 flat path \
+             (v2 {flat_ns} ns vs pr6 {pr6_ns} ns per 1024-query sweep)"
         );
     }
 }
 
-criterion_group!(benches, bench_queries, bench_query_paths);
+/// One-to-many on a 64k-vertex network: the tiled shard-ordered scan vs the
+/// straight hoisted per-target loop it replaced. The larger graph puts the
+/// label arena well past L2, which is the regime tiling exists for — on a
+/// cache-resident index both paths are equally fast. Rotating through
+/// distinct 1k-target sets mirrors serving, where every MANY request
+/// carries a fresh target list — a single hot set would let the loop ride a
+/// pre-warmed cache.
+fn bench_one_to_many(c: &mut Criterion) {
+    let g = generate(&RoadNetConfig::sized(64_000, 404));
+    let mut flat = Stl::build(&g, &StlConfig::default());
+    flat.compact();
+    let target_sets: Vec<Vec<u32>> = (0..16)
+        .map(|i| random_pairs(g.num_vertices(), 1_000, 9 + i).iter().map(|p| p.0).collect())
+        .collect();
+    let src = random_pairs(g.num_vertices(), 1, 3)[0].0;
+    let mut buf = Vec::new();
+    for set in &target_sets {
+        flat.one_to_many_loop_into(src, set, &mut buf);
+        let expect = buf.clone();
+        flat.one_to_many_into(src, set, &mut buf);
+        assert_eq!(buf, expect, "tiled one-to-many must be bit-identical to the loop");
+    }
+    let mut group = c.benchmark_group("one_to_many_64k");
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("tiled", "1k"), |b| {
+        b.iter(|| {
+            flat.one_to_many_into(src, &target_sets[i % target_sets.len()], &mut buf);
+            i += 1;
+            std::hint::black_box(buf.last().copied())
+        })
+    });
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("loop", "1k"), |b| {
+        b.iter(|| {
+            flat.one_to_many_loop_into(src, &target_sets[i % target_sets.len()], &mut buf);
+            i += 1;
+            std::hint::black_box(buf.last().copied())
+        })
+    });
+    group.finish();
+
+    // Tiled one-to-many must beat the per-target loop across rotating
+    // 1k-target sets: both legs timed inside the same repetition so host
+    // noise phases hit them alike, sampling until the threshold holds or
+    // the rep budget is spent (see the query-path assertion for rationale).
+    // Debug builds run the scalar oracle inside every query — nothing to
+    // measure there.
+    if !cfg!(debug_assertions) {
+        let rotate = |f: &dyn Fn(&[u32], &mut Vec<u32>), out: &mut Vec<u32>| {
+            let t0 = Instant::now();
+            for set in &target_sets {
+                f(set, out);
+                std::hint::black_box(out.last().copied());
+            }
+            t0.elapsed().as_nanos() / target_sets.len() as u128
+        };
+        let mut out = Vec::new();
+        let (mut tiled_ns, mut loop_ns) = (u128::MAX, u128::MAX);
+        for rep in 0..90 {
+            tiled_ns =
+                tiled_ns.min(rotate(&|set, out| flat.one_to_many_into(src, set, out), &mut out));
+            loop_ns = loop_ns
+                .min(rotate(&|set, out| flat.one_to_many_loop_into(src, set, out), &mut out));
+            if rep >= 6 {
+                if tiled_ns * 13 <= loop_ns * 10 {
+                    break;
+                }
+                // Same escalating spacing as the query-path assertion: ride
+                // out minute-scale contention phases on shared hosts.
+                let nap = if rep < 24 { 2000 } else { 6000 };
+                std::thread::sleep(std::time::Duration::from_millis(nap));
+            }
+        }
+        summary::counter("speedup_tiled_one_to_many", loop_ns as f64 / tiled_ns as f64);
+        println!(
+            "one_to_many_64k: tiled {:.1} us vs loop {:.1} us per 1k-target set ({:.2}x)",
+            tiled_ns as f64 / 1e3,
+            loop_ns as f64 / 1e3,
+            loop_ns as f64 / tiled_ns as f64
+        );
+        assert!(
+            tiled_ns * 13 <= loop_ns * 10,
+            "tiled one-to-many must beat the hoisted per-target loop by >=1.3x \
+             (tiled {tiled_ns} ns vs loop {loop_ns} ns per 1k-target set)"
+        );
+    }
+}
+
+criterion_group!(benches, bench_queries, bench_query_paths, bench_one_to_many);
 criterion_main!(benches);

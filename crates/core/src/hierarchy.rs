@@ -364,6 +364,18 @@ impl Hierarchy {
         &self.cut_vertices[lo..hi]
     }
 
+    /// Size of the root separator's cut — the label-prefix window shared by
+    /// **every** root path, and therefore the natural width for the
+    /// bit-parallel spine rows (`crate::spine::adaptive_lanes`). Zero for an
+    /// empty hierarchy.
+    pub fn root_cut_len(&self) -> usize {
+        if self.num_nodes() == 0 {
+            0
+        } else {
+            self.cut(0).len()
+        }
+    }
+
     /// Maximum number of label entries over all vertices (tree height of
     /// Table 4).
     pub fn height(&self) -> u32 {
@@ -389,6 +401,36 @@ impl Hierarchy {
         let limit = self.path_anc_end
             [(self.node_path_start[self.node_of[s as usize] as usize] + level) as usize];
         limit.min(self.tau[s as usize] + 1).min(self.tau[t as usize] + 1)
+    }
+
+    /// Vertex `v`'s label length, `τ(v) + 1` — the truncation bound of
+    /// [`Hierarchy::common_anc_count`]. One array load; the tiled
+    /// one-to-many scan uses it to finish a per-tile hoisted prefix limit.
+    #[inline]
+    pub fn label_len(&self, v: VertexId) -> u32 {
+        self.tau[v as usize] + 1
+    }
+
+    /// [`Hierarchy::common_anc_count`] *before* truncation by `t`'s own
+    /// label length: `min(limit(level), τ(s)+1)`.
+    ///
+    /// The divergence level of `ℓ(s)` from `ℓ(t)`'s root path — and hence
+    /// this value — is the same for **every** `t` in one repair shard that
+    /// is not the spine and does not contain `s`: the shard is a connected
+    /// subtree, so `ℓ(s)` meets all of its root paths at the same node.
+    /// Tiled one-to-many exploits this: one call per tile, then
+    /// `min(limit, label_len(t))` per target replaces the full bitstring
+    /// LCA. For any `s`, `t`: `common_anc_count(s, t) ==
+    /// min(shard_anc_limit(s, t), label_len(t))`.
+    #[inline]
+    pub fn shard_anc_limit(&self, s: VertexId, t: VertexId) -> u32 {
+        let (bs, bt) = (self.bits[s as usize], self.bits[t as usize]);
+        let (ds, dt) = (self.depth[s as usize], self.depth[t as usize]);
+        let lz = (bs ^ bt).leading_zeros(); // 128 when identical
+        let level = ds.min(dt).min(lz);
+        let limit = self.path_anc_end
+            [(self.node_path_start[self.node_of[s as usize] as usize] + level) as usize];
+        limit.min(self.tau[s as usize] + 1)
     }
 
     /// Whether `r ⪯ x` in the vertex partial order (Definition 4.3),
@@ -660,6 +702,34 @@ mod tests {
                 h.for_each_ancestor_inclusive(t, |r, _| anc_t.push(r));
                 let common = anc_s.iter().filter(|r| anc_t.contains(r)).count() as u32;
                 assert_eq!(h.common_anc_count(s, t), common, "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_anc_limit_decomposes_common_anc_count() {
+        // The algebraic identity the tiled one-to-many scan rests on:
+        // common_anc_count(s, t) == min(shard_anc_limit(s, t), label_len(t))
+        // for *every* pair — and the hoisted limit is constant across all
+        // targets in one non-spine repair shard that does not contain `s`.
+        let g = grid(8);
+        let h = Hierarchy::build(&g, &StlConfig::default());
+        let n = h.num_vertices() as u32;
+        for s in 0..n {
+            // limit per shard, first-seen; None until a target in that
+            // shard is visited.
+            let mut hoisted = vec![None; h.num_shards() as usize];
+            for t in 0..n {
+                let limit = h.shard_anc_limit(s, t);
+                assert_eq!(h.common_anc_count(s, t), limit.min(h.label_len(t)), "s={s} t={t}");
+                let sh = h.tree_of(t);
+                if sh == SPINE_SHARD || sh == h.tree_of(s) {
+                    continue; // constancy is only claimed across other shards
+                }
+                match hoisted[sh as usize] {
+                    None => hoisted[sh as usize] = Some(limit),
+                    Some(l) => assert_eq!(l, limit, "s={s} t={t} shard={sh}"),
+                }
             }
         }
     }

@@ -14,12 +14,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use stl_graph::cow::{ChunkedStore, CowStats, DisjointWriter, DEFAULT_CHUNK_ENTRIES};
+use stl_graph::cow::{AlignedBuf, ChunkedStore, CowStats, DisjointWriter, DEFAULT_CHUNK_ENTRIES};
 use stl_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 use stl_pathfinding::TimestampedArray;
 
 use crate::hierarchy::Hierarchy;
-use crate::spine::SpineIndex;
+use crate::spine::{adaptive_lanes, SpineIndex};
 use crate::types::StlConfig;
 
 /// Per-vertex location of a label in the chunked arena. One aligned 16-byte
@@ -347,6 +347,69 @@ impl LabelAccess for ShardLabels<'_> {
     }
 }
 
+/// SoA deep-label arena: the v2 flat read path's second half.
+///
+/// On a compacted index the first `spine_lanes` entries of every label are
+/// already packed in the spine rows; this arena re-lays the *remaining*
+/// ("deep") entries `lanes..len(v)` of every vertex contiguously, with each
+/// vertex's deep span starting on a 64-byte boundary
+/// ([`AlignedBuf::concat_aligned`] with a 16-entry stride). A deep query
+/// then reads two cache-hot spine rows plus two aligned deep spans — the
+/// unrolled AVX2 min-plus never pays the `+lanes` prefix-offset shuffle the
+/// old full-prefix scan did.
+///
+/// The arena is a derived structure: [`Stl::compact`] (re)builds it, any
+/// label write invalidates it together with the store's flat arena, and the
+/// query layer only consults it while [`Labels::flat`] is `Some`.
+#[derive(Debug)]
+pub struct DeepArena {
+    /// Spine width the split was taken at (label entries `0..lanes` are in
+    /// the spine rows, not here).
+    lanes: u32,
+    /// Per-vertex start entry in `buf`; every start is a multiple of 16
+    /// entries, i.e. 64-byte aligned.
+    starts: Box<[u64]>,
+    buf: AlignedBuf<Dist>,
+}
+
+impl DeepArena {
+    /// Strip `labels` at `lanes` and lay the deep remainders out aligned.
+    fn build(labels: &Labels, lanes: usize) -> Self {
+        let spans = (0..labels.num_vertices() as VertexId).map(|v| {
+            let ls = labels.slice(v);
+            &ls[ls.len().min(lanes)..]
+        });
+        let (buf, starts) = AlignedBuf::concat_aligned(spans, 16, INF);
+        Self { lanes: lanes as u32, starts: starts.into_boxed_slice(), buf }
+    }
+
+    /// The first `m` deep entries of `v` — label entries
+    /// `lanes..lanes + m` — as one 64-byte-aligned slice.
+    #[inline(always)]
+    pub(crate) fn prefix(&self, v: VertexId, m: usize) -> &[Dist] {
+        let s = self.starts[v as usize] as usize;
+        &self.buf.as_slice()[s..s + m]
+    }
+
+    /// Address of `v`'s deep span (for software prefetch; never
+    /// dereferenced here).
+    #[inline(always)]
+    pub(crate) fn base_ptr(&self, v: VertexId) -> *const Dist {
+        self.buf.as_slice()[self.starts[v as usize] as usize..].as_ptr()
+    }
+
+    /// The spine width this split was taken at.
+    #[inline(always)]
+    pub(crate) fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// Approximate resident bytes (aligned arena + start table).
+    pub fn memory_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<Dist>() + self.starts.len() * 8
+    }
+}
+
 /// A complete Stable Tree Labelling index: hierarchy + labels.
 ///
 /// The hierarchy is weight-independent ("structural stability", Remark 1)
@@ -361,6 +424,11 @@ pub struct Stl {
     /// lock-step with `labels` by [`Stl::refresh_spine`] at the end of
     /// every batch application.
     pub(crate) spine: SpineIndex,
+    /// SoA deep-label arena ([`DeepArena`]): built by [`Stl::compact`],
+    /// dropped on the first epoch label write, shared across snapshot
+    /// clones. Consulted only while the label arena is flat, so a stale
+    /// arena can never serve a query.
+    pub(crate) deep: Option<Arc<DeepArena>>,
 }
 
 impl Stl {
@@ -370,8 +438,8 @@ impl Stl {
     /// construction writes are not "epoch" writes.
     fn assemble_parts(hier: Arc<Hierarchy>, mut labels: Labels) -> Self {
         labels.take_written_chunks();
-        let spine = SpineIndex::build(&labels);
-        Stl { hier, labels, spine }
+        let spine = SpineIndex::build(&labels, adaptive_lanes(hier.root_cut_len()));
+        Stl { hier, labels, spine, deep: None }
     }
 
     /// Build the index for `g` (hierarchy + labels).
@@ -541,7 +609,14 @@ impl Stl {
     /// (serial and sharded), which is the only place epoch label writes
     /// happen, so queries between batches always see a consistent spine.
     pub(crate) fn refresh_spine(&mut self) {
-        for c in self.labels.take_written_chunks() {
+        let written = self.labels.take_written_chunks();
+        if written.is_empty() {
+            return;
+        }
+        // Label writes already invalidated the store's flat arena; drop the
+        // SoA deep split derived from it (rebuilt at the next compaction).
+        self.deep = None;
+        for c in written {
             let range = self.labels.vertex_range_of_chunk(c);
             self.spine.refresh(&self.labels, range);
         }
@@ -549,11 +624,51 @@ impl Stl {
 
     /// Re-flatten the label arena and the spine stores into contiguous
     /// 64-byte-aligned allocations (offline counterpart of the server's
-    /// quiescence-triggered compaction); returns total bytes moved. Queries
-    /// on the compacted index take the direct-offset read path until the
-    /// next label write.
+    /// quiescence-triggered compaction) and derive the SoA [`DeepArena`]
+    /// from the fresh layout; returns total bytes moved. Queries on the
+    /// compacted index take the direct-offset read path — spine strip plus
+    /// aligned deep spans — until the next label write.
     pub fn compact(&mut self) -> u64 {
-        self.labels.compact() + self.spine.compact()
+        let moved = self.labels.compact() + self.spine.compact();
+        self.rebuild_deep();
+        moved
+    }
+
+    /// (Re)derive the deep arena for the current spine width, or drop it if
+    /// the label arena is not flat (oversized arenas refuse to compact).
+    fn rebuild_deep(&mut self) {
+        self.deep = self
+            .labels
+            .is_flat()
+            .then(|| Arc::new(DeepArena::build(&self.labels, self.spine.lanes())));
+    }
+
+    /// Rebuild the spine filter at a forced width (8, 16, or 32 lanes) and,
+    /// on a compacted index, re-derive the [`DeepArena`] split to match.
+    /// Construction picks the width adaptively from the root cut
+    /// ([`crate::spine::adaptive_lanes`]); this knob exists for the lane
+    /// sweeps in the `query` bench and the lane-width property tests, and
+    /// for operators pinning a width after measurement.
+    pub fn set_spine_lanes(&mut self, lanes: usize) {
+        self.spine = SpineIndex::build(&self.labels, lanes);
+        if self.labels.is_flat() {
+            self.spine.compact();
+        }
+        self.rebuild_deep();
+    }
+
+    /// Drop the [`DeepArena`] (if any): deep queries on a flat index fall
+    /// back to full-prefix scans over the label arena — the pre-v2 flat
+    /// read path. Ablation knob for the `query` bench; [`Stl::compact`]
+    /// rebuilds the arena.
+    pub fn clear_deep_arena(&mut self) {
+        self.deep = None;
+    }
+
+    /// The SoA deep-label arena, present while the index is compacted.
+    #[inline]
+    pub fn deep_arena(&self) -> Option<&DeepArena> {
+        self.deep.as_deref()
     }
 
     /// Whether the whole read path (label arena + spine stores) is flat.
@@ -590,11 +705,16 @@ impl Stl {
     /// and spine chunk reallocated — what the pre-COW publish path paid per
     /// epoch.
     pub fn deep_clone(&self) -> Self {
-        Stl {
+        let mut clone = Stl {
             hier: Arc::new((*self.hier).clone()),
             labels: self.labels.deep_clone(),
             spine: self.spine.deep_clone(),
+            deep: None,
+        };
+        if self.deep.is_some() {
+            clone.rebuild_deep();
         }
+        clone
     }
 }
 

@@ -56,10 +56,10 @@ pub mod verify;
 
 pub use engine::{EnginePool, UpdateEngine};
 pub use hierarchy::{Hierarchy, RawNode, SHARD_DEPTH, SPINE_SHARD};
-pub use labelling::{Labels, LabelsWriter, ShardLabels, Stl};
+pub use labelling::{DeepArena, Labels, LabelsWriter, ShardLabels, Stl};
 pub use query::{min_plus, min_plus_scalar, QueryProfile};
 pub use shard::{ShardReport, ShardWriteLog};
-pub use spine::{SpineIndex, SPINE_LANES};
+pub use spine::{adaptive_lanes, SpineIndex, SPINE_LANES};
 pub use stats::IndexStats;
 pub use types::{Maintenance, StlConfig, UpdateStats};
 

@@ -8,20 +8,25 @@
 //! The comparable prefix length `K` is found in O(1) from bitstrings and the
 //! per-node cumulative cut counts; the scan then reads two contiguous label
 //! prefixes — the cache-friendly layout the paper credits for its query
-//! speed. This module layers three accelerations on that scan:
+//! speed. This module layers four accelerations on that scan (the "v2" read
+//! path — memory-level parallelism first, instruction count second):
 //!
-//! 1. **Spine filter** (`crate::spine`): when the whole common prefix fits
-//!    in [`SPINE_LANES`] entries, the query is answered from two packed
-//!    cache-line rows and a mask AND without touching the label arena.
-//!    Deeper prefixes skip the spine entirely — its rows are a prefix copy
-//!    of the labels, so consulting them *and* the arena would only add
-//!    lookups to a scan that must read the arena anyway.
-//! 2. **Flat direct-offset reads**: on a compacted index
-//!    ([`Stl::compact`], or the server's quiescence trigger) the prefix is
-//!    sliced straight out of one contiguous 64-byte-aligned arena instead
-//!    of going through the chunk table.
-//! 3. **Vectorized min-plus** ([`min_plus`]): the scan runs 8 × `u32`
-//!    lanes per step with a horizontal min at the end — AVX2 intrinsics
+//! 1. **Software prefetch** (`prefetch_read`): at query entry, before the
+//!    `common_anc_count` arithmetic resolves, both vertices' spine rows,
+//!    masks, and (on a flat index) label/deep-span bases are hinted toward
+//!    L1 — the loads overlap the LCA computation instead of stalling behind
+//!    its branch. x86_64 `PREFETCHT0`; a no-op elsewhere.
+//! 2. **Spine filter** (`crate::spine`): when the whole common prefix fits
+//!    in the adaptive row width ([`crate::spine::SpineIndex::lanes`] —
+//!    8/16/32 sized from the actual root cut), the query is answered from
+//!    two packed rows and a mask AND without touching the label arena.
+//! 3. **SoA deep split + flat direct-offset reads**: on a compacted index
+//!    ([`Stl::compact`], or the server's quiescence trigger) a deep prefix
+//!    becomes spine rows (entries `0..lanes`, cache-hot, mask-gated) plus
+//!    two 64-byte-aligned spans of the [`crate::labelling::DeepArena`] —
+//!    no prefix-offset shuffle, unrolled full-width vector iterations.
+//! 4. **Vectorized min-plus** ([`min_plus`]): 2 × 8 `u32` lanes per
+//!    unrolled step with a horizontal min at the end — AVX2 intrinsics
 //!    when the CPU has them (detected once, cached by `std`), an
 //!    autovectorizable lane loop otherwise. `INF` saturation is lane-wise:
 //!    `INF == u32::MAX`, and `x + min(y, !x)` is an exact unsigned
@@ -30,15 +35,62 @@
 //! The plain scalar loop survives as [`min_plus_scalar`] /
 //! [`Stl::query_reference`]: every debug-build query checks the fast path
 //! against it, and the `query` bench uses it as the before-this-PR baseline.
+//! All public entry points — [`Stl::query`], [`Stl::query_profiled`],
+//! [`Stl::query_no_prefetch`] — instantiate one generic body
+//! (`query_impl`), so the profiled and unprofiled paths cannot drift.
 
 use stl_graph::{Dist, VertexId, INF};
 
-use crate::labelling::Stl;
-use crate::spine::SPINE_LANES;
+use crate::labelling::{DeepArena, Stl};
+use crate::spine::SpineFlat;
 
 /// Width of the autovectorized min-plus accumulator: 8 × `u32` matches one
 /// 256-bit vector register and divides the 64-byte chunk alignment.
 const LANES: usize = 8;
+
+/// Targets per [`Stl::one_to_many`] tile: `256 × (row + mask + a few label
+/// lines)` keeps a whole tile's working set comfortably inside L2 while the
+/// next tile's lines stream in behind the prefetch window.
+const TILE: usize = 256;
+
+/// Below this many targets the tiled one-to-many path (sort + scatter)
+/// costs more than it saves; the plain hoisted loop runs instead.
+const TILE_MIN_TARGETS: usize = 48;
+
+/// How many targets ahead of the scan the tiled loop prefetches.
+const TILE_PREFETCH_AHEAD: usize = 4;
+
+/// Best-effort `T0` software prefetch of the cache line holding `*p`.
+///
+/// A hint only: the instruction never faults and performs no architectural
+/// access, so any pointer — including one past the end of a slice — is fine
+/// to pass. Compiles to `PREFETCHT0` on x86_64 and to nothing elsewhere,
+/// mirroring the AVX2-vs-portable dispatch of [`min_plus`].
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is architecturally a hint — no memory access, no
+    // fault, regardless of the pointer's validity; SSE is part of the
+    // x86_64 baseline, so the intrinsic is always available.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// [`prefetch_read`] over a span of `n` elements: one hint per 64-byte line,
+/// capped at 8 lines so a pathologically long label can't flood the load
+/// ports. The pointer is never dereferenced — see [`prefetch_read`].
+#[inline(always)]
+pub(crate) fn prefetch_span(p: *const Dist, n: usize) {
+    const LINE: usize = 64 / std::mem::size_of::<Dist>();
+    const MAX_LINES: usize = 8;
+    let lines = n.div_ceil(LINE).min(MAX_LINES);
+    for l in 0..lines {
+        prefetch_read(p.wrapping_add(l * LINE));
+    }
+}
 
 /// `min_i (a[i] ⊕ b[i])` with saturating `⊕`: AVX2 intrinsics when the CPU
 /// supports them (`is_x86_feature_detected!` caches the probe in an atomic,
@@ -82,33 +134,107 @@ fn min_plus_portable(a: &[Dist], b: &[Dist]) -> Dist {
     best
 }
 
-/// AVX2 min-plus: 8 lanes per step. The saturating add is
-/// `x + min(y, !x)` — if `y ≤ !x` the sum is exact, otherwise it clamps to
+/// AVX2 min-plus: two independent 8-lane accumulators per unrolled step (a
+/// 16-entry body), then an 8-lane cleanup block and a scalar tail. The
+/// two-deep unroll keeps both load ports busy on the 64-byte-aligned deep
+/// spans the SoA split produces — one 16-entry iteration consumes exactly
+/// one cache line per operand. The saturating add is `x + min(y, !x)` — if
+/// `y ≤ !x` the sum is exact, otherwise it clamps to
 /// `x + !x = u32::MAX = INF` — using only instructions AVX2 actually has
 /// (there is no native unsigned 32-bit saturating add).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn min_plus_avx2(a: &[Dist], b: &[Dist]) -> Dist {
     use std::arch::x86_64::*;
-    let n = a.len() / LANES * LANES;
     let ones = _mm256_set1_epi32(-1);
-    let mut acc = ones;
+    let mut acc0 = ones;
+    let mut acc1 = ones;
+    let n2 = a.len() / (2 * LANES) * (2 * LANES);
     let mut i = 0;
-    while i < n {
+    while i < n2 {
+        let x0 = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let y0 = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let x1 = _mm256_loadu_si256(a.as_ptr().add(i + LANES) as *const __m256i);
+        let y1 = _mm256_loadu_si256(b.as_ptr().add(i + LANES) as *const __m256i);
+        let s0 = _mm256_add_epi32(x0, _mm256_min_epu32(y0, _mm256_xor_si256(x0, ones)));
+        let s1 = _mm256_add_epi32(x1, _mm256_min_epu32(y1, _mm256_xor_si256(x1, ones)));
+        acc0 = _mm256_min_epu32(acc0, s0);
+        acc1 = _mm256_min_epu32(acc1, s1);
+        i += 2 * LANES;
+    }
+    let n = a.len() / LANES * LANES;
+    if i < n {
         let x = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
         let y = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
         let sum = _mm256_add_epi32(x, _mm256_min_epu32(y, _mm256_xor_si256(x, ones)));
-        acc = _mm256_min_epu32(acc, sum);
+        acc0 = _mm256_min_epu32(acc0, sum);
         i += LANES;
     }
+    let acc = _mm256_min_epu32(acc0, acc1);
     let m = _mm_min_epu32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
     let m = _mm_min_epu32(m, _mm_shuffle_epi32(m, 0b01_00_11_10));
     let m = _mm_min_epu32(m, _mm_shuffle_epi32(m, 0b00_00_00_01));
     let mut best = _mm_cvtsi128_si32(m) as u32;
-    for j in n..a.len() {
+    for j in i..a.len() {
         best = best.min(a[j].saturating_add(b[j]));
     }
     best
+}
+
+/// `min(min_plus(a1, b1), min_plus(a2, b2))` in one kernel invocation: one
+/// feature dispatch, shared vector accumulators, and a single horizontal
+/// reduction at the end. The deep-split query path is exactly this shape —
+/// a fixed-width spine-row head plus an aligned deep-span tail — and fusing
+/// the two scans shaves the second reduction off every deep query.
+#[inline]
+pub fn min_plus2(a1: &[Dist], b1: &[Dist], a2: &[Dist], b2: &[Dist]) -> Dist {
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just confirmed at runtime.
+        return unsafe { min_plus2_avx2(a1, b1, a2, b2) };
+    }
+    min_plus_portable(a1, b1).min(min_plus_portable(a2, b2))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn min_plus2_avx2(a1: &[Dist], b1: &[Dist], a2: &[Dist], b2: &[Dist]) -> Dist {
+    use std::arch::x86_64::*;
+    let ones = _mm256_set1_epi32(-1);
+    let mut acc0 = ones;
+    let mut acc1 = ones;
+    let mut best = INF;
+    for (a, b) in [(a1, b1), (a2, b2)] {
+        let n2 = a.len() / (2 * LANES) * (2 * LANES);
+        let mut i = 0;
+        while i < n2 {
+            let x0 = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let y0 = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let x1 = _mm256_loadu_si256(a.as_ptr().add(i + LANES) as *const __m256i);
+            let y1 = _mm256_loadu_si256(b.as_ptr().add(i + LANES) as *const __m256i);
+            let s0 = _mm256_add_epi32(x0, _mm256_min_epu32(y0, _mm256_xor_si256(x0, ones)));
+            let s1 = _mm256_add_epi32(x1, _mm256_min_epu32(y1, _mm256_xor_si256(x1, ones)));
+            acc0 = _mm256_min_epu32(acc0, s0);
+            acc1 = _mm256_min_epu32(acc1, s1);
+            i += 2 * LANES;
+        }
+        let n = a.len() / LANES * LANES;
+        if i < n {
+            let x = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let y = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let sum = _mm256_add_epi32(x, _mm256_min_epu32(y, _mm256_xor_si256(x, ones)));
+            acc0 = _mm256_min_epu32(acc0, sum);
+            i += LANES;
+        }
+        for j in i..a.len() {
+            best = best.min(a[j].saturating_add(b[j]));
+        }
+    }
+    let acc = _mm256_min_epu32(acc0, acc1);
+    let m = _mm_min_epu32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+    let m = _mm_min_epu32(m, _mm_shuffle_epi32(m, 0b01_00_11_10));
+    let m = _mm_min_epu32(m, _mm_shuffle_epi32(m, 0b00_00_00_01));
+    best.min(_mm_cvtsi128_si32(m) as u32)
 }
 
 /// The straight scalar min-plus loop — the oracle the vectorized kernel is
@@ -128,20 +254,52 @@ pub fn min_plus_scalar(a: &[Dist], b: &[Dist]) -> Dist {
 }
 
 /// Min-plus over two packed spine rows, restricted to the first `k` lanes
-/// (the common ancestor prefix). Branchless: lanes at or past `k` are
-/// selected to `INF`, so the loop is a fixed 16-lane vector body.
+/// (the common ancestor prefix). Branchless within each 8-lane block and
+/// lane-count-dependent overall: the loop runs `⌈k/8⌉` blocks, so a `k ≤ 8`
+/// query on an 8-lane spine touches exactly one block — never a fixed
+/// [`crate::spine::SPINE_LANES`]-wide body. Lanes at or past `k` are
+/// selected to `INF`. Rows must be at least `⌈k/8⌉ × 8` entries, which the
+/// 8/16/32-lane row strides always are for `k ≤ lanes`.
 #[inline]
 fn spine_min_plus(rs: &[Dist], rt: &[Dist], k: usize) -> Dist {
-    let mut acc = [INF; SPINE_LANES];
-    for i in 0..SPINE_LANES {
-        let sum = rs[i].saturating_add(rt[i]);
-        acc[i] = if i < k { sum } else { INF };
+    debug_assert!(k <= rs.len() && k <= rt.len() && rs.len().is_multiple_of(LANES));
+    let mut acc = [INF; LANES];
+    let mut i = 0;
+    while i < k {
+        let x: &[Dist; LANES] = rs[i..i + LANES].try_into().unwrap();
+        let y: &[Dist; LANES] = rt[i..i + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            let sum = x[l].saturating_add(y[l]);
+            let live = if i + l < k { sum } else { INF };
+            acc[l] = if live < acc[l] { live } else { acc[l] };
+        }
+        i += LANES;
     }
     let mut best = INF;
     for &v in &acc {
         best = best.min(v);
     }
     best
+}
+
+/// A deep prefix (`k > lanes`) on a compacted index: scan entries
+/// `0..lanes` from the packed spine rows and entries `lanes..k` from the
+/// two 64-byte-aligned deep spans. `k > lanes` implies both labels extend
+/// past the spine, so every row lane is a common-prefix entry and the head
+/// is a plain full-width [`min_plus`] — no lane selection, and no mask
+/// gate either: deep labels have no `INF` row padding to skip, and the
+/// saturating kernel already neutralizes unreachable entries, so the two
+/// mask loads would be pure overhead here.
+#[inline(always)]
+fn query_deep_split(
+    sf: &SpineFlat<'_>,
+    deep: &DeepArena,
+    s: VertexId,
+    t: VertexId,
+    k: usize,
+) -> Dist {
+    let m = k - deep.lanes();
+    min_plus2(sf.row(s), sf.row(t), deep.prefix(s, m), deep.prefix(t, m))
 }
 
 /// Per-query counters of the accelerated read path, filled by
@@ -157,24 +315,80 @@ pub struct QueryProfile {
     /// Subset of `spine_answered` where the mask AND was already empty, so
     /// the answer was `INF` without a single distance add.
     pub spine_mask_rejects: u64,
-    /// Label prefixes read through the flat direct-offset path.
+    /// Label prefixes read through the flat direct-offset path (spine strip
+    /// + deep arena, or the full-prefix arena when no deep split exists).
     pub flat_slices: u64,
     /// Label prefixes read through the chunk table.
     pub chunked_slices: u64,
+}
+
+/// Read-path accounting hooks for the unified query body. The production
+/// path instantiates the no-op impl ([`NoProfile`]) — every hook inlines to
+/// nothing — while [`Stl::query_profiled`] instantiates the counting impl
+/// on [`QueryProfile`]. One body, zero drift between the two.
+trait ReadProfiler {
+    #[inline(always)]
+    fn on_query(&mut self) {}
+    #[inline(always)]
+    fn on_spine_answered(&mut self) {}
+    #[inline(always)]
+    fn on_mask_reject(&mut self) {}
+    #[inline(always)]
+    fn on_flat_slices(&mut self) {}
+    #[inline(always)]
+    fn on_chunked_slices(&mut self) {}
+}
+
+/// Everything source-side of a one-to-many scan, resolved once by
+/// [`Stl::hoist_source`] instead of per target.
+struct SourceState<'a> {
+    s: VertexId,
+    /// `s`'s full label slice.
+    ls: &'a [Dist],
+    /// `s`'s packed spine row and reachability mask.
+    rs: &'a [Dist],
+    ms: u64,
+    /// The flat label arena, when compacted.
+    arena: Option<&'a [Dist]>,
+    /// The SoA deep split, when compacted.
+    deep: Option<&'a DeepArena>,
+    /// The zero-indirection spine view, when compacted.
+    sf: Option<SpineFlat<'a>>,
+}
+
+/// The zero-cost profiler of the production query path.
+struct NoProfile;
+
+impl ReadProfiler for NoProfile {}
+
+impl ReadProfiler for QueryProfile {
+    #[inline(always)]
+    fn on_query(&mut self) {
+        self.queries += 1;
+    }
+    #[inline(always)]
+    fn on_spine_answered(&mut self) {
+        self.spine_answered += 1;
+    }
+    #[inline(always)]
+    fn on_mask_reject(&mut self) {
+        self.spine_mask_rejects += 1;
+    }
+    #[inline(always)]
+    fn on_flat_slices(&mut self) {
+        self.flat_slices += 2;
+    }
+    #[inline(always)]
+    fn on_chunked_slices(&mut self) {
+        self.chunked_slices += 2;
+    }
 }
 
 impl Stl {
     /// Shortest-path distance between `s` and `t`; `INF` if disconnected.
     #[inline]
     pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
-        if s == t {
-            return 0;
-        }
-        let k = self.hier.common_anc_count(s, t) as usize;
-        if k == 0 {
-            return INF;
-        }
-        let d = self.query_common_prefix(s, t, k);
+        let d = self.query_impl::<true, _>(s, t, &mut NoProfile);
         debug_assert_eq!(
             d,
             self.query_reference(s, t),
@@ -183,20 +397,99 @@ impl Stl {
         d
     }
 
-    /// The min-plus over the `k`-entry common prefix: spine rows when they
-    /// cover the whole prefix, label arena (flat or chunked) otherwise.
+    /// [`Stl::query`] without the software-prefetch hints — identical
+    /// answers through the identical body. The measurement baseline for the
+    /// `query` bench's prefetch on/off group; not useful otherwise.
     #[inline]
-    fn query_common_prefix(&self, s: VertexId, t: VertexId, k: usize) -> Dist {
-        if k <= SPINE_LANES {
+    pub fn query_no_prefetch(&self, s: VertexId, t: VertexId) -> Dist {
+        let d = self.query_impl::<false, _>(s, t, &mut NoProfile);
+        debug_assert_eq!(d, self.query_reference(s, t), "no-prefetch path oracle ({s},{t})");
+        d
+    }
+
+    /// [`Stl::query`] with read-path accounting into `prof` (see
+    /// [`QueryProfile`]). Same answers through the same generic body; a few
+    /// extra counter increments.
+    pub fn query_profiled(&self, s: VertexId, t: VertexId, prof: &mut QueryProfile) -> Dist {
+        let d = self.query_impl::<true, _>(s, t, prof);
+        debug_assert_eq!(d, self.query_reference(s, t), "profiled path oracle ({s},{t})");
+        d
+    }
+
+    /// The one query body behind [`Stl::query`], [`Stl::query_profiled`],
+    /// and [`Stl::query_no_prefetch`]: prefetch (when `PREFETCH`), O(1)
+    /// prefix length, then spine rows / spine + deep arena / flat arena /
+    /// chunk table — whichever is the cheapest path that covers the prefix.
+    #[inline(always)]
+    fn query_impl<const PREFETCH: bool, P: ReadProfiler>(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        prof: &mut P,
+    ) -> Dist {
+        prof.on_query();
+        if s == t {
+            return 0;
+        }
+        let arena = self.labels.flat();
+        let deep = if arena.is_some() { self.deep.as_deref() } else { None };
+        let sf = self.spine.flat_view();
+        if PREFETCH {
+            // Issue the loads every connected outcome will need *before*
+            // the common_anc_count bitstring arithmetic resolves: the two
+            // rows + masks (short prefixes) and the two deep-span or
+            // label-prefix bases (deep prefixes) stream toward L1 while the
+            // LCA is still being computed, instead of stalling behind its
+            // result. Only flat arenas are hinted: their addresses are pure
+            // arithmetic, whereas resolving a chunked slice *is* the
+            // pointer chase a hint would try to hide.
+            if let Some(sf) = &sf {
+                sf.prefetch(s);
+                sf.prefetch(t);
+            }
+            if let Some(d) = deep {
+                prefetch_read(d.base_ptr(s));
+                prefetch_read(d.base_ptr(t));
+            } else if let Some(a) = arena {
+                prefetch_read(self.labels.slice_flat(a, s).as_ptr());
+                prefetch_read(self.labels.slice_flat(a, t).as_ptr());
+            }
+        }
+        let k = self.hier.common_anc_count(s, t) as usize;
+        if k == 0 {
+            return INF;
+        }
+        let lanes = self.spine.lanes();
+        if k <= lanes {
+            prof.on_spine_answered();
+            let (ms, mt) = match &sf {
+                Some(sf) => (sf.mask(s), sf.mask(t)),
+                None => (self.spine.mask(s), self.spine.mask(t)),
+            };
+            // lanes ≤ SPINE_LANES = 32 < 64, so the shift never overflows.
             let lane_mask = (1u64 << k) - 1;
-            if self.spine.mask(s) & self.spine.mask(t) & lane_mask == 0 {
+            if ms & mt & lane_mask == 0 {
+                prof.on_mask_reject();
                 return INF;
             }
-            return spine_min_plus(self.spine.row(s), self.spine.row(t), k);
+            return match &sf {
+                Some(sf) => spine_min_plus(sf.row(s), sf.row(t), k),
+                None => spine_min_plus(self.spine.row(s), self.spine.row(t), k),
+            };
         }
-        let (ls, lt) = match self.labels.flat() {
-            Some(arena) => (self.labels.slice_flat(arena, s), self.labels.slice_flat(arena, t)),
-            None => (self.labels.slice(s), self.labels.slice(t)),
+        if let (Some(d), Some(sf)) = (deep, &sf) {
+            prof.on_flat_slices();
+            return query_deep_split(sf, d, s, t, k);
+        }
+        let (ls, lt) = match arena {
+            Some(a) => {
+                prof.on_flat_slices();
+                (self.labels.slice_flat(a, s), self.labels.slice_flat(a, t))
+            }
+            None => {
+                prof.on_chunked_slices();
+                (self.labels.slice(s), self.labels.slice(t))
+            }
         };
         min_plus(&ls[..k], &lt[..k])
     }
@@ -215,39 +508,6 @@ impl Stl {
         min_plus_scalar(&self.labels.slice(s)[..k], &self.labels.slice(t)[..k])
     }
 
-    /// [`Stl::query`] with read-path accounting into `prof` (see
-    /// [`QueryProfile`]). Same answers; a few extra counter increments.
-    pub fn query_profiled(&self, s: VertexId, t: VertexId, prof: &mut QueryProfile) -> Dist {
-        prof.queries += 1;
-        if s == t {
-            return 0;
-        }
-        let k = self.hier.common_anc_count(s, t) as usize;
-        if k == 0 {
-            return INF;
-        }
-        if k <= SPINE_LANES {
-            prof.spine_answered += 1;
-            let lane_mask = (1u64 << k) - 1;
-            if self.spine.mask(s) & self.spine.mask(t) & lane_mask == 0 {
-                prof.spine_mask_rejects += 1;
-                return INF;
-            }
-            return spine_min_plus(self.spine.row(s), self.spine.row(t), k);
-        }
-        let (ls, lt) = match self.labels.flat() {
-            Some(arena) => {
-                prof.flat_slices += 2;
-                (self.labels.slice_flat(arena, s), self.labels.slice_flat(arena, t))
-            }
-            None => {
-                prof.chunked_slices += 2;
-                (self.labels.slice(s), self.labels.slice(t))
-            }
-        };
-        min_plus(&ls[..k], &lt[..k])
-    }
-
     /// Number of label-entry pairs a query between `s` and `t` scans.
     /// Exposed for the query-locality analysis of Figure 9.
     pub fn query_width(&self, s: VertexId, t: VertexId) -> u32 {
@@ -260,7 +520,9 @@ impl Stl {
 
     /// One-to-many: distances from `s` to each target (k-NN / POI workloads
     /// from the paper's introduction). Equivalent to `targets.map(query)`
-    /// but keeps `s`'s label hot in cache.
+    /// but keeps `s`'s label hot in cache and, for large target sets, walks
+    /// the targets tile-by-tile in stable-tree order (see
+    /// [`Stl::one_to_many_into`]).
     pub fn one_to_many(&self, s: VertexId, targets: &[VertexId]) -> Vec<Dist> {
         let mut out = Vec::new();
         self.one_to_many_into(s, targets, &mut out);
@@ -268,41 +530,153 @@ impl Stl {
     }
 
     /// Allocation-free [`Stl::one_to_many`]: clears `out` and fills it with
-    /// one distance per target, reusing its capacity. Sustained callers
-    /// (tile renderers, repeated k-NN rounds) keep one buffer alive instead
-    /// of allocating per call. The source side — label slice, spine row and
-    /// mask, flat-arena resolution — is derived once, not per target.
+    /// one distance per target — in `targets` order — reusing its capacity.
+    /// Sustained callers (tile renderers, repeated k-NN rounds, the TCP
+    /// `ONE_TO_MANY` handler) keep one buffer alive instead of allocating
+    /// per call. The source side — label slice, spine row and mask,
+    /// flat-arena and deep-span resolution — is derived once, not per
+    /// target.
+    ///
+    /// Large target sets are processed in `TILE`-sized tiles sorted by
+    /// owning stable tree ([`crate::Hierarchy::tree_of`]): consecutive
+    /// targets then share label chunks and spine-row cache lines, and the
+    /// scan prefetches a few targets ahead, so the walk streams instead of
+    /// hopping randomly through the arena. Results are scattered back to
+    /// `targets` order — output is bit-identical to the plain loop
+    /// ([`Stl::one_to_many_loop_into`]).
     pub fn one_to_many_into(&self, s: VertexId, targets: &[VertexId], out: &mut Vec<Dist>) {
+        if targets.len() < TILE_MIN_TARGETS {
+            return self.one_to_many_loop_into(s, targets, out);
+        }
+        out.clear();
+        out.resize(targets.len(), INF);
+        let src = self.hoist_source(s);
+        // Group targets by owning repair shard with a stable counting sort:
+        // O(targets + shards), an order of magnitude cheaper than a
+        // comparison sort of (shard, vertex) keys. A tile then walks one
+        // shard's vertices — neighbouring label spans in the arena — before
+        // moving to the next.
+        let shards: Vec<u32> = targets.iter().map(|&t| self.hier.tree_of(t)).collect();
+        let nsh = self.hier.num_shards() as usize;
+        let mut counts = vec![0u32; nsh + 1];
+        for &sh in &shards {
+            counts[sh as usize + 1] += 1;
+        }
+        for i in 1..=nsh {
+            counts[i] += counts[i - 1];
+        }
+        // Each order entry packs `(target << 32) | input_index`, so the scan
+        // never re-reads `targets`. Within a bucket targets keep input
+        // order: a comparison sort by id would cost more than the locality
+        // it buys (the lookahead prefetch already covers intra-shard jumps).
+        let mut order = vec![0u64; targets.len()];
+        for (i, &sh) in shards.iter().enumerate() {
+            let slot = &mut counts[sh as usize];
+            order[*slot as usize] = ((targets[i] as u64) << 32) | i as u64;
+            *slot += 1;
+        }
+        // Per-shard hoist of the common-prefix limit: for a whole tile of
+        // same-shard targets (not the spine, not s's own shard) the
+        // bitstring LCA resolves identically, so one `shard_anc_limit` call
+        // covers the tile and each target finishes it with a single
+        // `label_len` load.
+        let tree_s = self.hier.tree_of(s);
+        let lanes = self.spine.lanes() as u32;
+        let mut cur_shard = u32::MAX;
+        let mut hoisted = false;
+        let mut limit = 0u32;
+        let mut prev_t = VertexId::MAX;
+        let mut prev_d = INF;
+        for tile in order.chunks(TILE) {
+            for (j, &e) in tile.iter().enumerate() {
+                if let Some(&ne) = tile.get(j + TILE_PREFETCH_AHEAD) {
+                    let next = (ne >> 32) as VertexId;
+                    if let Some(sf) = &src.sf {
+                        sf.prefetch(next);
+                    }
+                    // The next target's whole label span, not just its first
+                    // line: spans are several cache lines and the id-gaps
+                    // between consecutive targets defeat the hardware
+                    // streamer. The `label_len` lookup bounding the burst is
+                    // a hot-array load, far cheaper than a wasted line hint.
+                    let span = self.hier.label_len(next).saturating_sub(lanes) as usize;
+                    if let Some(d) = src.deep {
+                        prefetch_span(d.base_ptr(next), span);
+                    } else if let Some(a) = src.arena {
+                        prefetch_span(self.labels.slice_flat(a, next).as_ptr(), span + 16);
+                    }
+                }
+                let t = (e >> 32) as VertexId;
+                if t == prev_t {
+                    // Catches runs of repeated targets (common in k-NN
+                    // batches); scattered duplicates still recompute.
+                    out[e as u32 as usize] = prev_d;
+                    continue;
+                }
+                let sh = shards[e as u32 as usize];
+                if sh != cur_shard {
+                    cur_shard = sh;
+                    hoisted = sh != crate::hierarchy::SPINE_SHARD && sh != tree_s;
+                    if hoisted {
+                        limit = self.hier.shard_anc_limit(s, t);
+                    }
+                }
+                let d = if hoisted {
+                    // s is outside t's shard, so s != t here.
+                    let k = limit.min(self.hier.label_len(t)) as usize;
+                    if k == 0 {
+                        INF
+                    } else {
+                        self.query_hoisted_k(&src, t, k)
+                    }
+                } else {
+                    self.query_hoisted(&src, t)
+                };
+                debug_assert_eq!(d, self.query_reference(s, t), "tiled path oracle ({s},{t})");
+                out[e as u32 as usize] = d;
+                prev_t = t;
+                prev_d = d;
+            }
+        }
+    }
+
+    /// The straight per-target loop behind small [`Stl::one_to_many_into`]
+    /// calls: source state hoisted, targets visited in input order, no
+    /// tiling, no lookahead. Public as the tiled path's bit-identity oracle
+    /// and the `query` bench's tiled-vs-loop baseline.
+    pub fn one_to_many_loop_into(&self, s: VertexId, targets: &[VertexId], out: &mut Vec<Dist>) {
         out.clear();
         out.reserve(targets.len());
-        let arena = self.labels.flat();
-        let ls = match arena {
-            Some(a) => self.labels.slice_flat(a, s),
-            None => self.labels.slice(s),
-        };
-        let rs = self.spine.row(s);
-        let ms = self.spine.mask(s);
+        let src = self.hoist_source(s);
         for &t in targets {
-            let d = self.query_hoisted(s, ls, rs, ms, arena, t);
+            let d = self.query_hoisted(&src, t);
             debug_assert_eq!(d, self.query_reference(s, t), "hoisted path oracle ({s},{t})");
             out.push(d);
         }
     }
 
-    /// One target of a one-to-many scan, with everything source-side
-    /// (`ls` = `s`'s full label, `rs`/`ms` = `s`'s spine row and mask,
-    /// `arena` = the flat arena if the index is compacted) hoisted by the
-    /// caller.
+    /// Resolve everything source-side of a one-to-many scan once: `s`'s
+    /// full label, its spine row and mask, and the flat arena / deep split
+    /// / flat spine view when the index is compacted.
+    fn hoist_source(&self, s: VertexId) -> SourceState<'_> {
+        let arena = self.labels.flat();
+        let deep = if arena.is_some() { self.deep.as_deref() } else { None };
+        let sf = self.spine.flat_view();
+        let ls = match arena {
+            Some(a) => self.labels.slice_flat(a, s),
+            None => self.labels.slice(s),
+        };
+        let (rs, ms) = match &sf {
+            Some(sf) => (sf.row(s), sf.mask(s)),
+            None => (self.spine.row(s), self.spine.mask(s)),
+        };
+        SourceState { s, ls, rs, ms, arena, deep, sf }
+    }
+
+    /// One target of a one-to-many scan against a hoisted [`SourceState`].
     #[inline]
-    fn query_hoisted(
-        &self,
-        s: VertexId,
-        ls: &[Dist],
-        rs: &[Dist],
-        ms: u64,
-        arena: Option<&[Dist]>,
-        t: VertexId,
-    ) -> Dist {
+    fn query_hoisted(&self, src: &SourceState<'_>, t: VertexId) -> Dist {
+        let s = src.s;
         if s == t {
             return 0;
         }
@@ -310,22 +684,42 @@ impl Stl {
         if k == 0 {
             return INF;
         }
-        if k <= SPINE_LANES {
+        self.query_hoisted_k(src, t, k)
+    }
+
+    /// [`query_hoisted`](Self::query_hoisted) with the common-prefix width
+    /// `k` already resolved by the caller (tiled scans hoist the shard-level
+    /// LCA once per tile). Requires `k == common_anc_count(s, t)`, `k > 0`,
+    /// and `s != t`.
+    #[inline]
+    fn query_hoisted_k(&self, src: &SourceState<'_>, t: VertexId, k: usize) -> Dist {
+        let s = src.s;
+        let lanes = self.spine.lanes();
+        if k <= lanes {
+            let (mt, rt) = match &src.sf {
+                Some(sf) => (sf.mask(t), sf.row(t)),
+                None => (self.spine.mask(t), self.spine.row(t)),
+            };
             let lane_mask = (1u64 << k) - 1;
-            if ms & self.spine.mask(t) & lane_mask == 0 {
+            if src.ms & mt & lane_mask == 0 {
                 return INF;
             }
-            return spine_min_plus(rs, self.spine.row(t), k);
+            return spine_min_plus(src.rs, rt, k);
         }
-        let lt = match arena {
+        if let (Some(d), Some(sf)) = (src.deep, &src.sf) {
+            // No mask gate — see `query_deep_split`.
+            let m = k - lanes;
+            return min_plus2(src.rs, sf.row(t), d.prefix(s, m), d.prefix(t, m));
+        }
+        let lt = match src.arena {
             Some(a) => self.labels.slice_flat(a, t),
             None => self.labels.slice(t),
         };
-        min_plus(&ls[..k], &lt[..k])
+        min_plus(&src.ls[..k], &lt[..k])
     }
 
     /// The `k` nearest of `pois` from `s` by network distance, ascending;
-    /// unreachable POIs are excluded.
+    /// unreachable POIs are excluded. Rides the tiled one-to-many scan.
     pub fn k_nearest(&self, s: VertexId, pois: &[VertexId], k: usize) -> Vec<(Dist, VertexId)> {
         let mut dists = Vec::new();
         self.one_to_many_into(s, pois, &mut dists);
@@ -346,12 +740,13 @@ impl Stl {
 mod tests {
     use super::{min_plus, min_plus_scalar, QueryProfile};
     use crate::labelling::Stl;
-    use crate::types::StlConfig;
+    use crate::types::{Maintenance, StlConfig};
+    use crate::UpdateEngine;
     use stl_graph::builder::from_edges;
-    use stl_graph::{CsrGraph, Dist, VertexId, INF};
+    use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId, INF};
     use stl_pathfinding::dijkstra;
 
-    fn grid(side: u32) -> CsrGraph {
+    fn grid_edges(side: u32) -> Vec<(u32, u32, u32)> {
         let idx = |x: u32, y: u32| y * side + x;
         let mut edges = Vec::new();
         for y in 0..side {
@@ -364,7 +759,11 @@ mod tests {
                 }
             }
         }
-        from_edges((side * side) as usize, edges)
+        edges
+    }
+
+    fn grid(side: u32) -> CsrGraph {
+        from_edges((side * side) as usize, grid_edges(side))
     }
 
     fn assert_all_pairs_exact(g: &CsrGraph, stl: &Stl) {
@@ -377,9 +776,24 @@ mod tests {
         }
     }
 
+    /// Tiny deterministic PRNG (xorshift64*) — the crate has no rand dep.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
     #[test]
     fn min_plus_kernel_matches_scalar() {
-        // Lengths straddling the lane width, values straddling saturation.
+        // Lengths straddling the (unrolled) lane widths, values straddling
+        // saturation.
         let pats = |n: usize, salt: u32| -> Vec<Dist> {
             (0..n)
                 .map(|i| match (i as u32 + salt) % 7 {
@@ -389,13 +803,13 @@ mod tests {
                 })
                 .collect()
         };
-        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64, 100] {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33, 64, 100] {
             let a = pats(n, 1);
             let b = pats(n, 5);
             assert_eq!(min_plus(&a, &b), min_plus_scalar(&a, &b), "len={n}");
         }
         assert_eq!(min_plus(&[], &[]), INF);
-        assert_eq!(min_plus(&[INF; 20], &[INF; 20]), INF, "all-INF stays INF");
+        assert_eq!(min_plus(&[INF; 40], &[INF; 40]), INF, "all-INF stays INF");
         assert_eq!(min_plus(&[INF - 1; 9], &[5; 9]), INF, "saturation stays unreachable");
     }
 
@@ -471,14 +885,94 @@ mod tests {
 
     #[test]
     fn all_pairs_exact_after_compaction() {
-        // The flat direct-offset read path must answer exactly like the
-        // chunked one — small leaves force prefixes past SPINE_LANES so the
-        // arena is really read.
+        // The flat direct-offset read path (spine strip + SoA deep arena)
+        // must answer exactly like the chunked one — small leaves force
+        // prefixes past the spine width so the deep arena is really read.
         let g = grid(7);
         let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
         assert!(stl.compact() > 0);
         assert!(stl.is_flat());
+        assert!(stl.deep_arena().is_some(), "compaction must derive the deep split");
         assert_all_pairs_exact(&g, &stl);
+    }
+
+    #[test]
+    fn flat_without_deep_arena_still_exact() {
+        // The fallback branch: a compacted index whose deep split was
+        // dropped answers from full flat prefixes (the pre-v2 path).
+        let g = grid(7);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        stl.compact();
+        stl.clear_deep_arena();
+        assert!(stl.is_flat() && stl.deep_arena().is_none());
+        assert_all_pairs_exact(&g, &stl);
+    }
+
+    #[test]
+    fn no_prefetch_path_identical() {
+        let g = grid(6);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        stl.compact();
+        for s in 0..36u32 {
+            for t in 0..36u32 {
+                assert_eq!(stl.query(s, t), stl.query_no_prefetch(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    /// Property: every lane width {8, 16, 32} × {chunked, flat} × every
+    /// update epoch answers bit-identically to the scalar chunk-table
+    /// oracle. Sweeps the adaptive-spine space the production index picks
+    /// one point from, across COW-fragmented and compacted layouts.
+    #[test]
+    fn lane_width_sweep_matches_reference_across_epochs() {
+        let side = 6u32;
+        let edges = grid_edges(side);
+        let mut g = from_edges((side * side) as usize, edges.clone());
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        let mut eng = UpdateEngine::new(g.num_vertices());
+        let n = g.num_vertices() as VertexId;
+        let mut rng = XorShift(0x5eed_1234_5678_9abc);
+        for epoch in 0..4u32 {
+            if epoch > 0 {
+                // A batch of random weight changes on existing edges.
+                let batch: Vec<EdgeUpdate> = (0..8)
+                    .map(|_| {
+                        let (a, b, _) = edges[rng.below(edges.len() as u64) as usize];
+                        EdgeUpdate::new(a, b, 1 + rng.below(12) as u32)
+                    })
+                    .collect();
+                stl.apply_batch(&mut g, &batch, Maintenance::ParetoSearch, &mut eng);
+            }
+            for lanes in [8usize, 16, 32] {
+                let mut swept = stl.clone();
+                swept.set_spine_lanes(lanes);
+                assert_eq!(swept.spine().lanes(), lanes);
+                // Chunked (pre-compaction) epoch.
+                for s in 0..n {
+                    for t in 0..n {
+                        assert_eq!(
+                            swept.query(s, t),
+                            swept.query_reference(s, t),
+                            "epoch {epoch} lanes {lanes} chunked ({s},{t})"
+                        );
+                    }
+                }
+                // Flat (post-compaction) epoch: spine strip + deep arena.
+                swept.compact();
+                assert!(swept.is_flat());
+                assert_eq!(swept.deep_arena().is_some(), swept.labels().flat().is_some());
+                for s in 0..n {
+                    for t in 0..n {
+                        assert_eq!(
+                            swept.query(s, t),
+                            swept.query_reference(s, t),
+                            "epoch {epoch} lanes {lanes} flat ({s},{t})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -580,6 +1074,31 @@ mod tests {
         let chunked = stl.one_to_many(11, &targets);
         stl.compact();
         assert_eq!(stl.one_to_many(11, &targets), chunked);
+    }
+
+    /// Property: the tiled one-to-many scan is order-preserving and
+    /// bit-identical to the per-target loop, on 10k-target random sets
+    /// (duplicates included), both chunked and compacted.
+    #[test]
+    fn tiled_one_to_many_bit_identical_to_loop() {
+        let g = grid(10);
+        let mut stl = Stl::build(&g, &StlConfig { leaf_size: 1, ..Default::default() });
+        let n = g.num_vertices() as u64;
+        let mut rng = XorShift(0xfeed_face_cafe_beef);
+        let targets: Vec<VertexId> = (0..10_000).map(|_| rng.below(n) as VertexId).collect();
+        let sources: Vec<VertexId> = (0..4).map(|_| rng.below(n) as VertexId).collect();
+        let (mut tiled, mut looped) = (Vec::new(), Vec::new());
+        for compacted in [false, true] {
+            if compacted {
+                stl.compact();
+            }
+            for &s in &sources {
+                stl.one_to_many_into(s, &targets, &mut tiled);
+                stl.one_to_many_loop_into(s, &targets, &mut looped);
+                assert_eq!(tiled.len(), targets.len());
+                assert_eq!(tiled, looped, "s={s} compacted={compacted}");
+            }
+        }
     }
 
     #[test]

@@ -3,21 +3,28 @@
 //! Every connected query scans a *common* ancestor prefix, and the first
 //! entries of that prefix — the root separator's cut vertices and their
 //! immediate successors — are shared by **all** root paths. This module
-//! precomputes, for each vertex, its first [`SPINE_LANES`] label entries as
-//! a fixed-stride SoA row (one 64-byte cache line of `u32` lanes) plus a
-//! reachability bitmask (`bit i` ⇔ lane `i` is finite — the `bpspt_s`
-//! analogue of bit-parallel PLL). A query then:
-//!
-//! with a short common prefix (`k ≤ SPINE_LANES`) then:
+//! precomputes, for each vertex, its first [`SpineIndex::lanes`] label
+//! entries as a fixed-stride SoA row (one to two 64-byte cache lines of
+//! `u32` lanes) plus a reachability bitmask (`bit i` ⇔ lane `i` is finite —
+//! the `bpspt_s` analogue of bit-parallel PLL). A query with a short common
+//! prefix (`k ≤ lanes`) then:
 //!
 //! 1. ANDs the two masks against the common-prefix lanes: a zero result
 //!    proves the answer is `INF` without a single distance add;
 //! 2. otherwise answers entirely from the two spine rows, touching two
 //!    cache lines instead of two label prefixes.
 //!
-//! Deeper prefixes bypass the spine: its rows are a strict prefix copy of
-//! the labels, so a scan that must read the arena anyway would only pay
-//! extra lookups by consulting them first.
+//! Deeper prefixes split: the spine rows still cover entries `0..lanes` of
+//! the scan (they are a strict prefix copy of the labels), and on a
+//! compacted index the SoA deep arena (`crate::labelling`) provides the
+//! rest; on a chunked index deep prefixes bypass the spine entirely.
+//!
+//! **Adaptive lane width.** The row stride is chosen per index from the
+//! actual root-cut size ([`adaptive_lanes`]): 8, 16, or 32 lanes, capped at
+//! [`SPINE_LANES`]. A small root cut stops wasting half of every row's
+//! cache line; a large one stops spilling one-past-the-spine queries to the
+//! arena. The width is fixed at build time and stored in the index; rows,
+//! masks, and the query kernels all derive their widths from it.
 //!
 //! Rows live in the same chunked copy-on-write stores as the labels, so
 //! publishing a snapshot stays `O(#chunks)` and [`SpineIndex::compact`]
@@ -32,54 +39,90 @@ use stl_graph::{Dist, VertexId, INF};
 
 use crate::labelling::Labels;
 
-/// Spine lanes per vertex: 16 × `u32` = one 64-byte cache line per row.
-pub const SPINE_LANES: usize = 16;
+/// Maximum spine lanes per vertex: 32 × `u32` = two 64-byte cache lines per
+/// row. The per-index width ([`SpineIndex::lanes`]) is 8, 16, or 32, chosen
+/// by [`adaptive_lanes`] from the root-cut size and capped here.
+pub const SPINE_LANES: usize = 32;
+
+/// The adaptive row width for a root cut of `root_cut_len` vertices: the
+/// narrowest of {8, 16, 32} lanes that still covers the whole root cut,
+/// capped at [`SPINE_LANES`]. Every query's common prefix starts with the
+/// root cut, so covering it keeps the shortest (and most common) prefixes
+/// answerable from rows alone without paying for unused lanes.
+pub fn adaptive_lanes(root_cut_len: usize) -> usize {
+    if root_cut_len <= 8 {
+        8
+    } else if root_cut_len <= 16 {
+        16
+    } else {
+        SPINE_LANES
+    }
+}
 
 /// Packed spine distances and reachability masks for every vertex (SoA).
 #[derive(Debug, Clone)]
 pub struct SpineIndex {
-    /// `SPINE_LANES` entries per vertex: label entries `0..SPINE_LANES`,
-    /// padded with `INF` past `τ(v) + 1`.
+    /// `lanes` entries per vertex: label entries `0..lanes`, padded with
+    /// `INF` past `τ(v) + 1`.
     rows: ChunkedStore<Dist>,
     /// One word per vertex: bit `i` set ⇔ `rows[v][i] != INF`.
     masks: ChunkedStore<u64>,
+    /// Row stride in lanes (8, 16, or 32; see [`adaptive_lanes`]).
+    lanes: usize,
 }
 
 impl SpineIndex {
-    /// Pack every vertex's row from `labels` (index construction / load).
-    pub fn build(labels: &Labels) -> Self {
+    /// Pack every vertex's row from `labels` at a width of `lanes` (index
+    /// construction / load). `lanes` must be 8, 16, or 32 — normally
+    /// [`adaptive_lanes`] of the root-cut size; tests and benches force
+    /// other widths to sweep the space.
+    pub fn build(labels: &Labels, lanes: usize) -> Self {
+        assert!(
+            lanes == 8 || lanes == 16 || lanes == SPINE_LANES,
+            "spine width must be 8, 16, or {SPINE_LANES} lanes, got {lanes}"
+        );
         let n = labels.num_vertices();
-        let row_offsets: Vec<u64> = (0..=n as u64).map(|v| v * SPINE_LANES as u64).collect();
+        let row_offsets: Vec<u64> = (0..=n as u64).map(|v| v * lanes as u64).collect();
         let mask_offsets: Vec<u64> = (0..=n as u64).collect();
         let rows = ChunkedStore::filled(&row_offsets, INF, DEFAULT_CHUNK_ENTRIES);
         let masks = ChunkedStore::filled(&mask_offsets, 0u64, DEFAULT_CHUNK_ENTRIES);
-        let mut spine = Self { rows, masks };
+        let mut spine = Self { rows, masks, lanes };
         spine.refresh(labels, 0..n as VertexId);
         spine.rows.take_written_chunks();
         spine.masks.take_written_chunks();
         spine
     }
 
+    /// Row stride in lanes — the longest common prefix the rows can answer
+    /// by themselves, and the label-entry count stripped into the rows by
+    /// the SoA deep split.
+    #[inline(always)]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
     /// Re-pack the rows of `vertices` from their current labels. Lanes and
     /// masks are written only when they changed, so refreshing a vertex an
     /// epoch did not actually touch costs reads but no copy-on-write
-    /// promotion.
+    /// promotion. All copies are `self.lanes` wide — a narrow index never
+    /// pays [`SPINE_LANES`]-sized work.
     pub fn refresh(&mut self, labels: &Labels, vertices: impl IntoIterator<Item = VertexId>) {
+        let lanes = self.lanes;
         for v in vertices {
             let ls = labels.slice(v);
-            let lanes = ls.len().min(SPINE_LANES);
+            let filled = ls.len().min(lanes);
             let mut row = [INF; SPINE_LANES];
-            row[..lanes].copy_from_slice(&ls[..lanes]);
+            row[..filled].copy_from_slice(&ls[..filled]);
             let mut mask = 0u64;
-            for (i, &d) in row.iter().enumerate() {
+            for (i, &d) in row[..lanes].iter().enumerate() {
                 if d != INF {
                     mask |= 1 << i;
                 }
             }
-            let base = v as u64 * SPINE_LANES as u64;
+            let base = v as u64 * lanes as u64;
             let mut cur = [INF; SPINE_LANES];
-            cur.copy_from_slice(self.rows.slice(v as usize, base, base + SPINE_LANES as u64));
-            for i in 0..SPINE_LANES {
+            cur[..lanes].copy_from_slice(self.rows.slice(v as usize, base, base + lanes as u64));
+            for i in 0..lanes {
                 if cur[i] != row[i] {
                     self.rows.set(v as usize, base + i as u64, row[i]);
                 }
@@ -90,17 +133,31 @@ impl SpineIndex {
         }
     }
 
-    /// Vertex `v`'s packed spine row (`SPINE_LANES` entries).
+    /// Vertex `v`'s packed spine row ([`SpineIndex::lanes`] entries).
     #[inline(always)]
     pub fn row(&self, v: VertexId) -> &[Dist] {
-        let base = v as u64 * SPINE_LANES as u64;
-        self.rows.slice(v as usize, base, base + SPINE_LANES as u64)
+        let base = v as u64 * self.lanes as u64;
+        self.rows.slice(v as usize, base, base + self.lanes as u64)
     }
 
     /// Vertex `v`'s reachability mask (bit `i` ⇔ lane `i` finite).
     #[inline(always)]
     pub fn mask(&self, v: VertexId) -> u64 {
         self.masks.get(v as usize, v as u64)
+    }
+
+    /// Zero-indirection view of a compacted spine, or `None` while either
+    /// store is still chunked. [`SpineIndex::row`] / [`SpineIndex::mask`]
+    /// resolve a chunk per call (`chunk_of → chunk_starts → chunk` — three
+    /// dependent loads); the view resolves both flat arenas once, after
+    /// which every access is index arithmetic on two slices. The query hot
+    /// path hoists one view per query (or per one-to-many sweep).
+    #[inline]
+    pub fn flat_view(&self) -> Option<SpineFlat<'_>> {
+        match (self.rows.flat_slice(), self.masks.flat_slice()) {
+            (Some(rows), Some(masks)) => Some(SpineFlat { rows, masks, lanes: self.lanes }),
+            _ => None,
+        }
     }
 
     /// Flatten both stores into contiguous aligned arenas; returns bytes
@@ -132,12 +189,54 @@ impl SpineIndex {
 
     /// A physically independent copy (deep snapshot cost baseline).
     pub fn deep_clone(&self) -> Self {
-        Self { rows: self.rows.deep_clone(), masks: self.masks.deep_clone() }
+        Self { rows: self.rows.deep_clone(), masks: self.masks.deep_clone(), lanes: self.lanes }
     }
 
     /// Approximate resident bytes of rows + masks.
     pub fn memory_bytes(&self) -> usize {
         self.rows.memory_bytes() + self.masks.memory_bytes()
+    }
+}
+
+/// Borrowed flat spine: rows and masks as two contiguous arenas, indexed by
+/// arithmetic alone (see [`SpineIndex::flat_view`]). `Copy`, two pointers
+/// wide — cheap to hoist into a register pair for a query or a whole
+/// one-to-many tile sweep.
+#[derive(Clone, Copy)]
+pub struct SpineFlat<'a> {
+    rows: &'a [Dist],
+    masks: &'a [u64],
+    lanes: usize,
+}
+
+impl<'a> SpineFlat<'a> {
+    /// Vertex `v`'s packed spine row (`lanes` entries).
+    #[inline(always)]
+    pub fn row(&self, v: VertexId) -> &'a [Dist] {
+        let base = v as usize * self.lanes;
+        &self.rows[base..base + self.lanes]
+    }
+
+    /// Vertex `v`'s reachability mask.
+    #[inline(always)]
+    pub fn mask(&self, v: VertexId) -> u64 {
+        self.masks[v as usize]
+    }
+
+    /// Hint the CPU to pull `v`'s row and mask toward L1. Issued at query
+    /// entry, before the `common_anc_count` computation resolves, so the
+    /// row loads overlap the LCA arithmetic instead of stalling behind it.
+    /// Address computation is pure arithmetic on the two hoisted bases —
+    /// the hint costs nothing beyond the instruction itself.
+    #[inline(always)]
+    pub fn prefetch(&self, v: VertexId) {
+        let base = v as usize * self.lanes;
+        crate::query::prefetch_read(&self.rows[base]);
+        if self.lanes > 16 {
+            // 32-lane rows span two cache lines; touch both.
+            crate::query::prefetch_read(&self.rows[base + 16]);
+        }
+        crate::query::prefetch_read(&self.masks[v as usize]);
     }
 }
 
@@ -153,18 +252,35 @@ mod tests {
     }
 
     #[test]
-    fn rows_mirror_label_prefixes() {
+    fn adaptive_lanes_tiers() {
+        assert_eq!(adaptive_lanes(0), 8);
+        assert_eq!(adaptive_lanes(8), 8);
+        assert_eq!(adaptive_lanes(9), 16);
+        assert_eq!(adaptive_lanes(16), 16);
+        assert_eq!(adaptive_lanes(17), 32);
+        assert_eq!(adaptive_lanes(1000), SPINE_LANES);
+    }
+
+    #[test]
+    fn rows_mirror_label_prefixes_at_every_width() {
         let g = line(12);
         let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
-        let spine = SpineIndex::build(stl.labels());
-        for v in 0..12u32 {
-            let ls = stl.labels().slice(v);
-            let row = spine.row(v);
-            assert_eq!(row.len(), SPINE_LANES);
-            for i in 0..SPINE_LANES {
-                let want = if i < ls.len() { ls[i] } else { INF };
-                assert_eq!(row[i], want, "vertex {v} lane {i}");
-                assert_eq!(spine.mask(v) >> i & 1 == 1, want != INF, "vertex {v} mask bit {i}");
+        for lanes in [8usize, 16, 32] {
+            let spine = SpineIndex::build(stl.labels(), lanes);
+            assert_eq!(spine.lanes(), lanes);
+            for v in 0..12u32 {
+                let ls = stl.labels().slice(v);
+                let row = spine.row(v);
+                assert_eq!(row.len(), lanes);
+                for i in 0..lanes {
+                    let want = if i < ls.len() { ls[i] } else { INF };
+                    assert_eq!(row[i], want, "lanes {lanes} vertex {v} lane {i}");
+                    assert_eq!(
+                        spine.mask(v) >> i & 1 == 1,
+                        want != INF,
+                        "lanes {lanes} vertex {v} mask bit {i}"
+                    );
+                }
             }
         }
     }
@@ -173,7 +289,7 @@ mod tests {
     fn refresh_only_dirties_changed_rows() {
         let g = line(12);
         let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
-        let mut spine = SpineIndex::build(stl.labels());
+        let mut spine = SpineIndex::build(stl.labels(), 16);
         let pinned = spine.clone();
         // Re-packing from unchanged labels writes nothing at all.
         spine.refresh(stl.labels(), 0..12);
@@ -189,7 +305,7 @@ mod tests {
     fn compact_preserves_rows() {
         let g = line(9);
         let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
-        let mut spine = SpineIndex::build(stl.labels());
+        let mut spine = SpineIndex::build(stl.labels(), 8);
         let before: Vec<Vec<Dist>> = (0..9u32).map(|v| spine.row(v).to_vec()).collect();
         assert!(spine.compact() > 0);
         assert!(spine.is_flat());

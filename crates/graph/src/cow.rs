@@ -105,6 +105,43 @@ impl<T: Pod> AlignedBuf<T> {
         buf
     }
 
+    /// A buffer of `len` entries all set to `value`.
+    pub fn filled(len: usize, value: T) -> Self {
+        let mut buf = Self::zeroed(len);
+        buf.as_mut_slice().fill(value);
+        buf
+    }
+
+    /// Concatenate `spans` into one aligned buffer, padding so every span
+    /// *starts* on a multiple of `align` entries (pick `align` so that
+    /// `align × size_of::<T>()` is a cache-line multiple and every span base
+    /// is 64-byte aligned). Gaps are filled with `pad`. Returns the buffer
+    /// and each span's start entry — the SoA compaction primitive behind
+    /// `stl_core`'s deep-label arena.
+    pub fn concat_aligned<'s>(
+        spans: impl Iterator<Item = &'s [T]> + Clone,
+        align: usize,
+        pad: T,
+    ) -> (Self, Vec<u64>) {
+        assert!(align.is_power_of_two(), "span alignment must be a power of two");
+        let mut starts = Vec::new();
+        let mut cursor = 0u64;
+        for s in spans.clone() {
+            cursor = cursor.next_multiple_of(align as u64);
+            starts.push(cursor);
+            cursor += s.len() as u64;
+        }
+        // Pad the tail too, so a vectorized reader that rounds a span's
+        // length up to the next `align` boundary stays in bounds.
+        let total = cursor.next_multiple_of(align as u64) as usize;
+        let mut buf = Self::filled(total, pad);
+        let flat = buf.as_mut_slice();
+        for (s, &start) in spans.zip(&starts) {
+            flat[start as usize..start as usize + s.len()].copy_from_slice(s);
+        }
+        (buf, starts)
+    }
+
     /// Number of `T` entries.
     #[inline(always)]
     pub fn len(&self) -> usize {
@@ -905,6 +942,29 @@ mod tests {
         let copy = AlignedBuf::copy_of(&[7u32, 8, 9]);
         assert_eq!(copy.as_slice(), &[7, 8, 9]);
         assert_eq!(copy.as_slice().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn concat_aligned_pads_and_places_spans() {
+        let spans: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![], vec![4; 16], vec![5, 6]];
+        let (buf, starts) = AlignedBuf::concat_aligned(spans.iter().map(|s| s.as_slice()), 16, 99);
+        assert_eq!(starts, vec![0, 16, 16, 32]);
+        assert_eq!(buf.len() % 16, 0, "tail padded to alignment");
+        assert_eq!(buf.as_slice().as_ptr() as usize % 64, 0);
+        for (s, &start) in spans.iter().zip(&starts) {
+            let got = &buf.as_slice()[start as usize..start as usize + s.len()];
+            assert_eq!(got, s.as_slice());
+            // Entry alignment: a 16-entry-aligned start of u32 data is
+            // 64-byte aligned in memory.
+            assert_eq!(start % 16, 0);
+        }
+        // Everything between spans is pad.
+        assert_eq!(&buf.as_slice()[3..16], &[99u32; 13]);
+        assert_eq!(&buf.as_slice()[34..48], &[99u32; 14]);
+
+        let (empty, starts) = AlignedBuf::<u32>::concat_aligned(std::iter::empty(), 16, 0);
+        assert_eq!(empty.len(), 0);
+        assert!(starts.is_empty());
     }
 
     #[test]

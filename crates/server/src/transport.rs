@@ -161,6 +161,10 @@ pub struct NetStats {
     pub frames_rejected: u64,
     /// Requests served over all connections (queries, updates, stats).
     pub requests_served: u64,
+    /// `ONE_TO_MANY` requests answered from a worker's reusable distance
+    /// buffer without growing it — the steady state once each worker's
+    /// scratch has seen its largest target set.
+    pub many_scratch_reuses: u64,
     /// Counters of the shared update batcher.
     pub batcher: BatcherStats,
 }
@@ -171,6 +175,7 @@ struct NetCounters {
     connections_shed: AtomicU64,
     frames_rejected: AtomicU64,
     requests_served: AtomicU64,
+    many_scratch_reuses: AtomicU64,
 }
 
 struct NetShared {
@@ -261,6 +266,7 @@ impl NetServer {
             connections_shed: c.connections_shed.load(Ordering::Relaxed),
             frames_rejected: c.frames_rejected.load(Ordering::Relaxed),
             requests_served: c.requests_served.load(Ordering::Relaxed),
+            many_scratch_reuses: c.many_scratch_reuses.load(Ordering::Relaxed),
             batcher: self.shared.batcher.stats(),
         }
     }
@@ -327,6 +333,11 @@ fn accept_loop(shared: &NetShared, listener: &TcpListener, tx: &Sender<TcpStream
 }
 
 fn worker_loop(shared: &NetShared, rx: &Mutex<Receiver<TcpStream>>) {
+    // Per-worker distance scratch for ONE_TO_MANY responses: it outlives
+    // connections, so the steady state is one allocation per worker for the
+    // largest target set that worker has ever seen, instead of one per
+    // request.
+    let mut many_scratch: Vec<Dist> = Vec::new();
     loop {
         // Hold the receiver lock only for the dequeue, not while serving.
         let conn = match rx.lock().unwrap().recv() {
@@ -339,7 +350,7 @@ fn worker_loop(shared: &NetShared, rx: &Mutex<Receiver<TcpStream>>) {
         // that connection, not the worker: the pool keeps its full size and
         // every other connection keeps being served.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = serve_connection(shared, conn);
+            let _ = serve_connection(shared, conn, &mut many_scratch);
         }));
         shared.active.fetch_sub(1, Ordering::Relaxed);
     }
@@ -359,7 +370,11 @@ enum ReadEnd {
     Io(#[allow(dead_code)] io::Error),
 }
 
-fn serve_connection(shared: &NetShared, mut stream: TcpStream) -> io::Result<()> {
+fn serve_connection(
+    shared: &NetShared,
+    mut stream: TcpStream,
+    many_scratch: &mut Vec<Dist>,
+) -> io::Result<()> {
     let _ = stream.set_nodelay(true);
     // Poll in 100 ms slices so the stop flag and the idle deadline are
     // checked even while the peer is silent.
@@ -407,7 +422,11 @@ fn serve_connection(shared: &NetShared, mut stream: TcpStream) -> io::Result<()>
                     error_payload("vertex out of range")
                 } else {
                     shared.server.record_queries(targets.len() as u64);
-                    many_payload(&snap.stl().one_to_many(s, &targets))
+                    if many_scratch.capacity() >= targets.len() {
+                        shared.counters.many_scratch_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    snap.stl().one_to_many_into(s, &targets, many_scratch);
+                    many_payload(many_scratch)
                 }
             }
             Ok(Request::Update(batch)) => {
@@ -552,6 +571,7 @@ fn stats_payload(shared: &NetShared) -> Vec<u8> {
         batcher.batches_submitted,
         batcher.requests_coalesced,
         batcher.requests_shed,
+        c.many_scratch_reuses.load(Ordering::Relaxed),
     ];
     let mut p = vec![RESP_STATS];
     put_u32(&mut p, fields.len() as u32);
@@ -855,6 +875,9 @@ pub struct RemoteStats {
     pub batcher_requests_coalesced: u64,
     /// [`crate::BatcherStats::requests_shed`].
     pub batcher_requests_shed: u64,
+    /// [`NetStats::many_scratch_reuses`]. Zero when talking to a server
+    /// predating the field (10-field responses are still accepted).
+    pub many_scratch_reuses: u64,
 }
 
 /// Minimal blocking client for the protocol — one request in flight per
@@ -1060,6 +1083,8 @@ impl NetClient {
             batcher_batches_submitted: f(8),
             batcher_requests_coalesced: f(9),
             batcher_requests_shed: f(10),
+            // Appended after the first 11; older servers simply omit it.
+            many_scratch_reuses: if count > 11 { f(11) } else { 0 },
         })
     }
 
@@ -1115,6 +1140,10 @@ mod tests {
         let mut client = NetClient::connect(net.local_addr()).unwrap();
         assert_eq!(client.query(0, 3).unwrap(), 12);
         assert_eq!(client.one_to_many(0, &[1, 2, 3]).unwrap(), vec![3, 7, 12]);
+        // Second ONE_TO_MANY no larger than the first: the worker's scratch
+        // buffer already fits it, which the reuse counter must record.
+        assert_eq!(client.one_to_many(0, &[3, 1]).unwrap(), vec![12, 3]);
+        assert!(client.stats().unwrap().many_scratch_reuses >= 1);
 
         let out = client.update(&[EdgeUpdate::new(0, 3, 2)]).unwrap();
         assert!(out.applied);
