@@ -155,10 +155,11 @@ fn overload_leg(g: &CsrGraph) {
     let handles: Vec<_> = shares
         .into_iter()
         .map(|share| {
+            let addr = addr.clone();
             std::thread::spawn(move || {
                 let mut lat = Vec::new();
                 let (mut shed, mut rejected, mut served) = (0u64, 0u64, 0u64);
-                let mut client = match NetClient::connect(addr) {
+                let mut client = match NetClient::connect(&addr) {
                     Ok(c) => c,
                     Err(_) => return (lat, share.len() as u64, 0, 0),
                 };
@@ -170,6 +171,7 @@ fn overload_leg(g: &CsrGraph) {
                     let t0 = Instant::now();
                     let result = match &arrival.op {
                         MixedOp::Query(s, t) => client.query(*s, *t).map(|_| true),
+                        MixedOp::Many(s, targets) => client.one_to_many(*s, targets).map(|_| true),
                         MixedOp::Batch(b) => client.update(b).map(|o| o.applied),
                     };
                     match result {
@@ -184,7 +186,7 @@ fn overload_leg(g: &CsrGraph) {
                             // BUSY at accept or a closed connection: this
                             // client was shed; charge its remaining load.
                             shed += 1;
-                            match NetClient::connect(addr) {
+                            match NetClient::connect(&addr) {
                                 Ok(c) => client = c,
                                 Err(_) => break,
                             }
@@ -224,7 +226,7 @@ fn overload_leg(g: &CsrGraph) {
 
     // Graceful degradation: once the storm passes the server still answers,
     // the writer is alive, and the batcher queue drained (bounded growth).
-    let mut probe = NetClient::connect_retry(addr, Duration::from_secs(10)).expect("post-storm");
+    let mut probe = NetClient::connect_retry(&addr, Duration::from_secs(10)).expect("post-storm");
     assert!(probe.query(0, 1).is_ok(), "server must serve after overload");
     let out =
         probe.update(&[finite_edges(g)[0]].map(|(a, b, w)| EdgeUpdate::new(a, b, w))).unwrap();
@@ -249,7 +251,7 @@ fn bench_net(c: &mut Criterion) {
     )
     .expect("bind loopback");
     let mut client =
-        NetClient::connect_retry(net.local_addr(), Duration::from_secs(10)).expect("connect");
+        NetClient::connect_retry(&net.local_addr(), Duration::from_secs(10)).expect("connect");
     let mut group = c.benchmark_group("net_2k");
     group.sample_size(30);
     let snap = server.snapshot();

@@ -95,7 +95,8 @@ impl Server {
     }
 
     fn connect(&self) -> NetClient {
-        NetClient::connect_retry(self.addr.as_str(), Duration::from_secs(10))
+        let endpoint = self.addr.parse().expect("parse announced endpoint");
+        NetClient::connect_retry(&endpoint, Duration::from_secs(10))
             .expect("connect to child server")
     }
 
@@ -337,8 +338,8 @@ fn sigterm_drains_checkpoints_and_exits_cleanly() {
     let collector =
         std::thread::spawn(move || lines.map_while(Result::ok).collect::<Vec<String>>().join("\n"));
 
-    let mut client =
-        NetClient::connect_retry(addr.as_str(), Duration::from_secs(10)).expect("connect");
+    let endpoint = addr.parse().expect("parse announced endpoint");
+    let mut client = NetClient::connect_retry(&endpoint, Duration::from_secs(10)).expect("connect");
     for (i, u) in updates.iter().enumerate() {
         let out = client.update_keyed(i as u64 + 1, &[*u]).expect("update");
         assert!(out.applied, "rejection: {}", out.reason);

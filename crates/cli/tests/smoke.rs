@@ -214,8 +214,9 @@ fn serve_listen_answers_over_tcp() {
         stl_graph::io::read_dimacs_gr(std::io::BufReader::new(f)).unwrap()
     };
     let oracle = stl_core::Stl::build(&g, &stl_core::StlConfig::default());
+    let endpoint: stl_server::Endpoint = addr.parse().expect("parse announced endpoint");
     let mut client =
-        stl_server::NetClient::connect_retry(addr.as_str(), std::time::Duration::from_secs(10))
+        stl_server::NetClient::connect_retry(&endpoint, std::time::Duration::from_secs(10))
             .expect("connect to child server");
 
     // Queries over TCP answer from the same index the oracle built.

@@ -21,6 +21,8 @@
 //!   the label arena is touched.
 //! * [`directed`] — the §8 extension to directed road networks.
 //! * [`structural`] — §8 edge/vertex insertion & deletion.
+//! * [`index`] — the [`DynamicDistanceIndex`] serving trait `stl_server`
+//!   is generic over (the on-ramp for second-generation engines).
 //! * [`verify`] — independent invariant checkers used by the test suite.
 //! * [`persist`] — compact binary serialization of a built index.
 //! * [`failpoint`] — env-gated fault injection for crash-safety testing.
@@ -42,6 +44,7 @@ pub mod directed_dynamic;
 pub mod engine;
 pub mod failpoint;
 pub mod hierarchy;
+pub mod index;
 pub mod label_search;
 pub mod labelling;
 pub mod pareto;
@@ -56,9 +59,10 @@ pub mod verify;
 
 pub use engine::{EnginePool, UpdateEngine};
 pub use hierarchy::{Hierarchy, RawNode, SHARD_DEPTH, SPINE_SHARD};
+pub use index::DynamicDistanceIndex;
 pub use labelling::{DeepArena, Labels, LabelsWriter, ShardLabels, Stl};
 pub use query::{min_plus, min_plus_scalar, QueryProfile};
-pub use shard::{ShardReport, ShardWriteLog};
+pub use shard::{ShardReport, ShardSet, ShardWriteLog};
 pub use spine::{adaptive_lanes, SpineIndex, SPINE_LANES};
 pub use stats::IndexStats;
 pub use types::{Maintenance, StlConfig, UpdateStats};

@@ -116,6 +116,93 @@ struct ShardUnit<'b> {
 /// (identification, old weights) to phase B (repair, new weights).
 type ShardAffected = (u32, Vec<(VertexId, Vec<VertexId>)>);
 
+/// A set of subtree shards a repair pass is responsible for — the
+/// ownership unit of process-sharded serving.
+///
+/// A worker that applies a batch under a `ShardSet` still applies **every
+/// weight change** (the serial fences of both drivers are untouched) but
+/// repairs only the spine unit plus the subtree units in the set. Because
+/// label entries are column-confined — the spine unit owns the ancestor
+/// prefix `[0, k)` of every vertex, a subtree unit the range `[k, τ]` of
+/// its own vertices — the entries a filtered pass repairs come out
+/// byte-identical to an unfiltered apply, while entries of unowned
+/// subtrees simply go stale. The spine is never a member: it is replicated
+/// to (and repaired by) every worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl ShardSet {
+    /// An empty set sized for `num_shards` repair shards.
+    pub fn empty(num_shards: u32) -> Self {
+        Self { bits: vec![0; (num_shards as usize).div_ceil(64)], len: 0 }
+    }
+
+    /// Insert a subtree shard. The spine ([`SPINE_SHARD`]) is rejected —
+    /// it is implicitly owned by everyone.
+    pub fn insert(&mut self, shard: u32) {
+        assert_ne!(shard, SPINE_SHARD, "the spine is replicated, not owned");
+        let (w, b) = (shard as usize / 64, shard as usize % 64);
+        assert!(w < self.bits.len(), "shard {shard} out of range");
+        if self.bits[w] & (1 << b) == 0 {
+            self.bits[w] |= 1 << b;
+            self.len += 1;
+        }
+    }
+
+    /// Whether `shard` is a member. [`SPINE_SHARD`] and out-of-range ids
+    /// answer `false`.
+    pub fn contains(&self, shard: u32) -> bool {
+        let (w, b) = (shard as usize / 64, shard as usize % 64);
+        w < self.bits.len() && self.bits[w] & (1 << b) != 0
+    }
+
+    /// Number of subtree shards in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set owns no subtree shards.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The canonical modular assignment of `hier`'s subtree shards to
+    /// `num_workers` workers: worker `k` owns every subtree shard `s`
+    /// (excluding the spine) with `(s - 1) % num_workers == k`. Router and
+    /// workers derive their routing/ownership from this one function, so
+    /// they agree by construction.
+    pub fn for_worker(hier: &Hierarchy, worker: usize, num_workers: usize) -> Self {
+        assert!(num_workers >= 1 && worker < num_workers, "worker index out of range");
+        let num_shards = hier.num_shards();
+        let mut set = Self::empty(num_shards);
+        for s in (SPINE_SHARD + 1)..num_shards {
+            if (s as usize - 1) % num_workers == worker {
+                set.insert(s);
+            }
+        }
+        set
+    }
+
+    /// The worker index [`ShardSet::for_worker`] assigns `shard` to, or
+    /// `None` for the spine (owned by every worker).
+    pub fn owner_of(shard: u32, num_workers: usize) -> Option<usize> {
+        if shard == SPINE_SHARD {
+            None
+        } else {
+            Some((shard as usize - 1) % num_workers)
+        }
+    }
+}
+
+/// Drop the units a filtered apply is not responsible for: the spine unit
+/// always stays, subtree units stay iff owned.
+fn retain_owned(units: &mut Vec<ShardUnit<'_>>, owned: &ShardSet) {
+    units.retain(|u| u.shard == SPINE_SHARD || owned.contains(u.shard));
+}
+
 impl Stl {
     /// [`Stl::apply_batch`] with the label-repair work fanned out across
     /// `threads` workers by owning stable tree.
@@ -138,7 +225,28 @@ impl Stl {
         threads: usize,
     ) -> (UpdateStats, ShardReport) {
         let (stats, report, _) =
-            self.apply_batch_sharded_inner(g, updates, algo, pool, threads, false);
+            self.apply_batch_sharded_inner(g, updates, algo, pool, threads, None, false);
+        (stats, report)
+    }
+
+    /// [`Stl::apply_batch_sharded`] restricted to an ownership set: every
+    /// weight change is applied (keeping the graph replica exact), but only
+    /// the spine unit and the subtree units in `owned` are repaired. Label
+    /// entries owned by the spine or by an owned subtree come out
+    /// byte-identical to an unfiltered apply; entries of unowned subtrees
+    /// are left stale — the caller (a shard worker) must never serve them.
+    /// `owned = None` is exactly [`Stl::apply_batch_sharded`].
+    pub fn apply_batch_sharded_owned(
+        &mut self,
+        g: &mut CsrGraph,
+        updates: &[EdgeUpdate],
+        algo: Maintenance,
+        pool: &mut EnginePool,
+        threads: usize,
+        owned: Option<&ShardSet>,
+    ) -> (UpdateStats, ShardReport) {
+        let (stats, report, _) =
+            self.apply_batch_sharded_inner(g, updates, algo, pool, threads, owned, false);
         (stats, report)
     }
 
@@ -154,9 +262,10 @@ impl Stl {
         pool: &mut EnginePool,
         threads: usize,
     ) -> (UpdateStats, ShardReport, ShardWriteLog) {
-        self.apply_batch_sharded_inner(g, updates, algo, pool, threads, true)
+        self.apply_batch_sharded_inner(g, updates, algo, pool, threads, None, true)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn apply_batch_sharded_inner(
         &mut self,
         g: &mut CsrGraph,
@@ -164,11 +273,16 @@ impl Stl {
         algo: Maintenance,
         pool: &mut EnginePool,
         threads: usize,
+        owned: Option<&ShardSet>,
         log: bool,
     ) -> (UpdateStats, ShardReport, ShardWriteLog) {
         let out = match algo {
-            Maintenance::ParetoSearch => pareto_sharded(self, g, updates, pool, threads, log),
-            Maintenance::LabelSearch => label_search_sharded(self, g, updates, pool, threads, log),
+            Maintenance::ParetoSearch => {
+                pareto_sharded(self, g, updates, pool, threads, owned, log)
+            }
+            Maintenance::LabelSearch => {
+                label_search_sharded(self, g, updates, pool, threads, owned, log)
+            }
         };
         self.refresh_spine();
         out
@@ -223,6 +337,7 @@ fn label_search_sharded(
     updates: &[EdgeUpdate],
     pool: &mut EnginePool,
     threads: usize,
+    owned: Option<&ShardSet>,
     log: bool,
 ) -> (UpdateStats, ShardReport, ShardWriteLog) {
     let (dec, inc) = split_batch(g, updates);
@@ -230,8 +345,12 @@ fn label_search_sharded(
     let Stl { ref hier, ref mut labels, .. } = *stl;
     let num_shards = hier.num_shards() as usize;
 
-    let dec_units = group_by_tree(hier, &dec);
-    let inc_units = group_by_tree(hier, &inc);
+    let mut dec_units = group_by_tree(hier, &dec);
+    let mut inc_units = group_by_tree(hier, &inc);
+    if let Some(set) = owned {
+        retain_owned(&mut dec_units, set);
+        retain_owned(&mut inc_units, set);
+    }
     let (mut stats, touched) =
         unit_accounting(hier, &dec_units, &inc_units, (dec.len() + inc.len()) as u64);
 
@@ -358,6 +477,7 @@ fn pareto_sharded(
     updates: &[EdgeUpdate],
     pool: &mut EnginePool,
     threads: usize,
+    owned: Option<&ShardSet>,
     log: bool,
 ) -> (UpdateStats, ShardReport, ShardWriteLog) {
     let (dec, inc) = split_batch(g, updates);
@@ -365,8 +485,12 @@ fn pareto_sharded(
     let Stl { ref hier, ref mut labels, .. } = *stl;
     let num_shards = hier.num_shards() as usize;
 
-    let dec_units = group_by_tree(hier, &dec);
-    let inc_units = group_by_tree(hier, &inc);
+    let mut dec_units = group_by_tree(hier, &dec);
+    let mut inc_units = group_by_tree(hier, &inc);
+    if let Some(set) = owned {
+        retain_owned(&mut dec_units, set);
+        retain_owned(&mut inc_units, set);
+    }
     let (mut stats, touched) =
         unit_accounting(hier, &dec_units, &inc_units, (dec.len() + inc.len()) as u64);
 
@@ -827,6 +951,81 @@ mod tests {
         assert!(stats.trees_touched <= 2, "one update maps to spine + one tree at most");
         assert!(stats.trees_skipped > 0, "the other trees must be skipped");
         verify::check_all(&stl, &g).unwrap();
+    }
+
+    /// The process-sharding contract: a replica that applies every weight
+    /// change but repairs only {spine + its owned subtrees} keeps every
+    /// spine-owned entry and every owned-subtree entry byte-identical to a
+    /// full apply, at every thread count and for both maintenance families.
+    #[test]
+    fn owned_filtered_apply_matches_full_on_owned_entries() {
+        let g0 = grid(7);
+        let cfg = StlConfig { leaf_size: 2, ..Default::default() };
+        for algo in [Maintenance::LabelSearch, Maintenance::ParetoSearch] {
+            let full0 = Stl::build(&g0, &cfg);
+            let num_workers = 2usize;
+            let sets: Vec<ShardSet> = (0..num_workers)
+                .map(|k| ShardSet::for_worker(full0.hierarchy(), k, num_workers))
+                .collect();
+            assert!(sets.iter().all(|s| !s.is_empty()), "grid must split across both workers");
+            let mut g_full = g0.clone();
+            let mut full = full0.clone();
+            let mut g_rep: Vec<CsrGraph> = (0..num_workers).map(|_| g0.clone()).collect();
+            let mut replicas: Vec<Stl> = (0..num_workers).map(|_| full0.clone()).collect();
+            let mut pool = EnginePool::new();
+            for batch in &mixed_batches(&g0, 8, 0xACE ^ algo as u64) {
+                full.apply_batch_sharded(&mut g_full, batch, algo, &mut pool, 2);
+                for k in 0..num_workers {
+                    replicas[k].apply_batch_sharded_owned(
+                        &mut g_rep[k],
+                        batch,
+                        algo,
+                        &mut pool,
+                        2,
+                        Some(&sets[k]),
+                    );
+                }
+            }
+            let hier = full.hierarchy();
+            for k in 0..num_workers {
+                for (a, b, w) in g_full.edges() {
+                    assert_eq!(g_rep[k].weight(a, b), Some(w), "graph replicas must stay exact");
+                }
+                for v in 0..g0.num_vertices() as VertexId {
+                    let want = full.labels().slice(v);
+                    let got = replicas[k].labels().slice(v);
+                    assert_eq!(want.len(), got.len());
+                    for i in 0..want.len() as u32 {
+                        let owner = hier.shard_of_entry(v, i);
+                        if owner == SPINE_SHARD || sets[k].contains(owner) {
+                            assert_eq!(
+                                got[i as usize], want[i as usize],
+                                "algo {algo:?} worker {k}: owned entry ({v},{i}) diverged"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_set_modular_assignment_partitions_subtrees() {
+        let g = grid(8);
+        let stl = Stl::build(&g, &StlConfig { leaf_size: 2, ..Default::default() });
+        let hier = stl.hierarchy();
+        let n = 3usize;
+        let sets: Vec<ShardSet> = (0..n).map(|k| ShardSet::for_worker(hier, k, n)).collect();
+        let mut total = 0usize;
+        for s in (SPINE_SHARD + 1)..hier.num_shards() {
+            let owners: Vec<usize> = (0..n).filter(|&k| sets[k].contains(s)).collect();
+            assert_eq!(owners.len(), 1, "shard {s} must have exactly one owner");
+            assert_eq!(Some(owners[0]), ShardSet::owner_of(s, n));
+            total += 1;
+        }
+        assert_eq!(total, hier.num_shards() as usize - 1);
+        assert_eq!(ShardSet::owner_of(SPINE_SHARD, n), None);
+        assert!(!sets[0].contains(SPINE_SHARD));
     }
 
     #[test]

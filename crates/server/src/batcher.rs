@@ -40,6 +40,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use stl_core::{DynamicDistanceIndex, Stl};
 use stl_graph::{CsrGraph, EdgeUpdate};
 
 use crate::server::{validate_batch, BatchOutcome, StlServer};
@@ -137,8 +138,8 @@ struct FlushState {
     stop: bool,
 }
 
-struct BatcherShared {
-    server: Arc<StlServer>,
+struct BatcherShared<I: DynamicDistanceIndex> {
+    server: Arc<StlServer<I>>,
     /// Topology reference for pre-validation. Weights are irrelevant to
     /// validation and structure is immutable, so a COW clone taken at
     /// construction stays accurate forever.
@@ -157,14 +158,14 @@ struct BatcherShared {
 
 /// The accumulating middleman between producers and the writer (see the
 /// module docs). Cheap to share behind an `Arc`; submission is `&self`.
-pub struct AdaptiveBatcher {
-    shared: Arc<BatcherShared>,
+pub struct AdaptiveBatcher<I: DynamicDistanceIndex = Stl> {
+    shared: Arc<BatcherShared<I>>,
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl AdaptiveBatcher {
+impl<I: DynamicDistanceIndex> AdaptiveBatcher<I> {
     /// Start the flusher thread in front of `server`.
-    pub fn start(server: Arc<StlServer>, cfg: BatcherConfig) -> Self {
+    pub fn start(server: Arc<StlServer<I>>, cfg: BatcherConfig) -> Self {
         let graph = server.snapshot().graph().clone();
         let shared = Arc::new(BatcherShared {
             server,
@@ -292,13 +293,13 @@ impl AdaptiveBatcher {
     }
 }
 
-impl Drop for AdaptiveBatcher {
+impl<I: DynamicDistanceIndex> Drop for AdaptiveBatcher<I> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn flusher_loop(shared: &BatcherShared) {
+fn flusher_loop<I: DynamicDistanceIndex>(shared: &BatcherShared<I>) {
     loop {
         let (batch, waiters, by_size, by_timer) = {
             let mut st = shared.state.lock().unwrap();

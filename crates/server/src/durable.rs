@@ -34,7 +34,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 
-use stl_core::{failpoint, persist, EnginePool, Stl};
+use stl_core::{failpoint, DynamicDistanceIndex, EnginePool};
 use stl_graph::CsrGraph;
 
 use crate::server::{validate_batch, ServerConfig};
@@ -169,12 +169,22 @@ impl DedupWindow {
 }
 
 /// State restored from a checkpoint file.
-#[derive(Debug)]
-pub(crate) struct Checkpoint {
+///
+/// `Debug` is hand-rolled (index elided) so it needs no bound on `I`.
+pub(crate) struct Checkpoint<I> {
     pub generation: u64,
-    pub stl: Stl,
+    pub stl: I,
     /// Dedup entries oldest-first.
     pub dedup: Vec<(u64, u64)>,
+}
+
+impl<I> std::fmt::Debug for Checkpoint<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("generation", &self.generation)
+            .field("dedup_entries", &self.dedup.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Write a checkpoint of the served world into `cfg.state_dir`, atomically.
@@ -185,10 +195,10 @@ pub(crate) struct Checkpoint {
 /// structure is fixed; the graph file remains the topology's source of
 /// truth). The `checkpoint-rename` failpoint fires between writing the temp
 /// file and renaming it into place.
-pub(crate) fn write_checkpoint(
+pub(crate) fn write_checkpoint<I: DynamicDistanceIndex>(
     cfg: &DurabilityConfig,
     graph: &CsrGraph,
-    stl: &Stl,
+    stl: &I,
     generation: u64,
     dedup: &DedupWindow,
 ) -> io::Result<u64> {
@@ -204,7 +214,7 @@ pub(crate) fn write_checkpoint(
         put_u64(&mut payload, key);
         put_u64(&mut payload, seq);
     }
-    let index = persist::save(stl);
+    let index = stl.to_bytes();
     put_u64(&mut payload, index.len() as u64);
     payload.extend_from_slice(&index);
 
@@ -228,10 +238,10 @@ pub(crate) fn write_checkpoint(
 /// when it was written, so its contents cannot be reconstructed from
 /// anywhere else — silently booting from genesis would resurrect stale
 /// distances.
-pub(crate) fn load_checkpoint(
+pub(crate) fn load_checkpoint<I: DynamicDistanceIndex>(
     cfg: &DurabilityConfig,
     graph: &mut CsrGraph,
-) -> io::Result<Option<Checkpoint>> {
+) -> io::Result<Option<Checkpoint<I>>> {
     let mut bytes = Vec::new();
     match File::open(cfg.checkpoint_path()) {
         Ok(mut f) => {
@@ -275,7 +285,7 @@ pub(crate) fn load_checkpoint(
     if p.len() != nindex {
         return Err(corrupt("index length mismatch"));
     }
-    let stl = persist::load(p).map_err(|e| corrupt(&e.to_string()))?;
+    let stl = I::from_bytes(p).map_err(|e| corrupt(&e))?;
     // Weights are positional over the deterministic edge order; a count
     // mismatch means the checkpoint belongs to a different topology.
     let edges: Vec<_> = graph.edges().collect();
@@ -289,9 +299,9 @@ pub(crate) fn load_checkpoint(
 }
 
 /// Everything [`recover`] hands back to the server constructor.
-pub(crate) struct Recovered {
+pub(crate) struct Recovered<I> {
     pub graph: CsrGraph,
-    pub stl: Stl,
+    pub stl: I,
     pub generation: u64,
     pub dedup: DedupWindow,
     pub wal: WalWriter,
@@ -307,12 +317,12 @@ pub(crate) struct Recovered {
 /// applying it — a record that no longer validates (possible only if the
 /// operator swapped the graph file for a different topology) is an error,
 /// not a panic.
-pub(crate) fn recover(
+pub(crate) fn recover<I: DynamicDistanceIndex>(
     cfg: &DurabilityConfig,
     server_cfg: &ServerConfig,
     mut graph: CsrGraph,
-    mut stl: Stl,
-) -> io::Result<Recovered> {
+    mut stl: I,
+) -> io::Result<Recovered<I>> {
     std::fs::create_dir_all(&cfg.state_dir)?;
     let mut report = RecoveryReport::default();
     let mut dedup = DedupWindow::new(server_cfg.dedup_window);
@@ -341,12 +351,16 @@ pub(crate) fn recover(
                 format!("wal record {} no longer validates against the graph: {why}", rec.seq),
             )
         })?;
-        stl.apply_batch_sharded(
+        // Replay through the same ownership filter the serving loop uses: a
+        // respawned shard worker repairs only the spine and its owned
+        // subtrees, exactly reproducing its pre-crash serving state.
+        stl.apply_batch(
             &mut graph,
             &rec.updates,
             server_cfg.algo,
             &mut pool,
             server_cfg.repair_threads,
+            server_cfg.owned_shards.as_ref(),
         );
         generation = rec.seq;
         for key in rec.keys {
@@ -367,7 +381,7 @@ pub(crate) fn recover(
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use stl_core::StlConfig;
+    use stl_core::{persist, Stl, StlConfig};
     use stl_graph::EdgeUpdate;
     use stl_workloads::{generate, RoadNetConfig};
 
@@ -438,7 +452,7 @@ mod tests {
     fn missing_checkpoint_is_none() {
         let s = Scratch::new("missing");
         let (mut g, _) = world();
-        assert!(load_checkpoint(&s.cfg(), &mut g).unwrap().is_none());
+        assert!(load_checkpoint::<Stl>(&s.cfg(), &mut g).unwrap().is_none());
     }
 
     #[test]
@@ -451,12 +465,12 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let err = load_checkpoint(&s.cfg(), &mut g).unwrap_err();
+        let err = load_checkpoint::<Stl>(&s.cfg(), &mut g).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("crc mismatch"), "got: {err}");
         // Bad magic likewise.
         std::fs::write(&path, b"NOTACKPT----------------").unwrap();
-        let err = load_checkpoint(&s.cfg(), &mut g).unwrap_err();
+        let err = load_checkpoint::<Stl>(&s.cfg(), &mut g).unwrap_err();
         assert!(err.to_string().contains("bad magic"), "got: {err}");
     }
 

@@ -96,14 +96,25 @@
 //!
 //! ## Network serving
 //!
-//! The [`transport`] module puts the server on a TCP socket: a tiny
-//! length-prefixed binary protocol (see its module docs for the frame
-//! layout), a fixed-size reader pool that refreshes its `Arc<Snapshot>` per
-//! request, and connection/queue admission control so overload sheds
-//! instead of piling up. Incoming updates flow through the [`batcher`]
-//! module's [`AdaptiveBatcher`], which accumulates them until a latency or
-//! size budget trips — trading publish frequency against repair
-//! amortization, the knob the paper's batch experiments motivate.
+//! The [`proto`] module defines the wire protocol once — versioned,
+//! length-prefixed frames with typed [`Request`]/[`Response`] enums — and
+//! the [`transport`] module serves it over TCP or unix-domain sockets: a
+//! fixed-size reader pool that refreshes its `Arc<Snapshot>` per request,
+//! and connection/queue admission control so overload sheds instead of
+//! piling up. Incoming updates flow through the [`batcher`] module's
+//! [`AdaptiveBatcher`], which accumulates them until a latency or size
+//! budget trips — trading publish frequency against repair amortization,
+//! the knob the paper's batch experiments motivate.
+//!
+//! ## Distributed serving
+//!
+//! The [`router`] module scales serving across **processes**: N shard
+//! workers, each a full `StlServer` that repairs only the spine plus its
+//! owned subtrees (`ServerConfig::owned_shards`), behind a [`Router`] front
+//! that scatter-gathers queries by tree ownership and replicates every
+//! update to all workers in sequence-number lockstep. A dead worker costs
+//! fail-fast errors for its subtrees only; respawn + WAL recovery + the
+//! router's replay-ring catch-up bring it back bit-identical.
 //!
 //! No dependencies beyond `std`: the swap slot is `RwLock<Arc<Snapshot>>`,
 //! the queue is `std::sync::mpsc`, and the publish barrier is a
@@ -112,7 +123,9 @@
 
 pub mod batcher;
 pub mod durable;
+pub mod proto;
 pub mod replay;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
@@ -121,11 +134,11 @@ pub mod wal;
 
 pub use batcher::{AdaptiveBatcher, BatcherConfig, BatcherStats, PendingUpdate};
 pub use durable::{DedupWindow, DurabilityConfig, RecoveryReport};
+pub use proto::{Endpoint, RemoteOutcome, RemoteStats, Request, Response};
 pub use replay::replay_mixed;
+pub use router::{Router, RouterConfig, RouterServer, RouterStats};
 pub use server::{validate_batch, BatchOutcome, ServerConfig, StlServer, Ticket};
 pub use snapshot::Snapshot;
 pub use stats::ServerStats;
-pub use transport::{
-    NetClient, NetConfig, NetServer, NetStats, RemoteOutcome, RemoteStats, RetryPolicy,
-};
+pub use transport::{NetClient, NetConfig, NetServer, NetStats, RetryPolicy};
 pub use wal::FsyncPolicy;

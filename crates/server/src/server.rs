@@ -8,7 +8,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use stl_core::{failpoint, EnginePool, Maintenance, Stl};
+use stl_core::{failpoint, DynamicDistanceIndex, EnginePool, Maintenance, ShardSet, Stl};
 use stl_graph::{CsrGraph, Dist, EdgeUpdate, VertexId, INF};
 
 use crate::durable::{self, DedupWindow, DurabilityConfig, RecoveryReport};
@@ -160,6 +160,14 @@ pub struct ServerConfig {
     /// validation, never fatal — so a low ceiling suffices to distinguish
     /// "survived an injected crash" from "crashing in a loop".
     pub max_writer_restarts: u32,
+    /// Shard-ownership filter for process-sharded deployments (`None` = own
+    /// everything, the default). A shard worker serving a subset of the
+    /// subtrees sets this to its [`ShardSet`]: every batch still applies all
+    /// weight changes (the graph replica stays exact), but label repair runs
+    /// only for the spine and the owned subtrees — on apply *and* on WAL
+    /// replay during recovery, so a respawned worker comes back in exactly
+    /// its serving state.
+    pub owned_shards: Option<ShardSet>,
 }
 
 impl ServerConfig {
@@ -238,6 +246,7 @@ impl Default for ServerConfig {
             rejection_window: 1024,
             dedup_window: 4096,
             max_writer_restarts: 8,
+            owned_shards: None,
         }
     }
 }
@@ -366,10 +375,10 @@ struct InFlight {
     wal_start: Option<u64>,
 }
 
-struct Shared {
+struct Shared<I: DynamicDistanceIndex> {
     /// The publish slot. Writers hold the write half only for the pointer
     /// swap; readers clone the `Arc` out under the read half.
-    current: RwLock<Arc<Snapshot>>,
+    current: RwLock<Arc<Snapshot<I>>>,
     stats: StatsCells,
     progress: Mutex<Progress>,
     published: Condvar,
@@ -384,15 +393,16 @@ struct Shared {
     base_generation: u64,
 }
 
-/// Epoch-snapshot query service over a [`Stl`] index.
+/// Epoch-snapshot query service over a [`DynamicDistanceIndex`] (an [`Stl`]
+/// by default).
 ///
 /// See the crate docs for the protocol and its consistency guarantee. The
 /// server starts a supervisor thread in [`StlServer::start`] (or
 /// [`StlServer::start_durable`]) which in turn runs the writer thread,
 /// respawning it from the last published state if it dies; everything is
 /// joined in [`StlServer::shutdown`] (or on drop).
-pub struct StlServer {
-    shared: Arc<Shared>,
+pub struct StlServer<I: DynamicDistanceIndex = Stl> {
+    shared: Arc<Shared<I>>,
     /// Queue handle plus the ticket counter, under one lock: assigning a
     /// ticket and enqueueing its batch must be atomic together, or channel
     /// order could diverge from ticket order under concurrent submitters
@@ -402,12 +412,12 @@ pub struct StlServer {
     supervisor: Option<JoinHandle<()>>,
 }
 
-impl StlServer {
+impl<I: DynamicDistanceIndex> StlServer<I> {
     /// Take ownership of the world (graph + index) and start serving,
     /// **without** durability: state lives in memory only.
     ///
     /// The initial state is published immediately as generation 0.
-    pub fn start(graph: CsrGraph, stl: Stl, cfg: ServerConfig) -> Self {
+    pub fn start(graph: CsrGraph, stl: I, cfg: ServerConfig) -> Self {
         let dedup = DedupWindow::new(cfg.dedup_window);
         Self::start_inner(graph, stl, cfg, 0, dedup, None)
     }
@@ -425,7 +435,7 @@ impl StlServer {
     /// silently resurrect stale distances — the operator must decide).
     pub fn start_durable(
         graph: CsrGraph,
-        stl: Stl,
+        stl: I,
         cfg: ServerConfig,
         durability: DurabilityConfig,
     ) -> io::Result<(Self, RecoveryReport)> {
@@ -442,7 +452,7 @@ impl StlServer {
 
     fn start_inner(
         graph: CsrGraph,
-        stl: Stl,
+        stl: I,
         cfg: ServerConfig,
         base_generation: u64,
         dedup: DedupWindow,
@@ -475,8 +485,8 @@ impl StlServer {
                 // up on a crash-looping writer) so `wait_for` never blocks
                 // forever. Lives at supervisor scope: a writer death that
                 // will be followed by a respawn must NOT look like exit.
-                struct ExitFlag(Arc<Shared>);
-                impl Drop for ExitFlag {
+                struct ExitFlag<I: DynamicDistanceIndex>(Arc<Shared<I>>);
+                impl<I: DynamicDistanceIndex> Drop for ExitFlag<I> {
                     fn drop(&mut self) {
                         lock_ok(&self.0.progress).exited = true;
                         self.0.published.notify_all();
@@ -490,7 +500,7 @@ impl StlServer {
                     // is exactly the state every acknowledged batch is in.
                     let (graph, stl, generation) = {
                         let snap = read_ok(&sup_shared.current);
-                        (snap.graph().clone(), snap.stl().clone(), snap.generation())
+                        (snap.graph().clone(), snap.index().clone(), snap.generation())
                     };
                     let w_shared = Arc::clone(&sup_shared);
                     let w_rx = Arc::clone(&rx);
@@ -612,7 +622,7 @@ impl StlServer {
 
     /// Clone out the latest published epoch. O(1); never blocks the writer
     /// beyond the duration of a pointer swap.
-    pub fn snapshot(&self) -> Arc<Snapshot> {
+    pub fn snapshot(&self) -> Arc<Snapshot<I>> {
         Arc::clone(&read_ok(&self.shared.current))
     }
 
@@ -669,7 +679,7 @@ impl StlServer {
     }
 }
 
-impl Drop for StlServer {
+impl<I: DynamicDistanceIndex> Drop for StlServer<I> {
     fn drop(&mut self) {
         self.close();
     }
@@ -677,7 +687,7 @@ impl Drop for StlServer {
 
 /// Reject `ticket` with `reason`: count it, retain the reason, advance
 /// progress, and clear the in-flight slot.
-fn reject(shared: &Shared, ticket: u64, reason: String) {
+fn reject<I: DynamicDistanceIndex>(shared: &Shared<I>, ticket: u64, reason: String) {
     let stats = &shared.stats;
     stats.batches_rejected.fetch_add(1, Ordering::Relaxed);
     let evicted = lock_ok(&shared.rejections).push(ticket, reason.into());
@@ -701,7 +711,7 @@ fn reject(shared: &Shared, ticket: u64, reason: String) {
 /// so a crash right after the restart cannot replay a batch that was
 /// reported `Rejected`, and the ticket resolves `Rejected("writer
 /// restarted")`.
-fn resolve_orphan(shared: &Arc<Shared>) {
+fn resolve_orphan<I: DynamicDistanceIndex>(shared: &Arc<Shared<I>>) {
     let Some(inf) = lock_ok(&shared.in_flight).take() else { return };
     let published = read_ok(&shared.current).generation();
     if published >= inf.seq {
@@ -738,7 +748,12 @@ fn resolve_orphan(shared: &Arc<Shared>) {
 /// Checkpoint the served world and reset the WAL. Failure is logged, not
 /// fatal: the WAL keeps every batch since the last successful checkpoint,
 /// so durability is unaffected — the next trigger retries.
-fn do_checkpoint(shared: &Shared, graph: &CsrGraph, stl: &Stl, generation: u64) {
+fn do_checkpoint<I: DynamicDistanceIndex>(
+    shared: &Shared<I>,
+    graph: &CsrGraph,
+    stl: &I,
+    generation: u64,
+) {
     let Some(d) = &shared.durable else { return };
     // Hold the dedup lock across the dump so the serialized window is a
     // consistent cut with `generation`.
@@ -768,11 +783,11 @@ fn do_checkpoint(shared: &Shared, graph: &CsrGraph, stl: &Stl, generation: u64) 
 /// publishes — one epoch per accepted batch. Runs under the supervisor;
 /// returning means the queue closed and everything (including the final
 /// checkpoint) is done.
-fn writer_loop(
+fn writer_loop<I: DynamicDistanceIndex>(
     mut graph: CsrGraph,
-    mut stl: Stl,
+    mut stl: I,
     mut generation: u64,
-    shared: &Arc<Shared>,
+    shared: &Arc<Shared<I>>,
     rx: &Mutex<Receiver<Job>>,
     cfg: &ServerConfig,
 ) {
@@ -844,8 +859,14 @@ fn writer_loop(
             }
         }
         let t_apply = Instant::now();
-        let (ustats, report) =
-            stl.apply_batch_sharded(&mut graph, &batch, cfg.algo, &mut pool, cfg.repair_threads);
+        let (ustats, report) = stl.apply_batch(
+            &mut graph,
+            &batch,
+            cfg.algo,
+            &mut pool,
+            cfg.repair_threads,
+            cfg.owned_shards.as_ref(),
+        );
         stats.apply_ns_total.fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::Relaxed);
         stats.repair_shards_last.store(report.shards_touched as u64, Ordering::Relaxed);
         stats.repair_shard_ns_max_last.store(report.max_ns(), Ordering::Relaxed);

@@ -1,25 +1,27 @@
 //! Immutable published epochs.
 
-use stl_core::Stl;
+use stl_core::{DynamicDistanceIndex, Stl};
 use stl_graph::{CsrGraph, Dist, VertexId};
 
-/// One published epoch: a graph, its STL index, and the generation number.
+/// One published epoch: a graph, its distance index, and the generation
+/// number.
 ///
 /// Snapshots are immutable by construction — the writer publishes a fresh
 /// one per applied batch and never touches it again — so shared references
 /// can be queried from any number of threads without synchronisation.
 /// Generation 0 is the state the server started from; generation `i` is the
-/// state after the first `i` applied batches.
+/// state after the first `i` applied batches. The index type defaults to
+/// [`Stl`]; any [`DynamicDistanceIndex`] slots in.
 #[derive(Debug)]
-pub struct Snapshot {
+pub struct Snapshot<I: DynamicDistanceIndex = Stl> {
     generation: u64,
     graph: CsrGraph,
-    stl: Stl,
+    index: I,
 }
 
-impl Snapshot {
-    pub(crate) fn new(generation: u64, graph: CsrGraph, stl: Stl) -> Self {
-        Self { generation, graph, stl }
+impl<I: DynamicDistanceIndex> Snapshot<I> {
+    pub(crate) fn new(generation: u64, graph: CsrGraph, index: I) -> Self {
+        Self { generation, graph, index }
     }
 
     /// Which epoch this snapshot belongs to.
@@ -31,7 +33,7 @@ impl Snapshot {
     /// Shortest-path distance in this epoch's graph (`INF` if disconnected).
     #[inline]
     pub fn query(&self, s: VertexId, t: VertexId) -> Dist {
-        self.stl.query(s, t)
+        self.index.query(s, t)
     }
 
     /// The epoch's road network.
@@ -42,8 +44,8 @@ impl Snapshot {
 
     /// The epoch's index (for one-to-many / k-NN style queries).
     #[inline]
-    pub fn stl(&self) -> &Stl {
-        &self.stl
+    pub fn index(&self) -> &I {
+        &self.index
     }
 
     /// Whether this epoch serves the flat direct-offset read path: label
@@ -52,6 +54,15 @@ impl Snapshot {
     /// later writes promote chunks in the *writer's* stores only.
     #[inline]
     pub fn is_flat(&self) -> bool {
-        self.stl.is_flat() && self.graph.weights_flat()
+        self.index.is_flat() && self.graph.weights_flat()
+    }
+}
+
+impl Snapshot<Stl> {
+    /// The epoch's STL index — alias of [`Snapshot::index`] kept for the
+    /// default-engine call sites.
+    #[inline]
+    pub fn stl(&self) -> &Stl {
+        &self.index
     }
 }

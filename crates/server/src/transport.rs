@@ -1,44 +1,22 @@
-//! TCP front-end: a tiny length-prefixed binary protocol over a fixed-size
-//! reader-thread pool, with admission control and adaptive update batching.
+//! Socket front-end: the [`crate::proto`] frame protocol served over TCP or
+//! unix-domain sockets by a fixed-size reader-thread pool, with admission
+//! control and adaptive update batching.
 //!
-//! ## Frame layout
+//! The wire format — length-prefixed frames, a version byte, typed
+//! request/response opcodes — lives in [`crate::proto`]; this module is the
+//! *serving* side: listeners, the worker pool, backpressure, and the
+//! blocking [`NetClient`]. Both address families speak identical frames
+//! through one read loop ([`NetStream`] abstracts the socket), so
+//! `--listen unix:/path` and `--listen host:port` differ only in how the
+//! listener binds.
 //!
-//! Every message — request or response — is one **frame**:
-//!
-//! ```text
-//! +----------------+---------------------------+
-//! | len: u32 LE    | payload (len bytes)       |
-//! +----------------+---------------------------+
-//! payload = opcode: u8, body (opcode-specific, all integers LE)
-//! ```
-//!
-//! Requests:
-//!
-//! | opcode | name          | body                                   |
-//! |--------|---------------|----------------------------------------|
-//! | `0x01` | `QUERY`       | `s: u32, t: u32`                       |
-//! | `0x02` | `UPDATE`      | `n: u32, n × (a: u32, b: u32, w: u32)` |
-//! | `0x03` | `STATS`       | —                                      |
-//! | `0x04` | `ONE_TO_MANY` | `s: u32, n: u32, n × t: u32`           |
-//! | `0x05` | `UPDATE_KEYED`| `key: u64, n: u32, n × (a, b, w)`      |
-//!
-//! Responses:
-//!
-//! | opcode | name         | body                                          |
-//! |--------|--------------|-----------------------------------------------|
-//! | `0x81` | `DIST`       | `d: u32` (`u32::MAX` = unreachable)           |
-//! | `0x82` | `BATCH`      | `code: u8 (0 applied / 1 rejected), generation: u64, reason: u16 len + utf-8` |
-//! | `0x83` | `STATS`      | `n: u32, n × u64` (see [`RemoteStats`])       |
-//! | `0x84` | `MANY`       | `n: u32, n × d: u32`                          |
-//! | `0xEB` | `BUSY`       | `reason: u16 len + utf-8`, connection closes  |
-//! | `0xEE` | `ERROR`      | `reason: u16 len + utf-8`                     |
-//!
-//! A **malformed frame** — oversized length prefix, unknown opcode, body
-//! shorter or longer than its opcode requires, or a connection cut mid-frame
-//! — draws a best-effort `ERROR` response and closes **that connection
-//! only**; the server and every other connection keep serving. A well-formed
-//! request with bad arguments (e.g. a query for an out-of-range vertex) gets
-//! an `ERROR` response and the connection stays open.
+//! A **malformed frame** — oversized length prefix, wrong protocol version,
+//! unknown opcode, body shorter or longer than its opcode requires, or a
+//! connection cut mid-frame — draws a best-effort `ERROR` response and
+//! closes **that connection only**; the server and every other connection
+//! keep serving. A well-formed request with bad arguments (e.g. a query for
+//! an out-of-range vertex, or an out-of-order `APPLY`) gets an `ERROR`
+//! response and the connection stays open.
 //!
 //! ## Threading and backpressure
 //!
@@ -55,16 +33,22 @@
 //!   ([`crate::BatcherConfig::max_queued`]); requests beyond it come back
 //!   `rejected` with an explicit `overloaded` reason.
 //!
-//! Updates flow through the batcher: a worker blocks its connection until
-//! the merged batch containing its request is applied and published (or
-//! rejected), so an `applied` response is a **read-your-writes guarantee** —
-//! any later query on any connection sees the update.
+//! `UPDATE`/`UPDATE_KEYED` flow through the batcher: a worker blocks its
+//! connection until the merged batch containing its request is applied and
+//! published (or rejected), so an `applied` response is a
+//! **read-your-writes guarantee** — any later query on any connection sees
+//! the update. `APPLY` (router→worker replication) deliberately **bypasses
+//! the batcher**: coalescing would break the `seq == generation` lockstep
+//! the router's replay ring depends on. An `APPLY` whose `seq` is not
+//! exactly `generation + 1` (and not already applied — workers dedup on
+//! `seq`) is answered `ERROR` so a replication gap fails loudly instead of
+//! desynchronising replicas.
 //!
 //! ## Idempotent retries
 //!
 //! A client that sends `UPDATE` and loses the connection before the `BATCH`
 //! response cannot tell whether its update applied — resending may
-//! double-apply. `UPDATE_KEYED` closes that window: the client attaches a
+//! double-apply. `UPDATE_KEYED` closes that window: the client attaches an
 //! **idempotency key** (any `u64` it will not reuse for a different update),
 //! and the server deduplicates through the batcher's in-flight set and the
 //! [`crate::DedupWindow`] — a retried key that already applied is
@@ -74,48 +58,24 @@
 //! [`RetryPolicy`] (exponential backoff, full jitter).
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use stl_core::{DynamicDistanceIndex, Stl};
 use stl_graph::{Dist, EdgeUpdate, VertexId};
 
 use crate::batcher::{AdaptiveBatcher, BatcherConfig, BatcherStats};
+use crate::proto::{
+    self, read_frame_blocking, write_frame, Endpoint, RemoteOutcome, RemoteStats, Request,
+    Response, MAX_FRAME_BYTES,
+};
 use crate::server::{BatchOutcome, StlServer};
-
-/// Upper bound on a frame's payload length; anything larger is malformed.
-pub const MAX_FRAME_BYTES: u32 = 16 << 20;
-
-/// Request opcode: distance query `s → t`.
-pub const OP_QUERY: u8 = 0x01;
-/// Request opcode: submit an update batch.
-pub const OP_UPDATE: u8 = 0x02;
-/// Request opcode: server counters.
-pub const OP_STATS: u8 = 0x03;
-/// Request opcode: one-to-many distances from a single source.
-pub const OP_ONE_TO_MANY: u8 = 0x04;
-/// Request opcode: submit an update batch under an idempotency key.
-pub const OP_UPDATE_KEYED: u8 = 0x05;
-/// Response opcode: a single distance.
-pub const RESP_DIST: u8 = 0x81;
-/// Response opcode: batch outcome.
-pub const RESP_BATCH: u8 = 0x82;
-/// Response opcode: counters.
-pub const RESP_STATS: u8 = 0x83;
-/// Response opcode: one-to-many distances.
-pub const RESP_MANY: u8 = 0x84;
-/// Response opcode: connection shed by admission control (then closed).
-pub const RESP_BUSY: u8 = 0xEB;
-/// Response opcode: request failed; body carries the reason.
-pub const RESP_ERROR: u8 = 0xEE;
-
-/// `BATCH` response code for an applied-and-published batch.
-pub const OUTCOME_APPLIED: u8 = 0;
-/// `BATCH` response code for a rejected batch (validation or overload).
-pub const OUTCOME_REJECTED: u8 = 1;
 
 /// Transport configuration (see the module docs for the backpressure model).
 #[derive(Debug, Clone)]
@@ -178,9 +138,120 @@ struct NetCounters {
     many_scratch_reuses: AtomicU64,
 }
 
-struct NetShared {
-    server: Arc<StlServer>,
-    batcher: AdaptiveBatcher,
+// ---- address-family abstraction -----------------------------------------
+
+/// A bound listener in either address family, always nonblocking.
+pub(crate) enum NetListener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl NetListener {
+    /// Bind `endpoint` and return the listener plus the concrete bound
+    /// address (the ephemeral port resolved, for TCP). A stale socket file
+    /// at a unix path — debris of a process that did not exit cleanly — is
+    /// removed before binding; live servers hold the listener open, so the
+    /// file being bindable-over means nobody is accepting on it.
+    pub(crate) fn bind(endpoint: &Endpoint) -> io::Result<(Self, Endpoint)> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                let local = listener.local_addr()?;
+                Ok((NetListener::Tcp(listener), Endpoint::Tcp(local)))
+            }
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok((NetListener::Unix(listener), Endpoint::Unix(path.clone())))
+            }
+        }
+    }
+
+    pub(crate) fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            NetListener::Tcp(l) => l.accept().map(|(s, _)| NetStream::Tcp(s)),
+            NetListener::Unix(l) => l.accept().map(|(s, _)| NetStream::Unix(s)),
+        }
+    }
+}
+
+/// A connected stream in either address family. Implements `Read`/`Write`,
+/// so one frame loop serves both; the TCP-only knobs (`TCP_NODELAY`) are
+/// no-ops on unix sockets.
+#[derive(Debug)]
+pub enum NetStream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    pub(crate) fn set_nodelay(&self) {
+        if let NetStream::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_read_timeout(dur),
+            NetStream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_write_timeout(dur),
+            NetStream::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Dial `endpoint` in its family.
+pub(crate) fn dial(endpoint: &Endpoint) -> io::Result<NetStream> {
+    let stream = match endpoint {
+        Endpoint::Tcp(addr) => NetStream::Tcp(TcpStream::connect(addr)?),
+        Endpoint::Unix(path) => NetStream::Unix(UnixStream::connect(path)?),
+    };
+    stream.set_nodelay();
+    Ok(stream)
+}
+
+// ---- server -------------------------------------------------------------
+
+struct NetShared<I: DynamicDistanceIndex> {
+    server: Arc<StlServer<I>>,
+    batcher: AdaptiveBatcher<I>,
     cfg: NetConfig,
     stop: AtomicBool,
     /// Connections accepted but not yet picked up by a worker.
@@ -190,31 +261,34 @@ struct NetShared {
     counters: NetCounters,
 }
 
-/// The TCP front-end. Binds in [`NetServer::start`], serves until
+/// The socket front-end. Binds in [`NetServer::start`], serves until
 /// [`NetServer::shutdown`]. All state is shared through `Arc`s, so the
 /// handle is cheap to move across threads.
-pub struct NetServer {
-    shared: Arc<NetShared>,
-    local_addr: SocketAddr,
+pub struct NetServer<I: DynamicDistanceIndex = Stl> {
+    shared: Arc<NetShared<I>>,
+    local_addr: Endpoint,
+    /// Socket file to unlink on shutdown when listening on a unix path.
+    unix_path: Option<PathBuf>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// Keeps the queue sender alive until shutdown; dropping it releases the
     /// workers blocked on `recv`.
-    conn_tx: Mutex<Option<Sender<TcpStream>>>,
+    conn_tx: Mutex<Option<Sender<NetStream>>>,
 }
 
-impl NetServer {
-    /// Bind `addr` (use port 0 for an ephemeral port — the bound address is
-    /// [`NetServer::local_addr`]) and start the acceptor and worker threads.
-    pub fn start(
-        server: Arc<StlServer>,
-        addr: impl ToSocketAddrs,
-        cfg: NetConfig,
-    ) -> io::Result<Self> {
+impl<I: DynamicDistanceIndex> NetServer<I> {
+    /// Parse `listen` (`host:port`, or `unix:/path` — see
+    /// [`Endpoint::parse`]), bind it, and start the acceptor and worker
+    /// threads. Use port 0 for an ephemeral TCP port; the bound address is
+    /// [`NetServer::local_addr`].
+    pub fn start(server: Arc<StlServer<I>>, listen: &str, cfg: NetConfig) -> io::Result<Self> {
         assert!(cfg.reader_threads >= 1, "need at least one reader thread");
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let endpoint = Endpoint::parse(listen)?;
+        let (listener, local_addr) = NetListener::bind(&endpoint)?;
+        let unix_path = match &local_addr {
+            Endpoint::Unix(p) => Some(p.clone()),
+            Endpoint::Tcp(_) => None,
+        };
         let batcher = AdaptiveBatcher::start(Arc::clone(&server), cfg.batcher.clone());
         let shared = Arc::new(NetShared {
             server,
@@ -225,7 +299,7 @@ impl NetServer {
             active: AtomicUsize::new(0),
             counters: NetCounters::default(),
         });
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let (conn_tx, conn_rx) = mpsc::channel::<NetStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let mut workers = Vec::with_capacity(shared.cfg.reader_threads);
         for i in 0..shared.cfg.reader_threads {
@@ -247,6 +321,7 @@ impl NetServer {
         Ok(Self {
             shared,
             local_addr,
+            unix_path,
             acceptor: Some(acceptor),
             workers,
             conn_tx: Mutex::new(Some(conn_tx)),
@@ -254,8 +329,8 @@ impl NetServer {
     }
 
     /// The address the listener actually bound.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+    pub fn local_addr(&self) -> Endpoint {
+        self.local_addr.clone()
     }
 
     /// Point-in-time transport counters.
@@ -294,19 +369,26 @@ impl NetServer {
         // StlServer afterwards: the flusher thread holds the only other
         // reference and shutdown() joins it.
         self.shared.batcher.shutdown();
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
-impl Drop for NetServer {
+impl<I: DynamicDistanceIndex> Drop for NetServer<I> {
     fn drop(&mut self) {
         self.close();
     }
 }
 
-fn accept_loop(shared: &NetShared, listener: &TcpListener, tx: &Sender<TcpStream>) {
+fn accept_loop<I: DynamicDistanceIndex>(
+    shared: &NetShared<I>,
+    listener: &NetListener,
+    tx: &Sender<NetStream>,
+) {
     while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((mut stream, _peer)) => {
+            Ok(mut stream) => {
                 let queued = shared.queued.load(Ordering::Relaxed);
                 let open = queued + shared.active.load(Ordering::Relaxed);
                 if open >= shared.cfg.max_connections || queued >= shared.cfg.accept_queue {
@@ -315,7 +397,10 @@ fn accept_loop(shared: &NetShared, listener: &TcpListener, tx: &Sender<TcpStream
                     // dropped; a short write timeout keeps a dead peer from
                     // stalling the acceptor.
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-                    let _ = write_frame(&mut stream, &busy_payload("server overloaded"));
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::Busy("server overloaded".into()).encode(),
+                    );
                     continue; // drop closes the stream
                 }
                 shared.counters.connections_accepted.fetch_add(1, Ordering::Relaxed);
@@ -332,7 +417,7 @@ fn accept_loop(shared: &NetShared, listener: &TcpListener, tx: &Sender<TcpStream
     }
 }
 
-fn worker_loop(shared: &NetShared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop<I: DynamicDistanceIndex>(shared: &NetShared<I>, rx: &Mutex<Receiver<NetStream>>) {
     // Per-worker distance scratch for ONE_TO_MANY responses: it outlives
     // connections, so the steady state is one allocation per worker for the
     // largest target set that worker has ever seen, instead of one per
@@ -357,7 +442,7 @@ fn worker_loop(shared: &NetShared, rx: &Mutex<Receiver<TcpStream>>) {
 }
 
 /// Why a frame read ended without a frame.
-enum ReadEnd {
+pub(crate) enum ReadEnd {
     /// Clean EOF at a frame boundary.
     Closed,
     /// Shutdown requested while waiting.
@@ -370,12 +455,12 @@ enum ReadEnd {
     Io(#[allow(dead_code)] io::Error),
 }
 
-fn serve_connection(
-    shared: &NetShared,
-    mut stream: TcpStream,
+fn serve_connection<I: DynamicDistanceIndex>(
+    shared: &NetShared<I>,
+    mut stream: NetStream,
     many_scratch: &mut Vec<Dist>,
 ) -> io::Result<()> {
-    let _ = stream.set_nodelay(true);
+    stream.set_nodelay();
     // Poll in 100 ms slices so the stop flag and the idle deadline are
     // checked even while the peer is silent.
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
@@ -391,7 +476,7 @@ fn serve_connection(
             }
             Err(ReadEnd::Malformed(why)) => {
                 shared.counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(&mut stream, &error_payload(why));
+                let _ = write_frame(&mut stream, &Response::Error(why.into()).encode());
                 return Ok(());
             }
             Err(ReadEnd::Io(_)) => return Ok(()),
@@ -401,32 +486,33 @@ fn serve_connection(
         // latest published epoch at the moment the request is handled.
         let snap = shared.server.snapshot();
         let n = snap.graph().num_vertices() as u64;
-        let response = match parse_request(&payload) {
+        let response = match Request::decode(&payload) {
             Err(why) => {
-                // Malformed at the payload level: answer and close, exactly
-                // like a malformed frame.
+                // Malformed at the payload level (including a protocol
+                // version this build does not speak): answer and close,
+                // exactly like a malformed frame.
                 shared.counters.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(&mut stream, &error_payload(why));
+                let _ = write_frame(&mut stream, &Response::Error(why.into()).encode());
                 return Ok(());
             }
             Ok(Request::Query { s, t }) => {
                 if u64::from(s) >= n || u64::from(t) >= n {
-                    error_payload("vertex out of range")
+                    Response::Error("vertex out of range".into()).encode()
                 } else {
                     shared.server.record_queries(1);
-                    dist_payload(snap.query(s, t))
+                    Response::Dist(snap.query(s, t)).encode()
                 }
             }
             Ok(Request::OneToMany { s, targets }) => {
                 if u64::from(s) >= n || targets.iter().any(|&t| u64::from(t) >= n) {
-                    error_payload("vertex out of range")
+                    Response::Error("vertex out of range".into()).encode()
                 } else {
                     shared.server.record_queries(targets.len() as u64);
                     if many_scratch.capacity() >= targets.len() {
                         shared.counters.many_scratch_reuses.fetch_add(1, Ordering::Relaxed);
                     }
-                    snap.stl().one_to_many_into(s, &targets, many_scratch);
-                    many_payload(many_scratch)
+                    snap.index().one_to_many_into(s, &targets, many_scratch);
+                    proto::many_payload(many_scratch)
                 }
             }
             Ok(Request::Update(batch)) => {
@@ -434,13 +520,42 @@ fn serve_connection(
                 // queues — each worker owns one connection) until the merged
                 // batch publishes: read-your-writes for the client.
                 let outcome = shared.batcher.submit(batch).wait();
-                batch_payload(&outcome, shared.server.generation())
+                batch_response(&outcome, shared.server.generation()).encode()
             }
             Ok(Request::UpdateKeyed { key, batch }) => {
                 let outcome = shared.batcher.submit_keyed(Some(key), batch).wait();
-                batch_payload(&outcome, shared.server.generation())
+                batch_response(&outcome, shared.server.generation()).encode()
             }
-            Ok(Request::Stats) => stats_payload(shared),
+            Ok(Request::Apply { seq, batch }) => {
+                // Router→worker replication. Bypasses the batcher (coalescing
+                // would break seq == generation lockstep) and keys the dedup
+                // window on `seq` itself, so a catch-up resend of an
+                // already-applied batch is acknowledged idempotently.
+                if let Some(applied_seq) = shared.server.dedup_lookup(seq) {
+                    Response::Batch {
+                        applied: true,
+                        generation: applied_seq,
+                        reason: String::new(),
+                    }
+                    .encode()
+                } else {
+                    let generation = shared.server.generation();
+                    if seq != generation + 1 {
+                        // A gap means this replica missed a batch the router
+                        // can no longer assume it has; failing loudly forces
+                        // a catch-up instead of a silent desync.
+                        Response::Error(format!(
+                            "apply out of order: at generation {generation}, got seq {seq}"
+                        ))
+                        .encode()
+                    } else {
+                        let ticket = shared.server.submit_with_keys(vec![seq], batch);
+                        let outcome = shared.server.wait_for(ticket);
+                        batch_response(&outcome, shared.server.generation()).encode()
+                    }
+                }
+            }
+            Ok(Request::Stats) => Response::Stats(stats_fields(shared)).encode(),
         };
         // The ack-loss window the keyed-retry machinery exists for: the
         // update has applied (and hit the WAL, on durable servers) but the
@@ -453,113 +568,29 @@ fn serve_connection(
     }
 }
 
-enum Request {
-    Query { s: VertexId, t: VertexId },
-    Update(Vec<EdgeUpdate>),
-    UpdateKeyed { key: u64, batch: Vec<EdgeUpdate> },
-    Stats,
-    OneToMany { s: VertexId, targets: Vec<VertexId> },
-}
-
-fn parse_update_body(body: &[u8], at: usize) -> Result<Vec<EdgeUpdate>, &'static str> {
-    let count = get_u32(body, at) as usize;
-    if body.len() != at + 4 + count * 12 {
-        return Err("UPDATE body length does not match its count");
-    }
-    Ok((0..count)
-        .map(|i| {
-            let o = at + 4 + i * 12;
-            EdgeUpdate::new(get_u32(body, o), get_u32(body, o + 4), get_u32(body, o + 8))
-        })
-        .collect())
-}
-
-fn parse_request(payload: &[u8]) -> Result<Request, &'static str> {
-    let (&op, body) = payload.split_first().ok_or("empty frame")?;
-    match op {
-        OP_QUERY => {
-            if body.len() != 8 {
-                return Err("QUERY body must be exactly 8 bytes");
-            }
-            Ok(Request::Query { s: get_u32(body, 0), t: get_u32(body, 4) })
-        }
-        OP_UPDATE => {
-            if body.len() < 4 {
-                return Err("UPDATE body too short");
-            }
-            Ok(Request::Update(parse_update_body(body, 0)?))
-        }
-        OP_UPDATE_KEYED => {
-            if body.len() < 12 {
-                return Err("UPDATE_KEYED body too short");
-            }
-            let key = get_u64(body, 0);
-            Ok(Request::UpdateKeyed { key, batch: parse_update_body(body, 8)? })
-        }
-        OP_STATS => {
-            if !body.is_empty() {
-                return Err("STATS takes no body");
-            }
-            Ok(Request::Stats)
-        }
-        OP_ONE_TO_MANY => {
-            if body.len() < 8 {
-                return Err("ONE_TO_MANY body too short");
-            }
-            let s = get_u32(body, 0);
-            let count = get_u32(body, 4) as usize;
-            if body.len() != 8 + count * 4 {
-                return Err("ONE_TO_MANY body length does not match its count");
-            }
-            let targets = (0..count).map(|i| get_u32(body, 8 + i * 4)).collect();
-            Ok(Request::OneToMany { s, targets })
-        }
-        _ => Err("unknown opcode"),
-    }
-}
-
-// ---- response payload builders -----------------------------------------
-
-fn dist_payload(d: Dist) -> Vec<u8> {
-    let mut p = vec![RESP_DIST];
-    put_u32(&mut p, d);
-    p
-}
-
-fn many_payload(dists: &[Dist]) -> Vec<u8> {
-    let mut p = vec![RESP_MANY];
-    put_u32(&mut p, dists.len() as u32);
-    for &d in dists {
-        put_u32(&mut p, d);
-    }
-    p
-}
-
-fn batch_payload(outcome: &BatchOutcome, generation: u64) -> Vec<u8> {
-    let mut p = vec![RESP_BATCH];
+/// Map a writer outcome onto the wire representation.
+fn batch_response(outcome: &BatchOutcome, generation: u64) -> Response {
     match outcome {
-        BatchOutcome::Applied { seq } => {
-            p.push(OUTCOME_APPLIED);
+        BatchOutcome::Applied { seq } => Response::Batch {
+            applied: true,
             // The batch's own sequence number (== the generation its epoch
             // published); falls back to the server's current generation in
             // the rare aged-out case where the exact seq is unknown.
-            put_u64(&mut p, if *seq > 0 { *seq } else { generation });
-            put_str(&mut p, "");
-        }
+            generation: if *seq > 0 { *seq } else { generation },
+            reason: String::new(),
+        },
         BatchOutcome::Rejected(reason) => {
-            p.push(OUTCOME_REJECTED);
-            put_u64(&mut p, generation);
-            put_str(&mut p, reason);
+            Response::Batch { applied: false, generation, reason: reason.clone() }
         }
     }
-    p
 }
 
-fn stats_payload(shared: &NetShared) -> Vec<u8> {
+/// The `STATS` field list, in [`RemoteStats`] order.
+fn stats_fields<I: DynamicDistanceIndex>(shared: &NetShared<I>) -> Vec<u64> {
     let server = shared.server.stats();
     let batcher = shared.batcher.stats();
     let c = &shared.counters;
-    let fields = [
+    vec![
         shared.server.generation(),
         server.queries_served,
         server.batches_applied,
@@ -572,123 +603,13 @@ fn stats_payload(shared: &NetShared) -> Vec<u8> {
         batcher.requests_coalesced,
         batcher.requests_shed,
         c.many_scratch_reuses.load(Ordering::Relaxed),
-    ];
-    let mut p = vec![RESP_STATS];
-    put_u32(&mut p, fields.len() as u32);
-    for f in fields {
-        put_u64(&mut p, f);
-    }
-    p
-}
-
-fn error_payload(reason: &str) -> Vec<u8> {
-    let mut p = vec![RESP_ERROR];
-    put_str(&mut p, reason);
-    p
-}
-
-fn busy_payload(reason: &str) -> Vec<u8> {
-    let mut p = vec![RESP_BUSY];
-    put_str(&mut p, reason);
-    p
-}
-
-// ---- wire helpers -------------------------------------------------------
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    let len = bytes.len().min(u16::MAX as usize);
-    buf.extend_from_slice(&(len as u16).to_le_bytes());
-    buf.extend_from_slice(&bytes[..len]);
-}
-
-fn get_u32(b: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(b[at..at + 4].try_into().expect("bounds checked by caller"))
-}
-
-fn get_u64(b: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(b[at..at + 8].try_into().expect("bounds checked by caller"))
-}
-
-fn get_str(b: &[u8], at: usize) -> Option<(String, usize)> {
-    if b.len() < at + 2 {
-        return None;
-    }
-    let len = u16::from_le_bytes(b[at..at + 2].try_into().unwrap()) as usize;
-    if b.len() < at + 2 + len {
-        return None;
-    }
-    let s = String::from_utf8_lossy(&b[at + 2..at + 2 + len]).into_owned();
-    Some((s, at + 2 + len))
-}
-
-/// Append `n: u32, n × (a, b, w)` — the tail shared by `UPDATE` and
-/// `UPDATE_KEYED` requests.
-fn put_update_body(buf: &mut Vec<u8>, batch: &[EdgeUpdate]) {
-    put_u32(buf, batch.len() as u32);
-    for u in batch {
-        put_u32(buf, u.a);
-        put_u32(buf, u.b);
-        put_u32(buf, u.new_weight);
-    }
-}
-
-/// Decode a `BATCH` response payload (opcode already checked).
-fn parse_batch_response(resp: Vec<u8>) -> io::Result<RemoteOutcome> {
-    if resp.len() < 12 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "short BATCH response"));
-    }
-    let applied = match resp[1] {
-        OUTCOME_APPLIED => true,
-        OUTCOME_REJECTED => false,
-        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown outcome code")),
-    };
-    let generation = get_u64(&resp, 2);
-    let reason = get_str(&resp, 10)
-        .map(|(s, _)| s)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated BATCH reason"))?;
-    Ok(RemoteOutcome { applied, generation, reason })
-}
-
-/// Write one frame: length prefix + payload.
-fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(payload);
-    w.write_all(&frame)?;
-    w.flush()
-}
-
-/// Blocking frame read for clients: `Ok(None)` on clean EOF at a frame
-/// boundary, `Err` on anything else.
-fn read_frame_blocking(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    ]
 }
 
 /// Worker-side frame read: polls in read-timeout slices so the stop flag and
 /// the idle deadline stay live, and classifies every way a read can end.
-fn read_frame_polling(
-    stream: &mut TcpStream,
+pub(crate) fn read_frame_polling(
+    stream: &mut NetStream,
     stop: &AtomicBool,
     idle: Option<Duration>,
 ) -> Result<Vec<u8>, ReadEnd> {
@@ -706,7 +627,7 @@ fn read_frame_polling(
 }
 
 fn read_exact_polling(
-    stream: &mut TcpStream,
+    stream: &mut NetStream,
     buf: &mut [u8],
     stop: &AtomicBool,
     deadline: Option<Instant>,
@@ -813,7 +734,7 @@ impl RetryPolicy {
 
 /// Whether an I/O failure is worth retrying: connection-level trouble is
 /// (the server may be restarting), protocol-level rejection is not.
-fn retryable(kind: io::ErrorKind) -> bool {
+pub(crate) fn retryable(kind: io::ErrorKind) -> bool {
     matches!(
         kind,
         io::ErrorKind::ConnectionAborted
@@ -827,88 +748,31 @@ fn retryable(kind: io::ErrorKind) -> bool {
     )
 }
 
-/// A remote batch outcome as reported in a `BATCH` response frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RemoteOutcome {
-    /// Whether the batch was applied and published.
-    pub applied: bool,
-    /// The server's published generation when the response was built (for an
-    /// applied batch this is at or past the batch's own epoch).
-    pub generation: u64,
-    /// Rejection reason; empty for applied batches.
-    pub reason: String,
-}
-
-impl RemoteOutcome {
-    /// Convert into the in-process outcome type.
-    pub fn outcome(&self) -> BatchOutcome {
-        if self.applied {
-            BatchOutcome::Applied { seq: self.generation }
-        } else {
-            BatchOutcome::Rejected(self.reason.clone())
-        }
-    }
-}
-
-/// Server counters as reported in a `STATS` response frame, in field order.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RemoteStats {
-    /// Latest published generation.
-    pub generation: u64,
-    /// [`crate::ServerStats::queries_served`].
-    pub queries_served: u64,
-    /// [`crate::ServerStats::batches_applied`].
-    pub batches_applied: u64,
-    /// [`crate::ServerStats::batches_rejected`].
-    pub batches_rejected: u64,
-    /// [`crate::ServerStats::updates_submitted`].
-    pub updates_submitted: u64,
-    /// [`NetStats::connections_accepted`].
-    pub connections_accepted: u64,
-    /// [`NetStats::connections_shed`].
-    pub connections_shed: u64,
-    /// [`NetStats::frames_rejected`].
-    pub frames_rejected: u64,
-    /// [`crate::BatcherStats::batches_submitted`].
-    pub batcher_batches_submitted: u64,
-    /// [`crate::BatcherStats::requests_coalesced`].
-    pub batcher_requests_coalesced: u64,
-    /// [`crate::BatcherStats::requests_shed`].
-    pub batcher_requests_shed: u64,
-    /// [`NetStats::many_scratch_reuses`]. Zero when talking to a server
-    /// predating the field (10-field responses are still accepted).
-    pub many_scratch_reuses: u64,
-}
-
 /// Minimal blocking client for the protocol — one request in flight per
-/// connection. Used by `stl bench-net`, the loopback tests, and the net
-/// bench; also a reference implementation of the frame layout.
+/// connection, over TCP or unix sockets ([`Endpoint`]). Used by
+/// `stl bench-net`, the router's worker connections, the loopback tests,
+/// and the net bench; also a reference implementation of the frame flow.
 #[derive(Debug)]
 pub struct NetClient {
-    stream: TcpStream,
-    /// Peer address, kept so the keyed-retry path can reconnect.
-    peer: SocketAddr,
+    stream: NetStream,
+    /// Peer endpoint, kept so the retry paths can reconnect.
+    peer: Endpoint,
 }
 
 impl NetClient {
     /// Connect once.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        let peer = stream.peer_addr()?;
-        Ok(Self { stream, peer })
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        let stream = dial(endpoint)?;
+        Ok(Self { stream, peer: endpoint.clone() })
     }
 
     /// Connect under `policy`: up to [`RetryPolicy::max_attempts`] tries with
     /// jittered exponential backoff between them. The error of the last
     /// attempt is returned if every try fails.
-    pub fn connect_with(
-        addr: impl ToSocketAddrs + Clone,
-        mut policy: RetryPolicy,
-    ) -> io::Result<Self> {
+    pub fn connect_with(endpoint: &Endpoint, mut policy: RetryPolicy) -> io::Result<Self> {
         let mut attempt = 0u32;
         loop {
-            match Self::connect(addr.clone()) {
+            match Self::connect(endpoint) {
                 Ok(c) => return Ok(c),
                 Err(e) if attempt + 1 >= policy.max_attempts => return Err(e),
                 Err(_) => {
@@ -923,12 +787,12 @@ impl NetClient {
     /// that is still binding (CI smoke tests, freshly spawned processes).
     /// Backoff follows a default [`RetryPolicy`] schedule re-armed until the
     /// deadline.
-    pub fn connect_retry(addr: impl ToSocketAddrs + Clone, timeout: Duration) -> io::Result<Self> {
+    pub fn connect_retry(endpoint: &Endpoint, timeout: Duration) -> io::Result<Self> {
         let deadline = Instant::now() + timeout;
         let mut policy = RetryPolicy::default();
         let mut attempt = 0u32;
         loop {
-            match Self::connect(addr.clone()) {
+            match Self::connect(endpoint) {
                 Ok(c) => return Ok(c),
                 Err(e) if Instant::now() >= deadline => return Err(e),
                 Err(_) => {
@@ -937,6 +801,11 @@ impl NetClient {
                 }
             }
         }
+    }
+
+    /// The endpoint this client dials.
+    pub fn peer(&self) -> &Endpoint {
+        &self.peer
     }
 
     fn roundtrip(&mut self, request: &[u8]) -> io::Result<Vec<u8>> {
@@ -950,54 +819,51 @@ impl NetClient {
         }
     }
 
-    /// Map an `ERROR`/`BUSY` response to `Err`, anything else to `Ok`.
-    fn expect_op(payload: Vec<u8>, want: u8) -> io::Result<Vec<u8>> {
-        match payload[0] {
-            op if op == want => Ok(payload),
-            RESP_ERROR => {
-                let reason = get_str(&payload, 1).map(|(s, _)| s).unwrap_or_default();
-                Err(io::Error::new(io::ErrorKind::InvalidInput, format!("server error: {reason}")))
+    /// One request → one decoded response.
+    fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let payload = self.roundtrip(&req.encode())?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Map a response the caller did not ask for to an error.
+    fn unexpected(resp: Response) -> io::Error {
+        match resp {
+            Response::Error(reason) => {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("server error: {reason}"))
             }
-            RESP_BUSY => {
-                let reason = get_str(&payload, 1).map(|(s, _)| s).unwrap_or_default();
-                Err(io::Error::new(io::ErrorKind::ConnectionRefused, format!("shed: {reason}")))
+            Response::Busy(reason) => {
+                io::Error::new(io::ErrorKind::ConnectionRefused, format!("shed: {reason}"))
             }
-            other => Err(io::Error::new(
+            other => io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("unexpected response opcode {other:#04x}"),
-            )),
+                format!("unexpected response: {other:?}"),
+            ),
         }
     }
 
     /// Distance query `s → t` against the latest published epoch.
     pub fn query(&mut self, s: VertexId, t: VertexId) -> io::Result<Dist> {
-        let mut req = vec![OP_QUERY];
-        put_u32(&mut req, s);
-        put_u32(&mut req, t);
-        let resp = Self::expect_op(self.roundtrip(&req)?, RESP_DIST)?;
-        if resp.len() != 5 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "short DIST response"));
+        match self.request(&Request::Query { s, t })? {
+            Response::Dist(d) => Ok(d),
+            other => Err(Self::unexpected(other)),
         }
-        Ok(get_u32(&resp, 1))
     }
 
     /// One-to-many distances from `s`, in `targets` order.
     pub fn one_to_many(&mut self, s: VertexId, targets: &[VertexId]) -> io::Result<Vec<Dist>> {
-        let mut req = vec![OP_ONE_TO_MANY];
-        put_u32(&mut req, s);
-        put_u32(&mut req, targets.len() as u32);
-        for &t in targets {
-            put_u32(&mut req, t);
+        match self.request(&Request::OneToMany { s, targets: targets.to_vec() })? {
+            Response::Many(dists) => Ok(dists),
+            other => Err(Self::unexpected(other)),
         }
-        let resp = Self::expect_op(self.roundtrip(&req)?, RESP_MANY)?;
-        if resp.len() < 5 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "short MANY response"));
+    }
+
+    fn expect_batch(resp: Response) -> io::Result<RemoteOutcome> {
+        match resp {
+            Response::Batch { applied, generation, reason } => {
+                Ok(RemoteOutcome { applied, generation, reason })
+            }
+            other => Err(Self::unexpected(other)),
         }
-        let count = get_u32(&resp, 1) as usize;
-        if resp.len() != 5 + count * 4 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated MANY response"));
-        }
-        Ok((0..count).map(|i| get_u32(&resp, 5 + i * 4)).collect())
     }
 
     /// Submit an update batch; blocks until the server reports its outcome
@@ -1008,10 +874,8 @@ impl NetClient {
     /// [`NetClient::update_keyed`] (and [`NetClient::update_keyed_retry`])
     /// when that matters.
     pub fn update(&mut self, batch: &[EdgeUpdate]) -> io::Result<RemoteOutcome> {
-        let mut req = vec![OP_UPDATE];
-        put_update_body(&mut req, batch);
-        let resp = self.roundtrip(&req)?;
-        parse_batch_response(Self::expect_op(resp, RESP_BATCH)?)
+        let resp = self.request(&Request::Update(batch.to_vec()))?;
+        Self::expect_batch(resp)
     }
 
     /// Submit an update batch under idempotency key `key` (single attempt).
@@ -1020,11 +884,18 @@ impl NetClient {
     /// *original* application instead of applying again. Never reuse a key
     /// for a different batch.
     pub fn update_keyed(&mut self, key: u64, batch: &[EdgeUpdate]) -> io::Result<RemoteOutcome> {
-        let mut req = vec![OP_UPDATE_KEYED];
-        put_u64(&mut req, key);
-        put_update_body(&mut req, batch);
-        let resp = self.roundtrip(&req)?;
-        parse_batch_response(Self::expect_op(resp, RESP_BATCH)?)
+        let resp = self.request(&Request::UpdateKeyed { key, batch: batch.to_vec() })?;
+        Self::expect_batch(resp)
+    }
+
+    /// Router→worker replication: apply `batch` as generation `seq` exactly
+    /// (see [`Request::Apply`]). An out-of-order sequence is reported as an
+    /// `InvalidInput` error with the worker's reason — the router's cue to
+    /// run catch-up — while connection-level failures surface as the usual
+    /// retryable I/O errors.
+    pub fn apply(&mut self, seq: u64, batch: &[EdgeUpdate]) -> io::Result<RemoteOutcome> {
+        let resp = self.request(&Request::Apply { seq, batch: batch.to_vec() })?;
+        Self::expect_batch(resp)
     }
 
     /// [`NetClient::update_keyed`] wrapped in the full at-least-once-send /
@@ -1053,39 +924,25 @@ impl NetClient {
             attempt += 1;
             // Reconnect before the resend; failure to connect just burns
             // this attempt and falls through to the next backoff.
-            if let Ok(stream) = TcpStream::connect(self.peer) {
-                let _ = stream.set_nodelay(true);
+            if let Ok(stream) = dial(&self.peer) {
                 self.stream = stream;
             }
         }
     }
 
-    /// Fetch the server's counters.
+    /// Fetch the peer's counters, decoded into the known field set.
     pub fn stats(&mut self) -> io::Result<RemoteStats> {
-        let resp = Self::expect_op(self.roundtrip(&[OP_STATS])?, RESP_STATS)?;
-        if resp.len() < 5 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "short STATS response"));
+        RemoteStats::from_fields(&self.stats_fields()?)
+    }
+
+    /// Fetch the peer's raw `STATS` field list — everything it reported,
+    /// including fields appended past the [`RemoteStats`] set (the router
+    /// appends deployment counters there).
+    pub fn stats_fields(&mut self) -> io::Result<Vec<u64>> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(fields) => Ok(fields),
+            other => Err(Self::unexpected(other)),
         }
-        let count = get_u32(&resp, 1) as usize;
-        if count < 11 || resp.len() != 5 + count * 8 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated STATS response"));
-        }
-        let f = |i: usize| get_u64(&resp, 5 + i * 8);
-        Ok(RemoteStats {
-            generation: f(0),
-            queries_served: f(1),
-            batches_applied: f(2),
-            batches_rejected: f(3),
-            updates_submitted: f(4),
-            connections_accepted: f(5),
-            connections_shed: f(6),
-            frames_rejected: f(7),
-            batcher_batches_submitted: f(8),
-            batcher_requests_coalesced: f(9),
-            batcher_requests_shed: f(10),
-            // Appended after the first 11; older servers simply omit it.
-            many_scratch_reuses: if count > 11 { f(11) } else { 0 },
-        })
     }
 
     /// Send `payload` as one raw frame without awaiting a response. Test
@@ -1110,8 +967,9 @@ impl NetClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{put_u32, OP_QUERY, OP_UPDATE, PROTO_VERSION};
     use crate::server::ServerConfig;
-    use stl_core::{Stl, StlConfig};
+    use stl_core::StlConfig;
     use stl_graph::builder::from_edges;
     use stl_graph::CsrGraph;
 
@@ -1120,9 +978,13 @@ mod tests {
     }
 
     fn start_net(g: &CsrGraph, cfg: NetConfig) -> (Arc<StlServer>, NetServer) {
+        start_net_on(g, "127.0.0.1:0", cfg)
+    }
+
+    fn start_net_on(g: &CsrGraph, listen: &str, cfg: NetConfig) -> (Arc<StlServer>, NetServer) {
         let stl = Stl::build(g, &StlConfig::default());
         let server = Arc::new(StlServer::start(g.clone(), stl, ServerConfig::default()));
-        let net = NetServer::start(Arc::clone(&server), "127.0.0.1:0", cfg).expect("bind");
+        let net = NetServer::start(Arc::clone(&server), listen, cfg).expect("bind");
         (server, net)
     }
 
@@ -1133,11 +995,15 @@ mod tests {
         }
     }
 
+    fn is_error_frame(payload: &[u8]) -> bool {
+        matches!(Response::decode(payload), Ok(Response::Error(_)))
+    }
+
     #[test]
     fn query_update_stats_roundtrip() {
         let g = diamond();
         let (_server, net) = start_net(&g, fast_cfg());
-        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
         assert_eq!(client.query(0, 3).unwrap(), 12);
         assert_eq!(client.one_to_many(0, &[1, 2, 3]).unwrap(), vec![3, 7, 12]);
         // Second ONE_TO_MANY no larger than the first: the worker's scratch
@@ -1163,13 +1029,59 @@ mod tests {
     }
 
     #[test]
+    fn unix_socket_shares_the_frame_protocol() {
+        // The UDS satellite end to end: same frames, same client, different
+        // listener family. The socket file must also be gone after shutdown.
+        let g = diamond();
+        let path = std::env::temp_dir().join(format!("stl-uds-{}.sock", std::process::id()));
+        let listen = format!("unix:{}", path.display());
+        let (_server, net) = start_net_on(&g, &listen, fast_cfg());
+        assert_eq!(net.local_addr().to_string(), listen, "display round-trips the CLI flag");
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
+        assert_eq!(client.query(0, 3).unwrap(), 12);
+        assert!(client.update(&[EdgeUpdate::new(0, 3, 2)]).unwrap().applied);
+        assert_eq!(client.query(0, 3).unwrap(), 2);
+        assert_eq!(client.one_to_many(0, &[1, 3]).unwrap(), vec![3, 2]);
+        assert!(client.stats().unwrap().generation >= 1);
+        net.shutdown();
+        assert!(!path.exists(), "socket file must be unlinked on shutdown");
+    }
+
+    #[test]
+    fn apply_enforces_generation_lockstep_and_dedups_on_seq() {
+        let g = diamond();
+        let (server, net) = start_net(&g, fast_cfg());
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
+
+        // In-order APPLY publishes exactly seq.
+        let out = client.apply(1, &[EdgeUpdate::new(0, 3, 2)]).unwrap();
+        assert!(out.applied);
+        assert_eq!(out.generation, 1);
+        assert_eq!(client.query(0, 3).unwrap(), 2);
+
+        // Resend of an applied seq (catch-up path) acks idempotently.
+        let out = client.apply(1, &[EdgeUpdate::new(0, 3, 2)]).unwrap();
+        assert!(out.applied);
+        assert_eq!(out.generation, 1);
+        assert_eq!(server.generation(), 1, "resend must not re-apply");
+
+        // A gap fails loudly and leaves the connection usable.
+        let err = client.apply(5, &[EdgeUpdate::new(0, 3, 3)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("apply out of order"), "got: {err}");
+        assert_eq!(client.query(0, 3).unwrap(), 2, "state untouched, connection open");
+        assert_eq!(server.generation(), 1);
+        net.shutdown();
+    }
+
+    #[test]
     fn bad_edge_over_tcp_rejects_but_keeps_serving() {
         // The acceptance scenario, over the wire: a nonexistent edge comes
         // back rejected with a reason, then the same connection keeps
         // querying and a valid batch still publishes a new generation.
         let g = diamond();
         let (server, net) = start_net(&g, fast_cfg());
-        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
 
         let out = client.update(&[EdgeUpdate::new(0, 2, 9)]).unwrap();
         assert!(!out.applied);
@@ -1194,32 +1106,46 @@ mod tests {
         let addr = net.local_addr();
 
         // Unknown opcode: ERROR response, then EOF on this connection.
-        let mut bad = NetClient::connect(addr).unwrap();
-        bad.send_raw(&[0x7F, 1, 2, 3]).unwrap();
+        let mut bad = NetClient::connect(&addr).unwrap();
+        bad.send_raw(&[PROTO_VERSION, 0x7F, 1, 2, 3]).unwrap();
         let resp = bad.recv_raw().unwrap().expect("error frame before close");
-        assert_eq!(resp[0], RESP_ERROR);
+        assert!(is_error_frame(&resp));
         assert!(bad.recv_raw().unwrap().is_none(), "connection must be closed");
 
+        // Wrong protocol version: rejected before the opcode is looked at.
+        let mut versioned = NetClient::connect(&addr).unwrap();
+        let mut payload = Request::Query { s: 0, t: 3 }.encode();
+        payload[0] = PROTO_VERSION + 1;
+        versioned.send_raw(&payload).unwrap();
+        let resp = versioned.recv_raw().unwrap().expect("error frame before close");
+        match Response::decode(&resp) {
+            Ok(Response::Error(reason)) => {
+                assert!(reason.contains("protocol version"), "got: {reason}")
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert!(versioned.recv_raw().unwrap().is_none());
+
         // Length/count mismatch inside an UPDATE payload: same treatment.
-        let mut mismatched = NetClient::connect(addr).unwrap();
-        let mut payload = vec![OP_UPDATE];
+        let mut mismatched = NetClient::connect(&addr).unwrap();
+        let mut payload = vec![PROTO_VERSION, OP_UPDATE];
         put_u32(&mut payload, 5); // claims 5 updates, carries none
         mismatched.send_raw(&payload).unwrap();
         let resp = mismatched.recv_raw().unwrap().expect("error frame before close");
-        assert_eq!(resp[0], RESP_ERROR);
+        assert!(is_error_frame(&resp));
         assert!(mismatched.recv_raw().unwrap().is_none());
 
         // Oversized length prefix: rejected before allocating.
-        let mut oversized = NetClient::connect(addr).unwrap();
+        let mut oversized = NetClient::connect(&addr).unwrap();
         oversized.send_bytes(&(MAX_FRAME_BYTES + 1).to_le_bytes()).unwrap();
         let resp = oversized.recv_raw().unwrap().expect("error frame before close");
-        assert_eq!(resp[0], RESP_ERROR);
+        assert!(is_error_frame(&resp));
 
-        // The server survives all three: a fresh connection still works.
-        let mut fine = NetClient::connect(addr).unwrap();
+        // The server survives all four: a fresh connection still works.
+        let mut fine = NetClient::connect(&addr).unwrap();
         assert_eq!(fine.query(0, 3).unwrap(), 12);
         let net_stats = net.shutdown();
-        assert!(net_stats.frames_rejected >= 3);
+        assert!(net_stats.frames_rejected >= 4);
     }
 
     #[test]
@@ -1227,13 +1153,13 @@ mod tests {
         let g = diamond();
         let (_server, net) = start_net(&g, fast_cfg());
         {
-            let mut quitter = NetClient::connect(net.local_addr()).unwrap();
-            // Announce a 9-byte frame, deliver 3 bytes, vanish.
-            quitter.send_bytes(&9u32.to_le_bytes()).unwrap();
-            quitter.send_bytes(&[OP_QUERY, 0, 0]).unwrap();
+            let mut quitter = NetClient::connect(&net.local_addr()).unwrap();
+            // Announce a 10-byte frame, deliver 4 bytes, vanish.
+            quitter.send_bytes(&10u32.to_le_bytes()).unwrap();
+            quitter.send_bytes(&[PROTO_VERSION, OP_QUERY, 0, 0]).unwrap();
         } // drop closes the socket mid-frame
           // The worker notices, counts it, and moves on to the next client.
-        let mut fine = NetClient::connect(net.local_addr()).unwrap();
+        let mut fine = NetClient::connect(&net.local_addr()).unwrap();
         assert_eq!(fine.query(0, 2).unwrap(), 7);
         let stats = net.shutdown();
         assert_eq!(stats.frames_rejected, 1, "mid-frame hangup counts as malformed");
@@ -1243,7 +1169,7 @@ mod tests {
     fn well_formed_bad_arguments_keep_the_connection_open() {
         let g = diamond();
         let (_server, net) = start_net(&g, fast_cfg());
-        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
         let err = client.query(0, 99).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         // Same connection, next request still answered.
@@ -1270,18 +1196,19 @@ mod tests {
         let addr = net.local_addr();
 
         // Pin the only worker: this update waits out the 1 s latency budget.
+        let pinned_addr = addr.clone();
         let pinned = std::thread::spawn(move || {
-            let mut c = NetClient::connect(addr).unwrap();
+            let mut c = NetClient::connect(&pinned_addr).unwrap();
             c.update(&[EdgeUpdate::new(0, 1, 5)]).unwrap()
         });
         // Give the worker time to pick the connection up.
         std::thread::sleep(Duration::from_millis(300));
 
         // The worker is busy; this connection waits in the accept queue.
-        let _waiting = NetClient::connect(addr).unwrap();
+        let _waiting = NetClient::connect(&addr).unwrap();
         std::thread::sleep(Duration::from_millis(100));
         // Queue full (1 waiting) and at the connection cap: shed.
-        let mut shed = NetClient::connect(addr).unwrap();
+        let mut shed = NetClient::connect(&addr).unwrap();
         let err = shed.query(0, 3).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "expected BUSY, got {err}");
 
@@ -1294,14 +1221,14 @@ mod tests {
     fn keyed_update_over_tcp_is_idempotent() {
         let g = diamond();
         let (server, net) = start_net(&g, fast_cfg());
-        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
 
         let first = client.update_keyed(77, &[EdgeUpdate::new(0, 1, 5)]).unwrap();
         assert!(first.applied);
         assert_eq!(first.generation, 1, "BATCH carries the batch's own seq");
 
         // Simulated retry after a lost ack: same key, fresh connection.
-        let mut retry = NetClient::connect(net.local_addr()).unwrap();
+        let mut retry = NetClient::connect(&net.local_addr()).unwrap();
         let second = retry.update_keyed(77, &[EdgeUpdate::new(0, 1, 5)]).unwrap();
         assert!(second.applied);
         assert_eq!(second.generation, 1, "ack must carry the original seq, not a new one");
@@ -1316,7 +1243,7 @@ mod tests {
     fn update_keyed_retry_succeeds_on_a_healthy_server() {
         let g = diamond();
         let (_server, net) = start_net(&g, fast_cfg());
-        let mut client = NetClient::connect(net.local_addr()).unwrap();
+        let mut client = NetClient::connect(&net.local_addr()).unwrap();
         let out = client
             .update_keyed_retry(5, &[EdgeUpdate::new(2, 3, 1)], RetryPolicy::default())
             .unwrap();
@@ -1349,7 +1276,7 @@ mod tests {
     fn stop_releases_workers_holding_idle_connections() {
         let g = diamond();
         let (_server, net) = start_net(&g, fast_cfg());
-        let _idle = NetClient::connect(net.local_addr()).unwrap();
+        let _idle = NetClient::connect(&net.local_addr()).unwrap();
         let t0 = Instant::now();
         net.shutdown(); // must not wait for the idle client to hang up
         assert!(t0.elapsed() < Duration::from_secs(5), "shutdown stalled on an idle connection");

@@ -30,12 +30,15 @@ pub enum MixedOp {
     Query(VertexId, VertexId),
     /// Apply a batch of edge-weight updates.
     Batch(Vec<EdgeUpdate>),
+    /// Answer a one-to-many query: distances from the source to every
+    /// target, in target order.
+    Many(VertexId, Vec<VertexId>),
 }
 
 impl MixedOp {
-    /// Whether this op is a query.
+    /// Whether this op is a read (point query or one-to-many).
     pub fn is_query(&self) -> bool {
-        matches!(self, MixedOp::Query(_, _))
+        matches!(self, MixedOp::Query(_, _) | MixedOp::Many(_, _))
     }
 }
 
@@ -53,6 +56,13 @@ pub struct MixedConfig {
     pub min_factor: u32,
     /// Upper end of the factor range, inclusive.
     pub max_factor: u32,
+    /// Fraction of *read* ops that are one-to-many queries instead of point
+    /// queries. At the default `0.0` the generator draws no extra random
+    /// numbers, so traces from configs predating this knob are unchanged
+    /// byte for byte.
+    pub many_fraction: f64,
+    /// Targets per one-to-many query.
+    pub many_targets: usize,
     /// RNG seed; equal configs over equal graphs yield identical traces.
     pub seed: u64,
 }
@@ -65,6 +75,8 @@ impl Default for MixedConfig {
             batch_size: 10,
             min_factor: 2,
             max_factor: 10,
+            many_fraction: 0.0,
+            many_targets: 8,
             seed: 0xD157,
         }
     }
@@ -80,6 +92,8 @@ pub fn mixed_trace(g: &CsrGraph, cfg: &MixedConfig) -> Vec<MixedOp> {
     assert!(g.num_vertices() >= 2, "need at least two vertices");
     assert!(cfg.batch_size >= 1 && cfg.min_factor >= 2 && cfg.min_factor <= cfg.max_factor);
     assert!((0.0..=1.0).contains(&cfg.update_fraction));
+    assert!((0.0..=1.0).contains(&cfg.many_fraction));
+    assert!(cfg.many_fraction == 0.0 || cfg.many_targets >= 1);
     let edges: Vec<(VertexId, VertexId, Weight)> =
         g.edges().filter(|&(_, _, w)| w != INF).collect();
     assert!(!edges.is_empty(), "graph has no updatable edges");
@@ -105,6 +119,12 @@ pub fn mixed_trace(g: &CsrGraph, cfg: &MixedConfig) -> Vec<MixedOp> {
                     })
                     .collect();
                 MixedOp::Batch(batch)
+            } else if cfg.many_fraction > 0.0 && rng.random_bool(cfg.many_fraction) {
+                // Gated on the fraction *before* drawing, so a 0.0 config
+                // consumes the exact RNG stream of the pre-many generator.
+                let s = rng.random_range(0..n);
+                let targets = (0..cfg.many_targets).map(|_| rng.random_range(0..n)).collect();
+                MixedOp::Many(s, targets)
             } else {
                 let s = rng.random_range(0..n);
                 let mut t = rng.random_range(0..n);
@@ -117,10 +137,11 @@ pub fn mixed_trace(g: &CsrGraph, cfg: &MixedConfig) -> Vec<MixedOp> {
         .collect()
 }
 
-/// Partition a trace into its queries and its update batches, each in trace
-/// order — the shape `stl_server::replay_mixed` and the test oracles
+/// Partition a trace into its point queries and its update batches, each in
+/// trace order — the shape `stl_server::replay_mixed` and the test oracles
 /// consume when the interleaving itself is driven by threads rather than
-/// replayed op-by-op.
+/// replayed op-by-op. One-to-many ops are dropped: the thread-driven replay
+/// drivers predate them and measure point-query service.
 pub fn split_trace(trace: Vec<MixedOp>) -> (Vec<(VertexId, VertexId)>, Vec<Vec<EdgeUpdate>>) {
     let mut queries = Vec::new();
     let mut batches = Vec::new();
@@ -128,6 +149,7 @@ pub fn split_trace(trace: Vec<MixedOp>) -> (Vec<(VertexId, VertexId)>, Vec<Vec<E
         match op {
             MixedOp::Query(s, t) => queries.push((s, t)),
             MixedOp::Batch(b) => batches.push(b),
+            MixedOp::Many(_, _) => {}
         }
     }
     (queries, batches)
@@ -202,6 +224,48 @@ mod tests {
         for (got, want) in batches.iter().zip(&replayed) {
             assert_eq!(MixedOp::Batch(got.clone()), *want);
         }
+    }
+
+    #[test]
+    fn many_fraction_zero_leaves_legacy_traces_untouched() {
+        let g = small();
+        let legacy = MixedConfig { ops: 600, update_fraction: 0.1, ..Default::default() };
+        let trace = mixed_trace(&g, &legacy);
+        assert!(trace.iter().all(|op| !matches!(op, MixedOp::Many(_, _))));
+        // The RNG gate must not consume draws at 0.0: explicit 0.0 equals
+        // the default-config stream.
+        let explicit = MixedConfig { many_fraction: 0.0, ..legacy.clone() };
+        assert_eq!(trace, mixed_trace(&g, &explicit));
+    }
+
+    #[test]
+    fn many_ops_are_generated_and_valid() {
+        let g = small();
+        let cfg = MixedConfig {
+            ops: 1_000,
+            update_fraction: 0.1,
+            many_fraction: 0.2,
+            many_targets: 5,
+            ..Default::default()
+        };
+        let trace = mixed_trace(&g, &cfg);
+        let n = g.num_vertices() as VertexId;
+        let many = trace
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Many(_, _)))
+            .inspect(|op| {
+                if let MixedOp::Many(s, targets) = op {
+                    assert!(*s < n);
+                    assert_eq!(targets.len(), 5);
+                    assert!(targets.iter().all(|&t| t < n));
+                }
+            })
+            .count();
+        assert!((80..320).contains(&many), "many ops = {many}");
+        // split_trace drops them but keeps everything else in order.
+        let kept = trace.iter().filter(|op| !matches!(op, MixedOp::Many(_, _))).count();
+        let (queries, batches) = split_trace(trace);
+        assert_eq!(queries.len() + batches.len(), kept);
     }
 
     #[test]

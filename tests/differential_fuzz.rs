@@ -46,6 +46,8 @@ fn differential_replay(seed: u64, algo: Maintenance) {
                     "replay seed {seed}, {algo:?}: d({s},{t}) after {batches_done} batches"
                 );
             }
+            // Default config: many_fraction 0.0, so no one-to-many ops here.
+            MixedOp::Many(..) => unreachable!("trace generated without one-to-many ops"),
             MixedOp::Batch(batch) => {
                 stl.apply_batch(&mut g, &batch, algo, &mut eng);
                 batches_done += 1;

@@ -46,13 +46,15 @@ fn tcp_replay_matches_in_process_replay() {
             ops: 600,
             update_fraction: 0.08,
             batch_size: 5,
+            many_fraction: 0.1,
+            many_targets: 6,
             seed: 0xD1FF,
             ..Default::default()
         },
     );
 
     let (_tcp_server, net) = start_tcp(&g);
-    let mut client = NetClient::connect_retry(net.local_addr(), Duration::from_secs(10))
+    let mut client = NetClient::connect_retry(&net.local_addr(), Duration::from_secs(10))
         .expect("connect loopback");
 
     let stl = Stl::build(&g, &StlConfig::default());
@@ -64,6 +66,12 @@ fn tcp_replay_matches_in_process_replay() {
                 let over_tcp = client.query(*s, *t).expect("query frame");
                 let in_process = local.snapshot().query(*s, *t);
                 assert_eq!(over_tcp, in_process, "op {i}: d({s}, {t}) diverged");
+            }
+            MixedOp::Many(s, targets) => {
+                let over_tcp = client.one_to_many(*s, targets).expect("one-to-many frame");
+                let snap = local.snapshot();
+                let in_process: Vec<_> = targets.iter().map(|&t| snap.query(*s, t)).collect();
+                assert_eq!(over_tcp, in_process, "op {i}: one-to-many from {s} diverged");
             }
             MixedOp::Batch(batch) => {
                 let remote = client.update(batch).expect("update frame");
@@ -107,7 +115,7 @@ fn bad_edge_over_tcp_is_rejected_and_both_paths_agree_after() {
     // subsequent valid batches land identically on both paths.
     let g = generate(&RoadNetConfig::sized(250, 34));
     let (tcp_server, net) = start_tcp(&g);
-    let mut client = NetClient::connect_retry(net.local_addr(), Duration::from_secs(10))
+    let mut client = NetClient::connect_retry(&net.local_addr(), Duration::from_secs(10))
         .expect("connect loopback");
 
     let non_edge = (0..250u32)

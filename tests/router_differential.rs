@@ -1,0 +1,121 @@
+//! Distributed differential test: a 2-worker sharded deployment behind the
+//! router must be indistinguishable from one single-process server.
+//!
+//! The same seeded `mixed_trace` (queries, one-to-many probes, and update
+//! batches) is replayed twice in the same sequential order — once through
+//! `Router::query`/`update` scatter-gathering over two shard workers that
+//! each repair only the spine plus their owned subtrees, once through a
+//! plain in-process `StlServer` that repairs everything. After every op the
+//! cluster generation must equal the local generation and every distance
+//! must be bit-identical: sharded repair changes *where* labels are exact,
+//! never *what* a routed query answers.
+
+use std::sync::Arc;
+
+use stable_tree_labelling::core::{Hierarchy, ShardSet, Stl, StlConfig};
+use stable_tree_labelling::graph::{CsrGraph, VertexId};
+use stable_tree_labelling::server::{
+    BatchOutcome, BatcherConfig, NetConfig, NetServer, Router, RouterConfig, ServerConfig,
+    StlServer,
+};
+use stable_tree_labelling::workloads::mixed::{mixed_trace, MixedConfig, MixedOp};
+use stable_tree_labelling::workloads::roadnet::{generate, RoadNetConfig};
+
+/// One worker process-equivalent: a `NetServer` whose `ServerConfig` owns
+/// worker `k`'s shard slice out of `n`.
+fn spawn_worker(g: &CsrGraph, hier: &Hierarchy, k: usize, n: usize) -> NetServer {
+    let stl = Stl::build(g, &StlConfig::default());
+    let cfg = ServerConfig {
+        owned_shards: Some(ShardSet::for_worker(hier, k, n)),
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(StlServer::start(g.clone(), stl, cfg));
+    let net_cfg = NetConfig {
+        batcher: BatcherConfig { latency_ms: 0, ..Default::default() },
+        ..Default::default()
+    };
+    NetServer::start(server, "127.0.0.1:0", net_cfg).expect("bind worker")
+}
+
+#[test]
+fn two_worker_deployment_replays_bit_identically_to_single_process() {
+    let g = generate(&RoadNetConfig::sized(250, 33));
+    let trace = mixed_trace(
+        &g,
+        &MixedConfig {
+            ops: 600,
+            update_fraction: 0.08,
+            batch_size: 5,
+            many_fraction: 0.1,
+            many_targets: 6,
+            seed: 0xD1FF,
+            ..Default::default()
+        },
+    );
+
+    // The sharded deployment: 2 workers, each a full replica repairing only
+    // spine + its owned trees, behind the scatter-gather router.
+    let hier = Hierarchy::build(&g, &StlConfig::default());
+    let nets: Vec<NetServer> = (0..2).map(|k| spawn_worker(&g, &hier, k, 2)).collect();
+    let endpoints: Vec<_> = nets.iter().map(|n| n.local_addr()).collect();
+    let router = Router::connect(g.clone(), &endpoints, RouterConfig::default()).unwrap();
+
+    // The reference: one process, no sharding.
+    let stl = Stl::build(&g, &StlConfig::default());
+    let local = StlServer::start(g.clone(), stl, ServerConfig::default());
+
+    for (i, op) in trace.iter().enumerate() {
+        match op {
+            MixedOp::Query(s, t) => {
+                let routed = router.query(*s, *t).expect("routed query");
+                let reference = local.snapshot().query(*s, *t);
+                assert_eq!(routed, reference, "op {i}: d({s}, {t}) diverged");
+            }
+            MixedOp::Many(s, targets) => {
+                let routed = router.one_to_many(*s, targets).expect("routed one-to-many");
+                let snap = local.snapshot();
+                let reference: Vec<_> = targets.iter().map(|&t| snap.query(*s, t)).collect();
+                assert_eq!(routed, reference, "op {i}: one-to-many from {s} diverged");
+            }
+            MixedOp::Batch(batch) => {
+                let routed = router.update(batch.clone()).expect("routed update");
+                let outcome = local.wait_for(local.submit(batch.clone()));
+                assert!(
+                    routed.applied && matches!(outcome, BatchOutcome::Applied { .. }),
+                    "op {i}: applied via router = {}, in-process = {outcome:?}",
+                    routed.applied
+                );
+                assert_eq!(
+                    routed.generation,
+                    local.generation(),
+                    "op {i}: cluster generation diverged from local"
+                );
+            }
+        }
+    }
+    assert_eq!(router.generation(), local.generation(), "final generations diverged");
+    assert_eq!(router.live_workers(), 2, "replay must not lose a worker");
+
+    // Final sweep: every routing class (same-tree, cross-tree, spine
+    // endpoints) over the settled epoch.
+    let n = g.num_vertices() as VertexId;
+    let snap = local.snapshot();
+    for s in (0..n).step_by(23) {
+        for t in (0..n).step_by(29) {
+            assert_eq!(
+                router.query(s, t).unwrap(),
+                snap.query(s, t),
+                "final sweep: d({s}, {t}) diverged"
+            );
+        }
+        let targets: Vec<VertexId> = (0..n).step_by(31).filter(|&t| t != s).collect();
+        let routed = router.one_to_many(s, &targets).unwrap();
+        let reference: Vec<_> = targets.iter().map(|&t| snap.query(s, t)).collect();
+        assert_eq!(routed, reference, "final sweep: one-to-many from {s} diverged");
+    }
+
+    local.shutdown();
+    for net in nets {
+        net.shutdown();
+    }
+}
